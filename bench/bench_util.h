@@ -1,0 +1,81 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/integrated_arima_attack.h"
+#include "common/env.h"
+#include "core/arima_detector.h"
+#include "core/evaluation.h"
+#include "datagen/generator.h"
+#include "meter/dataset.h"
+#include "meter/weekly_stats.h"
+
+namespace fdeta::bench {
+
+/// Scale knobs: FDETA_CONSUMERS (default 500, the paper's population),
+/// FDETA_VECTORS (default 50 TND trials), FDETA_SEED.
+struct Scale {
+  std::size_t consumers;
+  std::size_t vectors;
+  std::uint64_t seed;
+
+  static Scale from_env() {
+    return Scale{env_size("FDETA_CONSUMERS", 500),
+                 env_size("FDETA_VECTORS", 50),
+                 static_cast<std::uint64_t>(env_size("FDETA_SEED", 20160628))};
+  }
+};
+
+/// The paper's dataset shape: `consumers` x 74 weeks at the CER type mix.
+inline meter::Dataset paper_dataset(const Scale& scale) {
+  return datagen::small_dataset(scale.consumers, 74, scale.seed);
+}
+
+inline core::EvaluationConfig paper_eval_config(const Scale& scale) {
+  core::EvaluationConfig config;
+  config.split = meter::TrainTestSplit{.train_weeks = 60, .test_weeks = 14};
+  config.attack_vectors = scale.vectors;
+  config.seed = scale.seed;
+  return config;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// Per-consumer artifacts shared by the ablation benches: the fitted model,
+/// training stats, the clean attacked week, and a batch of Integrated-ARIMA
+/// attack vectors.
+struct ConsumerArtifacts {
+  std::vector<Kw> train;
+  std::vector<Kw> clean_week;
+  std::vector<std::vector<Kw>> attack_vectors;  // over-report (1B)
+};
+
+inline ConsumerArtifacts make_artifacts(const meter::ConsumerSeries& series,
+                                        const meter::TrainTestSplit& split,
+                                        std::size_t vectors,
+                                        std::uint64_t seed) {
+  ConsumerArtifacts a;
+  const auto train = split.train(series);
+  a.train.assign(train.begin(), train.end());
+  const auto clean = split.test_week(series, 0);
+  a.clean_week.assign(clean.begin(), clean.end());
+
+  core::ArimaDetector detector;
+  detector.fit(train);
+  const auto history = train.subspan(train.size() - 2 * kSlotsPerWeek);
+  const auto wstats = meter::weekly_stats(train);
+  Rng rng = Rng(seed).spawn(series.id);
+  attack::IntegratedAttackConfig cfg;
+  cfg.over_report = true;
+  for (std::size_t v = 0; v < vectors; ++v) {
+    a.attack_vectors.push_back(attack::integrated_arima_attack_vector(
+        detector.model(), history, wstats, kSlotsPerWeek, rng, cfg));
+  }
+  return a;
+}
+
+}  // namespace fdeta::bench

@@ -1,0 +1,106 @@
+// Extension: multiple simultaneous attackers (the paper's conclusion lists
+// "account for the presence of multiple attackers" as planned future work).
+//
+// k attackers on one feeder each run the Integrated-ARIMA 1B attack against
+// disjoint victims in the same week.  We measure (a) how per-victim KLD
+// detection scales with k (each victim's stream is judged independently, so
+// it should not degrade), and (b) what the balance layer sees when the
+// attackers do / do not coordinate the neighbor compensation.
+
+#include <cstdio>
+
+#include "attack/injector.h"
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "core/kld_detector.h"
+#include "grid/balance.h"
+#include "stats/descriptive.h"
+
+using namespace fdeta;
+
+int main() {
+  const auto scale = bench::Scale::from_env();
+  const std::size_t consumers = std::min<std::size_t>(scale.consumers, 120);
+  const auto dataset = datagen::small_dataset(consumers, 74, scale.seed);
+  const meter::TrainTestSplit split{.train_weeks = 60, .test_weeks = 14};
+  const std::size_t attacked_week = split.train_weeks;
+
+  // Pre-fit detectors and pre-generate per-consumer 1B vectors.
+  std::vector<core::KldDetector> detectors(
+      consumers, core::KldDetector({.bins = 10, .significance = 0.10}));
+  std::vector<std::vector<Kw>> vectors(consumers);
+  std::vector<char> usable(consumers, 1);
+  parallel_for(consumers, [&](std::size_t i) {
+    try {
+      const auto artifacts = bench::make_artifacts(dataset.consumer(i), split,
+                                                   /*vectors=*/1, scale.seed);
+      detectors[i].fit(artifacts.train);
+      vectors[i] = artifacts.attack_vectors.front();
+    } catch (const std::exception&) {
+      usable[i] = 0;
+    }
+  });
+
+  const auto topology = grid::Topology::single_feeder(consumers, 0.0);
+
+  std::printf("Multiple simultaneous 1B attackers, %zu consumers on one "
+              "feeder, KLD alpha = 10%%\n\n",
+              consumers);
+  std::printf("%10s %18s %22s %22s\n", "attackers", "victims detected",
+              "root check (coord.)", "root check (uncoord.)");
+
+  for (const std::size_t k : {1, 2, 5, 10, 25, 50}) {
+    if (k > consumers / 2) break;
+    // Victims are the first k usable consumers.
+    std::vector<attack::WeekInjection> injections;
+    for (std::size_t i = 0; i < consumers && injections.size() < k; ++i) {
+      if (!usable[i] || vectors[i].empty()) continue;
+      injections.push_back({i, attacked_week, vectors[i]});
+    }
+    const auto reported = attack::apply_injections(dataset, injections);
+
+    std::size_t detected = 0;
+    for (const auto& inj : injections) {
+      if (detectors[inj.consumer_index].flag_week(
+              reported.consumer(inj.consumer_index).week(attacked_week))) {
+        ++detected;
+      }
+    }
+
+    // Balance view at the attacked week (average demands).  Coordinated:
+    // the attackers consume exactly what the victims are over-billed for,
+    // so actual totals rise to match reported.  Uncoordinated: the books
+    // do not add up and the trusted root meter sees it.
+    std::vector<Kw> actual_avg(consumers), reported_avg(consumers);
+    for (std::size_t i = 0; i < consumers; ++i) {
+      actual_avg[i] = stats::mean(dataset.consumer(i).week(attacked_week));
+      reported_avg[i] = stats::mean(reported.consumer(i).week(attacked_week));
+    }
+    const auto uncoordinated =
+        grid::run_balance_checks(topology, actual_avg, reported_avg, {}, 1e-6);
+
+    std::vector<Kw> coordinated_actual = actual_avg;
+    // Each attacker's actual consumption absorbs her victim's over-report.
+    double absorbed = 0.0;
+    for (const auto& inj : injections) {
+      absorbed += reported_avg[inj.consumer_index] -
+                  actual_avg[inj.consumer_index];
+    }
+    // Mallory sits at the last leaf and soaks up the total.
+    coordinated_actual[consumers - 1] += absorbed;
+    const auto coordinated = grid::run_balance_checks(
+        topology, coordinated_actual, reported_avg, {}, 1e-6);
+
+    std::printf("%10zu %11zu/%zu %27s %22s\n", injections.size(), detected,
+                injections.size(),
+                coordinated.failed(topology.root()) ? "FAILS" : "passes",
+                uncoordinated.failed(topology.root()) ? "FAILS" : "passes");
+  }
+
+  std::printf("\nper-victim detection is independent of k (the KLD detector "
+              "judges each stream separately), so the data-driven layer "
+              "scales to multiple attackers; the balance layer only helps "
+              "when attackers fail to coordinate consumption with their "
+              "over-reports.\n");
+  return 0;
+}

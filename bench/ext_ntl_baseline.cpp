@@ -1,0 +1,74 @@
+// Extension: the non-technical-loss (NTL) industry baseline of refs
+// [9]/[10]/[24] - feeder input vs reported load plus calculated technical
+// loss - and a demonstration of the paper's Section II claim that "their
+// methods fail under the realistic scenario that smart meters are hacked".
+//
+// We run the NTL analysis against each attack class on one feeder: the
+// A-classes (including the dominant real-world line tap, 1A) leave a
+// residual the size of the theft; the B-classes are engineered so reported
+// totals match actual totals and the residual vanishes - only the
+// data-driven detectors see them.
+
+#include <cstdio>
+
+#include "attack/attack_class.h"
+#include "attack/injector.h"
+#include "bench/bench_util.h"
+#include "grid/losses.h"
+#include "pricing/billing.h"
+
+using namespace fdeta;
+
+namespace {
+
+std::vector<Kw> typical_week(double level) {
+  std::vector<Kw> week(kSlotsPerWeek);
+  for (std::size_t t = 0; t < week.size(); ++t) {
+    week[t] = level * (hour_of_day(t) >= 9.0 ? 1.4 : 0.6);
+  }
+  return week;
+}
+
+}  // namespace
+
+int main() {
+  const auto mallory = typical_week(1.0);
+  const std::vector<std::vector<Kw>> neighbors{typical_week(1.8),
+                                               typical_week(1.2)};
+  const grid::LineImpedance feeder{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  const Kw tolerance = 0.05;  // kW residual considered metering noise
+
+  std::printf("NTL (loss-analysis) baseline of refs [9]/[10]/[24] vs the "
+              "seven attack classes\n");
+  std::printf("feeder: %.1f ohm at %.0f kV, residual tolerance %.2f kW\n\n",
+              feeder.resistance_ohm, feeder.voltage_kv, tolerance);
+  std::printf("%5s %16s %18s %14s\n", "class", "peak NTL (kW)",
+              "week energy (kWh)", "NTL verdict");
+
+  for (const auto cls : attack::kAllAttackClasses) {
+    const auto s = attack::make_scenario(cls, mallory, neighbors, 0.8);
+    Kw peak_ntl = 0.0;
+    double ntl_energy = 0.0;
+    bool flagged = false;
+    for (std::size_t t = 0; t < mallory.size(); ++t) {
+      std::vector<Kw> actual(3), reported(3);
+      for (std::size_t c = 0; c < 3; ++c) {
+        actual[c] = s.actual[c][t];
+        reported[c] = s.reported[c][t];
+      }
+      const auto ntl = grid::analyze_ntl(actual, reported, feeder);
+      peak_ntl = std::max(peak_ntl, ntl.non_technical_loss);
+      ntl_energy += std::max(0.0, ntl.non_technical_loss) * kHoursPerSlot;
+      if (ntl.suspicious(tolerance)) flagged = true;
+    }
+    std::printf("%5s %16.3f %18.1f %14s\n",
+                std::string(attack::name(cls)).c_str(), peak_ntl, ntl_energy,
+                flagged ? "SUSPICIOUS" : "clean");
+  }
+
+  std::printf("\nreading the table: the dominant real-world theft (1A line "
+              "tap) is exactly what loss analysis was built for - and every "
+              "B-class attack sails through with a zero residual, which is "
+              "why F-DETA adds the consumption-pattern layer on top.\n");
+  return 0;
+}

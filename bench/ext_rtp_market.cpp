@@ -1,0 +1,82 @@
+// Extension: Attack Class 4B inside a clearing real-time market.
+//
+// Section VII-A: studying 4B "would also require the simulation of a
+// real-time electricity market".  Here the RTP prices are not an exogenous
+// stream but the fixed point of supply meeting price-responsive demand
+// (src/market).  The attack inflates the price signal seen by a set of
+// victims' ADR interfaces; their withdrawal moves the *true* clearing price
+// down for everyone - a market externality the exogenous-price study cannot
+// show.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "market/clearing.h"
+#include "pricing/billing.h"
+#include "stats/descriptive.h"
+
+using namespace fdeta;
+
+int main() {
+  const auto scale = bench::Scale::from_env();
+  const std::size_t consumers = std::min<std::size_t>(scale.consumers, 60);
+  const std::size_t slots = kSlotsPerWeek;
+  const auto dataset = datagen::small_dataset(consumers, 1, scale.seed);
+
+  std::vector<std::vector<Kw>> baselines;
+  baselines.reserve(consumers);
+  for (const auto& c : dataset.consumers()) baselines.push_back(c.readings);
+  const std::vector<double> elasticities(consumers, 0.8);
+
+  // Supply sized so the honest market clears near the 0.20 $/kWh reference.
+  double mean_total = 0.0;
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (const auto& b : baselines) mean_total += b[t];
+  }
+  mean_total /= static_cast<double>(slots);
+  market::SupplyCurve supply;
+  supply.base = 0.10;
+  supply.slope = 0.10 / std::max(mean_total, 1.0);
+
+  std::printf("4B in a clearing RTP market: %zu participants, mean honest "
+              "load %.1f kW\n\n",
+              consumers, mean_total);
+
+  std::vector<double> honest_distortion(consumers, 1.0);
+  const auto honest = market::run_market(baselines, elasticities,
+                                         honest_distortion, supply, 0.20);
+
+  std::printf("%10s %16s %16s %16s %16s\n", "victims", "mean price",
+              "victims kWh", "freed kWh/wk", "others' bill");
+  for (const std::size_t victims : {0, 1, 5, 15, 30}) {
+    if (victims > consumers / 2) break;
+    std::vector<double> distortion(consumers, 1.0);
+    for (std::size_t v = 0; v < victims; ++v) distortion[v] = 1.5;
+    const auto run = market::run_market(baselines, elasticities, distortion,
+                                        supply, 0.20);
+
+    const double mean_price = stats::mean(run.prices);
+    double victim_kwh = 0.0, victim_honest_kwh = 0.0;
+    for (std::size_t v = 0; v < victims; ++v) {
+      victim_kwh += pricing::energy(run.consumption[v]);
+      victim_honest_kwh += pricing::energy(honest.consumption[v]);
+    }
+    // Power freed for Mallory = what the victims no longer draw.
+    const double freed = victim_honest_kwh - victim_kwh;
+    // Everyone else's bill at the cleared prices.
+    double others_bill = 0.0;
+    for (std::size_t c = victims; c < consumers; ++c) {
+      for (std::size_t t = 0; t < slots; ++t) {
+        others_bill += run.prices[t] * run.consumption[c][t] * kHoursPerSlot;
+      }
+    }
+    std::printf("%10zu %15.4f$ %15.1f %16.1f %15.2f$\n", victims, mean_price,
+                victim_kwh, freed, others_bill);
+  }
+
+  std::printf("\nexternality: every victim Mallory farms pushes the clearing "
+              "price DOWN (their demand is withdrawn), so honest consumers' "
+              "bills shrink while the victims unknowingly fund Mallory - the "
+              "utility's revenue, not its energy balance, erodes.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension: weather-driven false positives and the evidence calendar
+// (step 4 of the F-DETA process, Section VII).
+//
+// A severe cold snap in the test period lifts the whole population's
+// consumption simultaneously; a per-consumer anomaly detector flags many
+// honest households that week.  Without step 4 those false positives would
+// trigger investigations (which the paper's Metric-1 penalty prices as
+// total detector failure); with a weather event recorded in the evidence
+// calendar, the verdicts are downgraded to "excused" instead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "datagen/weather.h"
+
+using namespace fdeta;
+
+int main() {
+  const auto scale = bench::Scale::from_env();
+  const std::size_t consumers = std::min<std::size_t>(scale.consumers, 120);
+  const std::size_t weeks = 40;
+  const meter::TrainTestSplit split{.train_weeks = 34, .test_weeks = 6};
+  const std::size_t snap_week = 36;  // second test week
+
+  // Weather: one series for the whole service area, cold snap in week 36.
+  Rng wrng(scale.seed + 5);
+  datagen::WeatherConfig wconfig;
+  const std::vector<datagen::WeatherEvent> events{
+      {.first_slot = snap_week * kSlotsPerWeek,
+       .last_slot = (snap_week + 1) * kSlotsPerWeek - 1,
+       .delta_c = -9.0}};
+  const auto temperature = datagen::generate_temperature(
+      weeks * kSlotsPerWeek, wconfig, wrng, events);
+  const auto temperature_normal = datagen::generate_temperature(
+      weeks * kSlotsPerWeek, wconfig, wrng = Rng(scale.seed + 5), {});
+
+  // Population with thermal response on top of the behavioural base load.
+  auto dataset = datagen::small_dataset(consumers, weeks, scale.seed);
+  Rng trng(scale.seed + 9);
+  for (std::size_t c = 0; c < consumers; ++c) {
+    datagen::ThermalResponse response;
+    response.heating_kw_per_c = 0.04 + 0.05 * trng.uniform();
+    datagen::apply_weather(dataset.consumer(c).readings, temperature,
+                           response);
+  }
+
+  core::PipelineConfig config;
+  config.split = split;
+  config.kld = {.bins = 10, .significance = 0.10};
+  core::FdetaPipeline pipeline(config);
+  pipeline.fit(dataset);
+
+  const core::EvidenceCalendar empty;
+  core::EvidenceCalendar calendar;
+  calendar.add({.first_week = snap_week,
+                .last_week = snap_week,
+                .kind = core::EvidenceKind::kSevereWeather,
+                .description = "-9C cold snap"});
+
+  std::printf("Weather-driven false positives and step 4 (evidence), "
+              "%zu consumers\n\n",
+              consumers);
+  std::printf("%8s %14s %14s %14s\n", "week", "anomalous", "w/ calendar",
+              "excused");
+  for (std::size_t w = split.train_weeks; w < weeks; ++w) {
+    const auto bare = pipeline.evaluate_week(dataset, dataset, w, empty);
+    const auto informed = pipeline.evaluate_week(dataset, dataset, w,
+                                                 calendar);
+    std::size_t anomalous = 0, remaining = 0, excused = 0;
+    for (std::size_t c = 0; c < consumers; ++c) {
+      if (bare.verdicts[c].status != core::VerdictStatus::kNormal) {
+        ++anomalous;
+      }
+      switch (informed.verdicts[c].status) {
+        case core::VerdictStatus::kExcused: ++excused; break;
+        case core::VerdictStatus::kNormal: break;
+        default: ++remaining;
+      }
+    }
+    std::printf("%8zu %14zu %14zu %14zu%s\n", w, anomalous, remaining,
+                excused, w == snap_week ? "   <- cold snap" : "");
+  }
+
+  std::printf("\nthe snap week's population-wide flags collapse to "
+              "'excused' once the severe-weather event is on the calendar; "
+              "other weeks are untouched - step 4 absorbs correlated "
+              "environment anomalies without blunting the detector.\n");
+  (void)temperature_normal;
+  return 0;
+}

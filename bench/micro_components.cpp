@@ -1,0 +1,222 @@
+// Component micro-benchmarks (google-benchmark): the per-consumer costs that
+// dominated the paper's "74 CPU cores for 4 weeks" evaluation, plus the
+// topology-search scaling argument of Section V-C.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/integrated_arima_attack.h"
+#include "core/arima_detector.h"
+#include "core/kld_detector.h"
+#include "datagen/generator.h"
+#include "datagen/weather.h"
+#include "grid/investigate.h"
+#include "grid/losses.h"
+#include "market/clearing.h"
+#include "meter/weekly_stats.h"
+#include "stats/histogram.h"
+#include "stats/kl_divergence.h"
+#include "stats/truncated_normal.h"
+#include "timeseries/arima.h"
+
+namespace {
+
+using namespace fdeta;
+
+const meter::Dataset& fixture_dataset() {
+  static const meter::Dataset dataset = datagen::small_dataset(4, 16, 99);
+  return dataset;
+}
+
+std::span<const Kw> fixture_train() {
+  static const meter::TrainTestSplit split{.train_weeks = 12,
+                                           .test_weeks = 4};
+  return split.train(fixture_dataset().consumer(0));
+}
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  const auto consumers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::small_dataset(consumers, 4, 7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(consumers) * 4 *
+                          kSlotsPerWeek);
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ArimaFit(benchmark::State& state) {
+  const auto train = fixture_train();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::ArimaModel::fit(train, {}));
+  }
+}
+BENCHMARK(BM_ArimaFit);
+
+void BM_ArimaRollingWeek(benchmark::State& state) {
+  const auto train = fixture_train();
+  const auto model = ts::ArimaModel::fit(train, {});
+  const auto history = train.subspan(train.size() - 2 * kSlotsPerWeek);
+  const auto week = train.subspan(0, kSlotsPerWeek);
+  for (auto _ : state) {
+    ts::RollingForecaster forecaster = model.forecaster(history);
+    double acc = 0.0;
+    for (double reading : week) {
+      acc += forecaster.next().mean;
+      forecaster.observe(reading);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSlotsPerWeek);
+}
+BENCHMARK(BM_ArimaRollingWeek);
+
+void BM_KldFit(benchmark::State& state) {
+  const auto train = fixture_train();
+  for (auto _ : state) {
+    core::KldDetector detector(
+        {.bins = static_cast<std::size_t>(state.range(0)),
+         .significance = 0.05});
+    detector.fit(train);
+    benchmark::DoNotOptimize(detector.threshold());
+  }
+}
+BENCHMARK(BM_KldFit)->Arg(10)->Arg(40);
+
+void BM_KldScoreWeek(benchmark::State& state) {
+  const auto train = fixture_train();
+  core::KldDetector detector({.bins = 10, .significance = 0.05});
+  detector.fit(train);
+  const auto week = train.subspan(0, kSlotsPerWeek);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(week));
+  }
+}
+BENCHMARK(BM_KldScoreWeek);
+
+void BM_IntegratedAttackVector(benchmark::State& state) {
+  const auto train = fixture_train();
+  const auto model = ts::ArimaModel::fit(train, {});
+  const auto history = train.subspan(train.size() - 2 * kSlotsPerWeek);
+  const auto wstats = meter::weekly_stats(train);
+  Rng rng(3);
+  attack::IntegratedAttackConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::integrated_arima_attack_vector(
+        model, history, wstats, kSlotsPerWeek, rng, cfg));
+  }
+}
+BENCHMARK(BM_IntegratedAttackVector);
+
+void BM_TruncatedNormalSample(benchmark::State& state) {
+  const stats::TruncatedNormal tnd(0.5, 1.0, 0.0, 2.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tnd.sample(rng));
+  }
+}
+BENCHMARK(BM_TruncatedNormalSample);
+
+void BM_HistogramProbabilities(benchmark::State& state) {
+  const auto train = fixture_train();
+  const stats::Histogram hist(train, 10);
+  const auto week = train.subspan(0, kSlotsPerWeek);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.probabilities(week));
+  }
+}
+BENCHMARK(BM_HistogramProbabilities);
+
+void BM_BalanceChecksRandomRadial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto topology = grid::Topology::random_radial(n, 4, rng, 0.02);
+  std::vector<Kw> actual(n, 1.0);
+  std::vector<Kw> reported = actual;
+  reported[n / 2] = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid::run_balance_checks(topology, actual, reported));
+  }
+}
+BENCHMARK(BM_BalanceChecksRandomRadial)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InvestigateCase2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto topology = grid::Topology::random_radial(n, 4, rng, 0.0);
+  std::vector<Kw> actual(n, 1.0);
+  std::vector<Kw> reported = actual;
+  reported[n / 2] = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid::investigate_case2(topology, actual, reported));
+  }
+}
+BENCHMARK(BM_InvestigateCase2)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InvestigateExhaustive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto topology = grid::Topology::random_radial(n, 4, rng, 0.0);
+  std::vector<Kw> actual(n, 1.0);
+  std::vector<Kw> reported = actual;
+  reported[n / 2] = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid::investigate_exhaustive(topology, actual, reported));
+  }
+}
+BENCHMARK(BM_InvestigateExhaustive)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KlDivergence(benchmark::State& state) {
+  std::vector<double> p(10), q(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    p[i] = (i + 1) / 55.0;
+    q[i] = (10 - i) / 55.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::kl_divergence_bits(p, q));
+  }
+}
+BENCHMARK(BM_KlDivergence);
+
+void BM_MarketClearSlot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<market::Participant> participants(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    participants[i] = {.baseline = 0.5 + 0.01 * static_cast<double>(i),
+                       .elasticity = 0.8,
+                       .price_distortion = 1.0};
+  }
+  const market::SupplyCurve supply{.base = 0.05, .slope = 1e-4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(market::clear_slot(participants, supply, 0.20));
+  }
+}
+BENCHMARK(BM_MarketClearSlot)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_NtlAnalysis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Kw> actual(n, 1.0), reported(n, 0.98);
+  const grid::LineImpedance line{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid::analyze_ntl(actual, reported, line));
+  }
+}
+BENCHMARK(BM_NtlAnalysis)->Arg(100)->Arg(10000);
+
+void BM_TemperatureGeneration(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::generate_temperature(
+        kSlotsPerWeek, datagen::WeatherConfig{}, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSlotsPerWeek);
+}
+BENCHMARK(BM_TemperatureGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

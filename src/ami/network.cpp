@@ -1,0 +1,113 @@
+#include "ami/network.h"
+
+#include "common/error.h"
+
+namespace fdeta::ami {
+
+HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots) : slots_(slots) {
+  values_.assign(consumers, std::vector<Kw>(slots, 0.0));
+  received_.assign(consumers, std::vector<char>(slots, 0));
+}
+
+void HeadEnd::receive(const ReadingReport& report) {
+  require(report.consumer_index < values_.size(),
+          "HeadEnd::receive: consumer out of range");
+  require(report.slot < slots_, "HeadEnd::receive: slot out of range");
+  values_[report.consumer_index][report.slot] = report.kw;
+  received_[report.consumer_index][report.slot] = 1;
+}
+
+bool HeadEnd::has_reading(std::size_t consumer, SlotIndex slot) const {
+  require(consumer < values_.size(), "HeadEnd::has_reading: out of range");
+  require(slot < slots_, "HeadEnd::has_reading: slot out of range");
+  return received_[consumer][slot] != 0;
+}
+
+Kw HeadEnd::reading(std::size_t consumer, SlotIndex slot) const {
+  require(has_reading(consumer, slot), "HeadEnd::reading: missing reading");
+  return values_[consumer][slot];
+}
+
+std::vector<Kw> HeadEnd::consumer_readings(std::size_t consumer) const {
+  require(consumer < values_.size(),
+          "HeadEnd::consumer_readings: out of range");
+  return values_[consumer];
+}
+
+std::size_t HeadEnd::missing_count() const {
+  std::size_t missing = 0;
+  for (const auto& row : received_) {
+    for (char r : row) {
+      if (!r) ++missing;
+    }
+  }
+  return missing;
+}
+
+MeterNetwork::MeterNetwork(const meter::Dataset& actual) : actual_(&actual) {}
+
+void MeterNetwork::add_interceptor(Interceptor interceptor) {
+  require(static_cast<bool>(interceptor),
+          "MeterNetwork::add_interceptor: empty interceptor");
+  interceptors_.push_back(std::move(interceptor));
+}
+
+void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
+                            SlotIndex last) {
+  require(first <= last && last <= actual_->slot_count(),
+          "MeterNetwork::transmit: bad slot range");
+  for (std::size_t c = 0; c < actual_->consumer_count(); ++c) {
+    const auto& readings = actual_->consumer(c).readings;
+    for (SlotIndex t = first; t < last; ++t) {
+      ReadingReport report{c, t, readings[t]};
+      ++messages_sent_;
+      bool dropped = false;
+      bool tampered = false;
+      for (const auto& interceptor : interceptors_) {
+        const auto out = interceptor(report);
+        if (!out.has_value()) {
+          dropped = true;
+          break;
+        }
+        if (out->kw != report.kw || out->slot != report.slot ||
+            out->consumer_index != report.consumer_index) {
+          tampered = true;
+        }
+        report = *out;
+      }
+      if (dropped) {
+        ++messages_dropped_;
+        continue;
+      }
+      if (tampered) ++messages_tampered_;
+      head_end.receive(report);
+    }
+  }
+}
+
+Interceptor scale_interceptor(std::size_t consumer_index, double factor) {
+  require(factor >= 0.0, "scale_interceptor: negative factor");
+  return [consumer_index, factor](
+             const ReadingReport& report) -> std::optional<ReadingReport> {
+    if (report.consumer_index != consumer_index) return report;
+    ReadingReport out = report;
+    out.kw *= factor;
+    return out;
+  };
+}
+
+Interceptor replace_interceptor(std::size_t consumer_index, SlotIndex first,
+                                std::vector<Kw> attack_vector) {
+  return [consumer_index, first, attack_vector = std::move(attack_vector)](
+             const ReadingReport& report) -> std::optional<ReadingReport> {
+    if (report.consumer_index != consumer_index) return report;
+    if (report.slot < first || report.slot >= first + attack_vector.size()) {
+      return report;
+    }
+    ReadingReport out = report;
+    out.kw = attack_vector[report.slot - first];
+    return out;
+  };
+}
+
+}  // namespace fdeta::ami

@@ -1,0 +1,94 @@
+// A simulated AMI reporting plane: smart meters push half-hour readings to
+// the utility head-end over a message bus that an insider can tamper with.
+//
+// The paper's attack model (Section IV) assumes "either the smart meter or
+// the communication link has been compromised, and the attacker is now an
+// insider in the system".  This module makes that operational: attack
+// injections are man-in-the-middle mutations of in-flight reading reports,
+// and the head-end's collected view is exactly the reported dataset D' that
+// the detectors judge.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "meter/dataset.h"
+
+namespace fdeta::ami {
+
+/// One meter-to-head-end message.
+struct ReadingReport {
+  std::size_t consumer_index = 0;
+  SlotIndex slot = 0;
+  Kw kw = 0.0;
+};
+
+/// A man-in-the-middle transformation: returns the (possibly mutated)
+/// message to forward, or nullopt to drop it.
+using Interceptor =
+    std::function<std::optional<ReadingReport>(const ReadingReport&)>;
+
+/// The utility-side collector.  Missing readings stay NaN-free: they are
+/// tracked explicitly so the balance layer can treat "no report" distinctly
+/// from "zero demand".
+class HeadEnd {
+ public:
+  HeadEnd(std::size_t consumers, std::size_t slots);
+
+  void receive(const ReadingReport& report);
+
+  std::size_t consumer_count() const { return received_.size(); }
+  std::size_t slot_count() const { return slots_; }
+
+  bool has_reading(std::size_t consumer, SlotIndex slot) const;
+  Kw reading(std::size_t consumer, SlotIndex slot) const;
+
+  /// Reported readings for one consumer (missing slots filled with 0).
+  std::vector<Kw> consumer_readings(std::size_t consumer) const;
+
+  std::size_t missing_count() const;
+
+ private:
+  std::size_t slots_;
+  std::vector<std::vector<Kw>> values_;
+  std::vector<std::vector<char>> received_;
+};
+
+/// The field network: walks a ground-truth dataset, emitting one report per
+/// consumer per slot, passing each through the interceptor chain.
+class MeterNetwork {
+ public:
+  explicit MeterNetwork(const meter::Dataset& actual);
+
+  /// Appends an interceptor; interceptors run in insertion order.
+  void add_interceptor(Interceptor interceptor);
+
+  /// Transmits all consumers' readings for slots [first, last) to the
+  /// head-end.
+  void transmit(HeadEnd& head_end, SlotIndex first, SlotIndex last);
+
+  std::size_t messages_sent() const { return messages_sent_; }
+  std::size_t messages_tampered() const { return messages_tampered_; }
+  std::size_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  const meter::Dataset* actual_;
+  std::vector<Interceptor> interceptors_;
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_tampered_ = 0;
+  std::size_t messages_dropped_ = 0;
+};
+
+/// Interceptor scaling one consumer's readings by `factor` (< 1 under-
+/// reports: Attack Classes 2A/2B from the wire).
+Interceptor scale_interceptor(std::size_t consumer_index, double factor);
+
+/// Interceptor replacing one consumer's readings for slots
+/// [first, first + vector size) with a precomputed attack vector.
+Interceptor replace_interceptor(std::size_t consumer_index, SlotIndex first,
+                                std::vector<Kw> attack_vector);
+
+}  // namespace fdeta::ami

@@ -1,0 +1,48 @@
+#include "attack/adr_attack.h"
+
+#include "common/error.h"
+
+namespace fdeta::attack {
+
+AdrAttackResult launch_adr_attack(std::span<const Kw> victim_baseline,
+                                  const pricing::RealTimePricing& rtp,
+                                  SlotIndex first_slot,
+                                  const AdrAttackConfig& config) {
+  require(config.price_inflation > 1.0,
+          "launch_adr_attack: inflation must exceed 1 (higher price)");
+  const std::size_t len = victim_baseline.size();
+  require(len >= 1, "launch_adr_attack: empty baseline");
+
+  AdrAttackResult r;
+  r.victim_actual.resize(len);
+  r.victim_reported.resize(len);
+  r.freed_kw.resize(len);
+  r.compromised_price.resize(len);
+
+  for (std::size_t t = 0; t < len; ++t) {
+    const DollarsPerKWh true_price = rtp.price(first_slot + t);
+    const DollarsPerKWh forged_price = config.price_inflation * true_price;
+    // The victim's own-elasticity response is anchored at the true price
+    // (that is the price his baseline corresponds to).
+    const pricing::OwnElasticity elasticity(config.elasticity, true_price);
+
+    const Kw baseline = victim_baseline[t];
+    const Kw curtailed = elasticity.respond(baseline, forged_price);
+
+    r.compromised_price[t] = forged_price;
+    r.victim_actual[t] = curtailed;   // D_n(t) < D'_n(t)
+    r.victim_reported[t] = baseline;  // meter over-reports the baseline
+    r.freed_kw[t] = baseline - curtailed;
+
+    // Eq. (11): expected bill at the forged price minus the utility's bill
+    // at the true price, both over reported consumption.
+    r.victim_perceived_benefit +=
+        (forged_price - true_price) * baseline * kHoursPerSlot;
+    // Eq. (10): what the victim pays for power he never used.
+    r.victim_loss += true_price * (baseline - curtailed) * kHoursPerSlot;
+    r.energy_stolen += slot_energy(baseline - curtailed);
+  }
+  return r;
+}
+
+}  // namespace fdeta::attack

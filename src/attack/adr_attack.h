@@ -1,0 +1,50 @@
+// Attack Class 4B: ADR price-signal compromise under real-time pricing.
+//
+// The paper defines the class (Section VI-B) and leaves its quantitative
+// study as future work because the CER data has no ADR; this module is that
+// extension, built on the Consumer Own Elasticity model of ref [26].
+//
+// Mechanics: Mallory inflates the price stream seen by a victim's ADR
+// interface (lambda'_n(t) > lambda(t)); the interface automatically curtails
+// demand; Mallory consumes the freed power.  The victim's meter is
+// compromised to report baseline consumption, so the balance check passes
+// and the victim even *believes* he saved money (eq. 11) while actually
+// paying Mallory's bill (eq. 10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "pricing/elasticity.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::attack {
+
+struct AdrAttackConfig {
+  double price_inflation = 1.5;  ///< lambda'_n = inflation * lambda
+  double elasticity = 0.8;       ///< victim's own-elasticity
+};
+
+/// Outcome of a 4B attack on one victim over one week.
+struct AdrAttackResult {
+  std::vector<Kw> victim_actual;     ///< curtailed consumption D_n
+  std::vector<Kw> victim_reported;   ///< over-reported consumption D'_n
+  std::vector<Kw> freed_kw;          ///< per-slot power absorbed by Mallory
+  std::vector<DollarsPerKWh> compromised_price;  ///< lambda'_n(t)
+
+  Dollars victim_perceived_benefit = 0.0;  ///< Delta-B of eq. (11), > 0
+  Dollars victim_loss = 0.0;               ///< L_n of eq. (10), > 0
+  KWh energy_stolen = 0.0;                 ///< total freed energy
+};
+
+/// Launches the attack against a victim whose price-responsive baseline is
+/// `victim_baseline` (the demand he would draw at the true price).
+/// `rtp` supplies the true prices for slots [first_slot, first_slot + len).
+AdrAttackResult launch_adr_attack(std::span<const Kw> victim_baseline,
+                                  const pricing::RealTimePricing& rtp,
+                                  SlotIndex first_slot,
+                                  const AdrAttackConfig& config = {});
+
+}  // namespace fdeta::attack

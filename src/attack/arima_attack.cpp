@@ -1,0 +1,33 @@
+#include "attack/arima_attack.h"
+
+#include <algorithm>
+
+namespace fdeta::attack {
+
+std::vector<Kw> arima_attack_vector(const ts::ArimaModel& model,
+                                    std::span<const Kw> history,
+                                    std::size_t length,
+                                    const ArimaAttackConfig& config) {
+  std::vector<Kw> vector;
+  vector.reserve(length);
+  ts::RollingForecaster forecaster = model.forecaster(history);
+  for (std::size_t t = 0; t < length; ++t) {
+    const ts::Forecast f = forecaster.next();
+    Kw forged;
+    if (config.direction == Direction::kOverReport) {
+      forged = f.upper(config.z) - config.margin;
+      forged = std::max(forged, config.floor_kw);
+    } else {
+      forged = f.lower(config.z) + config.margin;
+      forged = std::max(forged, config.floor_kw);
+      // Never report more than the model's central forecast when trying to
+      // under-report (can happen right after the floor clamp).
+      forged = std::min(forged, std::max(f.mean, config.floor_kw));
+    }
+    vector.push_back(forged);
+    forecaster.observe(forged);  // poison the (replicated) utility model
+  }
+  return vector;
+}
+
+}  // namespace fdeta::attack

@@ -1,0 +1,40 @@
+// The ARIMA attack (ref [2], Section VIII-B1).
+//
+// Mallory passively monitors the meter, fits the same ARIMA model the
+// utility's detector uses, and rides the confidence interval: each forged
+// reading is placed exactly at the one-step-ahead CI bound (upper bound to
+// over-report a victim in Attack Class 1B; lower bound, floored at zero, to
+// under-report herself in Attack Classes 2A/2B).  Because the forged stream
+// is fed back into the rolling model, the utility's confidence interval
+// "follows the attack vector" (the model is poisoned) and the per-reading
+// check never fires.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::attack {
+
+enum class Direction : std::uint8_t {
+  kOverReport,   ///< Attack Class 1B: victim's readings pushed up
+  kUnderReport,  ///< Attack Classes 2A/2B: Mallory's readings pushed down
+};
+
+struct ArimaAttackConfig {
+  Direction direction = Direction::kOverReport;
+  double z = 1.96;      ///< CI half-width in stddevs (95% CI)
+  double margin = 1e-6; ///< stay strictly inside the bound by this much
+  Kw floor_kw = 0.0;    ///< physical floor (readings cannot go negative)
+};
+
+/// Generates a `length`-slot attack vector by riding the poisoned rolling
+/// CI.  `history` primes the forecaster (typically the training tail).
+std::vector<Kw> arima_attack_vector(const ts::ArimaModel& model,
+                                    std::span<const Kw> history,
+                                    std::size_t length,
+                                    const ArimaAttackConfig& config);
+
+}  // namespace fdeta::attack

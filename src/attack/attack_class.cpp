@@ -1,0 +1,71 @@
+#include "attack/attack_class.h"
+
+namespace fdeta::attack {
+
+ClassProperties properties(AttackClass cls) {
+  // Columns of Table I.
+  switch (cls) {
+    case AttackClass::k1A:
+      return {.circumvents_balance_check = false,
+              .possible_flat_rate = true,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k2A:
+      return {.circumvents_balance_check = false,
+              .possible_flat_rate = true,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k3A:
+      return {.circumvents_balance_check = false,
+              .possible_flat_rate = false,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k1B:
+      return {.circumvents_balance_check = true,
+              .possible_flat_rate = true,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k2B:
+      return {.circumvents_balance_check = true,
+              .possible_flat_rate = true,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k3B:
+      return {.circumvents_balance_check = true,
+              .possible_flat_rate = false,
+              .possible_tou = true,
+              .possible_rtp = true,
+              .requires_adr = false};
+    case AttackClass::k4B:
+      return {.circumvents_balance_check = true,
+              .possible_flat_rate = false,
+              .possible_tou = false,
+              .possible_rtp = true,
+              .requires_adr = true};
+  }
+  return {};
+}
+
+std::string_view name(AttackClass cls) {
+  switch (cls) {
+    case AttackClass::k1A: return "1A";
+    case AttackClass::k2A: return "2A";
+    case AttackClass::k3A: return "3A";
+    case AttackClass::k1B: return "1B";
+    case AttackClass::k2B: return "2B";
+    case AttackClass::k3B: return "3B";
+    case AttackClass::k4B: return "4B";
+  }
+  return "?";
+}
+
+bool involves_neighbor(AttackClass cls) {
+  return properties(cls).circumvents_balance_check;
+}
+
+}  // namespace fdeta::attack

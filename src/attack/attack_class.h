@@ -1,0 +1,44 @@
+// The seven-class electricity-theft attack taxonomy (Section VI, Table I).
+//
+// A-classes (1A, 2A, 3A) fail the balance check; B-classes (1B, 2B, 3B, 4B)
+// circumvent it by over-reporting at least one neighbor (Proposition 2).
+// Within each group:
+//   1x - Mallory consumes more than typical while reporting typical readings
+//        (line-tap style; arbitrary theft volume).
+//   2x - Mallory under-reports her own typical consumption (bounded by her
+//        typical consumption).
+//   3x - Mallory shifts *reported* load from expensive to cheap periods
+//        (profit without net theft; needs variable pricing).
+//   4B - Mallory inflates neighbors' ADR price signals so their demand drops
+//        and consumes the freed power (needs RTP + ADR).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace fdeta::attack {
+
+enum class AttackClass : std::uint8_t { k1A, k2A, k3A, k1B, k2B, k3B, k4B };
+
+inline constexpr std::array<AttackClass, 7> kAllAttackClasses = {
+    AttackClass::k1A, AttackClass::k2A, AttackClass::k3A, AttackClass::k1B,
+    AttackClass::k2B, AttackClass::k3B, AttackClass::k4B};
+
+/// Table I: one row per property, one column per class.
+struct ClassProperties {
+  bool circumvents_balance_check = false;
+  bool possible_flat_rate = false;
+  bool possible_tou = false;
+  bool possible_rtp = false;
+  bool requires_adr = false;
+};
+
+/// The classification matrix of Table I.
+ClassProperties properties(AttackClass cls);
+
+std::string_view name(AttackClass cls);
+
+/// Whether the class requires over-reporting a neighbor (all B classes).
+bool involves_neighbor(AttackClass cls);
+
+}  // namespace fdeta::attack

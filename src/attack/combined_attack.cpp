@@ -1,0 +1,42 @@
+#include "attack/combined_attack.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace fdeta::attack {
+
+CombinedAttackResult combined_swap_under_report(
+    std::span<const Kw> actual_week, const pricing::TimeOfUse& tou,
+    const ts::ArimaModel& model, std::span<const Kw> history,
+    const meter::WeeklyStats& wstats, const CombinedAttackConfig& config) {
+  require(config.shave_fraction >= 0.0 && config.shave_fraction <= 1.0,
+          "combined_swap_under_report: shave_fraction must be in [0,1]");
+
+  // Stage 1: the 3B load-shift component.
+  const auto swap = optimal_swap_attack(actual_week, tou, 0, &model, history,
+                                        config.swap);
+
+  CombinedAttackResult result;
+  result.swaps = swap.swaps.size();
+  result.reported = swap.reported;
+
+  // Stage 2: the 2B under-report component - a uniform shave sized so the
+  // weekly mean lands `shave_fraction` of the way down to the training
+  // minimum (the Integrated detector's lower bound).
+  const double mean_now = stats::mean(result.reported);
+  const double target =
+      mean_now - config.shave_fraction * (mean_now - wstats.mean_lo);
+  result.shave_kw = std::max(0.0, mean_now - target);
+  if (result.shave_kw <= 0.0) return result;
+
+  // Shave while respecting the floor at zero; the rolling CI follows the
+  // persistently shaved stream (poisoning), so a uniform shift of this size
+  // stays within the band after the first few readings - verified by the
+  // caller's detector replica in the benches/tests.
+  for (Kw& v : result.reported) v = std::max(0.0, v - result.shave_kw);
+  return result;
+}
+
+}  // namespace fdeta::attack

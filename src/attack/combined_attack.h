@@ -1,0 +1,46 @@
+// Combination attacks (Section VI: "electricity theft attacks in practice
+// may be a combination of one or more of these seven attack classes";
+// Section VIII-F3: Mallory "may inject an attack that combines Attack Class
+// 3B with Attack Classes 1B and/or 2B").
+//
+// The combined 2B+3B realization: Mallory first swaps her reported load to
+// exploit the tariff spread (3B), then shaves a uniform under-report on top
+// (2B), keeping every reading inside the (poisoned) ARIMA CI and the weekly
+// mean above the historical minimum.  The two gains stack: tariff-spread
+// profit plus stolen energy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attack/optimal_swap.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "meter/weekly_stats.h"
+#include "pricing/tariff.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::attack {
+
+struct CombinedAttackConfig {
+  OptimalSwapConfig swap{};
+  /// Fraction of the gap between the week's mean and the training minimum
+  /// mean that the under-report component claims (1.0 = all the way down to
+  /// mean_lo).
+  double shave_fraction = 0.9;
+  double z = 1.96;  ///< stay inside this CI while shaving
+};
+
+struct CombinedAttackResult {
+  std::vector<Kw> reported;
+  std::size_t swaps = 0;
+  Kw shave_kw = 0.0;  ///< uniform under-report applied per slot
+};
+
+/// Builds the combined 2B+3B reported week from `actual_week`.
+CombinedAttackResult combined_swap_under_report(
+    std::span<const Kw> actual_week, const pricing::TimeOfUse& tou,
+    const ts::ArimaModel& model, std::span<const Kw> history,
+    const meter::WeeklyStats& wstats, const CombinedAttackConfig& config = {});
+
+}  // namespace fdeta::attack

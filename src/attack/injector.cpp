@@ -1,0 +1,138 @@
+#include "attack/injector.h"
+
+#include <algorithm>
+
+#include "attack/optimal_swap.h"
+#include "common/error.h"
+#include "pricing/elasticity.h"
+
+namespace fdeta::attack {
+
+meter::Dataset apply_injections(const meter::Dataset& actual,
+                                const std::vector<WeekInjection>& injections) {
+  meter::Dataset reported = actual;  // value copy: D' starts equal to D
+  for (const WeekInjection& inj : injections) {
+    require(inj.consumer_index < reported.consumer_count(),
+            "apply_injections: consumer index out of range");
+    auto& series = reported.consumer(inj.consumer_index);
+    require(inj.week < series.week_count(),
+            "apply_injections: week out of range");
+    require(inj.reported_week.size() == kSlotsPerWeek,
+            "apply_injections: attack vector must be one week long");
+    std::copy(inj.reported_week.begin(), inj.reported_week.end(),
+              series.readings.begin() + inj.week * kSlotsPerWeek);
+  }
+  return reported;
+}
+
+namespace {
+
+std::vector<Kw> to_vector(std::span<const Kw> s) {
+  return std::vector<Kw>(s.begin(), s.end());
+}
+
+}  // namespace
+
+NeighborhoodScenario make_scenario(
+    AttackClass cls, std::span<const Kw> mallory_week,
+    std::span<const std::vector<Kw>> neighbor_weeks, Kw theft_kw) {
+  require(!mallory_week.empty(), "make_scenario: empty Mallory week");
+  require(!neighbor_weeks.empty() || !involves_neighbor(cls),
+          "make_scenario: B-class scenarios need at least one neighbor");
+  const std::size_t len = mallory_week.size();
+  for (const auto& n : neighbor_weeks) {
+    require(n.size() == len, "make_scenario: neighbor week length mismatch");
+  }
+  const std::size_t m = neighbor_weeks.size();
+
+  NeighborhoodScenario sc;
+  sc.attack_class = cls;
+  sc.actual.push_back(to_vector(mallory_week));
+  for (const auto& n : neighbor_weeks) sc.actual.push_back(n);
+  sc.reported = sc.actual;  // start honest, then perturb per class
+
+  auto& mallory_actual = sc.actual.front();
+  auto& mallory_reported = sc.reported.front();
+
+  switch (cls) {
+    case AttackClass::k1A:
+      // Consume more than typical; report typical.
+      for (Kw& v : mallory_actual) v += theft_kw;
+      break;
+
+    case AttackClass::k2A:
+      // Typical consumption; under-report.
+      for (Kw& v : mallory_reported) v = std::max(0.0, v - theft_kw);
+      break;
+
+    case AttackClass::k3A: {
+      // Report swapped readings; actual consumption unchanged.
+      const auto swap = optimal_swap_attack(mallory_week, pricing::nightsaver(),
+                                            /*first_slot=*/0,
+                                            /*model=*/nullptr, {});
+      mallory_reported = swap.reported;
+      break;
+    }
+
+    case AttackClass::k1B: {
+      // 1A plus neighbor over-reports that absorb the theft.
+      for (Kw& v : mallory_actual) v += theft_kw;
+      const Kw share = theft_kw / static_cast<double>(m);
+      for (std::size_t n = 1; n <= m; ++n) {
+        for (Kw& v : sc.reported[n]) v += share;
+      }
+      break;
+    }
+
+    case AttackClass::k2B: {
+      // 2A plus neighbor over-reports.
+      for (std::size_t t = 0; t < len; ++t) {
+        const Kw reported = std::max(0.0, mallory_reported[t] - theft_kw);
+        const Kw hidden = mallory_reported[t] - reported;
+        mallory_reported[t] = reported;
+        const Kw share = hidden / static_cast<double>(m);
+        for (std::size_t n = 1; n <= m; ++n) sc.reported[n][t] += share;
+      }
+      break;
+    }
+
+    case AttackClass::k3B: {
+      // 3A plus neighbor compensation so every per-slot balance holds.
+      const auto swap = optimal_swap_attack(mallory_week, pricing::nightsaver(),
+                                            /*first_slot=*/0,
+                                            /*model=*/nullptr, {});
+      mallory_reported = swap.reported;
+      for (std::size_t t = 0; t < len; ++t) {
+        const Kw diff = mallory_actual[t] - mallory_reported[t];  // signed
+        const Kw share = diff / static_cast<double>(m);
+        for (std::size_t n = 1; n <= m; ++n) {
+          sc.reported[n][t] = std::max(0.0, sc.reported[n][t] + share);
+        }
+      }
+      break;
+    }
+
+    case AttackClass::k4B: {
+      // Inflate neighbors' ADR price so they curtail; consume the slack.
+      const pricing::OwnElasticity elasticity(/*elasticity=*/0.8,
+                                              /*reference_price=*/0.20);
+      const DollarsPerKWh inflated_price = 0.30;
+      for (std::size_t t = 0; t < len; ++t) {
+        Kw freed = 0.0;
+        for (std::size_t n = 1; n <= m; ++n) {
+          const Kw baseline = sc.actual[n][t];
+          const Kw curtailed = elasticity.respond(baseline, inflated_price);
+          sc.actual[n][t] = curtailed;     // victim actually consumes less
+          sc.reported[n][t] = baseline;    // meter reports the baseline
+          freed += baseline - curtailed;
+        }
+        mallory_actual[t] += freed;        // Mallory consumes the slack
+        // Mallory's reported stays at her typical consumption.
+      }
+      break;
+    }
+  }
+  return sc;
+}
+
+}  // namespace fdeta::attack

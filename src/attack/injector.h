@@ -1,0 +1,53 @@
+// Applying attack vectors to datasets and constructing full neighborhood
+// theft scenarios (actual vs reported series for Mallory and her neighbors)
+// that satisfy the balance-check constraint (eq. 8) for B-class attacks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/attack_class.h"
+#include "common/units.h"
+#include "meter/dataset.h"
+
+namespace fdeta::attack {
+
+/// Replaces one consumer's readings for one week with an attack vector.
+struct WeekInjection {
+  std::size_t consumer_index = 0;
+  std::size_t week = 0;               ///< absolute week index in the horizon
+  std::vector<Kw> reported_week;      ///< length = slots per week
+};
+
+/// Returns a copy of `actual` with the injections applied; the copy is the
+/// *reported* dataset D' while `actual` remains D.
+meter::Dataset apply_injections(const meter::Dataset& actual,
+                                const std::vector<WeekInjection>& injections);
+
+/// A concrete theft scenario at one balance node: Mallory plus M neighbors,
+/// with actual and reported week series for everyone, constructed so the
+/// paper's A/B distinction is explicit:
+///  - A-class scenarios leave neighbors untouched (root balance check fails);
+///  - B-class scenarios over-report neighbors by exactly Mallory's theft
+///    (root balance check passes; Proposition 2 witness exists).
+struct NeighborhoodScenario {
+  AttackClass attack_class;
+  std::vector<std::vector<Kw>> actual;    ///< [0] = Mallory, [1..] neighbors
+  std::vector<std::vector<Kw>> reported;  ///< same layout
+
+  std::span<const Kw> mallory_actual() const { return actual.front(); }
+  std::span<const Kw> mallory_reported() const { return reported.front(); }
+};
+
+/// Builds a canonical instance of the given class over `week` (Mallory's
+/// actual consumption) and `neighbor_weeks` (the innocent neighbors'
+/// actual consumption).  For class 3A/3B, `peak_rate`/`off_peak_rate`
+/// swapping uses the standard Nightsaver calendar; for 4B, an elasticity of
+/// 0.8 and a 1.5x price inflation are used.  `theft_kw` scales 1x/2x-class
+/// injections.
+NeighborhoodScenario make_scenario(AttackClass cls,
+                                   std::span<const Kw> mallory_week,
+                                   std::span<const std::vector<Kw>> neighbor_weeks,
+                                   Kw theft_kw = 1.0);
+
+}  // namespace fdeta::attack

@@ -1,0 +1,56 @@
+// The Integrated ARIMA attack (identified in ref [2]; Section VIII-B).
+//
+// The Integrated ARIMA detector augments the per-reading CI check with
+// window mean and variance checks against training-set weekly statistics.
+// To circumvent all three, the attack draws each forged reading from a
+// Truncated Normal Distribution whose support is the (poisoned) rolling
+// ARIMA confidence interval and whose location steers the realised weekly
+// mean toward the *maximum* of training weekly means (Attack Class 1B,
+// over-reporting a victim) or the *minimum* (Attack Classes 2A/2B,
+// under-reporting Mallory herself).  The TND scale is chosen so the realised
+// weekly variance stays inside the training variance range.
+//
+// Randomness keeps the vector free of deterministic patterns; the paper
+// draws 50 vectors per consumer and evaluates detectors against the
+// worst case (Section VIII-B).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "meter/weekly_stats.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::attack {
+
+struct IntegratedAttackConfig {
+  /// Over-report (1B) targets mean_hi; under-report (2A/2B) targets mean_lo.
+  bool over_report = true;
+  double z = 1.96;   ///< CI half-width used as the TND truncation support
+  Kw floor_kw = 0.0; ///< readings cannot go negative
+  /// Proportional feedback gain steering the realised mean to the target.
+  double drift_gain = 1.5;
+  /// Mallory replicates the detector's mean/variance checks and, if a draw
+  /// would trip them, retreats the target toward the training median mean
+  /// and redraws - up to this many attempts (maximising gain subject to
+  /// evasion, Section IV).  The paper's residual detection rates (0.6% for
+  /// 1B, 10.8% for 2A/2B) come from consumers for whom no retreat evades.
+  std::size_t max_attempts = 8;
+};
+
+/// Generates one week-length (or arbitrary-length) attack vector.
+std::vector<Kw> integrated_arima_attack_vector(
+    const ts::ArimaModel& model, std::span<const Kw> history,
+    const meter::WeeklyStats& wstats, std::size_t length, Rng& rng,
+    const IntegratedAttackConfig& config);
+
+/// Mallory's replica of the Integrated ARIMA detector's window checks:
+/// mean within [mean_lo, mean_hi] and variance no greater than var_hi
+/// (ref [2]: "the mean and variance of the false readings do not exceed
+/// thresholds based on historic data").
+bool evades_window_checks(std::span<const Kw> vector,
+                          const meter::WeeklyStats& wstats);
+
+}  // namespace fdeta::attack

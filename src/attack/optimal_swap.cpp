@@ -1,0 +1,144 @@
+#include "attack/optimal_swap.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.h"
+
+namespace fdeta::attack {
+
+namespace {
+
+/// Greedy per-day pairing: highest peak readings against lowest off-peak
+/// readings, swapped only while profitable (high > low).
+std::vector<SwapPair> plan_swaps(std::span<const Kw> week,
+                                 const pricing::TimeOfUse& tou,
+                                 SlotIndex first_slot) {
+  std::vector<SwapPair> swaps;
+  const std::size_t days = week.size() / kSlotsPerDay;
+  for (std::size_t day = 0; day < days; ++day) {
+    std::vector<SlotIndex> peak, off_peak;
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      const SlotIndex slot = day * kSlotsPerDay + s;
+      if (tou.is_peak(first_slot + slot)) {
+        peak.push_back(slot);
+      } else {
+        off_peak.push_back(slot);
+      }
+    }
+    std::sort(peak.begin(), peak.end(), [&](SlotIndex a, SlotIndex b) {
+      return week[a] > week[b];  // highest peak readings first
+    });
+    std::sort(off_peak.begin(), off_peak.end(), [&](SlotIndex a, SlotIndex b) {
+      return week[a] < week[b];  // lowest off-peak readings first
+    });
+    const std::size_t pairs = std::min(peak.size(), off_peak.size());
+    for (std::size_t i = 0; i < pairs; ++i) {
+      if (week[peak[i]] <= week[off_peak[i]]) break;  // no further profit
+      swaps.push_back(SwapPair{peak[i], off_peak[i]});
+    }
+  }
+  return swaps;
+}
+
+std::vector<Kw> apply_swaps(std::span<const Kw> week,
+                            const std::vector<SwapPair>& swaps) {
+  std::vector<Kw> out(week.begin(), week.end());
+  for (const SwapPair& s : swaps) {
+    std::swap(out[s.peak_slot], out[s.off_peak_slot]);
+  }
+  return out;
+}
+
+/// Slots where the reported week trips the rolling ARIMA CI.  Mirrors the
+/// utility-side detector: the forecaster is fed the *reported* readings, so
+/// it is poisoned exactly as the real detector would be.
+std::vector<SlotIndex> ci_violations(std::span<const Kw> reported,
+                                     const ts::ArimaModel& model,
+                                     std::span<const Kw> history, double z) {
+  std::vector<SlotIndex> out;
+  ts::RollingForecaster forecaster = model.forecaster(history);
+  for (std::size_t t = 0; t < reported.size(); ++t) {
+    const ts::Forecast f = forecaster.next();
+    if (!f.contains(reported[t], z)) out.push_back(t);
+    forecaster.observe(reported[t]);
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimalSwapResult optimal_swap_attack(std::span<const Kw> actual_week,
+                                      const pricing::TimeOfUse& tou,
+                                      SlotIndex first_slot,
+                                      const ts::ArimaModel* model,
+                                      std::span<const Kw> history,
+                                      const OptimalSwapConfig& config) {
+  require(actual_week.size() % kSlotsPerDay == 0,
+          "optimal_swap_attack: week must be whole days");
+
+  OptimalSwapResult result;
+  result.swaps = plan_swaps(actual_week, tou, first_slot);
+  result.reported = apply_swaps(actual_week, result.swaps);
+  if (model == nullptr) return result;
+
+  // CI repair.  Honest weeks already violate a 95% CI at the nominal rate,
+  // so the attacker's goal is not zero violations but "no more violations
+  // than a clean week would show": she reverts swaps until the replica
+  // detector sees a violation count at (or below) the clean week's.
+  const std::size_t budget =
+      config.violation_budget.value_or(
+          ci_violations(actual_week, *model, history, config.z).size());
+  for (std::size_t iter = 0;
+       iter < config.max_repair_iterations && !result.swaps.empty(); ++iter) {
+    const std::size_t current =
+        ci_violations(result.reported, *model, history, config.z).size();
+    if (current <= budget) break;
+
+    // Greedy: revert whichever single swap reduces the violation count the
+    // most (ties favour the smallest profit sacrifice - the last swap in the
+    // per-day greedy ordering).
+    std::size_t best_count = current;
+    auto best = result.swaps.end();
+    for (auto it = result.swaps.begin(); it != result.swaps.end(); ++it) {
+      std::vector<SwapPair> candidate(result.swaps.begin(), result.swaps.end());
+      candidate.erase(candidate.begin() + (it - result.swaps.begin()));
+      const auto trial = apply_swaps(actual_week, candidate);
+      const std::size_t count =
+          ci_violations(trial, *model, history, config.z).size();
+      if (count < best_count) {
+        best_count = count;
+        best = it;
+      }
+    }
+    if (best == result.swaps.end()) {
+      // Violations are structural (boundary jumps persist whichever single
+      // swap is removed): fall back to sacrificing a whole day's swaps - the
+      // day of the first violation, else the last day still swapped.
+      const auto violations =
+          ci_violations(result.reported, *model, history, config.z);
+      std::size_t day = violations.empty()
+                            ? result.swaps.back().peak_slot / kSlotsPerDay
+                            : violations.front() / kSlotsPerDay;
+      auto in_day = [&day](const SwapPair& s) {
+        return s.peak_slot / kSlotsPerDay == day ||
+               s.off_peak_slot / kSlotsPerDay == day;
+      };
+      if (std::none_of(result.swaps.begin(), result.swaps.end(), in_day)) {
+        day = result.swaps.back().peak_slot / kSlotsPerDay;
+      }
+      const auto removed = std::count_if(result.swaps.begin(),
+                                         result.swaps.end(), in_day);
+      std::erase_if(result.swaps, in_day);
+      result.reverted += static_cast<std::size_t>(removed);
+      result.reported = apply_swaps(actual_week, result.swaps);
+      continue;
+    }
+    result.swaps.erase(best);
+    ++result.reverted;
+    result.reported = apply_swaps(actual_week, result.swaps);
+  }
+  return result;
+}
+
+}  // namespace fdeta::attack

@@ -1,0 +1,58 @@
+// The Optimal Swap attack (Attack Classes 3A/3B, Section VIII-B3).
+//
+// Under two-period TOU pricing, Mallory swaps the *reported times* of her
+// highest peak-period readings with her lowest off-peak readings, day by
+// day.  The multiset of readings - and therefore the weekly mean, variance
+// and value distribution - is unchanged; only the temporal ordering moves,
+// so the unconditioned KLD detector is blind to it by design.  Profit per
+// swapped pair is (peak_rate - off_peak_rate) * (high - low) * Delta-t.
+//
+// The paper injects swaps "in a way that minimized errors due to exceeding
+// the confidence intervals of the ARIMA detector"; we reproduce that with a
+// repair loop that reverts swaps violating the (poisoned) rolling CI.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "pricing/tariff.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::attack {
+
+struct SwapPair {
+  SlotIndex peak_slot;      ///< slot (within the week) of the high reading
+  SlotIndex off_peak_slot;  ///< slot (within the week) of the low reading
+};
+
+struct OptimalSwapResult {
+  std::vector<Kw> reported;      ///< the week after swapping
+  std::vector<SwapPair> swaps;   ///< surviving swaps (after CI repair)
+  std::size_t reverted = 0;      ///< swaps undone to evade the ARIMA CI
+};
+
+struct OptimalSwapConfig {
+  double z = 1.96;  ///< ARIMA CI half-width to stay inside
+  std::size_t max_repair_iterations = 64;
+  /// Violation count the attacker must stay at or below (her replica of the
+  /// detector's calibrated weekly budget).  When unset, the clean week's own
+  /// violation count is used - the most conservative target.
+  std::optional<std::size_t> violation_budget;
+};
+
+/// Builds the swapped week from `actual_week` (length = one week of slots).
+/// `first_slot` is the week's absolute starting slot (for the TOU calendar;
+/// weeks start at slot multiples so 0 is typical).  If `model` is non-null,
+/// the CI-repair loop reverts swaps that would trip the per-reading ARIMA
+/// check primed with `history`.
+OptimalSwapResult optimal_swap_attack(std::span<const Kw> actual_week,
+                                      const pricing::TimeOfUse& tou,
+                                      SlotIndex first_slot,
+                                      const ts::ArimaModel* model,
+                                      std::span<const Kw> history,
+                                      const OptimalSwapConfig& config = {});
+
+}  // namespace fdeta::attack

@@ -1,0 +1,34 @@
+#include "attack/propositions.h"
+
+#include "common/error.h"
+
+namespace fdeta::attack {
+
+std::optional<SlotIndex> proposition1_witness(std::span<const Kw> actual,
+                                              std::span<const Kw> reported) {
+  require(actual.size() == reported.size(),
+          "proposition1_witness: size mismatch");
+  for (std::size_t t = 0; t < actual.size(); ++t) {
+    if (reported[t] < actual[t]) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<NeighborWitness> proposition2_witness(
+    std::span<const std::span<const Kw>> neighbors_actual,
+    std::span<const std::span<const Kw>> neighbors_reported) {
+  require(neighbors_actual.size() == neighbors_reported.size(),
+          "proposition2_witness: neighbor count mismatch");
+  for (std::size_t n = 0; n < neighbors_actual.size(); ++n) {
+    const auto& actual = neighbors_actual[n];
+    const auto& reported = neighbors_reported[n];
+    require(actual.size() == reported.size(),
+            "proposition2_witness: series size mismatch");
+    for (std::size_t t = 0; t < actual.size(); ++t) {
+      if (reported[t] > actual[t]) return NeighborWitness{n, t};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdeta::attack

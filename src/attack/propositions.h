@@ -1,0 +1,35 @@
+// Machine-checkable forms of the paper's Propositions 1 and 2.
+//
+// Proposition 1: a successful theft (condition (1)) requires some slot where
+// the attacker under-reports: D'_A(t) < D_A(t).
+//
+// Proposition 2: a theft that also satisfies the balance check (eq. (8))
+// requires some (neighbor, slot) where the neighbor is over-reported:
+// D'_n(t) > D_n(t).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "common/units.h"
+
+namespace fdeta::attack {
+
+/// First slot where reported < actual (a Proposition-1 witness), if any.
+std::optional<SlotIndex> proposition1_witness(std::span<const Kw> actual,
+                                              std::span<const Kw> reported);
+
+/// A (neighbor, slot) over-report witness for Proposition 2.
+struct NeighborWitness {
+  std::size_t neighbor;  ///< index into the neighbor arrays
+  SlotIndex slot;
+};
+
+/// Searches neighbors' actual/reported series (parallel spans of equal
+/// length) for a slot where reported > actual.
+std::optional<NeighborWitness> proposition2_witness(
+    std::span<const std::span<const Kw>> neighbors_actual,
+    std::span<const std::span<const Kw>> neighbors_reported);
+
+}  // namespace fdeta::attack

@@ -1,0 +1,48 @@
+#include "common/cli_args.h"
+
+#include <cstring>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace fdeta {
+
+CliArgs::CliArgs(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw InvalidArgument(std::string("expected --flag, got ") + argv[i]);
+    }
+    if (i + 1 >= argc) {
+      throw InvalidArgument(std::string("flag ") + argv[i] +
+                            " is missing its value");
+    }
+    values_[argv[i] + 2] = argv[i + 1];
+  }
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_long(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : parse_long(it->second, "--" + key);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : parse_double(it->second, "--" + key);
+}
+
+std::string CliArgs::require_value(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw InvalidArgument("missing required flag --" + key);
+  }
+  return it->second;
+}
+
+}  // namespace fdeta

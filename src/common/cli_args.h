@@ -1,0 +1,36 @@
+// Minimal --key value argument parsing, shared by the fdeta CLI and any
+// downstream tools embedding the library.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace fdeta {
+
+class CliArgs {
+ public:
+  /// Parses argv[first..argc) as alternating "--key value" pairs.
+  /// Throws InvalidArgument on a token that is not a --flag, or on a
+  /// trailing flag with no value.
+  CliArgs(int argc, const char* const* argv, int first = 1);
+
+  /// String value, or `fallback` when the flag is absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value (DataError on a malformed number), or `fallback`.
+  long get_long(const std::string& key, long fallback) const;
+
+  /// Double value (DataError on a malformed number), or `fallback`.
+  double get_double(const std::string& key, double fallback) const;
+
+  /// String value; InvalidArgument when the flag is absent.
+  std::string require_value(const std::string& key) const;
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fdeta

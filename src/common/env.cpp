@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace fdeta {
+
+std::size_t env_size(const std::string& name, std::size_t default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return default_value;
+  return static_cast<std::size_t>(value);
+}
+
+double env_double(const std::string& name, double default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return default_value;
+  return value;
+}
+
+}  // namespace fdeta

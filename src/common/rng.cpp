@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fdeta {
+
+double Rng::normal() {
+  // Marsaglia polar method; rejects until a point falls inside the unit
+  // circle.  The second variate is discarded to keep the stream stateless.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+Rng Rng::spawn(std::uint64_t stream) const {
+  SplitMix64 sm(state_[0] ^ (state_[3] + 0x9E3779B97F4A7C15ULL * (stream + 1)));
+  Rng child(0);
+  child.state_ = {sm.next(), sm.next(), sm.next(), sm.next()};
+  return child;
+}
+
+}  // namespace fdeta

@@ -1,0 +1,97 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (the dataset generator, the
+// truncated-normal attack sampler, the RTP price stream) draw from this
+// engine so that every experiment is reproducible from a single seed.
+// xoshiro256** is used for its speed and equidistribution; SplitMix64 seeds
+// it and derives independent per-consumer streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace fdeta {
+
+/// SplitMix64: used to expand a single user seed into stream states.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** engine satisfying UniformRandomBitGenerator, so it can be
+/// plugged into <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator whose full state is derived from `seed`.
+  explicit Rng(std::uint64_t seed = 0x5EEDF0DA) { reseed(seed); }
+
+  /// Re-derives the state from `seed` (identical to constructing anew).
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal variate (polar Box-Muller without caching, so the
+  /// stream position is a pure function of call count).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Derives an independent child generator; `stream` selects the child.
+  /// Children of distinct streams (or of distinct parents) do not overlap in
+  /// practice thanks to SplitMix64 diffusion.
+  Rng spawn(std::uint64_t stream) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fdeta

@@ -1,0 +1,58 @@
+// A fixed-size worker pool with a parallel-for helper.
+//
+// The paper's evaluation ran "74 CPU cores for a total period of 4 weeks"
+// (Section VIII-B); our evaluation harness runs the same
+// consumer x attack-vector x detector sweep, parallelised per consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdeta {
+
+/// Work-queue thread pool.  Tasks are std::function<void()>; exceptions
+/// escaping a task terminate the process (tasks are expected to capture and
+/// report their own failures, as the evaluation harness does).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for i in [0, count) across a temporary pool (or inline for
+/// tiny ranges).  Blocks until all iterations complete.  `body` must be safe
+/// to invoke concurrently for distinct indices.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace fdeta

@@ -1,0 +1,131 @@
+#include "core/conditioned_kld_detector.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "stats/kl_divergence.h"
+#include "stats/quantile.h"
+
+namespace fdeta::core {
+
+std::function<std::size_t(std::size_t)> tou_slot_groups(
+    const pricing::TimeOfUse& tou) {
+  // TOU calendars repeat daily, so slot-of-week position fixes the price.
+  std::vector<std::size_t> groups(kSlotsPerWeek);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    groups[s] = tou.is_peak(s) ? 1 : 0;
+  }
+  return [groups = std::move(groups)](std::size_t slot) {
+    return groups[slot % kSlotsPerWeek];
+  };
+}
+
+std::function<std::size_t(std::size_t)> rtp_slot_groups(
+    const pricing::RealTimePricing& rtp, std::size_t slots,
+    std::size_t bands) {
+  require(bands >= 2, "rtp_slot_groups: need at least two bands");
+  require(slots >= bands, "rtp_slot_groups: too few slots");
+  std::vector<double> prices(slots);
+  for (std::size_t t = 0; t < slots; ++t) prices[t] = rtp.price(t);
+  std::vector<double> sorted = prices;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<double> cut(bands - 1);
+  for (std::size_t b = 1; b < bands; ++b) {
+    cut[b - 1] = stats::quantile_sorted(
+        sorted, static_cast<double>(b) / static_cast<double>(bands));
+  }
+  std::vector<std::size_t> groups(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::size_t g = 0;
+    while (g < cut.size() && prices[t] > cut[g]) ++g;
+    groups[t] = g;
+  }
+  return [groups = std::move(groups)](std::size_t slot) {
+    return groups[slot % groups.size()];
+  };
+}
+
+ConditionedKldDetector::ConditionedKldDetector(
+    ConditionedKldDetectorConfig config)
+    : config_(std::move(config)) {
+  require(config_.bins >= 2, "ConditionedKldDetector: need >= 2 bins");
+  require(config_.significance > 0.0 && config_.significance < 1.0,
+          "ConditionedKldDetector: significance must be in (0,1)");
+  require(config_.groups >= 2, "ConditionedKldDetector: need >= 2 groups");
+  if (!config_.slot_group) {
+    const pricing::TimeOfUse tou = pricing::nightsaver();
+    config_.slot_group = tou_slot_groups(tou);
+    config_.groups = 2;
+  }
+}
+
+std::vector<double> ConditionedKldDetector::group_values(
+    std::span<const Kw> week, std::size_t g) const {
+  std::vector<double> values;
+  values.reserve(week.size() / config_.groups + 1);
+  for (std::size_t s = 0; s < week.size(); ++s) {
+    if (config_.slot_group(s % kSlotsPerWeek) == g) values.push_back(week[s]);
+  }
+  return values;
+}
+
+void ConditionedKldDetector::fit(std::span<const Kw> training) {
+  require(training.size() % kSlotsPerWeek == 0,
+          "ConditionedKldDetector: training must be whole weeks");
+  const std::size_t weeks = training.size() / kSlotsPerWeek;
+  require(weeks >= 4, "ConditionedKldDetector: need >= 4 training weeks");
+
+  histograms_.assign(config_.groups, std::nullopt);
+  baselines_.assign(config_.groups, {});
+  thresholds_.assign(config_.groups, 0.0);
+
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    // All training readings in this price group (across all weeks).
+    const std::vector<double> all = group_values(training, g);
+    require(!all.empty(),
+            "ConditionedKldDetector: a price group matched no slots");
+    histograms_[g].emplace(all, config_.bins);
+    baselines_[g] = histograms_[g]->probabilities(all);
+
+    std::vector<double> k;
+    k.reserve(weeks);
+    for (std::size_t w = 0; w < weeks; ++w) {
+      const std::span<const Kw> week{training.data() + w * kSlotsPerWeek,
+                                     static_cast<std::size_t>(kSlotsPerWeek)};
+      const auto values = group_values(week, g);
+      const auto p = histograms_[g]->probabilities(values);
+      k.push_back(stats::kl_divergence_bits(p, baselines_[g]));
+    }
+    thresholds_[g] = stats::quantile(k, 1.0 - config_.significance);
+  }
+  fitted_ = true;
+}
+
+std::vector<double> ConditionedKldDetector::scores(
+    std::span<const Kw> week) const {
+  require(fitted_, "ConditionedKldDetector: fit() not called");
+  std::vector<double> out(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    const auto values = group_values(week, g);
+    const auto p = histograms_[g]->probabilities(values);
+    out[g] = stats::kl_divergence_bits(p, baselines_[g]);
+  }
+  return out;
+}
+
+bool ConditionedKldDetector::flag_week(std::span<const Kw> week,
+                                       SlotIndex /*first_slot*/) const {
+  const auto s = scores(week);
+  for (std::size_t g = 0; g < s.size(); ++g) {
+    if (s[g] > thresholds_[g]) return true;
+  }
+  return false;
+}
+
+const std::vector<double>& ConditionedKldDetector::thresholds() const {
+  require(fitted_, "ConditionedKldDetector: fit() not called");
+  return thresholds_;
+}
+
+}  // namespace fdeta::core

@@ -1,0 +1,68 @@
+// The price-conditioned KLD detector (Section VIII-F3).
+//
+// The Optimal Swap attack changes only the *temporal ordering* of readings,
+// so the unconditioned KLD detector is blind to it.  Conditioning splits the
+// X distribution into one distribution per price group (peak / off-peak for
+// TOU; price bands for RTP) and runs the eq.-(12) machinery within each
+// group.  A week is anomalous if ANY group's divergence exceeds that group's
+// training threshold.  The paper notes the same conditioning extends to
+// detecting Attack Class 4B under RTP.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "pricing/tariff.h"
+#include "stats/histogram.h"
+
+namespace fdeta::core {
+
+struct ConditionedKldDetectorConfig {
+  std::size_t bins = 10;
+  double significance = 0.05;
+  /// Maps a slot-of-week [0, 336) to a price-group id [0, groups).
+  /// Defaults (set by the constructor) to Nightsaver peak/off-peak.
+  std::function<std::size_t(std::size_t)> slot_group;
+  std::size_t groups = 2;
+};
+
+/// Builds a slot->group function from a TOU schedule (group 0 = off-peak,
+/// group 1 = peak).
+std::function<std::size_t(std::size_t)> tou_slot_groups(
+    const pricing::TimeOfUse& tou);
+
+/// Builds a slot->group function banding an RTP stream's prices into
+/// `bands` quantile bands over the first `slots` slots.
+std::function<std::size_t(std::size_t)> rtp_slot_groups(
+    const pricing::RealTimePricing& rtp, std::size_t slots, std::size_t bands);
+
+class ConditionedKldDetector final : public Detector {
+ public:
+  explicit ConditionedKldDetector(ConditionedKldDetectorConfig config = {});
+
+  std::string_view name() const override { return "Conditioned KLD"; }
+  void fit(std::span<const Kw> training) override;
+  bool flag_week(std::span<const Kw> week,
+                 SlotIndex first_slot = 0) const override;
+
+  /// Per-group divergence scores for a week.
+  std::vector<double> scores(std::span<const Kw> week) const;
+
+  /// Per-group thresholds.
+  const std::vector<double>& thresholds() const;
+
+ private:
+  /// Readings of `week` falling into group `g`.
+  std::vector<double> group_values(std::span<const Kw> week,
+                                   std::size_t g) const;
+
+  ConditionedKldDetectorConfig config_;
+  std::vector<std::optional<stats::Histogram>> histograms_;  // per group
+  std::vector<std::vector<double>> baselines_;               // per group
+  std::vector<double> thresholds_;                           // per group
+  bool fitted_ = false;
+};
+
+}  // namespace fdeta::core

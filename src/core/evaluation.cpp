@@ -1,0 +1,307 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "attack/arima_attack.h"
+#include "attack/integrated_arima_attack.h"
+#include "attack/optimal_swap.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/arima_detector.h"
+#include "core/conditioned_kld_detector.h"
+#include "core/integrated_arima_detector.h"
+#include "core/kld_detector.h"
+#include "pricing/billing.h"
+
+namespace fdeta::core {
+
+const char* to_string(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kArima: return "ARIMA detector";
+    case DetectorKind::kIntegratedArima: return "Integrated ARIMA detector";
+    case DetectorKind::kKld5: return "KLD detector (5% significance)";
+    case DetectorKind::kKld10: return "KLD detector (10% significance)";
+  }
+  return "?";
+}
+
+const char* to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::k1B: return "1B";
+    case AttackKind::k2A2B: return "2A/2B";
+    case AttackKind::k3A3B: return "3A/3B";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One injected reported week plus its theft value.
+struct Candidate {
+  std::vector<Kw> readings;
+  KWh kwh = 0.0;
+  double profit = 0.0;
+  /// Whether this candidate belongs to the Metric-1 attack realization (the
+  /// plain ARIMA attack is a Metric-2-only candidate).
+  bool metric1 = true;
+};
+
+struct ColumnDetectors {
+  // Row order matches DetectorKind.
+  std::array<const Detector*, kDetectorCount> rows{};
+};
+
+CellOutcome judge(const std::vector<Candidate>& candidates,
+                  const Detector& detector,
+                  std::span<const Kw> clean_week) {
+  CellOutcome out;
+  out.false_positive = detector.flag_week(clean_week);
+  out.all_detected = true;
+  double best_profit = 0.0;
+  KWh best_kwh = 0.0;
+  double best_any_profit = 0.0;
+  KWh best_any_kwh = 0.0;
+  for (const Candidate& c : candidates) {
+    const bool flagged = detector.flag_week(c.readings);
+    if (!flagged && c.metric1) out.all_detected = false;
+    if (!flagged && c.profit > best_profit) {
+      best_profit = c.profit;
+      best_kwh = c.kwh;
+    }
+    if (c.profit > best_any_profit) {
+      best_any_profit = c.profit;
+      best_any_kwh = c.kwh;
+    }
+  }
+  out.success = out.all_detected && !out.false_positive;
+  if (out.false_positive) {
+    // Section VIII-E: a false positive means the detector failed for this
+    // consumer and Mallory's gain is assumed maximised.
+    out.undetected_kwh = best_any_kwh;
+    out.undetected_profit = best_any_profit;
+  } else {
+    out.undetected_kwh = best_kwh;
+    out.undetected_profit = best_profit;
+  }
+  return out;
+}
+
+}  // namespace
+
+ConsumerEvaluation evaluate_consumer(const meter::ConsumerSeries& series,
+                                     const EvaluationConfig& config) {
+  ConsumerEvaluation result;
+  result.id = series.id;
+  try {
+    const auto train = config.split.train(series);
+    const auto clean_week =
+        config.split.test_week(series, config.attack_test_week);
+    const pricing::TimeOfUse tou = pricing::nightsaver();
+
+    // --- Detectors -------------------------------------------------------
+    ArimaDetectorConfig arima_cfg;
+    arima_cfg.order = config.order;
+    arima_cfg.z = config.z;
+    ArimaDetector arima(arima_cfg);
+    arima.fit(train);
+
+    IntegratedArimaDetectorConfig integ_cfg;
+    integ_cfg.arima = arima_cfg;
+    integ_cfg.bound_slack = config.bound_slack;
+    IntegratedArimaDetector integrated(integ_cfg);
+    integrated.fit(train);
+
+    KldDetector kld5({config.kld_bins, 0.05});
+    KldDetector kld10({config.kld_bins, 0.10});
+    kld5.fit(train);
+    kld10.fit(train);
+
+    ConditionedKldDetectorConfig ckld_cfg5;
+    ckld_cfg5.bins = config.kld_bins;
+    ckld_cfg5.significance = 0.05;
+    ckld_cfg5.slot_group = tou_slot_groups(tou);
+    ConditionedKldDetector ckld5(ckld_cfg5);
+    ConditionedKldDetectorConfig ckld_cfg10 = ckld_cfg5;
+    ckld_cfg10.significance = 0.10;
+    ConditionedKldDetector ckld10(ckld_cfg10);
+    ckld5.fit(train);
+    ckld10.fit(train);
+
+    // --- Attacker state (replicated models, Section VIII-B1) -------------
+    const ts::ArimaModel& model = arima.model();
+    const std::span<const Kw> history =
+        train.subspan(train.size() - 2 * kSlotsPerWeek);
+    const meter::WeeklyStats& wstats = integrated.training_stats();
+    Rng rng = Rng(config.seed).spawn(series.id);
+
+    const std::vector<Kw> actual(clean_week.begin(), clean_week.end());
+
+    // --- Candidates per attack column -------------------------------------
+    std::array<std::vector<Candidate>, kAttackKindCount> candidates;
+
+    // Column 1B: victim over-report.
+    {
+      auto& col = candidates[static_cast<std::size_t>(AttackKind::k1B)];
+      attack::ArimaAttackConfig aa;
+      aa.direction = attack::Direction::kOverReport;
+      aa.z = config.z;
+      Candidate plain;
+      plain.readings =
+          attack::arima_attack_vector(model, history, kSlotsPerWeek, aa);
+      plain.metric1 = false;  // Metric-2 candidate vs the ARIMA detector
+      plain.kwh = std::max(0.0, pricing::energy(plain.readings) -
+                                    pricing::energy(actual));
+      plain.profit = pricing::neighbor_loss(actual, plain.readings, tou);
+      col.push_back(std::move(plain));
+
+      attack::IntegratedAttackConfig ia;
+      ia.over_report = true;
+      ia.z = config.z;
+      for (std::size_t v = 0; v < config.attack_vectors; ++v) {
+        Candidate c;
+        c.readings = attack::integrated_arima_attack_vector(
+            model, history, wstats, kSlotsPerWeek, rng, ia);
+        c.kwh = std::max(0.0, pricing::energy(c.readings) -
+                                  pricing::energy(actual));
+        c.profit = pricing::neighbor_loss(actual, c.readings, tou);
+        col.push_back(std::move(c));
+      }
+    }
+
+    // Column 2A/2B: Mallory under-reports herself.
+    {
+      auto& col = candidates[static_cast<std::size_t>(AttackKind::k2A2B)];
+      attack::ArimaAttackConfig aa;
+      aa.direction = attack::Direction::kUnderReport;
+      aa.z = config.z;
+      Candidate plain;
+      plain.readings =
+          attack::arima_attack_vector(model, history, kSlotsPerWeek, aa);
+      plain.metric1 = false;
+      plain.kwh = std::max(0.0, pricing::energy(actual) -
+                                    pricing::energy(plain.readings));
+      plain.profit = pricing::attacker_profit(actual, plain.readings, tou);
+      col.push_back(std::move(plain));
+
+      attack::IntegratedAttackConfig ia;
+      ia.over_report = false;
+      ia.z = config.z;
+      for (std::size_t v = 0; v < config.attack_vectors; ++v) {
+        Candidate c;
+        c.readings = attack::integrated_arima_attack_vector(
+            model, history, wstats, kSlotsPerWeek, rng, ia);
+        c.kwh = std::max(0.0, pricing::energy(actual) -
+                                  pricing::energy(c.readings));
+        c.profit = pricing::attacker_profit(actual, c.readings, tou);
+        col.push_back(std::move(c));
+      }
+    }
+
+    // Column 3A/3B: the Optimal Swap week.
+    {
+      auto& col = candidates[static_cast<std::size_t>(AttackKind::k3A3B)];
+      attack::OptimalSwapConfig sc;
+      sc.z = config.z;
+      // Mallory replicates the detector, so she knows its calibrated weekly
+      // violation budget and repairs only as much as evasion requires.
+      sc.violation_budget = arima.violation_threshold();
+      const auto swap =
+          attack::optimal_swap_attack(actual, tou, 0, &model, history, sc);
+      Candidate c;
+      c.readings = swap.reported;
+      c.kwh = 0.0;  // the multiset of readings is unchanged: no net theft
+      c.profit = pricing::attacker_profit(actual, c.readings, tou);
+      col.push_back(std::move(c));
+    }
+
+    // --- Judge every (detector, attack) cell -------------------------------
+    // Rows use the plain detectors for 1B and 2A/2B; the KLD rows switch to
+    // the price-conditioned variant for 3A/3B, as in Section VIII-F3.
+    std::array<ColumnDetectors, kAttackKindCount> table;
+    for (std::size_t a = 0; a < kAttackKindCount; ++a) {
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kArima)] = &arima;
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kIntegratedArima)] =
+          &integrated;
+      const bool swap_column = a == static_cast<std::size_t>(AttackKind::k3A3B);
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kKld5)] =
+          swap_column ? static_cast<const Detector*>(&ckld5) : &kld5;
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kKld10)] =
+          swap_column ? static_cast<const Detector*>(&ckld10) : &kld10;
+    }
+
+    for (std::size_t d = 0; d < kDetectorCount; ++d) {
+      for (std::size_t a = 0; a < kAttackKindCount; ++a) {
+        result.cells[d][a] =
+            judge(candidates[a], *table[a].rows[d], clean_week);
+      }
+    }
+  } catch (const std::exception&) {
+    result.skipped = true;
+  }
+  return result;
+}
+
+EvaluationResult run_evaluation(const meter::Dataset& dataset,
+                                const EvaluationConfig& config) {
+  require(dataset.week_count() >= config.split.total_weeks(),
+          "run_evaluation: dataset shorter than the train/test split");
+  EvaluationResult result;
+  result.consumers.resize(dataset.consumer_count());
+  parallel_for(
+      dataset.consumer_count(),
+      [&](std::size_t i) {
+        result.consumers[i] = evaluate_consumer(dataset.consumer(i), config);
+      },
+      config.threads);
+  return result;
+}
+
+std::size_t EvaluationResult::evaluated_count() const {
+  std::size_t n = 0;
+  for (const auto& c : consumers) {
+    if (!c.skipped) ++n;
+  }
+  return n;
+}
+
+double EvaluationResult::metric1_percent(DetectorKind d, AttackKind a) const {
+  const std::size_t total = evaluated_count();
+  if (total == 0) return 0.0;
+  std::size_t detected = 0;
+  for (const auto& c : consumers) {
+    if (!c.skipped && c.cell(d, a).success) ++detected;
+  }
+  return 100.0 * static_cast<double>(detected) / static_cast<double>(total);
+}
+
+KWh EvaluationResult::metric2_kwh(DetectorKind d, AttackKind a) const {
+  KWh agg = 0.0;
+  for (const auto& c : consumers) {
+    if (c.skipped) continue;
+    const KWh v = c.cell(d, a).undetected_kwh;
+    if (a == AttackKind::k1B) {
+      agg += v;  // total stolen from all victims
+    } else {
+      agg = std::max(agg, v);  // a single attacker's worst case
+    }
+  }
+  return agg;
+}
+
+double EvaluationResult::metric2_profit(DetectorKind d, AttackKind a) const {
+  double agg = 0.0;
+  for (const auto& c : consumers) {
+    if (c.skipped) continue;
+    const double v = c.cell(d, a).undetected_profit;
+    if (a == AttackKind::k1B) {
+      agg += v;
+    } else {
+      agg = std::max(agg, v);
+    }
+  }
+  return agg;
+}
+
+}  // namespace fdeta::core

@@ -1,0 +1,29 @@
+#include "core/evidence.h"
+
+#include "common/error.h"
+
+namespace fdeta::core {
+
+const char* to_string(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::kSevereWeather: return "severe weather";
+    case EvidenceKind::kHoliday: return "holiday";
+    case EvidenceKind::kSpecialEvent: return "special event";
+  }
+  return "?";
+}
+
+void EvidenceCalendar::add(EvidenceEvent event) {
+  require(event.first_week <= event.last_week,
+          "EvidenceCalendar: event range reversed");
+  events_.push_back(std::move(event));
+}
+
+std::optional<EvidenceEvent> EvidenceCalendar::excuse(std::size_t week) const {
+  for (const auto& e : events_) {
+    if (week >= e.first_week && week <= e.last_week) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdeta::core

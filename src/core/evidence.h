@@ -1,0 +1,48 @@
+// Step 4 of the F-DETA detection process (Section VII): "use external
+// evidence (severe weather conditions, holiday periods, special events,
+// etc.) to determine whether the anomalous consumption may be a false
+// positive".
+//
+// The calendar records week-granularity events; an anomaly verdict during a
+// recorded event is downgraded to "excused" instead of triggering a field
+// investigation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fdeta::core {
+
+enum class EvidenceKind : std::uint8_t {
+  kSevereWeather,
+  kHoliday,
+  kSpecialEvent,
+};
+
+const char* to_string(EvidenceKind kind);
+
+struct EvidenceEvent {
+  std::size_t first_week = 0;
+  std::size_t last_week = 0;  ///< inclusive
+  EvidenceKind kind = EvidenceKind::kHoliday;
+  std::string description;
+};
+
+class EvidenceCalendar {
+ public:
+  /// Records an event spanning weeks [first_week, last_week].
+  void add(EvidenceEvent event);
+
+  /// The first event covering `week`, if any: external evidence that a
+  /// consumption anomaly in that week may be benign.
+  std::optional<EvidenceEvent> excuse(std::size_t week) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  std::vector<EvidenceEvent> events_;
+};
+
+}  // namespace fdeta::core

@@ -1,0 +1,68 @@
+#include "core/kld_detector.h"
+
+#include "common/error.h"
+#include "stats/kl_divergence.h"
+#include "stats/quantile.h"
+
+namespace fdeta::core {
+
+KldDetector::KldDetector(KldDetectorConfig config) : config_(config) {
+  require(config_.bins >= 2, "KldDetector: need at least two bins");
+  require(config_.significance > 0.0 && config_.significance < 1.0,
+          "KldDetector: significance must be in (0,1)");
+}
+
+void KldDetector::fit(std::span<const Kw> training) {
+  require(training.size() % kSlotsPerWeek == 0,
+          "KldDetector: training must be whole weeks");
+  const std::size_t weeks = training.size() / kSlotsPerWeek;
+  require(weeks >= 4, "KldDetector: need at least four training weeks");
+
+  // X distribution over the full training matrix; edges frozen here.
+  histogram_.emplace(training, config_.bins);
+  baseline_ = histogram_->probabilities(training);
+
+  // K_i for every training week against the same edges (eq. 12).
+  k_training_.clear();
+  k_training_.reserve(weeks);
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const std::span<const Kw> week{training.data() + w * kSlotsPerWeek,
+                                   static_cast<std::size_t>(kSlotsPerWeek)};
+    const auto p = histogram_->probabilities(week);
+    k_training_.push_back(stats::kl_divergence_bits(p, baseline_));
+  }
+  threshold_ = stats::quantile(k_training_, 1.0 - config_.significance);
+}
+
+double KldDetector::score(std::span<const Kw> week) const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  const auto p = histogram_->probabilities(week);
+  return stats::kl_divergence_bits(p, baseline_);
+}
+
+bool KldDetector::flag_week(std::span<const Kw> week,
+                            SlotIndex /*first_slot*/) const {
+  return score(week) > threshold_;
+}
+
+double KldDetector::threshold() const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  return threshold_;
+}
+
+const std::vector<double>& KldDetector::training_divergences() const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  return k_training_;
+}
+
+const stats::Histogram& KldDetector::histogram() const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  return *histogram_;
+}
+
+const std::vector<double>& KldDetector::baseline_distribution() const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  return baseline_;
+}
+
+}  // namespace fdeta::core

@@ -1,0 +1,60 @@
+// The Kullback-Leibler divergence detector (Section VII-D) - the paper's
+// main contribution.
+//
+// For each consumer, the M x 336 training matrix X (one row per week) is
+// histogrammed with B bins; the same frozen bin edges give each training
+// week X_i a distribution, and K_i = D_KL(X_i || X) in bits (eq. 12) forms
+// the KLD distribution.  A new week is anomalous when its divergence K_A
+// exceeds the (1 - significance) quantile of {K_i} - the paper evaluates
+// significance levels of 5% and 10% (95th/90th percentile thresholds).
+//
+// Non-parametric by construction: no distributional assumption on the
+// consumption readings, which is what lets it catch the Integrated ARIMA
+// attack that individual-reading and mean/variance checks cannot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "stats/histogram.h"
+
+namespace fdeta::core {
+
+struct KldDetectorConfig {
+  std::size_t bins = 10;       ///< B of Section VIII-D
+  double significance = 0.05;  ///< alpha: 0.05 or 0.10 in the paper
+};
+
+class KldDetector final : public Detector {
+ public:
+  explicit KldDetector(KldDetectorConfig config = {});
+
+  std::string_view name() const override { return "KLD"; }
+  void fit(std::span<const Kw> training) override;
+  bool flag_week(std::span<const Kw> week,
+                 SlotIndex first_slot = 0) const override;
+
+  /// K_A: the divergence score of a week (may be +infinity when the week
+  /// puts mass where the training distribution has none).
+  double score(std::span<const Kw> week) const;
+
+  /// The decision threshold (the (1-alpha) quantile of training K_i).
+  double threshold() const;
+
+  /// Training-week divergences K_i (the "KLD distribution", Fig. 4b).
+  const std::vector<double>& training_divergences() const;
+
+  /// The frozen-edge histogram and the baseline X distribution (Fig. 4a).
+  const stats::Histogram& histogram() const;
+  const std::vector<double>& baseline_distribution() const;
+
+ private:
+  KldDetectorConfig config_;
+  std::optional<stats::Histogram> histogram_;
+  std::vector<double> baseline_;   // p(X^(j))
+  std::vector<double> k_training_; // K_i
+  double threshold_ = 0.0;
+};
+
+}  // namespace fdeta::core

@@ -1,0 +1,61 @@
+#include "core/online_monitor.h"
+
+#include "common/error.h"
+
+namespace fdeta::core {
+
+OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
+  require(config_.stride >= 1, "OnlineMonitor: stride must be >= 1");
+}
+
+void OnlineMonitor::fit(const meter::Dataset& history,
+                        const meter::TrainTestSplit& split) {
+  detectors_.clear();
+  ids_.clear();
+  state_.clear();
+  alerts_.clear();
+
+  detectors_.reserve(history.consumer_count());
+  for (const auto& series : history.consumers()) {
+    const auto train = split.train(series);
+    KldDetector detector(config_.kld);
+    detector.fit(train);
+    detectors_.push_back(std::move(detector));
+    ids_.push_back(series.id);
+
+    ConsumerState cs;
+    // Prime with the last (trusted) training week.
+    cs.window.assign(train.end() - kSlotsPerWeek, train.end());
+    state_.push_back(std::move(cs));
+  }
+  fitted_ = true;
+}
+
+std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
+                                                SlotIndex slot, Kw reading) {
+  require(fitted_, "OnlineMonitor: fit() not called");
+  require(consumer_index < state_.size(),
+          "OnlineMonitor: consumer index out of range");
+  ConsumerState& cs = state_[consumer_index];
+
+  cs.window[cs.next_slot] = reading;
+  cs.next_slot = (cs.next_slot + 1) % cs.window.size();
+  if (cs.cooldown > 0) {
+    --cs.cooldown;
+    return std::nullopt;
+  }
+  if (++cs.since_score < config_.stride) return std::nullopt;
+  cs.since_score = 0;
+
+  const KldDetector& detector = detectors_[consumer_index];
+  const double score = detector.score(cs.window);
+  if (score <= detector.threshold()) return std::nullopt;
+
+  cs.cooldown = config_.cooldown_slots;
+  AlertEvent event{consumer_index, ids_[consumer_index], slot, score,
+                   detector.threshold()};
+  alerts_.push_back(event);
+  return event;
+}
+
+}  // namespace fdeta::core

@@ -1,0 +1,72 @@
+// Continuous online monitoring for a whole population.
+//
+// The detection methods are "centralized online algorithms that would run at
+// an electric utility's control center" (Section VII-A).  This service is
+// that control-center loop: per-consumer sliding week vectors (the ref [3]
+// time-to-detection machinery) are rescored as reported readings stream in
+// from the AMI head-end, emitting alert events with a per-consumer cooldown
+// so a single anomaly does not flood the operator queue.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/kld_detector.h"
+#include "core/time_to_detection.h"
+#include "meter/dataset.h"
+
+namespace fdeta::core {
+
+struct AlertEvent {
+  std::size_t consumer_index = 0;
+  meter::ConsumerId consumer_id = 0;
+  SlotIndex slot = 0;      ///< absolute slot of the triggering reading
+  double score = 0.0;      ///< KLD of the sliding week vector
+  double threshold = 0.0;
+};
+
+struct OnlineMonitorConfig {
+  KldDetectorConfig kld{};
+  /// Rescore the sliding vector every `stride` readings (1 = every reading;
+  /// 4 = every two hours) - an operator-tunable cost/latency trade.
+  std::size_t stride = 4;
+  /// After an alert, suppress further alerts for this consumer until this
+  /// many readings have passed (default: one day).
+  std::size_t cooldown_slots = 48;
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(OnlineMonitorConfig config = {});
+
+  /// Trains per-consumer detectors on the first `split.train_weeks` weeks of
+  /// `history` and primes each sliding vector with the last training week.
+  void fit(const meter::Dataset& history, const meter::TrainTestSplit& split);
+
+  /// Ingests one reported reading; returns an alert when the consumer's
+  /// sliding week vector crosses its threshold (subject to stride/cooldown).
+  std::optional<AlertEvent> ingest(std::size_t consumer_index, SlotIndex slot,
+                                   Kw reading);
+
+  /// All alerts raised so far, in ingestion order.
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
+
+  std::size_t consumer_count() const { return detectors_.size(); }
+
+ private:
+  struct ConsumerState {
+    std::vector<Kw> window;    // sliding week vector
+    std::size_t next_slot = 0;
+    std::size_t since_score = 0;
+    std::size_t cooldown = 0;
+  };
+
+  OnlineMonitorConfig config_;
+  std::vector<KldDetector> detectors_;
+  std::vector<meter::ConsumerId> ids_;
+  std::vector<ConsumerState> state_;
+  std::vector<AlertEvent> alerts_;
+  bool fitted_ = false;
+};
+
+}  // namespace fdeta::core

@@ -1,0 +1,123 @@
+#include "core/pipeline.h"
+
+#include "common/error.h"
+#include "meter/weekly_stats.h"
+#include "stats/descriptive.h"
+#include "stats/quantile.h"
+
+namespace fdeta::core {
+
+const char* to_string(VerdictStatus status) {
+  switch (status) {
+    case VerdictStatus::kNormal: return "normal";
+    case VerdictStatus::kSuspectedAttacker: return "suspected attacker";
+    case VerdictStatus::kSuspectedVictim: return "suspected victim";
+    case VerdictStatus::kSuspectedAnomaly: return "suspected anomaly";
+    case VerdictStatus::kExcused: return "excused";
+  }
+  return "?";
+}
+
+std::vector<meter::ConsumerId> PipelineReport::suspected_attackers() const {
+  std::vector<meter::ConsumerId> out;
+  for (const auto& v : verdicts) {
+    if (v.status == VerdictStatus::kSuspectedAttacker) out.push_back(v.id);
+  }
+  return out;
+}
+
+std::vector<meter::ConsumerId> PipelineReport::suspected_victims() const {
+  std::vector<meter::ConsumerId> out;
+  for (const auto& v : verdicts) {
+    if (v.status == VerdictStatus::kSuspectedVictim) out.push_back(v.id);
+  }
+  return out;
+}
+
+FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {}
+
+void FdetaPipeline::fit(const meter::Dataset& actual) {
+  detectors_.clear();
+  train_stats_.clear();
+  detectors_.reserve(actual.consumer_count());
+  train_stats_.reserve(actual.consumer_count());
+  for (const auto& series : actual.consumers()) {
+    const auto train = config_.split.train(series);
+    KldDetector detector(config_.kld);
+    detector.fit(train);
+    detectors_.push_back(std::move(detector));
+    train_stats_.push_back(meter::weekly_stats(train));
+  }
+  fitted_ = true;
+}
+
+PipelineReport FdetaPipeline::evaluate_week(
+    const meter::Dataset& actual, const meter::Dataset& reported,
+    std::size_t week, const EvidenceCalendar& calendar,
+    const grid::Topology* topology) const {
+  require(fitted_, "FdetaPipeline: fit() not called");
+  require(reported.consumer_count() == detectors_.size(),
+          "FdetaPipeline: reported dataset size mismatch");
+  require(week < reported.week_count(), "FdetaPipeline: week out of range");
+
+  PipelineReport report;
+  report.verdicts.reserve(reported.consumer_count());
+
+  for (std::size_t i = 0; i < reported.consumer_count(); ++i) {
+    const auto& series = reported.consumer(i);
+    const auto week_readings = series.week(week);
+
+    ConsumerVerdict verdict;
+    verdict.id = series.id;
+    verdict.kld_score = detectors_[i].score(week_readings);       // step 2
+    verdict.kld_threshold = detectors_[i].threshold();
+
+    if (verdict.kld_score > verdict.kld_threshold) {
+      // Step 3: classify the anomaly direction by the week's mean relative
+      // to the training weekly-mean range.
+      // Direction is judged against the bulk of the training weekly means
+      // (upper/lower quartile), not the extremes: a flagged week whose mean
+      // sits in the top quartile reads as over-reporting (victim), bottom
+      // quartile as under-reporting (attacker).
+      const double m = stats::mean(week_readings);
+      const auto& ts = train_stats_[i];
+      const double hi = stats::quantile(ts.means, 0.75) *
+                        (1.0 + config_.direction_margin);
+      const double lo = stats::quantile(ts.means, 0.25) *
+                        (1.0 - config_.direction_margin);
+      if (m > hi) {
+        verdict.status = VerdictStatus::kSuspectedVictim;
+      } else if (m < lo) {
+        verdict.status = VerdictStatus::kSuspectedAttacker;
+      } else {
+        verdict.status = VerdictStatus::kSuspectedAnomaly;
+      }
+
+      // Step 4: external evidence can excuse the anomaly.
+      if (auto excuse = calendar.excuse(week)) {
+        verdict.status = VerdictStatus::kExcused;
+        verdict.excuse = std::move(excuse);
+      }
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+
+  // Step 5: systematic investigation via the topology's balance checks,
+  // using the attacked week's average demands.
+  if (topology != nullptr) {
+    require(topology->consumer_count() == reported.consumer_count(),
+            "FdetaPipeline: topology consumer count mismatch");
+    std::vector<Kw> actual_avg(reported.consumer_count());
+    std::vector<Kw> reported_avg(reported.consumer_count());
+    for (std::size_t i = 0; i < reported.consumer_count(); ++i) {
+      actual_avg[i] = stats::mean(actual.consumer(i).week(week));
+      reported_avg[i] = stats::mean(reported.consumer(i).week(week));
+    }
+    report.investigation =
+        grid::investigate_case2(*topology, actual_avg, reported_avg,
+                                /*tolerance_kw=*/1e-6);
+  }
+  return report;
+}
+
+}  // namespace fdeta::core

@@ -1,0 +1,85 @@
+// The five-step F-DETA detection pipeline (Section VII):
+//   (1) model each consumer's expected consumption,
+//   (2) evaluate whether new readings are anomalous,
+//   (3) classify anomalies: abnormally LOW readings mark a suspected
+//       attacker (Proposition 1), abnormally HIGH readings a suspected
+//       victim of a neighbor's theft (Proposition 2),
+//   (4) consult external evidence to rule out false positives,
+//   (5) investigate systematically via the grid topology's balance checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/kld_detector.h"
+#include "grid/investigate.h"
+#include "grid/topology.h"
+#include "meter/dataset.h"
+#include "meter/weekly_stats.h"
+
+namespace fdeta::core {
+
+enum class VerdictStatus : std::uint8_t {
+  kNormal,
+  kSuspectedAttacker,  ///< anomalous + abnormally low
+  kSuspectedVictim,    ///< anomalous + abnormally high
+  kSuspectedAnomaly,   ///< anomalous, direction unclear
+  kExcused,            ///< anomalous but covered by external evidence
+};
+
+const char* to_string(VerdictStatus status);
+
+struct ConsumerVerdict {
+  meter::ConsumerId id = 0;
+  VerdictStatus status = VerdictStatus::kNormal;
+  double kld_score = 0.0;
+  double kld_threshold = 0.0;
+  std::optional<EvidenceEvent> excuse;
+};
+
+struct PipelineConfig {
+  meter::TrainTestSplit split{};
+  KldDetectorConfig kld{};
+  /// Relative margin applied to the training weekly-mean quartiles when
+  /// classifying the anomaly direction (step 3).
+  double direction_margin = 0.0;
+};
+
+struct PipelineReport {
+  std::vector<ConsumerVerdict> verdicts;                 // step 1-4 output
+  std::optional<grid::InvestigationResult> investigation;  // step 5 output
+
+  std::vector<meter::ConsumerId> suspected_attackers() const;
+  std::vector<meter::ConsumerId> suspected_victims() const;
+};
+
+/// Runs the pipeline over one week of the *reported* dataset.
+///
+/// `actual` is the ground-truth dataset (models are trained on its training
+/// span, which is assumed attack-free per Section VIII-A); `reported` is the
+/// possibly-compromised dataset; `week` is the absolute week index to judge.
+/// If `topology` is provided, step 5 runs a Case-2 investigation over the
+/// attacked week's average demands.
+class FdetaPipeline {
+ public:
+  explicit FdetaPipeline(PipelineConfig config = {});
+
+  /// Step 1: fit per-consumer models on the training span of `actual`.
+  void fit(const meter::Dataset& actual);
+
+  /// Steps 2-5.
+  PipelineReport evaluate_week(const meter::Dataset& actual,
+                               const meter::Dataset& reported,
+                               std::size_t week,
+                               const EvidenceCalendar& calendar,
+                               const grid::Topology* topology = nullptr) const;
+
+ private:
+  PipelineConfig config_;
+  std::vector<KldDetector> detectors_;          // one per consumer
+  std::vector<meter::WeeklyStats> train_stats_; // one per consumer
+  bool fitted_ = false;
+};
+
+}  // namespace fdeta::core

@@ -1,0 +1,33 @@
+// Investigation report rendering: turns a week's PipelineReport into the
+// document a utility's revenue-protection team would act on - flagged
+// meters with direction and scores, excused anomalies with their evidence,
+// the topology investigation's suspect list, and the billing impact of any
+// confirmed divergence.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "meter/dataset.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::core {
+
+struct ReportOptions {
+  /// Include per-meter billing impact lines (requires the actual dataset to
+  /// be trustworthy for the reported week, e.g. after field verification).
+  bool include_billing = true;
+  /// Omit meters with a normal verdict.
+  bool anomalies_only = true;
+};
+
+/// Renders a human-readable weekly report.  `actual` supplies ground truth
+/// for billing impact (pass the reported dataset itself when no field
+/// verification exists yet - impacts then show as zero).
+std::string render_report(const PipelineReport& report,
+                          const meter::Dataset& actual,
+                          const meter::Dataset& reported, std::size_t week,
+                          const pricing::PriceSchedule& schedule,
+                          const ReportOptions& options = {});
+
+}  // namespace fdeta::core

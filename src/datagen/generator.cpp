@@ -1,0 +1,117 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::datagen {
+
+std::vector<Kw> generate_series(const LoadProfile& profile, std::size_t weeks,
+                                Rng& rng, double vacation_probability,
+                                double party_days) {
+  require(weeks >= 1, "generate_series: need at least one week");
+  const std::size_t slots = weeks * kSlotsPerWeek;
+  std::vector<Kw> out(slots);
+
+  // Vacation window (consumption collapses to a fridge-level baseline).
+  std::size_t vac_start = slots, vac_end = slots;
+  if (weeks >= 4 && rng.uniform() < vacation_probability) {
+    const std::size_t vac_weeks = 1 + rng.below(2);
+    const std::size_t start_week = rng.below(weeks - vac_weeks);
+    vac_start = start_week * kSlotsPerWeek;
+    vac_end = vac_start + vac_weeks * kSlotsPerWeek;
+  }
+
+  // Party days: whole days scaled up by 2-3x.
+  const std::size_t days = weeks * 7;
+  std::vector<double> day_boost(days, 1.0);
+  const double p_party = std::min(1.0, party_days / static_cast<double>(days));
+  for (std::size_t d = 0; d < days; ++d) {
+    if (rng.uniform() < p_party) day_boost[d] = 2.0 + rng.uniform();
+  }
+
+  double noise = 0.0;  // AR(1) multiplicative noise state
+  const double season_phase = rng.uniform(0.0, 2.0 * 3.14159265358979);
+
+  for (std::size_t t = 0; t < slots; ++t) {
+    const std::size_t week_slot = t % kSlotsPerWeek;
+    const int dow = day_of_week(week_slot);
+    const int sod = slot_of_day(t);
+    const bool weekend = dow >= 5;
+    const double shape =
+        weekend ? profile.weekend[sod] : profile.weekday[sod];
+
+    // Mild annual seasonality (52-week period).
+    const double week_frac =
+        static_cast<double>(t) / static_cast<double>(52 * kSlotsPerWeek);
+    const double season =
+        1.0 + profile.season_amp *
+                  std::sin(2.0 * 3.14159265358979 * week_frac + season_phase);
+
+    noise = profile.noise_phi * noise + rng.normal(0.0, profile.noise_sigma);
+
+    double kw = profile.scale_kw * shape * season * std::exp(noise);
+    kw *= day_boost[t / kSlotsPerDay];
+    if (t >= vac_start && t < vac_end) {
+      kw = 0.15 * profile.scale_kw + 0.05 * kw;  // away: baseline load only
+    }
+    out[t] = std::max(0.0, kw);
+  }
+  return out;
+}
+
+meter::Dataset generate_dataset(const GeneratorConfig& config) {
+  require(config.consumer_count() >= 1, "generate_dataset: no consumers");
+  Rng root(config.seed);
+
+  std::vector<meter::ConsumerType> types;
+  types.reserve(config.consumer_count());
+  for (std::size_t i = 0; i < config.residential; ++i) {
+    types.push_back(meter::ConsumerType::kResidential);
+  }
+  for (std::size_t i = 0; i < config.sme; ++i) {
+    types.push_back(meter::ConsumerType::kSme);
+  }
+  for (std::size_t i = 0; i < config.unclassified; ++i) {
+    types.push_back(meter::ConsumerType::kUnclassified);
+  }
+  // Deterministic shuffle so types are interleaved across ids.
+  Rng shuffle_rng = root.spawn(0);
+  for (std::size_t i = types.size(); i > 1; --i) {
+    std::swap(types[i - 1], types[shuffle_rng.below(i)]);
+  }
+
+  std::vector<meter::ConsumerSeries> all;
+  all.reserve(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    Rng rng = root.spawn(i + 1);
+    const LoadProfile profile = make_profile(types[i], rng);
+    meter::ConsumerSeries s;
+    s.id = static_cast<meter::ConsumerId>(1000 + i);
+    s.type = types[i];
+    s.readings = generate_series(profile, config.weeks, rng,
+                                 config.vacation_probability,
+                                 config.party_days);
+    all.push_back(std::move(s));
+  }
+  return meter::Dataset(std::move(all));
+}
+
+meter::Dataset small_dataset(std::size_t consumers, std::size_t weeks,
+                             std::uint64_t seed) {
+  GeneratorConfig config;
+  config.weeks = weeks;
+  config.seed = seed;
+  // Keep roughly the CER type mix at any scale.
+  config.sme = std::max<std::size_t>(1, consumers * 36 / 500);
+  config.unclassified = std::max<std::size_t>(1, consumers * 60 / 500);
+  if (config.sme + config.unclassified + 1 > consumers) {
+    config.sme = consumers > 2 ? 1 : 0;
+    config.unclassified = consumers > 1 ? 1 : 0;
+  }
+  config.residential = consumers - config.sme - config.unclassified;
+  return generate_dataset(config);
+}
+
+}  // namespace fdeta::datagen

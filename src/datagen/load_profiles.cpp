@@ -1,0 +1,108 @@
+#include "datagen/load_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdeta::datagen {
+
+namespace {
+
+/// Smooth bump centred at `center` hours with the given width (hours),
+/// wrapping around midnight.
+double bump(double hour, double center, double width) {
+  double d = std::fabs(hour - center);
+  d = std::min(d, 24.0 - d);  // circular distance
+  return std::exp(-0.5 * (d / width) * (d / width));
+}
+
+DayShape shape_from_bumps(double base, std::initializer_list<std::array<double, 3>>
+                                           bumps /* {center, width, height} */) {
+  DayShape shape{};
+  for (int s = 0; s < kSlotsPerDay; ++s) {
+    const double hour = (s + 0.5) * kHoursPerSlot;
+    double v = base;
+    for (const auto& b : bumps) v += b[2] * bump(hour, b[0], b[1]);
+    shape[s] = v;
+  }
+  normalize_shape(shape);
+  return shape;
+}
+
+}  // namespace
+
+void normalize_shape(DayShape& shape) {
+  double total = 0.0;
+  for (double v : shape) total += v;
+  const double mean = total / kSlotsPerDay;
+  for (double& v : shape) v /= mean;
+}
+
+LoadProfile residential_profile(Rng& rng) {
+  LoadProfile p;
+  p.type = meter::ConsumerType::kResidential;
+
+  // Per-consumer jitter on peak times and heights makes consumers distinct.
+  const double morning = 7.5 + rng.normal() * 0.7;
+  const double evening = 19.0 + rng.normal() * 1.0;
+  const double morning_h = 0.7 + 0.3 * rng.uniform();
+  const double evening_h = 1.6 + 0.8 * rng.uniform();
+
+  p.weekday = shape_from_bumps(
+      0.35, {{{morning, 1.2, morning_h}}, {{evening, 2.3, evening_h}}});
+  p.weekend = shape_from_bumps(
+      0.45, {{{morning + 2.5, 2.0, 0.8 * morning_h}},
+             {{13.0, 2.5, 0.5}},
+             {{evening, 2.6, 0.9 * evening_h}}});
+
+  // Lognormal scale: median 0.55 kW, long right tail (a few multi-kW homes).
+  p.scale_kw = 0.55 * std::exp(0.55 * rng.normal());
+  p.noise_phi = 0.70 + 0.15 * rng.uniform();
+  p.noise_sigma = 0.18 + 0.10 * rng.uniform();
+  p.season_amp = 0.08 + 0.08 * rng.uniform();
+  return p;
+}
+
+LoadProfile sme_profile(Rng& rng) {
+  LoadProfile p;
+  p.type = meter::ConsumerType::kSme;
+
+  const double open = 8.0 + rng.normal() * 0.5;
+  const double close = 17.5 + rng.normal() * 0.8;
+  const double mid = 0.5 * (open + close);
+  const double width = std::max(2.0, 0.5 * (close - open));
+
+  p.weekday = shape_from_bumps(0.25, {{{mid, width, 2.2}}});
+  // Weekend: mostly baseline load (refrigeration, standby), small activity.
+  p.weekend = shape_from_bumps(0.8, {{{mid, width, 0.3}}});
+
+  // Heavy-tailed size: median 2.5 kW, tail reaching ~20 kW so the dataset
+  // contains "largest consumer" outliers like the paper's 1330/1411.
+  p.scale_kw = std::min(2.5 * std::exp(0.9 * rng.normal()), 22.0);
+  p.noise_phi = 0.75 + 0.15 * rng.uniform();
+  p.noise_sigma = 0.10 + 0.08 * rng.uniform();
+  p.season_amp = 0.05 + 0.05 * rng.uniform();
+  return p;
+}
+
+LoadProfile unclassified_profile(Rng& rng) {
+  // A blend: many unclassified CER meters behave like homes, some like shops.
+  LoadProfile res = residential_profile(rng);
+  if (rng.uniform() < 0.5) {
+    res.type = meter::ConsumerType::kUnclassified;
+    return res;
+  }
+  LoadProfile sme = sme_profile(rng);
+  sme.type = meter::ConsumerType::kUnclassified;
+  return sme;
+}
+
+LoadProfile make_profile(meter::ConsumerType type, Rng& rng) {
+  switch (type) {
+    case meter::ConsumerType::kResidential: return residential_profile(rng);
+    case meter::ConsumerType::kSme: return sme_profile(rng);
+    case meter::ConsumerType::kUnclassified: return unclassified_profile(rng);
+  }
+  return residential_profile(rng);
+}
+
+}  // namespace fdeta::datagen

@@ -1,0 +1,62 @@
+#include "datagen/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::datagen {
+
+std::vector<double> generate_temperature(
+    std::size_t slots, const WeatherConfig& config, Rng& rng,
+    const std::vector<WeatherEvent>& events) {
+  require(slots >= 1, "generate_temperature: need at least one slot");
+  std::vector<double> temp(slots);
+  double synoptic = 0.0;
+  const double pi2 = 2.0 * 3.14159265358979;
+  for (std::size_t t = 0; t < slots; ++t) {
+    const double year_frac =
+        static_cast<double>(t) / static_cast<double>(52 * kSlotsPerWeek);
+    // Coldest around 1/8 into the cycle (mid-winter start).
+    const double annual =
+        -config.annual_amp_c * std::cos(pi2 * (year_frac + 0.02));
+    const double hour = hour_of_day(t);
+    const double diurnal =
+        -config.diurnal_amp_c * std::cos(pi2 * (hour - 3.0) / 24.0);
+    synoptic = config.synoptic_phi * synoptic +
+               rng.normal(0.0, config.synoptic_sigma_c *
+                                   std::sqrt(1.0 - config.synoptic_phi *
+                                                       config.synoptic_phi));
+    temp[t] = config.mean_c + annual + diurnal + synoptic;
+  }
+  for (const WeatherEvent& e : events) {
+    require(e.first_slot <= e.last_slot, "WeatherEvent: reversed range");
+    for (std::size_t t = e.first_slot;
+         t <= e.last_slot && t < slots; ++t) {
+      temp[t] += e.delta_c;
+    }
+  }
+  return temp;
+}
+
+Kw thermal_load(double temp_c, const ThermalResponse& response) {
+  if (temp_c < response.comfort_low_c) {
+    return response.heating_kw_per_c * (response.comfort_low_c - temp_c);
+  }
+  if (temp_c > response.comfort_high_c) {
+    return response.cooling_kw_per_c * (temp_c - response.comfort_high_c);
+  }
+  return 0.0;
+}
+
+void apply_weather(std::vector<Kw>& readings,
+                   std::span<const double> temperature,
+                   const ThermalResponse& response) {
+  require(readings.size() == temperature.size(),
+          "apply_weather: series length mismatch");
+  for (std::size_t t = 0; t < readings.size(); ++t) {
+    readings[t] += thermal_load(temperature[t], response);
+  }
+}
+
+}  // namespace fdeta::datagen

@@ -1,0 +1,63 @@
+// Weather model: an ambient-temperature series and its coupling into
+// consumer load.
+//
+// Step 4 of the F-DETA process uses "external evidence (severe weather
+// conditions, holiday periods, special events, ...)" to rule out false
+// positives (Section VII).  To exercise that step end-to-end the generator
+// needs weather-driven demand: temperature follows an annual cycle plus a
+// synoptic (few-day) AR component and a diurnal swing; each consumer adds
+// heating degree-load below a comfort band (electric heating) and cooling
+// degree-load above it.  A severe cold snap lifts the whole population's
+// consumption simultaneously - exactly the anomaly class that detectors
+// should *excuse* rather than investigate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace fdeta::datagen {
+
+struct WeatherConfig {
+  double mean_c = 10.0;        ///< annual mean temperature (Ireland-ish)
+  double annual_amp_c = 6.5;   ///< annual swing amplitude
+  double diurnal_amp_c = 3.0;  ///< day/night swing amplitude
+  double synoptic_sigma_c = 1.2;  ///< innovation of the few-day AR component
+  double synoptic_phi = 0.995;    ///< AR(1) pole (multi-day persistence)
+};
+
+/// One cold-snap / heat-wave window forced into the series.
+struct WeatherEvent {
+  std::size_t first_slot = 0;
+  std::size_t last_slot = 0;  ///< inclusive
+  double delta_c = -8.0;      ///< offset applied during the event
+};
+
+/// Generates a temperature series of `slots` half-hour readings.
+std::vector<double> generate_temperature(std::size_t slots,
+                                         const WeatherConfig& config,
+                                         Rng& rng,
+                                         const std::vector<WeatherEvent>&
+                                             events = {});
+
+/// A consumer's thermal response: extra demand per degree outside the
+/// comfort band.
+struct ThermalResponse {
+  double comfort_low_c = 14.0;
+  double comfort_high_c = 20.0;
+  double heating_kw_per_c = 0.06;  ///< electric heating slope
+  double cooling_kw_per_c = 0.03;  ///< cooling slope (mild: Irish climate)
+};
+
+/// Extra demand drawn at ambient temperature `temp_c`.
+Kw thermal_load(double temp_c, const ThermalResponse& response);
+
+/// Adds weather-coupled load to a base series in place.
+void apply_weather(std::vector<Kw>& readings,
+                   std::span<const double> temperature,
+                   const ThermalResponse& response);
+
+}  // namespace fdeta::datagen

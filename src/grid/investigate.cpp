@@ -1,0 +1,121 @@
+#include "grid/investigate.h"
+
+#include <cmath>
+
+
+#include "common/error.h"
+
+namespace fdeta::grid {
+
+InvestigationResult investigate_case1(const Topology& topology,
+                                      const BalanceOutcome& outcome) {
+  InvestigationResult result;
+  // Deepest failing node with no failing internal descendant: scan all
+  // failing nodes, prefer maximum depth; each metered node costs one reading.
+  int best_depth = -1;
+  for (NodeId id : outcome.failing_nodes()) {
+    ++result.checks_performed;
+    bool has_failing_internal_child = false;
+    for (NodeId c : topology.node(id).children) {
+      if (topology.node(c).kind == NodeKind::kInternal && outcome.checked(c) &&
+          outcome.failed(c)) {
+        has_failing_internal_child = true;
+        break;
+      }
+    }
+    if (has_failing_internal_child) continue;
+    const int d = topology.depth(id);
+    if (d > best_depth) {
+      best_depth = d;
+      result.localized_node = id;
+    }
+  }
+  if (result.localized_node != kNoNode) {
+    result.suspects = topology.consumers_under(result.localized_node);
+  }
+  return result;
+}
+
+namespace {
+
+/// One portable-meter check at `node`: compare actual flow against reported
+/// reconstruction for that subtree.
+bool portable_check_fails(NodeId node, const std::vector<Kw>& actual_nodes,
+                          const std::vector<Kw>& reported_nodes,
+                          double tolerance_kw) {
+  return std::fabs(actual_nodes[node] - reported_nodes[node]) > tolerance_kw;
+}
+
+/// Recursive descent from a node whose check is known to fail.  Checks each
+/// internal child with the portable meter, recursing only into failing ones;
+/// if no internal child fails, the divergence sits among the node's directly
+/// attached consumer leaves (to within measurement tolerance).
+void descend(const Topology& topology, NodeId node,
+             const std::vector<Kw>& actual_nodes,
+             const std::vector<Kw>& reported_nodes, double tolerance_kw,
+             int depth, int& best_depth, InvestigationResult& result) {
+  if (depth > best_depth) {
+    best_depth = depth;
+    result.localized_node = node;
+  }
+  bool any_failing_child = false;
+  for (NodeId c : topology.node(node).children) {
+    if (topology.node(c).kind != NodeKind::kInternal) continue;
+    ++result.checks_performed;
+    if (portable_check_fails(c, actual_nodes, reported_nodes,
+                             tolerance_kw)) {
+      any_failing_child = true;
+      descend(topology, c, actual_nodes, reported_nodes, tolerance_kw,
+              depth + 1, best_depth, result);
+    }
+  }
+  if (!any_failing_child) {
+    for (NodeId c : topology.node(node).children) {
+      if (topology.node(c).kind == NodeKind::kConsumer) {
+        result.suspects.push_back(topology.node(c).consumer_index);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+InvestigationResult investigate_case2(const Topology& topology,
+                                      std::span<const Kw> actual,
+                                      std::span<const Kw> reported,
+                                      double tolerance_kw) {
+  require(actual.size() == reported.size(), "investigate_case2: size mismatch");
+  const std::vector<Kw> actual_nodes = topology.node_demands(actual);
+  const std::vector<Kw> reported_nodes = topology.node_demands(reported);
+
+  InvestigationResult result;
+
+  // Root check first; if it passes there is nothing to investigate.
+  ++result.checks_performed;
+  if (!portable_check_fails(topology.root(), actual_nodes,
+                            reported_nodes, tolerance_kw)) {
+    return result;
+  }
+  int best_depth = -1;
+  descend(topology, topology.root(), actual_nodes, reported_nodes,
+          tolerance_kw, 0, best_depth, result);
+  return result;
+}
+
+InvestigationResult investigate_exhaustive(const Topology& topology,
+                                           std::span<const Kw> actual,
+                                           std::span<const Kw> reported,
+                                           double tolerance_kw) {
+  require(actual.size() == reported.size(),
+          "investigate_exhaustive: size mismatch");
+  InvestigationResult result;
+  for (std::size_t i = 0; i < topology.consumer_count(); ++i) {
+    ++result.checks_performed;
+    if (std::fabs(actual[i] - reported[i]) > tolerance_kw) {
+      result.suspects.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace fdeta::grid

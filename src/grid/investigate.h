@@ -1,0 +1,55 @@
+// Investigating balance-check failures (Section V-C).
+//
+// Case 1: every internal node is metered.  The deepest failing meter bounds
+// the geographic neighbourhood to investigate; its consumer leaves are then
+// inspected manually.
+//
+// Case 2: some internal nodes lack meters.  A serviceman with a portable
+// meter performs a BFS-like traversal from the root, descending only into
+// subtrees whose check fails; other subtrees are pruned.  The number of
+// portable-meter checks is the investigation cost (O(depth * fanout) for a
+// balanced tree vs O(N) worst case).
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "grid/balance.h"
+#include "grid/topology.h"
+
+namespace fdeta::grid {
+
+struct InvestigationResult {
+  /// Dense consumer indices that must be manually inspected; the attacker is
+  /// guaranteed to be among them if the theft deviates reported from actual.
+  std::vector<std::size_t> suspects;
+  /// Internal node localising the theft (deepest failing check).
+  NodeId localized_node = kNoNode;
+  /// Number of meter readings/portable checks performed.
+  std::size_t checks_performed = 0;
+};
+
+/// Case 1: localise theft from a full set of W events (all internal nodes
+/// metered and trusted).  Picks the deepest failing node that has no failing
+/// internal descendant and returns its consumer leaves.
+InvestigationResult investigate_case1(const Topology& topology,
+                                      const BalanceOutcome& outcome);
+
+/// Case 2: portable-meter BFS.  The serviceman measures actual demand at
+/// internal nodes (this is physics: reads `actual` flows) and compares
+/// against the sum of reported smart-meter readings + calculated losses in
+/// that subtree, descending only into failing subtrees.
+InvestigationResult investigate_case2(const Topology& topology,
+                                      std::span<const Kw> actual,
+                                      std::span<const Kw> reported,
+                                      double tolerance_kw = 1e-6);
+
+/// Exhaustive baseline: inspect every consumer whose reported deviates from
+/// actual (O(N) cost).  Used by benchmarks to contrast with Case 2 pruning.
+InvestigationResult investigate_exhaustive(const Topology& topology,
+                                           std::span<const Kw> actual,
+                                           std::span<const Kw> reported,
+                                           double tolerance_kw = 1e-6);
+
+}  // namespace fdeta::grid

@@ -1,0 +1,29 @@
+#include "grid/losses.h"
+
+#include "common/error.h"
+
+namespace fdeta::grid {
+
+NtlAnalysis analyze_ntl(std::span<const Kw> actual,
+                        std::span<const Kw> reported,
+                        const LineImpedance& feeder_impedance) {
+  require(actual.size() == reported.size(), "analyze_ntl: size mismatch");
+
+  NtlAnalysis result;
+  Kw actual_load = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    actual_load += actual[i];
+    result.reported_load += reported[i];
+  }
+  // Physics: the trusted feeder meter reads the true load plus the true
+  // I^2 R loss of the true flow.
+  result.feeder_input = actual_load + feeder_impedance.loss_at(actual_load);
+  // The utility's estimate of the technical loss can only use the flows it
+  // believes in: the reported load.
+  result.technical_loss = feeder_impedance.loss_at(result.reported_load);
+  result.non_technical_loss =
+      result.feeder_input - result.reported_load - result.technical_loss;
+  return result;
+}
+
+}  // namespace fdeta::grid

@@ -1,0 +1,91 @@
+#include "grid/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace fdeta::grid {
+
+void save_topology(const Topology& topology, std::ostream& out) {
+  for (std::size_t id = 0; id < topology.node_count(); ++id) {
+    const Node& n = topology.node(static_cast<NodeId>(id));
+    switch (n.kind) {
+      case NodeKind::kInternal:
+        out << "internal " << id << ' '
+            << (n.parent == kNoNode ? std::string("-")
+                                    : std::to_string(n.parent))
+            << ' ' << (n.has_balance_meter ? 1 : 0) << '\n';
+        break;
+      case NodeKind::kConsumer:
+        out << "consumer " << id << ' ' << n.parent << ' ' << n.consumer_id
+            << '\n';
+        break;
+      case NodeKind::kLoss:
+        out << "loss " << id << ' ' << n.parent << ' ' << n.loss_fraction
+            << '\n';
+        break;
+    }
+  }
+}
+
+Topology load_topology(std::istream& in) {
+  Topology topology;
+  bool root_seen = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line, ' ');
+    if (fields.size() != 4) {
+      throw DataError("load_topology: expected 4 fields at line " +
+                      std::to_string(line_no));
+    }
+    const std::string& kind = fields[0];
+    const auto id = parse_long(fields[1], "node id");
+
+    if (kind == "internal") {
+      if (fields[2] == "-") {
+        // The root: Topology() already created node 0.
+        if (root_seen || id != 0) {
+          throw DataError("load_topology: root must be node 0, once");
+        }
+        root_seen = true;
+        continue;
+      }
+      const auto parent = static_cast<NodeId>(parse_long(fields[2], "parent"));
+      const bool metered = parse_long(fields[3], "metered") != 0;
+      const NodeId got = topology.add_internal(parent, metered);
+      if (got != id) {
+        throw DataError("load_topology: non-sequential node id at line " +
+                        std::to_string(line_no));
+      }
+    } else if (kind == "consumer") {
+      const auto parent = static_cast<NodeId>(parse_long(fields[2], "parent"));
+      const auto consumer_id =
+          static_cast<meter::ConsumerId>(parse_long(fields[3], "consumer id"));
+      const NodeId got = topology.add_consumer(parent, consumer_id);
+      if (got != id) {
+        throw DataError("load_topology: non-sequential node id at line " +
+                        std::to_string(line_no));
+      }
+    } else if (kind == "loss") {
+      const auto parent = static_cast<NodeId>(parse_long(fields[2], "parent"));
+      const double fraction = parse_double(fields[3], "loss fraction");
+      const NodeId got = topology.add_loss(parent, fraction);
+      if (got != id) {
+        throw DataError("load_topology: non-sequential node id at line " +
+                        std::to_string(line_no));
+      }
+    } else {
+      throw DataError("load_topology: unknown node kind '" + kind +
+                      "' at line " + std::to_string(line_no));
+    }
+  }
+  if (!root_seen) throw DataError("load_topology: missing root line");
+  return topology;
+}
+
+}  // namespace fdeta::grid

@@ -1,0 +1,26 @@
+// Text serialization for grid topologies, so feeder layouts can ship as
+// files (used by the `fdeta` CLI and by utilities maintaining their GIS
+// exports).
+//
+// Format: one node per line, children listed after their parent.
+//   internal <id> <parent|-> <metered 0|1>
+//   consumer <id> <parent> <consumer_id>
+//   loss     <id> <parent> <fraction>
+// Node ids are the topology's own (root = 0); the loader validates that
+// they appear in insertion order, which Topology's builder guarantees.
+#pragma once
+
+#include <iosfwd>
+
+#include "grid/topology.h"
+
+namespace fdeta::grid {
+
+/// Writes the topology in the line format above.
+void save_topology(const Topology& topology, std::ostream& out);
+
+/// Parses the format written by save_topology; throws DataError on any
+/// structural violation.
+Topology load_topology(std::istream& in);
+
+}  // namespace fdeta::grid

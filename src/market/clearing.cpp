@@ -1,0 +1,110 @@
+#include "market/clearing.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::market {
+
+namespace {
+
+/// Aggregate demand at broadcast price `lambda` (each participant responds
+/// to its possibly-distorted view of the price).
+Kw aggregate_demand(std::span<const Participant> participants,
+                    DollarsPerKWh lambda, DollarsPerKWh reference_price) {
+  Kw total = 0.0;
+  for (const Participant& p : participants) {
+    const double seen = lambda * p.price_distortion;
+    total += p.baseline * std::pow(seen / reference_price, -p.elasticity);
+  }
+  return total;
+}
+
+}  // namespace
+
+ClearingResult clear_slot(std::span<const Participant> participants,
+                          const SupplyCurve& supply,
+                          DollarsPerKWh reference_price) {
+  require(reference_price > 0.0, "clear_slot: reference price must be > 0");
+  for (const Participant& p : participants) {
+    require(p.baseline >= 0.0 && p.elasticity >= 0.0 &&
+                p.price_distortion > 0.0,
+            "clear_slot: invalid participant");
+  }
+
+  // Excess supply price gap  g(lambda) = lambda - supply_price(D(lambda))
+  // is increasing in lambda (demand falls, supply price falls), so bisect.
+  auto gap = [&](DollarsPerKWh lambda) {
+    return lambda -
+           supply.price_at(aggregate_demand(participants, lambda,
+                                            reference_price));
+  };
+
+  DollarsPerKWh lo = 1e-4;
+  DollarsPerKWh hi = reference_price;
+  // Grow hi until the gap is positive (price high enough to choke demand).
+  int guard = 0;
+  while (gap(hi) < 0.0) {
+    hi *= 2.0;
+    if (++guard > 64) {
+      throw NumericalError("clear_slot: no market-clearing price found");
+    }
+  }
+  if (gap(lo) > 0.0) lo = 1e-9;
+
+  for (int iter = 0; iter < 100; ++iter) {
+    const DollarsPerKWh mid = 0.5 * (lo + hi);
+    if (gap(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  ClearingResult result;
+  result.price = 0.5 * (lo + hi);
+  result.demand.reserve(participants.size());
+  for (const Participant& p : participants) {
+    const double seen = result.price * p.price_distortion;
+    const Kw d = p.baseline * std::pow(seen / reference_price, -p.elasticity);
+    result.demand.push_back(d);
+    result.total_demand += d;
+  }
+  return result;
+}
+
+MarketRun run_market(const std::vector<std::vector<Kw>>& baselines,
+                     std::span<const double> elasticities,
+                     std::span<const double> price_distortions,
+                     const SupplyCurve& supply,
+                     DollarsPerKWh reference_price) {
+  require(!baselines.empty(), "run_market: no participants");
+  require(baselines.size() == elasticities.size() &&
+              baselines.size() == price_distortions.size(),
+          "run_market: participant array size mismatch");
+  const std::size_t slots = baselines.front().size();
+  for (const auto& b : baselines) {
+    require(b.size() == slots, "run_market: baseline length mismatch");
+  }
+
+  MarketRun run;
+  run.prices.resize(slots);
+  run.consumption.assign(baselines.size(), std::vector<Kw>(slots, 0.0));
+
+  std::vector<Participant> participants(baselines.size());
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+      participants[i].baseline = baselines[i][t];
+      participants[i].elasticity = elasticities[i];
+      participants[i].price_distortion = price_distortions[i];
+    }
+    const auto cleared = clear_slot(participants, supply, reference_price);
+    run.prices[t] = cleared.price;
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+      run.consumption[i][t] = cleared.demand[i];
+    }
+  }
+  return run;
+}
+
+}  // namespace fdeta::market

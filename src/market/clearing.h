@@ -1,0 +1,70 @@
+// A real-time electricity market simulation.
+//
+// Section VII-A: studying Attack Class 4B "would also require the simulation
+// of a real-time electricity market"; the paper leaves that to future work.
+// This module provides it: per-slot price clearing between an aggregate
+// supply curve and a population of price-responsive consumers
+// (Consumer Own Elasticity, ref [26]).
+//
+// Supply: a convex marginal-cost curve  lambda_s(Q) = base + slope * Q.
+// Demand: sum_i baseline_i * (lambda / lambda_ref)^(-elasticity_i), i.e.
+// each consumer's ADR scales its baseline by the price it *sees* - which an
+// attacker may have forged (Attack Class 4B), shifting the true clearing
+// point for everyone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace fdeta::market {
+
+/// Linear marginal-cost supply curve: price at which generators are willing
+/// to supply Q kilowatts.
+struct SupplyCurve {
+  DollarsPerKWh base = 0.05;   ///< price floor at zero quantity
+  double slope = 1e-4;         ///< $/kWh per kW of quantity
+  DollarsPerKWh price_at(Kw quantity) const {
+    return base + slope * quantity;
+  }
+};
+
+/// One price-responsive participant for a single slot.
+struct Participant {
+  Kw baseline = 0.0;        ///< demand at the reference price
+  double elasticity = 0.5;  ///< own-elasticity (>= 0)
+  /// Multiplier applied to the broadcast price before this participant's ADR
+  /// sees it (1.0 = honest; > 1 models a 4B-compromised price signal).
+  double price_distortion = 1.0;
+};
+
+struct ClearingResult {
+  DollarsPerKWh price = 0.0;      ///< market-clearing price lambda*
+  Kw total_demand = 0.0;          ///< cleared quantity
+  std::vector<Kw> demand;         ///< per-participant consumption
+};
+
+/// Clears one slot by bisection on  supply(Q(lambda)) = lambda.
+/// `reference_price` anchors the elasticity model (the price baselines are
+/// quoted at).  Throws NumericalError if no crossing exists in a sane
+/// price range.
+ClearingResult clear_slot(std::span<const Participant> participants,
+                          const SupplyCurve& supply,
+                          DollarsPerKWh reference_price);
+
+/// Clears a horizon: `baselines[i]` is participant i's per-slot baseline
+/// series (all equal length).  Distortions and elasticities are constant
+/// over the horizon.  Returns per-slot prices and per-participant
+/// consumption series.
+struct MarketRun {
+  std::vector<DollarsPerKWh> prices;          // per slot
+  std::vector<std::vector<Kw>> consumption;   // [participant][slot]
+};
+MarketRun run_market(const std::vector<std::vector<Kw>>& baselines,
+                     std::span<const double> elasticities,
+                     std::span<const double> price_distortions,
+                     const SupplyCurve& supply,
+                     DollarsPerKWh reference_price);
+
+}  // namespace fdeta::market

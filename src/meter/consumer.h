@@ -1,0 +1,27 @@
+// Consumer identity and classification, mirroring the CER trial categories
+// (Section VIII-A: 404 residential, 36 SME, 60 unclassified by CER).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fdeta::meter {
+
+using ConsumerId = std::uint32_t;
+
+enum class ConsumerType : std::uint8_t {
+  kResidential,
+  kSme,          ///< small/medium enterprise
+  kUnclassified,
+};
+
+constexpr std::string_view to_string(ConsumerType type) {
+  switch (type) {
+    case ConsumerType::kResidential: return "residential";
+    case ConsumerType::kSme: return "sme";
+    case ConsumerType::kUnclassified: return "unclassified";
+  }
+  return "unknown";
+}
+
+}  // namespace fdeta::meter

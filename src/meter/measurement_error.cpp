@@ -1,0 +1,41 @@
+#include "meter/measurement_error.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fdeta::meter {
+
+Kw measure(Kw actual, const MeterAccuracyModel& model, Rng& rng) {
+  const double roll = rng.uniform();
+  double fraction;
+  if (roll < model.p_tight) {
+    fraction = rng.uniform(-model.tight_fraction, model.tight_fraction);
+  } else if (roll < model.p_tight + model.p_wide) {
+    // Within the wide band but outside the tight one (either sign).
+    const double magnitude =
+        rng.uniform(model.tight_fraction, model.wide_fraction);
+    fraction = rng.uniform() < 0.5 ? -magnitude : magnitude;
+  } else {
+    const double magnitude =
+        rng.uniform(model.wide_fraction, model.gross_fraction);
+    fraction = rng.uniform() < 0.5 ? -magnitude : magnitude;
+  }
+  return std::max(0.0, actual * (1.0 + model.scale * fraction));
+}
+
+Dataset apply_measurement_error(const Dataset& actual,
+                                const MeterAccuracyModel& model, Rng& rng) {
+  require(model.p_tight + model.p_wide <= 1.0,
+          "apply_measurement_error: probabilities exceed 1");
+  Dataset measured = actual;
+  for (std::size_t c = 0; c < measured.consumer_count(); ++c) {
+    Rng stream = rng.spawn(c);
+    for (Kw& v : measured.consumer(c).readings) {
+      v = measure(v, model, stream);
+    }
+  }
+  return measured;
+}
+
+}  // namespace fdeta::meter

@@ -1,0 +1,37 @@
+// Smart-meter measurement error (Section VII-A).
+//
+// The paper justifies trusting meter *measurements* with the EEI study
+// (ref [11]): 99.96% of electronic smart-meter readings fall within +/-2% of
+// the actual value and 99.91% within +/-0.5%.  This model reproduces that
+// error envelope so the robustness benches can verify that (a) detectors are
+// calibrated through it and (b) "an attacker cannot leverage measurement
+// errors inherent to smart meters to steal a significant amount of
+// electricity".
+#pragma once
+
+#include "common/rng.h"
+#include "meter/dataset.h"
+
+namespace fdeta::meter {
+
+struct MeterAccuracyModel {
+  /// Probability a reading falls within the tight band (ref [11]: 99.91%).
+  double p_tight = 0.9991;
+  /// Probability within the wide band but not the tight one (99.96-99.91%).
+  double p_wide = 0.0005;
+  double tight_fraction = 0.005;  ///< +/-0.5%
+  double wide_fraction = 0.02;    ///< +/-2%
+  /// The residual 0.04% of readings: gross errors up to this fraction.
+  double gross_fraction = 0.05;
+  /// Scales all three bands (1.0 = the ref [11] envelope).
+  double scale = 1.0;
+};
+
+/// One measured reading: actual demand distorted by the accuracy model.
+Kw measure(Kw actual, const MeterAccuracyModel& model, Rng& rng);
+
+/// Applies the error model to every reading of a dataset copy.
+Dataset apply_measurement_error(const Dataset& actual,
+                                const MeterAccuracyModel& model, Rng& rng);
+
+}  // namespace fdeta::meter

@@ -1,0 +1,52 @@
+#include "meter/series.h"
+
+#include "common/error.h"
+
+namespace fdeta::meter {
+
+std::span<const Kw> ConsumerSeries::week(std::size_t w) const {
+  require(w < week_count(), "ConsumerSeries::week: index out of range");
+  return {readings.data() + w * kSlotsPerWeek,
+          static_cast<std::size_t>(kSlotsPerWeek)};
+}
+
+std::span<const Kw> ConsumerSeries::weeks(std::size_t first,
+                                          std::size_t count) const {
+  require(first + count <= week_count(),
+          "ConsumerSeries::weeks: range out of bounds");
+  return {readings.data() + first * kSlotsPerWeek, count * kSlotsPerWeek};
+}
+
+stats::Matrix ConsumerSeries::week_matrix(std::size_t first,
+                                          std::size_t count) const {
+  require(first + count <= week_count(),
+          "ConsumerSeries::week_matrix: range out of bounds");
+  stats::Matrix x(count, kSlotsPerWeek);
+  for (std::size_t w = 0; w < count; ++w) {
+    const auto wk = week(first + w);
+    for (std::size_t s = 0; s < static_cast<std::size_t>(kSlotsPerWeek); ++s) {
+      x(w, s) = wk[s];
+    }
+  }
+  return x;
+}
+
+std::span<const Kw> TrainTestSplit::train(const ConsumerSeries& s) const {
+  require(s.week_count() >= total_weeks(),
+          "TrainTestSplit: series shorter than split");
+  return s.weeks(0, train_weeks);
+}
+
+std::span<const Kw> TrainTestSplit::test(const ConsumerSeries& s) const {
+  require(s.week_count() >= total_weeks(),
+          "TrainTestSplit: series shorter than split");
+  return s.weeks(train_weeks, test_weeks);
+}
+
+std::span<const Kw> TrainTestSplit::test_week(const ConsumerSeries& s,
+                                              std::size_t w) const {
+  require(w < test_weeks, "TrainTestSplit::test_week: index out of range");
+  return s.week(train_weeks + w);
+}
+
+}  // namespace fdeta::meter

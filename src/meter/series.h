@@ -1,0 +1,54 @@
+// Per-consumer smart-meter series and week-matrix views.
+//
+// A series holds the *actual* average-demand readings D_C(t) for one
+// consumer across the study horizon.  Attack injection produces a separate
+// reported series D'_C(t); keeping both explicit mirrors the paper's
+// D vs D' notation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "meter/consumer.h"
+#include "stats/matrix.h"
+
+namespace fdeta::meter {
+
+/// One consumer's demand series at half-hour resolution.
+struct ConsumerSeries {
+  ConsumerId id = 0;
+  ConsumerType type = ConsumerType::kResidential;
+  std::vector<Kw> readings;  ///< length = weeks * kSlotsPerWeek
+
+  std::size_t week_count() const { return readings.size() / kSlotsPerWeek; }
+
+  /// View of week `w` (336 readings).  Throws if out of range.
+  std::span<const Kw> week(std::size_t w) const;
+
+  /// View of weeks [first, first + count).
+  std::span<const Kw> weeks(std::size_t first, std::size_t count) const;
+
+  /// Builds the M x 336 training matrix X of Section VII-D from weeks
+  /// [first, first + count).
+  stats::Matrix week_matrix(std::size_t first, std::size_t count) const;
+};
+
+/// The 60-train / 14-test split of Section VIII-A, parameterised.
+struct TrainTestSplit {
+  std::size_t train_weeks = 60;
+  std::size_t test_weeks = 14;
+
+  std::size_t total_weeks() const { return train_weeks + test_weeks; }
+
+  /// Training portion of a series (first train_weeks weeks).
+  std::span<const Kw> train(const ConsumerSeries& s) const;
+
+  /// Test portion of a series (remaining test_weeks weeks).
+  std::span<const Kw> test(const ConsumerSeries& s) const;
+
+  /// One week of the test set (index within the test portion).
+  std::span<const Kw> test_week(const ConsumerSeries& s, std::size_t w) const;
+};
+
+}  // namespace fdeta::meter

@@ -1,0 +1,59 @@
+#include "pricing/billing.h"
+
+#include "common/error.h"
+
+namespace fdeta::pricing {
+
+Dollars bill(std::span<const Kw> demand, const PriceSchedule& schedule,
+             SlotIndex first_slot) {
+  Dollars total = 0.0;
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    total += schedule.price(first_slot + t) * demand[t] * kHoursPerSlot;
+  }
+  return total;
+}
+
+KWh energy(std::span<const Kw> demand) {
+  KWh total = 0.0;
+  for (double kw : demand) total += slot_energy(kw);
+  return total;
+}
+
+Dollars attacker_profit(std::span<const Kw> actual,
+                        std::span<const Kw> reported,
+                        const PriceSchedule& schedule, SlotIndex first_slot) {
+  require(actual.size() == reported.size(), "attacker_profit: size mismatch");
+  return bill(actual, schedule, first_slot) -
+         bill(reported, schedule, first_slot);
+}
+
+KWh energy_under_reported(std::span<const Kw> actual,
+                          std::span<const Kw> reported) {
+  require(actual.size() == reported.size(),
+          "energy_under_reported: size mismatch");
+  KWh total = 0.0;
+  for (std::size_t t = 0; t < actual.size(); ++t) {
+    if (actual[t] > reported[t]) total += slot_energy(actual[t] - reported[t]);
+  }
+  return total;
+}
+
+Dollars neighbor_loss(std::span<const Kw> actual, std::span<const Kw> reported,
+                      const PriceSchedule& schedule, SlotIndex first_slot) {
+  require(actual.size() == reported.size(), "neighbor_loss: size mismatch");
+  Dollars total = 0.0;
+  for (std::size_t t = 0; t < actual.size(); ++t) {
+    total += schedule.price(first_slot + t) * (reported[t] - actual[t]) *
+             kHoursPerSlot;
+  }
+  return total;
+}
+
+bool attack_condition_holds(std::span<const Kw> actual,
+                            std::span<const Kw> reported,
+                            const PriceSchedule& schedule,
+                            SlotIndex first_slot) {
+  return attacker_profit(actual, reported, schedule, first_slot) > 0.0;
+}
+
+}  // namespace fdeta::pricing

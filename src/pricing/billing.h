@@ -1,0 +1,44 @@
+// Billing (eq. 2) and the attacker/neighbor money flows of Sections IV & VI.
+#pragma once
+
+#include <span>
+
+#include "common/units.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::pricing {
+
+/// Utility bill for a demand series starting at absolute slot `first_slot`:
+///   B = sum_t lambda(t) * D(t) * Delta-t            [eq. (2) terms]
+Dollars bill(std::span<const Kw> demand, const PriceSchedule& schedule,
+             SlotIndex first_slot = 0);
+
+/// Total energy of a demand series in kWh.
+KWh energy(std::span<const Kw> demand);
+
+/// Mallory's monetary advantage alpha = B(actual) - B(reported), eq. (2).
+/// Positive iff the attack condition (1) holds.
+Dollars attacker_profit(std::span<const Kw> actual,
+                        std::span<const Kw> reported,
+                        const PriceSchedule& schedule,
+                        SlotIndex first_slot = 0);
+
+/// Energy stolen: sum of positive under-reports (actual minus reported where
+/// actual > reported), in kWh.  For Attack Class 1B the same quantity on the
+/// *neighbor's* series (reported minus actual) is the energy billed to the
+/// victim.
+KWh energy_under_reported(std::span<const Kw> actual,
+                          std::span<const Kw> reported);
+
+/// Victim's loss L_n = Delta-t * sum_t lambda(t) * (D'_n(t) - D_n(t)),
+/// eq. (10).
+Dollars neighbor_loss(std::span<const Kw> actual, std::span<const Kw> reported,
+                      const PriceSchedule& schedule, SlotIndex first_slot = 0);
+
+/// Attack condition (1): sum_t lambda(t) [D(t) - D'(t)] > 0.
+bool attack_condition_holds(std::span<const Kw> actual,
+                            std::span<const Kw> reported,
+                            const PriceSchedule& schedule,
+                            SlotIndex first_slot = 0);
+
+}  // namespace fdeta::pricing

@@ -1,0 +1,20 @@
+#include "pricing/elasticity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::pricing {
+
+OwnElasticity::OwnElasticity(double elasticity, DollarsPerKWh reference_price)
+    : elasticity_(elasticity), reference_price_(reference_price) {
+  require(elasticity >= 0.0, "OwnElasticity: elasticity must be >= 0");
+  require(reference_price > 0.0, "OwnElasticity: reference price must be > 0");
+}
+
+Kw OwnElasticity::respond(Kw baseline_demand, DollarsPerKWh price) const {
+  require(price > 0.0, "OwnElasticity::respond: price must be > 0");
+  return baseline_demand * std::pow(price / reference_price_, -elasticity_);
+}
+
+}  // namespace fdeta::pricing

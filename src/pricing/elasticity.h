@@ -1,0 +1,51 @@
+// Automated Demand Response (ADR) and the Consumer Own Elasticity model
+// (ref [26]): consumption is a monotonically decreasing function of price.
+//
+// Attack Class 4B compromises a neighbor's ADR interface by inflating the
+// price signal lambda'_n(t) > lambda(t), so the victim's ADR automatically
+// curtails demand; Mallory consumes the freed power while the balance check
+// still passes.
+#pragma once
+
+#include "common/units.h"
+
+namespace fdeta::pricing {
+
+/// Constant-elasticity demand response:
+///   D(lambda) = D_base * (lambda / lambda_ref)^(-elasticity)
+/// with elasticity > 0, so demand strictly decreases in price.
+class OwnElasticity {
+ public:
+  /// Requires elasticity >= 0 and reference_price > 0.
+  OwnElasticity(double elasticity, DollarsPerKWh reference_price);
+
+  double elasticity() const { return elasticity_; }
+
+  /// Demand after responding to `price`, given the baseline demand the
+  /// consumer would have had at the reference price.
+  Kw respond(Kw baseline_demand, DollarsPerKWh price) const;
+
+ private:
+  double elasticity_;
+  DollarsPerKWh reference_price_;
+};
+
+/// A consumer-side ADR controller: applies the elasticity model to each
+/// slot's baseline demand using the (possibly compromised) price signal it
+/// receives.
+class AdrInterface {
+ public:
+  explicit AdrInterface(OwnElasticity model) : model_(model) {}
+
+  /// The demand the consumer actually draws when shown `signalled_price`.
+  Kw actual_demand(Kw baseline_demand, DollarsPerKWh signalled_price) const {
+    return model_.respond(baseline_demand, signalled_price);
+  }
+
+  const OwnElasticity& model() const { return model_; }
+
+ private:
+  OwnElasticity model_;
+};
+
+}  // namespace fdeta::pricing

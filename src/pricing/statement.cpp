@@ -1,0 +1,54 @@
+#include "pricing/statement.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace fdeta::pricing {
+
+Statement make_statement(std::span<const Kw> demand,
+                         const PriceSchedule& schedule, SlotIndex first_slot) {
+  Statement s;
+  s.first_slot = first_slot;
+  s.slots = demand.size();
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    const SlotIndex slot = first_slot + t;
+    const KWh energy = slot_energy(demand[t]);
+    const Dollars charge = schedule.price(slot) * energy;
+    if (schedule.is_peak(slot)) {
+      s.peak_kwh += energy;
+      s.peak_charge += charge;
+    } else {
+      s.off_peak_kwh += energy;
+      s.off_peak_charge += charge;
+    }
+  }
+  return s;
+}
+
+StatementImpact statement_impact(std::span<const Kw> actual,
+                                 std::span<const Kw> reported,
+                                 const PriceSchedule& schedule,
+                                 SlotIndex first_slot) {
+  require(actual.size() == reported.size(), "statement_impact: size mismatch");
+  StatementImpact impact;
+  impact.honest = make_statement(actual, schedule, first_slot);
+  impact.billed = make_statement(reported, schedule, first_slot);
+  impact.overbilled =
+      impact.billed.total_charge() - impact.honest.total_charge();
+  return impact;
+}
+
+std::string format_statement(const Statement& statement) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "peak     %8.1f kWh  $%8.2f\n"
+                "off-peak %8.1f kWh  $%8.2f\n"
+                "total    %8.1f kWh  $%8.2f",
+                statement.peak_kwh, statement.peak_charge,
+                statement.off_peak_kwh, statement.off_peak_charge,
+                statement.total_kwh(), statement.total_charge());
+  return buffer;
+}
+
+}  // namespace fdeta::pricing

@@ -1,0 +1,61 @@
+// Billing statements: the consumer-facing artifact of eq. (2).
+//
+// The attack model is ultimately about money on bills (Section IV: Mallory
+// profits "at the expense of the utility or her neighbors"), so the library
+// can render what each party is actually charged: a per-cycle statement
+// with peak/off-peak breakdown, and a comparison report quantifying the
+// impact of an integrity attack on a statement (what the victim was
+// over-billed, eq. (10); what Mallory dodged, eq. (2)).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::pricing {
+
+/// One billing cycle's statement for a consumer.
+struct Statement {
+  SlotIndex first_slot = 0;
+  std::size_t slots = 0;
+
+  KWh peak_kwh = 0.0;
+  KWh off_peak_kwh = 0.0;
+  Dollars peak_charge = 0.0;
+  Dollars off_peak_charge = 0.0;
+
+  KWh total_kwh() const { return peak_kwh + off_peak_kwh; }
+  Dollars total_charge() const { return peak_charge + off_peak_charge; }
+};
+
+/// Builds the statement for `demand` starting at `first_slot` under
+/// `schedule`.  Slots the schedule marks as peak accumulate into the peak
+/// bucket, the rest into off-peak (flat-rate schedules bill everything
+/// off-peak).
+Statement make_statement(std::span<const Kw> demand,
+                         const PriceSchedule& schedule,
+                         SlotIndex first_slot = 0);
+
+/// The delta between what a consumer is billed on reported readings and
+/// what honest metering would have billed.
+struct StatementImpact {
+  Statement honest;    ///< from actual consumption
+  Statement billed;    ///< from reported readings
+  Dollars overbilled = 0.0;  ///< billed - honest (positive: victim pays more)
+
+  bool is_victim() const { return overbilled > 0.0; }
+  bool is_beneficiary() const { return overbilled < 0.0; }
+};
+
+StatementImpact statement_impact(std::span<const Kw> actual,
+                                 std::span<const Kw> reported,
+                                 const PriceSchedule& schedule,
+                                 SlotIndex first_slot = 0);
+
+/// Renders a human-readable statement block (used by examples/CLI output).
+std::string format_statement(const Statement& statement);
+
+}  // namespace fdeta::pricing

@@ -1,0 +1,74 @@
+#include "pricing/tariff.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::pricing {
+
+FlatRate::FlatRate(DollarsPerKWh rate) : rate_(rate) {
+  require(rate >= 0.0, "FlatRate: negative rate");
+}
+
+TimeOfUse::TimeOfUse(DollarsPerKWh peak_rate, DollarsPerKWh off_peak_rate,
+                     double peak_start_hour, double peak_end_hour)
+    : peak_rate_(peak_rate), off_peak_rate_(off_peak_rate) {
+  require(peak_rate >= 0.0 && off_peak_rate >= 0.0, "TimeOfUse: negative rate");
+  require(peak_start_hour >= 0.0 && peak_start_hour < peak_end_hour &&
+              peak_end_hour <= 24.0,
+          "TimeOfUse: invalid peak window");
+  peak_start_slot_ = static_cast<int>(peak_start_hour * kSlotsPerHour);
+  peak_end_slot_ = static_cast<int>(peak_end_hour * kSlotsPerHour);
+}
+
+bool TimeOfUse::is_peak(SlotIndex slot) const {
+  const int s = slot_of_day(slot);
+  return s >= peak_start_slot_ && s < peak_end_slot_;
+}
+
+DollarsPerKWh TimeOfUse::price(SlotIndex slot) const {
+  return is_peak(slot) ? peak_rate_ : off_peak_rate_;
+}
+
+TimeOfUse nightsaver() {
+  return TimeOfUse(/*peak_rate=*/0.21, /*off_peak_rate=*/0.18,
+                   /*peak_start_hour=*/9.0, /*peak_end_hour=*/24.0);
+}
+
+RealTimePricing::RealTimePricing(std::vector<DollarsPerKWh> prices)
+    : prices_(std::move(prices)) {
+  require(!prices_.empty(), "RealTimePricing: empty price stream");
+  double total = 0.0;
+  for (double p : prices_) {
+    require(p >= 0.0, "RealTimePricing: negative price");
+    total += p;
+  }
+  mean_ = total / static_cast<double>(prices_.size());
+}
+
+DollarsPerKWh RealTimePricing::price(SlotIndex slot) const {
+  require(slot < prices_.size(), "RealTimePricing: slot beyond horizon");
+  return prices_[slot];
+}
+
+bool RealTimePricing::is_peak(SlotIndex slot) const {
+  return price(slot) > mean_;
+}
+
+RealTimePricing RealTimePricing::simulate(std::size_t slots,
+                                          DollarsPerKWh base, Rng& rng) {
+  require(slots >= 1, "RealTimePricing::simulate: need at least one slot");
+  std::vector<DollarsPerKWh> prices(slots);
+  double log_dev = 0.0;  // mean-reverting log-deviation from base
+  for (std::size_t t = 0; t < slots; ++t) {
+    // Diurnal shape: market prices peak in the evening.
+    const double hour = hour_of_day(t);
+    const double diurnal = 1.0 + 0.25 * std::sin((hour - 6.0) / 24.0 * 2.0 *
+                                                 3.14159265358979);
+    log_dev = 0.95 * log_dev + rng.normal(0.0, 0.05);
+    prices[t] = base * diurnal * std::exp(log_dev);
+  }
+  return RealTimePricing(std::move(prices));
+}
+
+}  // namespace fdeta::pricing

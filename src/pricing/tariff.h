@@ -1,0 +1,87 @@
+// Electricity pricing schemes (Section III): flat-rate, time-of-use (TOU),
+// and real-time pricing (RTP).  A PriceSchedule maps a slot index to the
+// price lambda(t) in $/kWh.
+//
+// The evaluation's TOU scheme follows Electric Ireland's Nightsaver plan
+// (Section VIII-C): peak 09:00-24:00 at 0.21 $/kWh, off-peak 00:00-09:00 at
+// 0.18 $/kWh.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace fdeta::pricing {
+
+/// Interface: price during polling period `slot`.
+class PriceSchedule {
+ public:
+  virtual ~PriceSchedule() = default;
+
+  /// Price lambda(t) in $/kWh for the given absolute slot index.
+  virtual DollarsPerKWh price(SlotIndex slot) const = 0;
+
+  /// Whether the slot is inside a designated peak window (always false for
+  /// schemes without a peak/off-peak structure).
+  virtual bool is_peak(SlotIndex /*slot*/) const { return false; }
+};
+
+/// Constant price over the whole billing cycle.
+class FlatRate final : public PriceSchedule {
+ public:
+  explicit FlatRate(DollarsPerKWh rate);
+  DollarsPerKWh price(SlotIndex) const override { return rate_; }
+
+ private:
+  DollarsPerKWh rate_;
+};
+
+/// Two-period daily TOU: [peak_start_hour, peak_end_hour) is peak, the rest
+/// off-peak.  peak_end_hour may be 24 (midnight).
+class TimeOfUse final : public PriceSchedule {
+ public:
+  TimeOfUse(DollarsPerKWh peak_rate, DollarsPerKWh off_peak_rate,
+            double peak_start_hour, double peak_end_hour);
+
+  DollarsPerKWh price(SlotIndex slot) const override;
+  bool is_peak(SlotIndex slot) const override;
+
+  DollarsPerKWh peak_rate() const { return peak_rate_; }
+  DollarsPerKWh off_peak_rate() const { return off_peak_rate_; }
+
+ private:
+  DollarsPerKWh peak_rate_;
+  DollarsPerKWh off_peak_rate_;
+  int peak_start_slot_;
+  int peak_end_slot_;
+};
+
+/// The paper's Nightsaver-based TOU scheme: 0.21 $/kWh from 09:00 to
+/// midnight, 0.18 $/kWh from midnight to 09:00.
+TimeOfUse nightsaver();
+
+/// Real-time pricing: an explicit per-slot price stream.
+class RealTimePricing final : public PriceSchedule {
+ public:
+  explicit RealTimePricing(std::vector<DollarsPerKWh> prices);
+
+  DollarsPerKWh price(SlotIndex slot) const override;
+  std::size_t horizon() const { return prices_.size(); }
+
+  /// Peak = price above the stream's mean.
+  bool is_peak(SlotIndex slot) const override;
+
+  /// Generates a mean-reverting lognormal price stream around `base` with
+  /// a diurnal component (prices higher in the evening), for the Attack
+  /// Class 4B study.
+  static RealTimePricing simulate(std::size_t slots, DollarsPerKWh base,
+                                  Rng& rng);
+
+ private:
+  std::vector<DollarsPerKWh> prices_;
+  DollarsPerKWh mean_ = 0.0;
+};
+
+}  // namespace fdeta::pricing

@@ -1,0 +1,82 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+double mean(std::span<const double> sample) {
+  require(!sample.empty(), "mean: empty sample");
+  double total = 0.0;
+  for (double x : sample) total += x;
+  return total / static_cast<double>(sample.size());
+}
+
+double variance(std::span<const double> sample) {
+  require(sample.size() >= 2, "variance: need at least two samples");
+  const double m = mean(sample);
+  double ss = 0.0;
+  for (double x : sample) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(sample.size() - 1);
+}
+
+double population_variance(std::span<const double> sample) {
+  require(!sample.empty(), "population_variance: empty sample");
+  const double m = mean(sample);
+  double ss = 0.0;
+  for (double x : sample) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample) {
+  return std::sqrt(variance(sample));
+}
+
+double sum(std::span<const double> sample) {
+  double total = 0.0;
+  for (double x : sample) total += x;
+  return total;
+}
+
+double min(std::span<const double> sample) {
+  require(!sample.empty(), "min: empty sample");
+  return *std::min_element(sample.begin(), sample.end());
+}
+
+double max(std::span<const double> sample) {
+  require(!sample.empty(), "max: empty sample");
+  return *std::max_element(sample.begin(), sample.end());
+}
+
+double median(std::span<const double> sample) {
+  require(!sample.empty(), "median: empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  const double upper = sorted[mid];
+  if (sorted.size() % 2 == 1) return upper;
+  const double lower = *std::max_element(sorted.begin(), sorted.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "correlation: size mismatch");
+  require(a.size() >= 2, "correlation: need at least two samples");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  require(saa > 0.0 && sbb > 0.0, "correlation: zero variance");
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace fdeta::stats

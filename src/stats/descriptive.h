@@ -1,0 +1,36 @@
+// Descriptive statistics over contiguous samples.
+#pragma once
+
+#include <span>
+
+namespace fdeta::stats {
+
+/// Arithmetic mean; throws InvalidArgument on an empty sample.
+double mean(std::span<const double> sample);
+
+/// Unbiased sample variance (divides by n-1); requires n >= 2.
+double variance(std::span<const double> sample);
+
+/// Population variance (divides by n); requires n >= 1.
+double population_variance(std::span<const double> sample);
+
+/// Square root of the unbiased sample variance.
+double stddev(std::span<const double> sample);
+
+/// Sum of the sample (0 for empty).
+double sum(std::span<const double> sample);
+
+/// Minimum; throws InvalidArgument on an empty sample.
+double min(std::span<const double> sample);
+
+/// Maximum; throws InvalidArgument on an empty sample.
+double max(std::span<const double> sample);
+
+/// Median (average of middle two for even n); throws on empty.
+double median(std::span<const double> sample);
+
+/// Pearson correlation of two equally-sized samples; requires n >= 2 and
+/// non-zero variance in both.
+double correlation(std::span<const double> a, std::span<const double> b);
+
+}  // namespace fdeta::stats

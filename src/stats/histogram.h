@@ -1,0 +1,47 @@
+// Fixed-edge histograms.
+//
+// The KLD detector (Section VII-D) builds a histogram of the full training
+// matrix X with B bins and then evaluates every week vector X_i against the
+// *same* bin edges ("It is essential to use the exact same bin edges
+// determined from the X distribution").  Values outside the reference range
+// (as attack vectors often are) are absorbed by the outermost bins, so the
+// detector still sees their probability mass.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fdeta::stats {
+
+/// A histogram with B equal-width bins whose edges were frozen from a
+/// reference sample.
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins covering [min(reference), max(reference)].
+  /// If the reference is constant, a degenerate single-point range is widened
+  /// by +/- 0.5 to stay usable.  Requires bins >= 1 and a non-empty sample.
+  Histogram(std::span<const double> reference, std::size_t bins);
+
+  /// Constructs directly from explicit ascending edges (bins = edges-1).
+  explicit Histogram(std::vector<double> edges);
+
+  std::size_t bin_count() const { return edges_.size() - 1; }
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Index of the bin receiving `value`.  Out-of-range values clamp into the
+  /// first/last bin (open outer bins).
+  std::size_t bin_of(double value) const;
+
+  /// Raw counts of `sample` per bin.
+  std::vector<std::size_t> counts(std::span<const double> sample) const;
+
+  /// Relative frequencies per bin (counts / sample size).  This is the
+  /// p(X^(j)) of eq. (12).  Requires a non-empty sample.
+  std::vector<double> probabilities(std::span<const double> sample) const;
+
+ private:
+  std::vector<double> edges_;  // ascending, size = bins + 1
+};
+
+}  // namespace fdeta::stats

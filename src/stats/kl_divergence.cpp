@@ -1,0 +1,29 @@
+#include "stats/kl_divergence.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+double kl_divergence_bits(std::span<const double> p,
+                          std::span<const double> q) {
+  require(p.size() == q.size(), "kl_divergence: size mismatch");
+  require(!p.empty(), "kl_divergence: empty distributions");
+  double total = 0.0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (p[j] <= 0.0) continue;  // 0 * log(0/q) := 0
+    if (q[j] <= 0.0) return std::numeric_limits<double>::infinity();
+    total += p[j] * std::log2(p[j] / q[j]);
+  }
+  // Round-off can produce a tiny negative value when p == q.
+  return total < 0.0 && total > -1e-12 ? 0.0 : total;
+}
+
+double jeffreys_divergence_bits(std::span<const double> p,
+                                std::span<const double> q) {
+  return kl_divergence_bits(p, q) + kl_divergence_bits(q, p);
+}
+
+}  // namespace fdeta::stats

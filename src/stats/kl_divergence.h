@@ -1,0 +1,23 @@
+// Kullback-Leibler divergence between discrete distributions, eq. (12):
+//
+//   K_i = sum_j p(X_i^(j)) * log2( p(X_i^(j)) / p(X^(j)) )
+//
+// Conventions: terms with p(X_i^(j)) = 0 contribute 0; a bin with
+// p(X_i^(j)) > 0 but p(X^(j)) = 0 yields +infinity (the observed week put
+// mass where the baseline has none - maximally anomalous).
+#pragma once
+
+#include <span>
+
+namespace fdeta::stats {
+
+/// KL divergence D(p || q) in bits.  Requires equal sizes; p and q are
+/// assumed normalised (sums ~1), which Histogram::probabilities guarantees.
+/// Returns +infinity when p has mass on a q-zero bin.
+double kl_divergence_bits(std::span<const double> p, std::span<const double> q);
+
+/// Symmetrised KL (Jeffreys divergence), provided for diagnostics.
+double jeffreys_divergence_bits(std::span<const double> p,
+                                std::span<const double> q);
+
+}  // namespace fdeta::stats

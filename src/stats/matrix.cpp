@@ -1,0 +1,233 @@
+#include "stats/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    require(r.size() == cols_, "Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  require(cols_ == rhs.rows_, "Matrix multiply: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix add: size mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix sub: size mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  require(x.size() == cols_, "Matrix::apply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    y[r] = std::inner_product(row(r).begin(), row(r).end(), x.begin(), 0.0);
+  }
+  return y;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += xi * x[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "cholesky_solve: matrix not square");
+  require(b.size() == n, "cholesky_solve: rhs size mismatch");
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw NumericalError("cholesky_solve: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "lu_solve: matrix not square");
+  require(b.size() == n, "lu_solve: rhs size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(a(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw NumericalError("lu_solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x[c];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+EigenResult jacobi_eigen(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "jacobi_eigen: matrix not square");
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) {
+      result.vectors(r, k) = v(r, order[k]);
+    }
+  }
+  return result;
+}
+
+}  // namespace fdeta::stats

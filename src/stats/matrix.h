@@ -1,0 +1,80 @@
+// Small dense-matrix linear algebra: just enough for OLS (ARIMA fitting,
+// Hannan-Rissanen) and PCA (the ref [3] baseline detector).  Row-major
+// storage, value semantics.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace fdeta::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Construct from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r.
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double scalar);
+
+  /// y = A * x for a vector x (x.size() == cols()).
+  std::vector<double> apply(std::span<const double> x) const;
+
+  /// Gram matrix A^T * A (symmetric positive semi-definite).
+  Matrix gram() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws NumericalError if A is not (numerically) positive definite.
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Solves A x = b for general square A via LU with partial pivoting.
+/// Throws NumericalError if A is singular.
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues in descending order with matching unit eigenvectors
+/// (columns of `vectors`).
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // column k is the eigenvector for values[k]
+};
+EigenResult jacobi_eigen(Matrix a, int max_sweeps = 64);
+
+}  // namespace fdeta::stats

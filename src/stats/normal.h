@@ -1,0 +1,21 @@
+// Standard normal pdf/cdf/quantile helpers used by the truncated-normal
+// sampler and by ARIMA confidence intervals.
+#pragma once
+
+namespace fdeta::stats {
+
+/// Standard normal density phi(x).
+double normal_pdf(double x);
+
+/// Standard normal CDF Phi(x), via erfc for accuracy in the tails.
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; absolute error < 1e-9 over (0, 1)).
+double normal_quantile(double p);
+
+/// Two-sided z-value such that P(|Z| <= z) = 1 - alpha
+/// (e.g. alpha = 0.05 -> 1.95996).
+double two_sided_z(double alpha);
+
+}  // namespace fdeta::stats

@@ -1,0 +1,52 @@
+#include "stats/ols.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+OlsResult ols(const Matrix& x, std::span<const double> y) {
+  require(x.rows() == y.size(), "ols: row count mismatch");
+  require(x.rows() >= x.cols(), "ols: underdetermined system");
+  require(x.cols() >= 1, "ols: no regressors");
+
+  Matrix xtx = x.gram();
+  // X^T y
+  std::vector<double> xty(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xr = x.row(r);
+    const double yr = y[r];
+    for (std::size_t c = 0; c < x.cols(); ++c) xty[c] += xr[c] * yr;
+  }
+
+  OlsResult result;
+  try {
+    result.beta = cholesky_solve(xtx, xty);
+  } catch (const NumericalError&) {
+    // Collinear regressors (e.g. a constant consumer): ridge-regularise.
+    const double trace_avg = [&] {
+      double t = 0.0;
+      for (std::size_t i = 0; i < xtx.rows(); ++i) t += xtx(i, i);
+      return t / static_cast<double>(xtx.rows());
+    }();
+    const double ridge = std::max(1e-8 * trace_avg, 1e-10);
+    for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += ridge;
+    result.beta = cholesky_solve(xtx, xty);
+  }
+
+  result.residuals.resize(y.size());
+  double ssr = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xr = x.row(r);
+    const double fit =
+        std::inner_product(xr.begin(), xr.end(), result.beta.begin(), 0.0);
+    result.residuals[r] = y[r] - fit;
+    ssr += result.residuals[r] * result.residuals[r];
+  }
+  const auto dof = x.rows() > x.cols() ? x.rows() - x.cols() : 1;
+  result.sigma2 = ssr / static_cast<double>(dof);
+  return result;
+}
+
+}  // namespace fdeta::stats

@@ -1,0 +1,22 @@
+// Ordinary least squares.  Used by the AR / Hannan-Rissanen ARIMA fitters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace fdeta::stats {
+
+struct OlsResult {
+  std::vector<double> beta;       ///< fitted coefficients
+  std::vector<double> residuals;  ///< y - X beta
+  double sigma2 = 0.0;            ///< residual variance, SSR / (n - k)
+};
+
+/// Solves min ||y - X beta||^2 via the normal equations with Cholesky;
+/// retries with a small ridge (lambda * I) if X^T X is near-singular.
+/// Requires X.rows() == y.size() and X.rows() >= X.cols().
+OlsResult ols(const Matrix& x, std::span<const double> y);
+
+}  // namespace fdeta::stats

@@ -1,0 +1,123 @@
+#include "stats/pca.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+Pca::Pca(const Matrix& data, double explained_fraction) {
+  require(data.rows() >= 2, "Pca: need at least two observations");
+  require(explained_fraction > 0.0 && explained_fraction <= 1.0,
+          "Pca: explained_fraction must be in (0,1]");
+  features_ = data.cols();
+  const std::size_t n = data.rows();
+
+  mean_.assign(features_, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < features_; ++c) mean_[c] += data(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  Matrix centered(n, features_);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < features_; ++c) {
+      centered(r, c) = data(r, c) - mean_[c];
+    }
+  }
+
+  // When observations are fewer than features (the usual case here: 60
+  // weeks x 336 slots), eigen-decompose the small n x n Gram matrix
+  // G = C C^T / (n-1); the covariance eigenvectors are C^T u / ||C^T u||
+  // with the same non-zero eigenvalues.  Otherwise decompose the covariance
+  // directly.
+  const bool use_gram_trick = n < features_;
+  EigenResult eig;
+  if (use_gram_trick) {
+    Matrix gram(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < features_; ++c) {
+          s += centered(i, c) * centered(j, c);
+        }
+        gram(i, j) = gram(j, i) = s / static_cast<double>(n - 1);
+      }
+    }
+    eig = jacobi_eigen(std::move(gram));
+  } else {
+    Matrix cov = centered.gram();
+    cov *= 1.0 / static_cast<double>(n - 1);
+    eig = jacobi_eigen(std::move(cov));
+  }
+  eigenvalues_ = eig.values;
+
+  double total = 0.0;
+  for (double v : eigenvalues_) total += std::max(v, 0.0);
+  if (total <= 0.0) total = 1.0;
+
+  double cum = 0.0;
+  components_ = 0;
+  for (double v : eigenvalues_) {
+    if (v <= 1e-12 * total) break;  // null space: skip degenerate directions
+    cum += v;
+    ++components_;
+    if (cum / total >= explained_fraction) break;
+  }
+  if (components_ == 0) components_ = 1;
+
+  basis_ = Matrix(features_, components_);
+  if (use_gram_trick) {
+    // Map Gram eigenvectors u_k (length n) to feature space: v_k ~ C^T u_k.
+    for (std::size_t k = 0; k < components_; ++k) {
+      double norm2 = 0.0;
+      std::vector<double> v(features_, 0.0);
+      for (std::size_t c = 0; c < features_; ++c) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          s += centered(r, c) * eig.vectors(r, k);
+        }
+        v[c] = s;
+        norm2 += s * s;
+      }
+      const double norm = std::sqrt(norm2);
+      const double inv = norm > 1e-300 ? 1.0 / norm : 0.0;
+      for (std::size_t c = 0; c < features_; ++c) basis_(c, k) = v[c] * inv;
+    }
+  } else {
+    for (std::size_t k = 0; k < components_; ++k) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        basis_(c, k) = eig.vectors(c, k);
+      }
+    }
+  }
+}
+
+std::vector<double> Pca::project(std::span<const double> observation) const {
+  require(observation.size() == features_, "Pca::project: size mismatch");
+  std::vector<double> scores(components_, 0.0);
+  for (std::size_t c = 0; c < components_; ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < features_; ++r) {
+      s += (observation[r] - mean_[r]) * basis_(r, c);
+    }
+    scores[c] = s;
+  }
+  return scores;
+}
+
+double Pca::reconstruction_error(std::span<const double> observation) const {
+  const auto scores = project(observation);
+  double err = 0.0;
+  for (std::size_t r = 0; r < features_; ++r) {
+    double rec = mean_[r];
+    for (std::size_t c = 0; c < components_; ++c) {
+      rec += basis_(r, c) * scores[c];
+    }
+    const double diff = observation[r] - rec;
+    err += diff * diff;
+  }
+  return err;
+}
+
+}  // namespace fdeta::stats

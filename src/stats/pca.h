@@ -1,0 +1,44 @@
+// Principal component analysis.
+//
+// Ref [3] of the paper ("PCA-Based Method for Detecting Integrity Attacks on
+// AMI", QEST'15, by the same group) projects week vectors onto the leading
+// principal components of the training matrix and flags weeks whose residual
+// (reconstruction error) is anomalous.  We provide PCA here and the detector
+// in src/core/pca_detector.* as an additional related-work baseline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace fdeta::stats {
+
+class Pca {
+ public:
+  /// Fits PCA on `data` (rows = observations, cols = features), keeping the
+  /// smallest number of components explaining at least `explained_fraction`
+  /// of total variance (and at least one).
+  Pca(const Matrix& data, double explained_fraction = 0.95);
+
+  std::size_t component_count() const { return components_; }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Projects an observation onto the retained components.
+  std::vector<double> project(std::span<const double> observation) const;
+
+  /// Squared reconstruction error of an observation: the anomaly score of the
+  /// PCA detector.
+  double reconstruction_error(std::span<const double> observation) const;
+
+ private:
+  std::size_t features_ = 0;
+  std::size_t components_ = 0;
+  std::vector<double> mean_;         // per-feature mean
+  std::vector<double> eigenvalues_;  // all, descending
+  Matrix basis_;                     // features x components
+};
+
+}  // namespace fdeta::stats

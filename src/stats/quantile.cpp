@@ -1,0 +1,37 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  require(!sorted.empty(), "quantile: empty sample");
+  require(p >= 0.0 && p <= 1.0, "quantile: p out of [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> sample, double p) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, p);
+}
+
+std::vector<double> quantiles(std::span<const double> sample,
+                              std::span<const double> probabilities) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (double p : probabilities) out.push_back(quantile_sorted(sorted, p));
+  return out;
+}
+
+}  // namespace fdeta::stats

@@ -1,0 +1,26 @@
+// Empirical quantiles (Hyndman-Fan type 7, the common linear-interpolation
+// definition).  The KLD detector sets its decision thresholds at the 90th and
+// 95th percentiles of the training KLD distribution (Section VII-D).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdeta::stats {
+
+/// Quantile of `sample` at probability `p` in [0, 1].  Copies and sorts.
+double quantile(std::span<const double> sample, double p);
+
+/// Quantile of an already-sorted (ascending) sample; no copy.
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: percentile in [0, 100].
+inline double percentile(std::span<const double> sample, double pct) {
+  return quantile(sample, pct / 100.0);
+}
+
+/// Quantiles at several probabilities with a single sort.
+std::vector<double> quantiles(std::span<const double> sample,
+                              std::span<const double> probabilities);
+
+}  // namespace fdeta::stats

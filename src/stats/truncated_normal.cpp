@@ -1,0 +1,47 @@
+#include "stats/truncated_normal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/normal.h"
+
+namespace fdeta::stats {
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma, double lo, double hi)
+    : mu_(mu), sigma_(sigma), lo_(lo), hi_(hi) {
+  require(sigma > 0.0, "TruncatedNormal: sigma must be positive");
+  require(lo < hi, "TruncatedNormal: lo must be < hi");
+  alpha_ = (lo_ - mu_) / sigma_;
+  beta_ = (hi_ - mu_) / sigma_;
+  cdf_lo_ = normal_cdf(alpha_);
+  cdf_span_ = normal_cdf(beta_) - cdf_lo_;
+  // With extreme truncation the span can underflow; fall back to a uniform
+  // sliver so sampling still terminates (the attack code never gets here for
+  // sane CIs, but robustness matters for pathological consumers).
+  if (cdf_span_ < 1e-300) cdf_span_ = 1e-300;
+}
+
+double TruncatedNormal::mean() const {
+  const double z = cdf_span_;
+  return mu_ + sigma_ * (normal_pdf(alpha_) - normal_pdf(beta_)) / z;
+}
+
+double TruncatedNormal::variance() const {
+  const double z = cdf_span_;
+  const double pa = normal_pdf(alpha_);
+  const double pb = normal_pdf(beta_);
+  const double term1 = (alpha_ * pa - beta_ * pb) / z;
+  const double term2 = (pa - pb) / z;
+  return sigma_ * sigma_ * (1.0 + term1 - term2 * term2);
+}
+
+double TruncatedNormal::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const double p = cdf_lo_ + u * cdf_span_;
+  const double clamped = std::clamp(p, 1e-16, 1.0 - 1e-16);
+  const double value = mu_ + sigma_ * normal_quantile(clamped);
+  return std::clamp(value, lo_, hi_);
+}
+
+}  // namespace fdeta::stats

@@ -1,0 +1,47 @@
+// Truncated normal distribution.
+//
+// The Integrated ARIMA attack (Section VIII-B1) injects false readings drawn
+// from a truncated normal so that each sample lies inside the ARIMA
+// confidence interval while the window mean/variance stay inside historical
+// bounds.  The class exposes the analytical moments of the truncated
+// distribution so that the attacker (and our tests) can pick (mu, sigma)
+// achieving a desired realised mean.
+#pragma once
+
+#include "common/rng.h"
+
+namespace fdeta::stats {
+
+/// Normal(mu, sigma^2) conditioned on [lo, hi].
+class TruncatedNormal {
+ public:
+  /// Requires sigma > 0 and lo < hi.
+  TruncatedNormal(double mu, double sigma, double lo, double hi);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Mean of the truncated distribution (differs from mu).
+  double mean() const;
+
+  /// Variance of the truncated distribution.
+  double variance() const;
+
+  /// Draws one sample via inverse-CDF on the truncated range, which is exact
+  /// and cheap for the moderate truncations used here.
+  double sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+  double lo_;
+  double hi_;
+  double alpha_;     // (lo - mu) / sigma
+  double beta_;      // (hi - mu) / sigma
+  double cdf_lo_;    // Phi(alpha)
+  double cdf_span_;  // Phi(beta) - Phi(alpha)
+};
+
+}  // namespace fdeta::stats

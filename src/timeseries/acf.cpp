@@ -1,0 +1,52 @@
+#include "timeseries/acf.h"
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace fdeta::ts {
+
+std::vector<double> acf(std::span<const double> series, std::size_t max_lag) {
+  require(max_lag >= 1, "acf: max_lag must be >= 1");
+  require(series.size() > max_lag, "acf: series too short for max_lag");
+  const double m = stats::mean(series);
+  double denom = 0.0;
+  for (double x : series) denom += (x - m) * (x - m);
+  require(denom > 0.0, "acf: constant series");
+
+  std::vector<double> out(max_lag);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < series.size(); ++t) {
+      num += (series[t] - m) * (series[t - lag] - m);
+    }
+    out[lag - 1] = num / denom;
+  }
+  return out;
+}
+
+std::vector<double> pacf(std::span<const double> series, std::size_t max_lag) {
+  const auto r = acf(series, max_lag);
+  // Durbin-Levinson recursion; phi[k][j] are AR(k) coefficients.
+  std::vector<double> out(max_lag);
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi_curr(max_lag + 1, 0.0);
+
+  phi_prev[1] = r[0];
+  out[0] = r[0];
+  double v = 1.0 - r[0] * r[0];
+  for (std::size_t k = 2; k <= max_lag; ++k) {
+    double num = r[k - 1];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * r[k - 1 - j];
+    const double phi_kk = v > 1e-15 ? num / v : 0.0;
+    phi_curr[k] = phi_kk;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi_curr[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    }
+    v *= (1.0 - phi_kk * phi_kk);
+    out[k - 1] = phi_kk;
+    phi_prev = phi_curr;
+  }
+  return out;
+}
+
+}  // namespace fdeta::ts

@@ -1,0 +1,16 @@
+// Autocorrelation and partial autocorrelation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdeta::ts {
+
+/// Sample autocorrelations r_1..r_max_lag (r_0 = 1 is omitted).
+/// Requires max_lag < series.size() and a non-constant series.
+std::vector<double> acf(std::span<const double> series, std::size_t max_lag);
+
+/// Partial autocorrelations via Durbin-Levinson from the ACF.
+std::vector<double> pacf(std::span<const double> series, std::size_t max_lag);
+
+}  // namespace fdeta::ts

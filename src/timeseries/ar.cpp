@@ -1,0 +1,73 @@
+#include "timeseries/ar.h"
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+#include "stats/matrix.h"
+#include "stats/ols.h"
+#include "timeseries/acf.h"
+
+namespace fdeta::ts {
+
+ArFit fit_ar_ols(std::span<const double> series, std::size_t p) {
+  require(p >= 1, "fit_ar_ols: p must be >= 1");
+  require(series.size() > 2 * p, "fit_ar_ols: series too short");
+
+  const std::size_t n = series.size() - p;
+  stats::Matrix x(n, p + 1);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x(t, 0) = 1.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      x(t, j + 1) = series[p + t - 1 - j];
+    }
+    y[t] = series[p + t];
+  }
+  const auto fit = stats::ols(x, y);
+
+  ArFit out;
+  out.intercept = fit.beta[0];
+  out.phi.assign(fit.beta.begin() + 1, fit.beta.end());
+  out.residuals = fit.residuals;
+  out.sigma2 = fit.sigma2;
+  return out;
+}
+
+ArFit fit_ar_yule_walker(std::span<const double> series, std::size_t p) {
+  require(p >= 1, "fit_ar_yule_walker: p must be >= 1");
+  require(series.size() > p + 1, "fit_ar_yule_walker: series too short");
+
+  const auto r = acf(series, p);
+  // Toeplitz system R phi = r with R[i][j] = r_{|i-j|} (r_0 = 1).
+  stats::Matrix toeplitz(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      toeplitz(i, j) = i == j ? 1.0 : r[(i > j ? i - j : j - i) - 1];
+    }
+  }
+  std::vector<double> rhs(r.begin(), r.end());
+  auto phi = stats::lu_solve(toeplitz, rhs);
+
+  ArFit out;
+  out.phi = std::move(phi);
+  const double m = stats::mean(series);
+  double phi_sum = 0.0;
+  for (double c : out.phi) phi_sum += c;
+  out.intercept = m * (1.0 - phi_sum);
+
+  // Conditional residuals for sigma2.
+  double ssr = 0.0;
+  std::size_t count = 0;
+  out.residuals.reserve(series.size() - p);
+  for (std::size_t t = p; t < series.size(); ++t) {
+    double fit_val = out.intercept;
+    for (std::size_t j = 0; j < p; ++j) fit_val += out.phi[j] * series[t - 1 - j];
+    const double e = series[t] - fit_val;
+    out.residuals.push_back(e);
+    ssr += e * e;
+    ++count;
+  }
+  out.sigma2 = count > p ? ssr / static_cast<double>(count - p) : ssr;
+  return out;
+}
+
+}  // namespace fdeta::ts

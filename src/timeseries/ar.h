@@ -1,0 +1,25 @@
+// Autoregressive model fitting: Yule-Walker (from the ACF) and conditional
+// OLS.  The OLS variant is stage 1 of the Hannan-Rissanen ARIMA fit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdeta::ts {
+
+struct ArFit {
+  double intercept = 0.0;
+  std::vector<double> phi;        ///< AR coefficients phi_1..phi_p
+  std::vector<double> residuals;  ///< conditional residuals (size n - p)
+  double sigma2 = 0.0;            ///< residual variance
+};
+
+/// Fits AR(p) by conditional least squares (regression of y_t on
+/// 1, y_{t-1}, ..., y_{t-p}).  Requires series.size() > 2 * p.
+ArFit fit_ar_ols(std::span<const double> series, std::size_t p);
+
+/// Fits AR(p) via Yule-Walker equations (no intercept; series is demeaned
+/// internally and the implied intercept is reported).
+ArFit fit_ar_yule_walker(std::span<const double> series, std::size_t p);
+
+}  // namespace fdeta::ts

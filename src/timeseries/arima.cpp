@@ -1,0 +1,250 @@
+#include "timeseries/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/matrix.h"
+#include "stats/ols.h"
+#include "timeseries/ar.h"
+#include "timeseries/difference.h"
+
+namespace fdeta::ts {
+
+namespace {
+
+constexpr double kMaxArSum = 0.98;
+
+/// History depth required in the differenced series.
+std::size_t z_depth_of(const ArimaOrder& order) {
+  return std::max(order.p, order.sp * order.season);
+}
+
+/// The model's prediction of z_t given access to z_{t-1}..., e_{t-1}...
+/// via the accessor lambdas (index 1 = most recent).
+template <typename ZAt, typename EAt>
+double predict(const ArimaOrder& order, double intercept,
+               const std::vector<double>& phi, const std::vector<double>& sphi,
+               const std::vector<double>& theta, ZAt&& z_at, EAt&& e_at) {
+  double pred = intercept;
+  for (std::size_t j = 0; j < order.p; ++j) pred += phi[j] * z_at(j + 1);
+  for (std::size_t j = 0; j < order.sp; ++j) {
+    pred += sphi[j] * z_at((j + 1) * order.season);
+  }
+  for (std::size_t j = 0; j < order.q; ++j) pred += theta[j] * e_at(j + 1);
+  return pred;
+}
+
+}  // namespace
+
+ArimaModel ArimaModel::fit(std::span<const double> series, ArimaOrder order) {
+  require(order.d == 0 || order.d == 1, "ArimaModel: only d in {0,1} supported");
+  require(order.p + order.q + order.sp >= 1,
+          "ArimaModel: p + q + sp must be >= 1");
+  require(order.sp == 0 || order.season >= 2,
+          "ArimaModel: seasonal period must be >= 2");
+  const std::size_t depth = z_depth_of(order);
+  const std::size_t min_len =
+      2 * (order.p + order.q + order.sp) + 24 + order.d + depth;
+  require(series.size() >= min_len, "ArimaModel: series too short for order");
+
+  const std::vector<double> z = difference_n(series, order.d);
+  const std::size_t n = z.size();
+
+  ArimaModel model;
+  model.order_ = order;
+
+  if (order.q == 0 && order.sp == 0) {
+    // Pure AR: single OLS stage.
+    const ArFit ar = fit_ar_ols(z, order.p);
+    model.intercept_ = ar.intercept;
+    model.phi_ = ar.phi;
+  } else {
+    // Stage 1: long AR to estimate innovations (covering the seasonal lag
+    // when seasonal terms are requested).
+    const std::size_t m_want = std::max<std::size_t>(
+        {20, 2 * (order.p + order.q), order.sp > 0 ? order.season + 2 : 0});
+    const std::size_t m =
+        std::max<std::size_t>(1, std::min<std::size_t>(m_want, n / 4));
+    const ArFit long_ar = fit_ar_ols(z, m);
+    std::vector<double> e(n, 0.0);
+    for (std::size_t t = m; t < n; ++t) e[t] = long_ar.residuals[t - m];
+
+    // Stage 2: regress z_t on [1, z lags, seasonal z lags, e lags].
+    const std::size_t t0 = std::max(depth, m + order.q);
+    require(n > t0 + order.p + order.q + order.sp + 2,
+            "ArimaModel: series too short");
+    const std::size_t rows = n - t0;
+    const std::size_t cols = 1 + order.p + order.sp + order.q;
+    stats::Matrix x(rows, cols);
+    std::vector<double> y(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t t = t0 + r;
+      std::size_t c = 0;
+      x(r, c++) = 1.0;
+      for (std::size_t j = 0; j < order.p; ++j) x(r, c++) = z[t - 1 - j];
+      for (std::size_t j = 0; j < order.sp; ++j) {
+        x(r, c++) = z[t - (j + 1) * order.season];
+      }
+      for (std::size_t j = 0; j < order.q; ++j) x(r, c++) = e[t - 1 - j];
+      y[r] = z[t];
+    }
+    const auto fit = stats::ols(x, y);
+    std::size_t c = 0;
+    model.intercept_ = fit.beta[c++];
+    model.phi_.assign(fit.beta.begin() + c, fit.beta.begin() + c + order.p);
+    c += order.p;
+    model.sphi_.assign(fit.beta.begin() + c, fit.beta.begin() + c + order.sp);
+    c += order.sp;
+    model.theta_.assign(fit.beta.begin() + c, fit.beta.end());
+  }
+
+  // Clamp the total AR weight (plain + seasonal) to keep the forecaster
+  // mean-reverting, preserving the implied process mean.
+  double ar_sum = 0.0;
+  for (double v : model.phi_) ar_sum += v;
+  for (double v : model.sphi_) ar_sum += v;
+  if (ar_sum > kMaxArSum) {
+    const double implied_mean = model.intercept_ / (1.0 - ar_sum);
+    const double scale = kMaxArSum / ar_sum;
+    for (double& v : model.phi_) v *= scale;
+    for (double& v : model.sphi_) v *= scale;
+    model.intercept_ = implied_mean * (1.0 - kMaxArSum);
+  }
+  for (double& t : model.theta_) t = std::clamp(t, -0.98, 0.98);
+
+  // The sum clamp does not guarantee stability for mixed-sign polynomials
+  // (a root can sit outside the unit circle while the coefficients sum
+  // below 1).  Check the impulse response of the AR recursion and shrink
+  // all AR coefficients geometrically until it decays - a stable forecaster
+  // is non-negotiable: the detectors feed it attacker-controlled streams.
+  const std::size_t ir_depth = z_depth_of(order);
+  if (ir_depth > 0) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      double peak_tail = 0.0;
+      const std::size_t steps = 8 * ir_depth + 64;
+      std::vector<double> hist(ir_depth, 0.0);
+      hist[0] = 1.0;  // unit impulse
+      for (std::size_t step = 1; step < steps; ++step) {
+        double next = 0.0;
+        for (std::size_t j = 0; j < order.p; ++j) {
+          next += model.phi_[j] * hist[j];
+        }
+        for (std::size_t j = 0; j < order.sp; ++j) {
+          const std::size_t lag = (j + 1) * order.season;
+          if (lag <= hist.size()) next += model.sphi_[j] * hist[lag - 1];
+        }
+        for (std::size_t k = hist.size(); k-- > 1;) hist[k] = hist[k - 1];
+        hist[0] = next;
+        if (step + 2 * ir_depth >= steps) {
+          peak_tail = std::max(peak_tail, std::abs(next));
+        }
+      }
+      if (peak_tail < 0.5) break;  // decayed: stable enough
+      const double implied_mean = model.process_mean();
+      for (double& v : model.phi_) v *= 0.9;
+      for (double& v : model.sphi_) v *= 0.9;
+      double new_sum = 0.0;
+      for (double v : model.phi_) new_sum += v;
+      for (double v : model.sphi_) new_sum += v;
+      model.intercept_ = implied_mean * (1.0 - new_sum);
+    }
+  }
+
+  // Final residual pass with the (possibly clamped) parameters for sigma2.
+  const std::size_t start = std::max(depth, order.q);
+  std::vector<double> e(n, 0.0);
+  double ssr = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = start; t < n; ++t) {
+    const double pred = predict(
+        order, model.intercept_, model.phi_, model.sphi_, model.theta_,
+        [&](std::size_t lag) { return z[t - lag]; },
+        [&](std::size_t lag) { return e[t - lag]; });
+    e[t] = z[t] - pred;
+    ssr += e[t] * e[t];
+    ++count;
+  }
+  const std::size_t params = order.p + order.sp + order.q + 1;
+  const std::size_t dof = count > params ? count - params : 1;
+  model.sigma2_ = ssr / static_cast<double>(dof);
+  if (model.sigma2_ <= 0.0 || !std::isfinite(model.sigma2_)) {
+    throw NumericalError("ArimaModel: degenerate residual variance");
+  }
+  return model;
+}
+
+double ArimaModel::process_mean() const {
+  double ar_sum = 0.0;
+  for (double v : phi_) ar_sum += v;
+  for (double v : sphi_) ar_sum += v;
+  return intercept_ / (1.0 - ar_sum);
+}
+
+RollingForecaster ArimaModel::forecaster(
+    std::span<const double> history) const {
+  return RollingForecaster(*this, history);
+}
+
+RollingForecaster::RollingForecaster(const ArimaModel& model,
+                                     std::span<const double> history)
+    : order_(model.order()),
+      intercept_(model.intercept()),
+      phi_(model.ar()),
+      theta_(model.ma()),
+      sphi_(model.seasonal_ar()),
+      z_depth_(std::max<std::size_t>(z_depth_of(order_), 1)) {
+  const std::size_t need = z_depth_ + order_.q + order_.d + 1;
+  require(history.size() >= need, "RollingForecaster: history too short");
+  stddev_ = std::sqrt(model.sigma2());
+
+  const std::vector<double> z = difference_n(history, order_.d);
+  last_raw_ = history.back();
+
+  // Warm up residual state by replaying the history through the recursion.
+  std::vector<double> e(z.size(), 0.0);
+  const std::size_t start = std::max(z_depth_, order_.q);
+  for (std::size_t t = start; t < z.size(); ++t) {
+    const double pred = predict(
+        order_, intercept_, phi_, sphi_, theta_,
+        [&](std::size_t lag) { return z[t - lag]; },
+        [&](std::size_t lag) { return e[t - lag]; });
+    e[t] = z[t] - pred;
+  }
+  for (std::size_t j = 0; j < z_depth_; ++j) {
+    z_tail_.push_back(z[z.size() - 1 - j]);
+  }
+  for (std::size_t j = 0; j < order_.q; ++j) {
+    e_tail_.push_back(e[e.size() - 1 - j]);
+  }
+}
+
+double RollingForecaster::forecast_differenced() const {
+  return predict(
+      order_, intercept_, phi_, sphi_, theta_,
+      [&](std::size_t lag) { return z_tail_[lag - 1]; },
+      [&](std::size_t lag) { return e_tail_[lag - 1]; });
+}
+
+Forecast RollingForecaster::next() const {
+  const double dz = forecast_differenced();
+  Forecast f;
+  f.mean = order_.d == 0 ? dz : last_raw_ + dz;
+  f.stddev = stddev_;
+  return f;
+}
+
+void RollingForecaster::observe(double actual) {
+  const double dz_hat = forecast_differenced();
+  const double dz = order_.d == 0 ? actual : actual - last_raw_;
+  const double residual = dz - dz_hat;
+  z_tail_.push_front(dz);
+  z_tail_.pop_back();
+  if (!theta_.empty()) {
+    e_tail_.push_front(residual);
+    e_tail_.pop_back();
+  }
+  last_raw_ = actual;
+}
+
+}  // namespace fdeta::ts

@@ -1,0 +1,114 @@
+// ARIMA(p,d,q) modelling, fitted by the Hannan-Rissanen procedure, with a
+// rolling one-step-ahead forecaster.
+//
+// This is the model behind the ARIMA detector of ref [2] ("ARIMA-Based
+// Modeling and Validation of Consumption Readings in Power Grids"), which the
+// paper evaluates against.  The detector needs only one-step-ahead forecasts
+// with Gaussian confidence intervals; the forecaster is *rolling*: it is fed
+// the reported readings as they arrive, so a compromised stream poisons the
+// model state and the confidence interval "follows the attack vector"
+// (Section VIII-B) - exactly the behaviour the paper exploits.
+//
+// We default to a stationary model (d = 0).  A stationary fit makes the
+// CI-riding ARIMA attack saturate at the mean-reverting plateau
+// (c + z*sigma) / (1 - sum(phi)) instead of diverging, matching the bounded
+// but large weekly theft the paper reports (Table III).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace fdeta::ts {
+
+struct ArimaOrder {
+  std::size_t p = 3;   ///< autoregressive order
+  int d = 0;           ///< differencing order (0 or 1 supported)
+  std::size_t q = 1;   ///< moving-average order
+  std::size_t sp = 0;  ///< seasonal AR order (0 disables seasonality)
+  std::size_t season = 48;  ///< seasonal period in slots (48 = daily)
+};
+
+/// One-step-ahead forecast with Gaussian uncertainty.
+struct Forecast {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  double lower(double z) const { return mean - z * stddev; }
+  double upper(double z) const { return mean + z * stddev; }
+  bool contains(double value, double z) const {
+    return value >= lower(z) && value <= upper(z);
+  }
+};
+
+class RollingForecaster;
+
+/// Fitted (seasonal) ARIMA parameters.  Immutable after fit().  With
+/// sp > 0 the model adds seasonal AR terms at lags season, 2*season, ...
+/// (a multiplicative-free additive SAR formulation), which captures the
+/// strong daily cycle of consumption data.
+class ArimaModel {
+ public:
+  /// Fits via Hannan-Rissanen: (1) long-AR OLS for residual estimates,
+  /// (2) OLS of the differenced series on its own lags and lagged residuals.
+  /// The AR polynomial is clamped to sum(phi) <= 0.98 (preserving the implied
+  /// mean) to guarantee a stationary, mean-reverting forecaster even for
+  /// near-unit-root consumers.  Requires a series comfortably longer than
+  /// 2 * (p + q) + 20 observations.
+  static ArimaModel fit(std::span<const double> series, ArimaOrder order = {});
+
+  const ArimaOrder& order() const { return order_; }
+  double intercept() const { return intercept_; }
+  const std::vector<double>& ar() const { return phi_; }
+  const std::vector<double>& ma() const { return theta_; }
+  const std::vector<double>& seasonal_ar() const { return sphi_; }
+  double sigma2() const { return sigma2_; }
+
+  /// Unconditional mean of the (differenced) process, c / (1 - sum(phi)).
+  double process_mean() const;
+
+  /// Creates a rolling forecaster primed with `history` (typically the tail
+  /// of the training series).  History must contain at least
+  /// max(p, sp*season) + q + d + 1 observations.
+  RollingForecaster forecaster(std::span<const double> history) const;
+
+ private:
+  ArimaOrder order_;
+  double intercept_ = 0.0;
+  std::vector<double> phi_;
+  std::vector<double> theta_;
+  std::vector<double> sphi_;  ///< seasonal AR coefficients (lags s, 2s, ...)
+  double sigma2_ = 0.0;
+};
+
+/// Streams raw readings through the fitted model, producing a one-step-ahead
+/// forecast before each observation.  State advances only via observe(), so
+/// feeding *reported* readings reproduces the utility's (poisonable) view.
+class RollingForecaster {
+ public:
+  RollingForecaster(const ArimaModel& model, std::span<const double> history);
+
+  /// Forecast of the next raw reading.
+  Forecast next() const;
+
+  /// Consumes the actual (or reported) next reading, updating model state.
+  void observe(double actual);
+
+ private:
+  double forecast_differenced() const;
+
+  ArimaOrder order_;
+  double intercept_;
+  std::vector<double> phi_;
+  std::vector<double> theta_;
+  std::vector<double> sphi_;
+  std::size_t z_depth_;  // max(p, sp * season): differenced history needed
+  double stddev_ = 0.0;
+
+  std::deque<double> z_tail_;  // last z_depth_ differenced values, newest first
+  std::deque<double> e_tail_;  // last q residuals, newest in front
+  double last_raw_ = 0.0;      // last raw value (anchor for d = 1)
+};
+
+}  // namespace fdeta::ts

@@ -1,0 +1,33 @@
+#include "timeseries/difference.h"
+
+#include "common/error.h"
+
+namespace fdeta::ts {
+
+std::vector<double> difference(std::span<const double> series) {
+  require(series.size() >= 2, "difference: need at least two points");
+  std::vector<double> out(series.size() - 1);
+  for (std::size_t t = 0; t + 1 < series.size(); ++t) {
+    out[t] = series[t + 1] - series[t];
+  }
+  return out;
+}
+
+std::vector<double> difference_n(std::span<const double> series, int times) {
+  require(times >= 0, "difference_n: negative order");
+  std::vector<double> out(series.begin(), series.end());
+  for (int i = 0; i < times; ++i) out = difference(out);
+  return out;
+}
+
+std::vector<double> undifference(std::span<const double> diffs, double anchor) {
+  std::vector<double> out(diffs.size());
+  double level = anchor;
+  for (std::size_t t = 0; t < diffs.size(); ++t) {
+    level += diffs[t];
+    out[t] = level;
+  }
+  return out;
+}
+
+}  // namespace fdeta::ts

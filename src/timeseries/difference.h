@@ -1,0 +1,21 @@
+// Differencing utilities for ARIMA's "I" component.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdeta::ts {
+
+/// First difference: out[t] = in[t+1] - in[t]; size shrinks by one.
+/// Requires at least two elements.
+std::vector<double> difference(std::span<const double> series);
+
+/// Applies first differencing `times` times.  Requires the series to stay
+/// non-empty throughout.
+std::vector<double> difference_n(std::span<const double> series, int times);
+
+/// Inverts one level of differencing given the anchor value preceding the
+/// differenced range: out[0] = anchor + diffs[0], out[t] = out[t-1]+diffs[t].
+std::vector<double> undifference(std::span<const double> diffs, double anchor);
+
+}  // namespace fdeta::ts

@@ -1,0 +1,45 @@
+#include "timeseries/seasonal.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::ts {
+
+WeeklyProfile::WeeklyProfile(std::span<const double> series, std::size_t period)
+    : period_(period) {
+  require(period >= 1, "WeeklyProfile: period must be >= 1");
+  require(series.size() >= 2 * period,
+          "WeeklyProfile: need at least two full periods");
+  require(series.size() % period == 0,
+          "WeeklyProfile: series must be a whole number of periods");
+
+  const std::size_t weeks = series.size() / period;
+  means_.assign(period, 0.0);
+  stddevs_.assign(period, 0.0);
+
+  for (std::size_t w = 0; w < weeks; ++w) {
+    for (std::size_t s = 0; s < period; ++s) {
+      means_[s] += series[w * period + s];
+    }
+  }
+  for (double& m : means_) m /= static_cast<double>(weeks);
+
+  for (std::size_t w = 0; w < weeks; ++w) {
+    for (std::size_t s = 0; s < period; ++s) {
+      const double d = series[w * period + s] - means_[s];
+      stddevs_[s] += d * d;
+    }
+  }
+  for (double& sd : stddevs_) {
+    sd = std::sqrt(sd / static_cast<double>(weeks - 1));
+  }
+}
+
+double WeeklyProfile::zscore(std::size_t s, double value) const {
+  const double sd = stddev(s);
+  if (sd <= 0.0) return 0.0;
+  return (value - mean(s)) / sd;
+}
+
+}  // namespace fdeta::ts

@@ -1,0 +1,42 @@
+// Weekly seasonal profile: per slot-of-week mean and standard deviation.
+//
+// Consumers' "weekly consumption patterns tend to repeat" (Section VII-D);
+// this profile captures that structure.  It serves as a simple seasonal
+// baseline forecaster, as a building block of the dataset generator's
+// validation tests, and for diagnostics in the examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fdeta::ts {
+
+class WeeklyProfile {
+ public:
+  /// Builds the profile from a series whose length is a whole number of
+  /// weeks (period = slots per week, default 336).  Requires >= 2 weeks.
+  explicit WeeklyProfile(std::span<const double> series,
+                         std::size_t period = 336);
+
+  std::size_t period() const { return period_; }
+
+  /// Mean demand at slot-of-week `s`.
+  double mean(std::size_t s) const { return means_[s % period_]; }
+
+  /// Standard deviation of demand at slot-of-week `s` (sample stddev across
+  /// weeks; 0 if constant).
+  double stddev(std::size_t s) const { return stddevs_[s % period_]; }
+
+  const std::vector<double>& means() const { return means_; }
+
+  /// z-score of a reading at slot-of-week `s` (0 when the slot is constant).
+  double zscore(std::size_t s, double value) const;
+
+ private:
+  std::size_t period_;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace fdeta::ts

@@ -1,0 +1,41 @@
+// Shared fixtures for the attack/detector tests: a realistic consumer series
+// plus a fitted ARIMA model and training statistics.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "meter/series.h"
+#include "meter/weekly_stats.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::testutil {
+
+struct ConsumerFixture {
+  meter::ConsumerSeries series;
+  meter::TrainTestSplit split;
+  ts::ArimaModel model;
+  meter::WeeklyStats wstats;
+  std::vector<Kw> history;  // last two training weeks
+
+  std::span<const Kw> train() const { return split.train(series); }
+  std::span<const Kw> clean_week() const { return split.test_week(series, 0); }
+};
+
+/// Builds a 16-week consumer (12 train / 4 test) from the dataset generator
+/// and fits the default ARIMA(3,0,1) on its training span.
+inline ConsumerFixture make_fixture(std::uint64_t seed = 20160628,
+                                    std::size_t consumer = 0) {
+  ConsumerFixture f;
+  const auto dataset = datagen::small_dataset(consumer + 1, 16, seed);
+  f.series = dataset.consumer(consumer);
+  f.split = meter::TrainTestSplit{.train_weeks = 12, .test_weeks = 4};
+  const auto train = f.split.train(f.series);
+  f.model = ts::ArimaModel::fit(train, {});
+  f.wstats = meter::weekly_stats(train);
+  f.history.assign(train.end() - 2 * kSlotsPerWeek, train.end());
+  return f;
+}
+
+}  // namespace fdeta::testutil

@@ -1,0 +1,193 @@
+// Tests of the attack taxonomy (Table I) and Propositions 1 & 2, verified
+// behaviourally on canonical scenario instances rather than just as an
+// encoded lookup table.
+#include "attack/attack_class.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/injector.h"
+#include "attack/propositions.h"
+#include "common/error.h"
+#include "grid/balance.h"
+#include "pricing/billing.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::attack {
+namespace {
+
+TEST(TableI, BalanceCheckRow) {
+  EXPECT_FALSE(properties(AttackClass::k1A).circumvents_balance_check);
+  EXPECT_FALSE(properties(AttackClass::k2A).circumvents_balance_check);
+  EXPECT_FALSE(properties(AttackClass::k3A).circumvents_balance_check);
+  EXPECT_TRUE(properties(AttackClass::k1B).circumvents_balance_check);
+  EXPECT_TRUE(properties(AttackClass::k2B).circumvents_balance_check);
+  EXPECT_TRUE(properties(AttackClass::k3B).circumvents_balance_check);
+  EXPECT_TRUE(properties(AttackClass::k4B).circumvents_balance_check);
+}
+
+TEST(TableI, PricingRows) {
+  for (const auto cls : kAllAttackClasses) {
+    const auto p = properties(cls);
+    // RTP admits every class; TOU everything but 4B; flat only 1x/2x.
+    EXPECT_TRUE(p.possible_rtp) << name(cls);
+    if (cls == AttackClass::k3A || cls == AttackClass::k3B ||
+        cls == AttackClass::k4B) {
+      EXPECT_FALSE(p.possible_flat_rate) << name(cls);
+    } else {
+      EXPECT_TRUE(p.possible_flat_rate) << name(cls);
+    }
+    EXPECT_EQ(p.possible_tou, cls != AttackClass::k4B) << name(cls);
+    EXPECT_EQ(p.requires_adr, cls == AttackClass::k4B) << name(cls);
+  }
+}
+
+TEST(TableI, NamesAreUnique) {
+  EXPECT_EQ(name(AttackClass::k1A), "1A");
+  EXPECT_EQ(name(AttackClass::k4B), "4B");
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural verification on canonical scenarios.
+
+/// Week of readings for Mallory / neighbors: a simple repeating day.
+std::vector<Kw> typical_week(double level) {
+  std::vector<Kw> week(kSlotsPerWeek);
+  for (std::size_t t = 0; t < week.size(); ++t) {
+    const double hour = hour_of_day(t);
+    week[t] = level * (hour >= 9.0 ? 1.5 : 0.5);
+  }
+  return week;
+}
+
+struct ScenarioUnderTest {
+  NeighborhoodScenario scenario;
+  grid::Topology topology;
+};
+
+ScenarioUnderTest build(AttackClass cls) {
+  const auto mallory = typical_week(1.0);
+  const std::vector<std::vector<Kw>> neighbors{typical_week(2.0),
+                                               typical_week(1.5)};
+  ScenarioUnderTest s{make_scenario(cls, mallory, neighbors, 0.8),
+                      grid::Topology::single_feeder(3, /*loss_fraction=*/0.0)};
+  return s;
+}
+
+/// Whether the trusted root balance check passes at every slot.
+bool balance_passes_every_slot(const ScenarioUnderTest& s) {
+  const std::size_t len = s.scenario.actual[0].size();
+  for (std::size_t t = 0; t < len; ++t) {
+    std::vector<Kw> actual(3), reported(3);
+    for (std::size_t c = 0; c < 3; ++c) {
+      actual[c] = s.scenario.actual[c][t];
+      reported[c] = s.scenario.reported[c][t];
+    }
+    const auto outcome = grid::run_balance_checks(
+        s.topology, actual, reported, {}, /*tolerance_kw=*/1e-9);
+    if (outcome.failed(s.topology.root())) return false;
+  }
+  return true;
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<AttackClass> {};
+
+TEST_P(ScenarioSweep, BalanceCircumventionMatchesTableI) {
+  const auto s = build(GetParam());
+  EXPECT_EQ(balance_passes_every_slot(s),
+            properties(GetParam()).circumvents_balance_check)
+      << name(GetParam());
+}
+
+TEST_P(ScenarioSweep, Proposition1WitnessWheneverProfitable) {
+  const auto s = build(GetParam());
+  const pricing::TimeOfUse tou = pricing::nightsaver();
+  const auto profit = pricing::attacker_profit(
+      s.scenario.mallory_actual(), s.scenario.mallory_reported(), tou);
+  if (profit > 0.0) {
+    EXPECT_TRUE(proposition1_witness(s.scenario.mallory_actual(),
+                                     s.scenario.mallory_reported())
+                    .has_value())
+        << name(GetParam());
+  }
+}
+
+TEST_P(ScenarioSweep, Proposition2WitnessForBClasses) {
+  const auto cls = GetParam();
+  const auto s = build(cls);
+  std::vector<std::span<const Kw>> neigh_actual, neigh_reported;
+  for (std::size_t n = 1; n < s.scenario.actual.size(); ++n) {
+    neigh_actual.emplace_back(s.scenario.actual[n]);
+    neigh_reported.emplace_back(s.scenario.reported[n]);
+  }
+  const auto witness = proposition2_witness(neigh_actual, neigh_reported);
+  if (involves_neighbor(cls)) {
+    EXPECT_TRUE(witness.has_value()) << name(cls);
+  } else {
+    EXPECT_FALSE(witness.has_value()) << name(cls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, ScenarioSweep,
+                         ::testing::ValuesIn(kAllAttackClasses),
+                         [](const auto& info) {
+                           return std::string(name(info.param)) == "1A"   ? "c1A"
+                                  : std::string(name(info.param)) == "2A" ? "c2A"
+                                  : std::string(name(info.param)) == "3A" ? "c3A"
+                                  : std::string(name(info.param)) == "1B" ? "c1B"
+                                  : std::string(name(info.param)) == "2B" ? "c2B"
+                                  : std::string(name(info.param)) == "3B" ? "c3B"
+                                                                          : "c4B";
+                         });
+
+TEST(Scenario, LoadShiftProfitOnlyUnderVariablePricing) {
+  // Classes 3A/3B: profitable under TOU, exactly zero under flat rate.
+  for (const auto cls : {AttackClass::k3A, AttackClass::k3B}) {
+    const auto s = build(cls);
+    const pricing::TimeOfUse tou = pricing::nightsaver();
+    const pricing::FlatRate flat(0.20);
+    EXPECT_GT(pricing::attacker_profit(s.scenario.mallory_actual(),
+                                       s.scenario.mallory_reported(), tou),
+              0.0)
+        << name(cls);
+    EXPECT_NEAR(pricing::attacker_profit(s.scenario.mallory_actual(),
+                                         s.scenario.mallory_reported(),
+                                         flat),
+                0.0, 1e-9)
+        << name(cls);
+  }
+}
+
+TEST(Scenario, ConsumptionClassesProfitableUnderFlatRate) {
+  for (const auto cls : {AttackClass::k1A, AttackClass::k2A, AttackClass::k1B,
+                         AttackClass::k2B}) {
+    const auto s = build(cls);
+    const pricing::FlatRate flat(0.20);
+    EXPECT_GT(pricing::attacker_profit(s.scenario.mallory_actual(),
+                                       s.scenario.mallory_reported(), flat),
+              0.0)
+        << name(cls);
+  }
+}
+
+TEST(Scenario, AdrAttackVictimOverReportedAndMalloryUnderReported) {
+  const auto s = build(AttackClass::k4B);
+  // Victim: D_n < D'_n at every slot (curtailed but billed at baseline).
+  for (std::size_t t = 0; t < s.scenario.actual[1].size(); ++t) {
+    EXPECT_LT(s.scenario.actual[1][t], s.scenario.reported[1][t] + 1e-12);
+  }
+  // Mallory: D_A > D'_A somewhere (she consumes the freed power).
+  EXPECT_TRUE(proposition1_witness(s.scenario.mallory_actual(),
+                                   s.scenario.mallory_reported())
+                  .has_value());
+}
+
+TEST(Scenario, BClassNeedsNeighbors) {
+  const auto mallory = typical_week(1.0);
+  EXPECT_THROW(make_scenario(AttackClass::k1B, mallory, {}, 0.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::attack

@@ -1,0 +1,134 @@
+// Tests of dataset injection and the Attack-Class-4B (ADR) extension.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/adr_attack.h"
+#include "attack/injector.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "pricing/billing.h"
+
+namespace fdeta::attack {
+namespace {
+
+TEST(ApplyInjections, ReplacesOnlyTargetWeek) {
+  const auto actual = datagen::small_dataset(3, 4, 1);
+  WeekInjection inj;
+  inj.consumer_index = 1;
+  inj.week = 2;
+  inj.reported_week.assign(kSlotsPerWeek, 9.9);
+  const auto reported = apply_injections(actual, {inj});
+
+  // Untouched consumers and weeks are identical.
+  EXPECT_EQ(reported.consumer(0).readings, actual.consumer(0).readings);
+  EXPECT_EQ(reported.consumer(2).readings, actual.consumer(2).readings);
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto got = reported.consumer(1).week(w);
+    if (w == 2) {
+      for (double v : got) EXPECT_DOUBLE_EQ(v, 9.9);
+    } else {
+      const auto want = actual.consumer(1).week(w);
+      for (std::size_t t = 0; t < got.size(); ++t) {
+        EXPECT_DOUBLE_EQ(got[t], want[t]);
+      }
+    }
+  }
+}
+
+TEST(ApplyInjections, ValidatesInputs) {
+  const auto actual = datagen::small_dataset(2, 2, 1);
+  WeekInjection bad_consumer;
+  bad_consumer.consumer_index = 5;
+  bad_consumer.week = 0;
+  bad_consumer.reported_week.assign(kSlotsPerWeek, 1.0);
+  EXPECT_THROW(apply_injections(actual, {bad_consumer}), InvalidArgument);
+
+  WeekInjection bad_len;
+  bad_len.consumer_index = 0;
+  bad_len.week = 0;
+  bad_len.reported_week.assign(10, 1.0);
+  EXPECT_THROW(apply_injections(actual, {bad_len}), InvalidArgument);
+}
+
+class AdrAttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    rtp_ = std::make_unique<pricing::RealTimePricing>(
+        pricing::RealTimePricing::simulate(kSlotsPerWeek, 0.20, rng));
+    baseline_.assign(kSlotsPerWeek, 0.0);
+    for (std::size_t t = 0; t < baseline_.size(); ++t) {
+      baseline_[t] = 1.0 + 0.5 * (t % 48 >= 18 ? 1.0 : 0.0);
+    }
+  }
+
+  std::unique_ptr<pricing::RealTimePricing> rtp_;
+  std::vector<Kw> baseline_;
+};
+
+TEST_F(AdrAttackTest, VictimLosesWhileBelievingHeSaved) {
+  const auto r = launch_adr_attack(baseline_, *rtp_, 0, {});
+  // Eq. (11): perceived benefit strictly positive.
+  EXPECT_GT(r.victim_perceived_benefit, 0.0);
+  // Eq. (10): the victim actually pays for power he never used.
+  EXPECT_GT(r.victim_loss, 0.0);
+  EXPECT_GT(r.energy_stolen, 0.0);
+}
+
+TEST_F(AdrAttackTest, PerSlotInvariants) {
+  const auto r = launch_adr_attack(baseline_, *rtp_, 0, {});
+  for (std::size_t t = 0; t < baseline_.size(); ++t) {
+    // D_n(t) < D'_n(t): curtailed actual, baseline reported.
+    EXPECT_LT(r.victim_actual[t], r.victim_reported[t]);
+    EXPECT_DOUBLE_EQ(r.victim_reported[t], baseline_[t]);
+    // lambda'(t) > lambda(t).
+    EXPECT_GT(r.compromised_price[t], rtp_->price(t));
+    // Freed power is exactly the curtailment.
+    EXPECT_NEAR(r.freed_kw[t], baseline_[t] - r.victim_actual[t], 1e-12);
+  }
+}
+
+TEST_F(AdrAttackTest, HigherInflationStealsMore) {
+  AdrAttackConfig mild;
+  mild.price_inflation = 1.2;
+  AdrAttackConfig harsh;
+  harsh.price_inflation = 2.0;
+  const auto a = launch_adr_attack(baseline_, *rtp_, 0, mild);
+  const auto b = launch_adr_attack(baseline_, *rtp_, 0, harsh);
+  EXPECT_GT(b.energy_stolen, a.energy_stolen);
+  EXPECT_GT(b.victim_perceived_benefit, a.victim_perceived_benefit);
+}
+
+TEST_F(AdrAttackTest, ZeroElasticityVictimCannotBeFarmed) {
+  AdrAttackConfig cfg;
+  cfg.elasticity = 0.0;
+  const auto r = launch_adr_attack(baseline_, *rtp_, 0, cfg);
+  EXPECT_NEAR(r.energy_stolen, 0.0, 1e-9);
+  EXPECT_NEAR(r.victim_loss, 0.0, 1e-9);
+  // He still "perceives" savings because the forged price is higher.
+  EXPECT_GT(r.victim_perceived_benefit, 0.0);
+}
+
+TEST_F(AdrAttackTest, InflationMustExceedOne) {
+  AdrAttackConfig cfg;
+  cfg.price_inflation = 0.9;
+  EXPECT_THROW(launch_adr_attack(baseline_, *rtp_, 0, cfg), InvalidArgument);
+}
+
+TEST_F(AdrAttackTest, BalanceCheckStillPassesWithMalloryAbsorbing) {
+  // Total actual = total reported when Mallory consumes the freed power and
+  // reports her own baseline - the 4B circumvention property.
+  const auto r = launch_adr_attack(baseline_, *rtp_, 0, {});
+  const std::vector<Kw> mallory_baseline(kSlotsPerWeek, 2.0);
+  for (std::size_t t = 0; t < baseline_.size(); ++t) {
+    const double actual_total =
+        (mallory_baseline[t] + r.freed_kw[t]) + r.victim_actual[t];
+    const double reported_total = mallory_baseline[t] + r.victim_reported[t];
+    EXPECT_NEAR(actual_total, reported_total, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fdeta::attack

@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fdeta {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(n, [&](std::size_t i) { visits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  int value = 0;
+  parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 41; });
+  EXPECT_EQ(value, 41);
+}
+
+TEST(ParallelFor, ResultsMatchSerialComputation) {
+  const std::size_t n = 500;
+  std::vector<double> out(n, 0.0);
+  parallel_for(n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * static_cast<double>(i);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsSafe) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+}  // namespace
+}  // namespace fdeta

@@ -1,0 +1,113 @@
+#include "core/online_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/integrated_arima_attack.h"
+#include "common/error.h"
+#include "datagen/generator.h"
+#include "meter/weekly_stats.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::core {
+namespace {
+
+class OnlineMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    history_ = datagen::small_dataset(4, 30, 91);
+    split_ = meter::TrainTestSplit{.train_weeks = 24, .test_weeks = 6};
+    OnlineMonitorConfig config;
+    config.kld = {.bins = 10, .significance = 0.10};
+    config.stride = 1;  // rescore on every reading for exact tests
+    monitor_ = std::make_unique<OnlineMonitor>(config);
+    monitor_->fit(history_, split_);
+  }
+
+  std::vector<Kw> forged_week(std::size_t consumer) {
+    const auto& series = history_.consumer(consumer);
+    const auto train = split_.train(series);
+    const auto model = ts::ArimaModel::fit(train, {});
+    const auto wstats = meter::weekly_stats(train);
+    Rng rng(13);
+    attack::IntegratedAttackConfig cfg;
+    cfg.over_report = true;
+    return attack::integrated_arima_attack_vector(
+        model, train.subspan(train.size() - 2 * kSlotsPerWeek), wstats,
+        kSlotsPerWeek, rng, cfg);
+  }
+
+  /// Streams one consumer's week; returns slot offset of the first alert.
+  std::optional<std::size_t> stream_week(std::size_t consumer,
+                                         std::span<const Kw> week) {
+    const SlotIndex base = split_.train_weeks * kSlotsPerWeek;
+    for (std::size_t t = 0; t < week.size(); ++t) {
+      if (monitor_->ingest(consumer, base + t, week[t])) return t;
+    }
+    return std::nullopt;
+  }
+
+  meter::Dataset history_;
+  meter::TrainTestSplit split_;
+  std::unique_ptr<OnlineMonitor> monitor_;
+};
+
+TEST_F(OnlineMonitorTest, CleanStreamsStayQuiet) {
+  for (std::size_t c = 0; c < history_.consumer_count(); ++c) {
+    stream_week(c, split_.test_week(history_.consumer(c), 0));
+  }
+  // At 10% significance an isolated alert is possible but rare with primed
+  // trusted windows; certainly not one per consumer.
+  EXPECT_LT(monitor_->alerts().size(), history_.consumer_count());
+}
+
+TEST_F(OnlineMonitorTest, AttackedStreamAlertsBeforeWeekEnds) {
+  const auto attack = forged_week(1);
+  const auto offset = stream_week(1, attack);
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_LT(*offset, static_cast<std::size_t>(kSlotsPerWeek));
+  ASSERT_FALSE(monitor_->alerts().empty());
+  EXPECT_EQ(monitor_->alerts().front().consumer_id,
+            history_.consumer(1).id);
+  EXPECT_GT(monitor_->alerts().front().score,
+            monitor_->alerts().front().threshold);
+}
+
+TEST_F(OnlineMonitorTest, CooldownSuppressesAlertFlood) {
+  const auto attack = forged_week(2);
+  stream_week(2, attack);
+  // One alert per cooldown window at most: a full week (336 slots) with a
+  // 48-slot cooldown allows at most 7 alerts.
+  std::size_t from_consumer2 = 0;
+  for (const auto& a : monitor_->alerts()) {
+    if (a.consumer_index == 2) ++from_consumer2;
+  }
+  EXPECT_GE(from_consumer2, 1u);
+  EXPECT_LE(from_consumer2, 7u);
+}
+
+TEST_F(OnlineMonitorTest, StrideDelaysButDoesNotMissAlerts) {
+  OnlineMonitorConfig config;
+  config.kld = {.bins = 10, .significance = 0.10};
+  config.stride = 16;
+  OnlineMonitor coarse(config);
+  coarse.fit(history_, split_);
+
+  const auto attack = forged_week(1);
+  const SlotIndex base = split_.train_weeks * kSlotsPerWeek;
+  bool alerted = false;
+  for (std::size_t t = 0; t < attack.size() && !alerted; ++t) {
+    alerted = coarse.ingest(1, base + t, attack[t]).has_value();
+  }
+  EXPECT_TRUE(alerted);
+}
+
+TEST_F(OnlineMonitorTest, ValidatesUsage) {
+  OnlineMonitor unfitted;
+  EXPECT_THROW(unfitted.ingest(0, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(monitor_->ingest(99, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(OnlineMonitor(OnlineMonitorConfig{.stride = 0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::core

@@ -1,0 +1,187 @@
+// Tests of the five-step F-DETA pipeline and the evidence calendar.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/injector.h"
+#include "attack/integrated_arima_attack.h"
+#include "common/error.h"
+#include "core/arima_detector.h"
+#include "datagen/generator.h"
+#include "meter/weekly_stats.h"
+#include "timeseries/arima.h"
+
+namespace fdeta::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    actual_ = datagen::small_dataset(12, 30, 31);
+    config_.split = meter::TrainTestSplit{.train_weeks = 24, .test_weeks = 6};
+    config_.kld = {.bins = 10, .significance = 0.10};
+    pipeline_ = std::make_unique<FdetaPipeline>(config_);
+    pipeline_->fit(actual_);
+  }
+
+  /// Builds a reported dataset with an Integrated-ARIMA injection on
+  /// `consumer` at test week 0 (absolute week 24).
+  meter::Dataset inject(std::size_t consumer, bool over_report) {
+    const auto& series = actual_.consumer(consumer);
+    const auto train = config_.split.train(series);
+    const auto model = ts::ArimaModel::fit(train, {});
+    const auto wstats = meter::weekly_stats(train);
+    Rng rng(7);
+    attack::IntegratedAttackConfig cfg;
+    cfg.over_report = over_report;
+    attack::WeekInjection inj;
+    inj.consumer_index = consumer;
+    inj.week = 24;
+    inj.reported_week = attack::integrated_arima_attack_vector(
+        model, train.subspan(train.size() - 2 * kSlotsPerWeek), wstats,
+        kSlotsPerWeek, rng, cfg);
+    return attack::apply_injections(actual_, {inj});
+  }
+
+  meter::Dataset actual_;
+  PipelineConfig config_;
+  std::unique_ptr<FdetaPipeline> pipeline_;
+};
+
+TEST_F(PipelineTest, HonestWeekMostlyNormal) {
+  const EvidenceCalendar calendar;
+  const auto report =
+      pipeline_->evaluate_week(actual_, actual_, 24, calendar);
+  ASSERT_EQ(report.verdicts.size(), 12u);
+  std::size_t anomalous = 0;
+  for (const auto& v : report.verdicts) {
+    if (v.status != VerdictStatus::kNormal) ++anomalous;
+  }
+  // At 10% significance, threshold noise plus the dataset's natural
+  // anomalies (vacations, parties - Section VIII-A) yield several flags on
+  // an honest week; "mostly normal" means no more than half the population.
+  EXPECT_LE(anomalous, 5u);
+}
+
+TEST_F(PipelineTest, OverReportedConsumersClassifiedAsVictims) {
+  // Inject each consumer in turn; the majority must be flagged AND point in
+  // the victim direction (some consumers have heterogeneous training sets
+  // whose KLD threshold is legitimately too wide - the paper's ~90%).
+  std::size_t classified = 0;
+  const EvidenceCalendar calendar;
+  for (std::size_t c = 0; c < actual_.consumer_count(); ++c) {
+    const auto reported = inject(c, /*over_report=*/true);
+    const auto report =
+        pipeline_->evaluate_week(actual_, reported, 24, calendar);
+    const auto victims = report.suspected_victims();
+    if (std::find(victims.begin(), victims.end(), actual_.consumer(c).id) !=
+        victims.end()) {
+      ++classified;
+    }
+  }
+  EXPECT_GE(classified, actual_.consumer_count() / 2);
+}
+
+TEST_F(PipelineTest, UnderReportedConsumersClassifiedAsAttackers) {
+  std::size_t classified = 0;
+  const EvidenceCalendar calendar;
+  for (std::size_t c = 0; c < actual_.consumer_count(); ++c) {
+    const auto reported = inject(c, /*over_report=*/false);
+    const auto report =
+        pipeline_->evaluate_week(actual_, reported, 24, calendar);
+    const auto attackers = report.suspected_attackers();
+    if (std::find(attackers.begin(), attackers.end(),
+                  actual_.consumer(c).id) != attackers.end()) {
+      ++classified;
+    }
+  }
+  EXPECT_GE(classified, actual_.consumer_count() / 2);
+}
+
+TEST_F(PipelineTest, EvidenceCalendarExcusesAnomaly) {
+  // Find a consumer whose over-report injection is flagged, then show the
+  // calendar downgrades the verdict to "excused".
+  EvidenceCalendar holiday;
+  holiday.add({.first_week = 24,
+               .last_week = 24,
+               .kind = EvidenceKind::kHoliday,
+               .description = "bank holiday week"});
+  const EvidenceCalendar empty;
+  bool verified = false;
+  for (std::size_t c = 0; c < actual_.consumer_count() && !verified; ++c) {
+    const auto reported = inject(c, /*over_report=*/true);
+    const auto plain =
+        pipeline_->evaluate_week(actual_, reported, 24, empty);
+    if (plain.verdicts[c].status != VerdictStatus::kSuspectedVictim) continue;
+
+    const auto excused =
+        pipeline_->evaluate_week(actual_, reported, 24, holiday);
+    EXPECT_EQ(excused.verdicts[c].status, VerdictStatus::kExcused);
+    ASSERT_TRUE(excused.verdicts[c].excuse.has_value());
+    EXPECT_EQ(excused.verdicts[c].excuse->kind, EvidenceKind::kHoliday);
+    verified = true;
+  }
+  EXPECT_TRUE(verified) << "no injection was flagged at all";
+}
+
+TEST_F(PipelineTest, InvestigationLocalisesAttacker) {
+  // Step 5: Case-2 investigation over the topology pinpoints the injected
+  // consumer (reported != actual for exactly that leaf).
+  const auto reported = inject(4, /*over_report=*/false);
+  const auto topology = grid::Topology::single_feeder(12, 0.0);
+  const EvidenceCalendar calendar;
+  const auto report = pipeline_->evaluate_week(actual_, reported, 24,
+                                               calendar, &topology);
+  ASSERT_TRUE(report.investigation.has_value());
+  const auto& suspects = report.investigation->suspects;
+  EXPECT_TRUE(std::find(suspects.begin(), suspects.end(), 4u) !=
+              suspects.end());
+}
+
+TEST_F(PipelineTest, HonestWeekInvestigationFindsNothing) {
+  const auto topology = grid::Topology::single_feeder(12, 0.0);
+  const EvidenceCalendar calendar;
+  const auto report =
+      pipeline_->evaluate_week(actual_, actual_, 24, calendar, &topology);
+  ASSERT_TRUE(report.investigation.has_value());
+  EXPECT_TRUE(report.investigation->suspects.empty());
+}
+
+TEST_F(PipelineTest, RequiresFitBeforeEvaluate) {
+  FdetaPipeline unfitted(config_);
+  const EvidenceCalendar calendar;
+  EXPECT_THROW(unfitted.evaluate_week(actual_, actual_, 24, calendar),
+               InvalidArgument);
+}
+
+TEST(EvidenceCalendar, ExcuseSemantics) {
+  EvidenceCalendar calendar;
+  EXPECT_FALSE(calendar.excuse(5).has_value());
+  calendar.add({.first_week = 3,
+                .last_week = 5,
+                .kind = EvidenceKind::kSevereWeather,
+                .description = "storm"});
+  EXPECT_TRUE(calendar.excuse(3).has_value());
+  EXPECT_TRUE(calendar.excuse(5).has_value());
+  EXPECT_FALSE(calendar.excuse(6).has_value());
+  EXPECT_FALSE(calendar.excuse(2).has_value());
+  EXPECT_EQ(calendar.event_count(), 1u);
+}
+
+TEST(EvidenceCalendar, RejectsReversedRange) {
+  EvidenceCalendar calendar;
+  EXPECT_THROW(
+      calendar.add({.first_week = 5, .last_week = 3, .kind = {}, .description = ""}),
+               InvalidArgument);
+}
+
+TEST(EvidenceCalendar, KindNames) {
+  EXPECT_STREQ(to_string(EvidenceKind::kHoliday), "holiday");
+  EXPECT_STREQ(to_string(EvidenceKind::kSevereWeather), "severe weather");
+  EXPECT_STREQ(to_string(EvidenceKind::kSpecialEvent), "special event");
+}
+
+}  // namespace
+}  // namespace fdeta::core

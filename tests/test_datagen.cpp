@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/load_profiles.h"
+#include "stats/descriptive.h"
+#include "timeseries/acf.h"
+
+namespace fdeta::datagen {
+namespace {
+
+TEST(LoadProfiles, ShapesAreNormalised) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto p = residential_profile(rng);
+    double wd = 0.0, we = 0.0;
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      wd += p.weekday[s];
+      we += p.weekend[s];
+    }
+    EXPECT_NEAR(wd / kSlotsPerDay, 1.0, 1e-9);
+    EXPECT_NEAR(we / kSlotsPerDay, 1.0, 1e-9);
+  }
+}
+
+TEST(LoadProfiles, ResidentialEveningPeakDominates) {
+  Rng rng(2);
+  int evening_peak_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto p = residential_profile(rng);
+    // Find the weekday peak slot.
+    int best = 0;
+    for (int s = 1; s < kSlotsPerDay; ++s) {
+      if (p.weekday[s] > p.weekday[best]) best = s;
+    }
+    const double hour = best * kHoursPerSlot;
+    if (hour >= 15.0 && hour <= 23.0) ++evening_peak_count;
+  }
+  EXPECT_GT(evening_peak_count, 40);
+}
+
+TEST(LoadProfiles, SmeWeekendLowerThanWeekday) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto p = sme_profile(rng);
+    // Weekday business-hours shape exceeds the weekend's at midday.
+    const int noon = 24;  // 12:00
+    EXPECT_GT(p.weekday[noon], p.weekend[noon]);
+  }
+}
+
+TEST(LoadProfiles, SmeScaleLargerThanResidential) {
+  Rng rng(4);
+  double res = 0.0, sme = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    res += residential_profile(rng).scale_kw;
+    sme += sme_profile(rng).scale_kw;
+  }
+  EXPECT_GT(sme, 2.0 * res);
+}
+
+TEST(GenerateSeries, NonNegativeAndRightLength) {
+  Rng rng(5);
+  const auto profile = residential_profile(rng);
+  const auto series = generate_series(profile, 10, rng, 0.3, 2.0);
+  EXPECT_EQ(series.size(), 10u * kSlotsPerWeek);
+  for (double v : series) EXPECT_GE(v, 0.0);
+}
+
+TEST(GenerateSeries, ScaleControlsMeanLevel) {
+  Rng rng(6);
+  auto profile = residential_profile(rng);
+  profile.scale_kw = 2.0;
+  Rng gen1(7);
+  const auto series = generate_series(profile, 20, gen1, 0.0, 0.0);
+  const double m = stats::mean(series);
+  // exp(AR noise) has mean > 1 but the level should be within ~50%.
+  EXPECT_GT(m, 1.0);
+  EXPECT_LT(m, 4.0);
+}
+
+TEST(GenerateDataset, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.residential = 5;
+  config.sme = 2;
+  config.unclassified = 1;
+  config.weeks = 4;
+  config.seed = 99;
+  const auto a = generate_dataset(config);
+  const auto b = generate_dataset(config);
+  ASSERT_EQ(a.consumer_count(), b.consumer_count());
+  for (std::size_t i = 0; i < a.consumer_count(); ++i) {
+    EXPECT_EQ(a.consumer(i).readings, b.consumer(i).readings);
+  }
+}
+
+TEST(GenerateDataset, TypeMixMatchesConfig) {
+  GeneratorConfig config;
+  config.residential = 10;
+  config.sme = 4;
+  config.unclassified = 3;
+  config.weeks = 2;
+  const auto d = generate_dataset(config);
+  const auto s = meter::summarize(d);
+  EXPECT_EQ(s.residential, 10u);
+  EXPECT_EQ(s.sme, 4u);
+  EXPECT_EQ(s.unclassified, 3u);
+}
+
+TEST(GenerateDataset, ConsumerIdsStartAt1000) {
+  const auto d = small_dataset(5, 2, 1);
+  for (const auto& c : d.consumers()) {
+    EXPECT_GE(c.id, 1000u);
+    EXPECT_LT(c.id, 1005u);
+  }
+}
+
+TEST(GenerateDataset, WeeklyPatternRepeats) {
+  // Same slot-of-week across weeks should correlate far more than a random
+  // pairing: weekly periodicity is what the KLD detector relies on.
+  const auto d = small_dataset(6, 20, 3);
+  for (const auto& c : d.consumers()) {
+    std::vector<double> week_a(c.readings.begin(),
+                               c.readings.begin() + kSlotsPerWeek);
+    std::vector<double> week_b(c.readings.begin() + 5 * kSlotsPerWeek,
+                               c.readings.begin() + 6 * kSlotsPerWeek);
+    const double corr = stats::correlation(week_a, week_b);
+    EXPECT_GT(corr, 0.2) << "consumer " << c.id;
+  }
+}
+
+TEST(GenerateDataset, PeakPeriodShareMatchesPaper) {
+  // Section VIII-B3: 94.4% of consumers had higher consumption during the
+  // 09:00-24:00 peak period on over 90% of training days.  Verify the
+  // generator reproduces a strong peak-period bias.
+  const auto d = small_dataset(60, 8, 4);
+  std::size_t peak_dominant = 0;
+  for (const auto& c : d.consumers()) {
+    std::size_t days_peak_higher = 0, days = 0;
+    for (std::size_t day = 0; day < c.readings.size() / kSlotsPerDay; ++day) {
+      double peak = 0.0, off = 0.0;
+      for (int s = 0; s < kSlotsPerDay; ++s) {
+        const double v = c.readings[day * kSlotsPerDay + s];
+        if (s >= 18) {
+          peak += v;  // 09:00-24:00 = slots 18..47 (30 slots)
+        } else {
+          off += v;  // 00:00-09:00 = slots 0..17 (18 slots)
+        }
+      }
+      // Compare average rates to be fair to the different window lengths.
+      if (peak / 30.0 > off / 18.0) ++days_peak_higher;
+      ++days;
+    }
+    if (days_peak_higher > days * 9 / 10) ++peak_dominant;
+  }
+  const double share =
+      static_cast<double>(peak_dominant) / static_cast<double>(d.consumer_count());
+  EXPECT_GT(share, 0.85);
+}
+
+TEST(SmallDataset, KeepsTypeRatio) {
+  const auto d = small_dataset(100, 2, 5);
+  const auto s = meter::summarize(d);
+  EXPECT_EQ(d.consumer_count(), 100u);
+  EXPECT_NEAR(static_cast<double>(s.sme), 100.0 * 36.0 / 500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.unclassified), 100.0 * 60.0 / 500.0, 2.0);
+}
+
+TEST(GenerateSeries, VacationWeeksAreLow) {
+  // Force a vacation by probability 1 and find a clearly low week.
+  Rng rng(11);
+  auto profile = residential_profile(rng);
+  profile.scale_kw = 1.0;
+  Rng gen(12);
+  const auto series = generate_series(profile, 12, gen, 1.0, 0.0);
+  double min_week = 1e9, max_week = 0.0;
+  for (std::size_t w = 0; w < 12; ++w) {
+    const std::span<const double> wk{series.data() + w * kSlotsPerWeek,
+                                     static_cast<std::size_t>(kSlotsPerWeek)};
+    const double m = stats::mean(wk);
+    min_week = std::min(min_week, m);
+    max_week = std::max(max_week, m);
+  }
+  EXPECT_LT(min_week, 0.45 * max_week);
+}
+
+}  // namespace
+}  // namespace fdeta::datagen

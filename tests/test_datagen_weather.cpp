@@ -1,0 +1,109 @@
+#include "datagen/weather.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace fdeta::datagen {
+namespace {
+
+TEST(Weather, AnnualCycleSpansSeasons) {
+  Rng rng(1);
+  WeatherConfig config;
+  config.synoptic_sigma_c = 0.0;  // deterministic for this test
+  const auto temp = generate_temperature(52 * kSlotsPerWeek, config, rng);
+  const double lo = *std::min_element(temp.begin(), temp.end());
+  const double hi = *std::max_element(temp.begin(), temp.end());
+  // Annual +/- diurnal amplitude around the mean.
+  EXPECT_LT(lo, config.mean_c - 0.8 * config.annual_amp_c);
+  EXPECT_GT(hi, config.mean_c + 0.8 * config.annual_amp_c);
+  EXPECT_NEAR(stats::mean(temp), config.mean_c, 0.5);
+}
+
+TEST(Weather, DiurnalSwingColdestBeforeDawn) {
+  Rng rng(2);
+  WeatherConfig config;
+  config.synoptic_sigma_c = 0.0;
+  config.annual_amp_c = 0.0;
+  const auto temp = generate_temperature(kSlotsPerDay, config, rng);
+  // Minimum in the first quarter of the day (around 03:00).
+  const auto min_it = std::min_element(temp.begin(), temp.end());
+  const auto idx = static_cast<std::size_t>(min_it - temp.begin());
+  EXPECT_LT(idx, static_cast<std::size_t>(kSlotsPerDay / 4));
+}
+
+TEST(Weather, EventsShiftTheWindow) {
+  Rng rng(3);
+  WeatherConfig config;
+  config.synoptic_sigma_c = 0.0;
+  const std::vector<WeatherEvent> events{{.first_slot = 100,
+                                          .last_slot = 199,
+                                          .delta_c = -10.0}};
+  const auto base = generate_temperature(400, config, rng);
+  Rng rng2(3);
+  const auto shifted = generate_temperature(400, config, rng2, events);
+  EXPECT_NEAR(shifted[150], base[150] - 10.0, 1e-9);
+  EXPECT_NEAR(shifted[50], base[50], 1e-9);
+  EXPECT_NEAR(shifted[250], base[250], 1e-9);
+}
+
+TEST(Weather, EventRangeValidated) {
+  Rng rng(4);
+  const std::vector<WeatherEvent> bad{{.first_slot = 10, .last_slot = 5}};
+  EXPECT_THROW(generate_temperature(100, WeatherConfig{}, rng, bad),
+               InvalidArgument);
+}
+
+TEST(ThermalLoad, PiecewiseLinearAroundComfortBand) {
+  const ThermalResponse r{.comfort_low_c = 14.0,
+                          .comfort_high_c = 20.0,
+                          .heating_kw_per_c = 0.1,
+                          .cooling_kw_per_c = 0.05};
+  EXPECT_DOUBLE_EQ(thermal_load(16.0, r), 0.0);      // inside the band
+  EXPECT_DOUBLE_EQ(thermal_load(10.0, r), 0.4);      // 4 degrees of heating
+  EXPECT_DOUBLE_EQ(thermal_load(26.0, r), 0.3);      // 6 degrees of cooling
+  EXPECT_DOUBLE_EQ(thermal_load(14.0, r), 0.0);      // boundary
+}
+
+TEST(ApplyWeather, AddsLoadInPlace) {
+  std::vector<Kw> readings{1.0, 1.0, 1.0};
+  const std::vector<double> temp{10.0, 16.0, 24.0};
+  const ThermalResponse r{.comfort_low_c = 14.0,
+                          .comfort_high_c = 20.0,
+                          .heating_kw_per_c = 0.1,
+                          .cooling_kw_per_c = 0.05};
+  apply_weather(readings, temp, r);
+  EXPECT_DOUBLE_EQ(readings[0], 1.4);
+  EXPECT_DOUBLE_EQ(readings[1], 1.0);
+  EXPECT_DOUBLE_EQ(readings[2], 1.2);
+}
+
+TEST(ApplyWeather, SizeMismatchThrows) {
+  std::vector<Kw> readings{1.0};
+  const std::vector<double> temp{10.0, 12.0};
+  EXPECT_THROW(apply_weather(readings, temp, ThermalResponse{}),
+               InvalidArgument);
+}
+
+TEST(Weather, ColdSnapLiftsPopulationConsumption) {
+  // The ext_weather_evidence premise: a -9C week visibly lifts load.
+  Rng rng(5);
+  WeatherConfig config;
+  const std::vector<WeatherEvent> events{
+      {.first_slot = kSlotsPerWeek, .last_slot = 2 * kSlotsPerWeek - 1,
+       .delta_c = -9.0}};
+  const auto temp = generate_temperature(3 * kSlotsPerWeek, config, rng,
+                                         events);
+  std::vector<Kw> readings(3 * kSlotsPerWeek, 0.5);
+  apply_weather(readings, temp, ThermalResponse{});
+  const std::span<const Kw> before{readings.data(), kSlotsPerWeek};
+  const std::span<const Kw> snap{readings.data() + kSlotsPerWeek,
+                                 static_cast<std::size_t>(kSlotsPerWeek)};
+  EXPECT_GT(stats::mean(snap), stats::mean(before) + 0.2);
+}
+
+}  // namespace
+}  // namespace fdeta::datagen

@@ -1,0 +1,201 @@
+#include "grid/balance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fdeta::grid {
+namespace {
+
+/// root -> {n1 -> {c0, c1}, n2 -> {c2}}, no losses for exactness.
+Topology two_branch() {
+  Topology t;
+  const NodeId n1 = t.add_internal(t.root());
+  const NodeId n2 = t.add_internal(t.root());
+  t.add_consumer(n1, 1000);
+  t.add_consumer(n1, 1001);
+  t.add_consumer(n2, 1002);
+  return t;
+}
+
+TEST(Balance, HonestReportsPassEverywhere) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  const auto outcome = run_balance_checks(t, actual, actual);
+  for (NodeId id = 0; id < static_cast<NodeId>(t.node_count()); ++id) {
+    if (t.node(id).kind == NodeKind::kInternal) {
+      EXPECT_TRUE(outcome.checked(id));
+      EXPECT_FALSE(outcome.failed(id));
+    } else {
+      EXPECT_FALSE(outcome.checked(id));
+    }
+  }
+}
+
+TEST(Balance, UnderReportFailsAncestorChecks) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.5;  // consumer 0 under-reports (Attack Class 2A)
+  const auto outcome = run_balance_checks(t, actual, reported);
+
+  const NodeId n1 = t.node(t.consumer_leaf(0)).parent;
+  const NodeId n2 = t.node(t.consumer_leaf(2)).parent;
+  EXPECT_TRUE(outcome.failed(n1));
+  EXPECT_TRUE(outcome.failed(t.root()));
+  EXPECT_FALSE(outcome.failed(n2));
+  // W true for a node implies W true for all ancestors (Section V-B).
+  for (NodeId id : outcome.failing_nodes()) {
+    const NodeId parent = t.node(id).parent;
+    if (parent != kNoNode && outcome.checked(parent)) {
+      EXPECT_TRUE(outcome.failed(parent));
+    }
+  }
+}
+
+TEST(Balance, NeighborCompensationCircumventsChecks) {
+  // Attack Class 2B: Mallory under-reports, a same-parent neighbor is
+  // over-reported by the same amount -> every balance check passes.
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] -= 0.5;
+  reported[1] += 0.5;
+  const auto outcome = run_balance_checks(t, actual, reported);
+  EXPECT_TRUE(outcome.failing_nodes().empty());
+}
+
+TEST(Balance, CrossBranchCompensationStillFailsLocally) {
+  // Compensating via a consumer under a DIFFERENT parent satisfies the root
+  // but not the local balance meters.
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] -= 0.5;  // under n1
+  reported[2] += 0.5;  // under n2
+  const auto outcome = run_balance_checks(t, actual, reported);
+  EXPECT_FALSE(outcome.failed(t.root()));
+  const NodeId n1 = t.node(t.consumer_leaf(0)).parent;
+  const NodeId n2 = t.node(t.consumer_leaf(2)).parent;
+  EXPECT_TRUE(outcome.failed(n1));
+  EXPECT_TRUE(outcome.failed(n2));
+}
+
+TEST(Balance, CompromisedMeterHidesTheft) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.0;
+  const NodeId n1 = t.node(t.consumer_leaf(0)).parent;
+  const auto outcome =
+      run_balance_checks(t, actual, reported, /*compromised=*/{n1});
+  EXPECT_FALSE(outcome.failed(n1));       // lies
+  EXPECT_TRUE(outcome.failed(t.root()));  // trusted root still sees it
+}
+
+TEST(Balance, ToleranceAbsorbsMeteringError) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] += 0.0005;  // within +/-0.5% class accuracy
+  const auto outcome =
+      run_balance_checks(t, actual, reported, {}, /*tolerance_kw=*/0.01);
+  EXPECT_TRUE(outcome.failing_nodes().empty());
+}
+
+TEST(Balance, SimplifiedCheckEquation6) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  EXPECT_TRUE(simplified_balance_check(t, t.root(), actual, reported));
+  reported[1] += 1.0;
+  EXPECT_FALSE(simplified_balance_check(t, t.root(), actual, reported));
+  // The untouched branch still passes its local simplified check.
+  const NodeId n2 = t.node(t.consumer_leaf(2)).parent;
+  EXPECT_TRUE(simplified_balance_check(t, n2, actual, reported));
+}
+
+TEST(Balance, AlarmWhenChildFailsButParentPasses) {
+  // A compromised ROOT meter makes the root pass while n1 fails: rule (a)
+  // must raise an alarm at n1.
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.2;
+  const auto outcome =
+      run_balance_checks(t, actual, reported, /*compromised=*/{t.root()});
+  const NodeId n1 = t.node(t.consumer_leaf(0)).parent;
+  const auto alarms = inconsistent_meter_alarms(t, outcome);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0], n1);
+}
+
+TEST(Balance, AlarmWhenParentFailsButAllChildrenPass) {
+  // Both child meters compromised (they pass), root fails: rule (b).
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.2;
+  const NodeId n1 = t.node(t.consumer_leaf(0)).parent;
+  const NodeId n2 = t.node(t.consumer_leaf(2)).parent;
+  const auto outcome =
+      run_balance_checks(t, actual, reported, /*compromised=*/{n1, n2});
+  const auto alarms = inconsistent_meter_alarms(t, outcome);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0], t.root());
+}
+
+TEST(Balance, NoAlarmsOnConsistentFailures) {
+  const auto t = two_branch();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.2;  // n1 and root both fail: consistent picture
+  const auto outcome = run_balance_checks(t, actual, reported);
+  EXPECT_TRUE(inconsistent_meter_alarms(t, outcome).empty());
+}
+
+TEST(MetersToCompromise, PathMetersExcludingTrustedRoot) {
+  // root -> a -> b -> consumer; sibling branch should not appear.
+  Topology t;
+  const NodeId a = t.add_internal(t.root());
+  const NodeId b = t.add_internal(a);
+  t.add_consumer(b, 1000);
+  const NodeId other = t.add_internal(t.root());
+  t.add_consumer(other, 1001);
+
+  const auto all = meters_to_compromise(t, 0);
+  ASSERT_EQ(all.size(), 3u);  // b, a, root
+  EXPECT_EQ(all[0], b);
+  EXPECT_EQ(all[1], a);
+  EXPECT_EQ(all[2], t.root());
+
+  const auto without_root = meters_to_compromise(t, 0, {t.root()});
+  ASSERT_EQ(without_root.size(), 2u);
+  EXPECT_EQ(without_root.back(), a);
+}
+
+TEST(MetersToCompromise, UnmeteredNodesSkipped) {
+  Topology t;
+  const NodeId a = t.add_internal(t.root(), /*has_balance_meter=*/false);
+  const NodeId b = t.add_internal(a, /*has_balance_meter=*/true);
+  t.add_consumer(b, 1000);
+  const auto meters = meters_to_compromise(t, 0, {t.root()});
+  ASSERT_EQ(meters.size(), 1u);
+  EXPECT_EQ(meters[0], b);
+}
+
+TEST(MetersToCompromise, GrowsLogarithmicallyOnBalancedTrees) {
+  Rng rng(1);
+  const auto small = Topology::random_radial(64, 4, rng, 0.0);
+  Rng rng2(2);
+  const auto large = Topology::random_radial(4096, 4, rng2, 0.0);
+  const auto small_path = meters_to_compromise(small, 10, {0});
+  const auto large_path = meters_to_compromise(large, 10, {0});
+  // 64x the consumers but only a few more meters on the path.
+  EXPECT_LE(large_path.size(), small_path.size() + 6);
+}
+
+}  // namespace
+}  // namespace fdeta::grid

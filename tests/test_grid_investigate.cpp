@@ -1,0 +1,113 @@
+#include "grid/investigate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fdeta::grid {
+namespace {
+
+/// Three-level tree: root -> {a, b}, a -> {c0, c1}, b -> {c2, c3}.
+Topology three_level() {
+  Topology t;
+  const NodeId a = t.add_internal(t.root());
+  const NodeId b = t.add_internal(t.root());
+  t.add_consumer(a, 1000);
+  t.add_consumer(a, 1001);
+  t.add_consumer(b, 1002);
+  t.add_consumer(b, 1003);
+  return t;
+}
+
+TEST(InvestigateCase1, LocalisesDeepestFailingNode) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  std::vector<Kw> reported = actual;
+  reported[2] = 1.0;  // theft under node b
+  const auto outcome = run_balance_checks(t, actual, reported);
+  const auto result = investigate_case1(t, outcome);
+
+  const NodeId b = t.node(t.consumer_leaf(2)).parent;
+  EXPECT_EQ(result.localized_node, b);
+  ASSERT_EQ(result.suspects.size(), 2u);
+  EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(), 2u) !=
+              result.suspects.end());
+}
+
+TEST(InvestigateCase1, NothingToFindOnHonestData) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  const auto outcome = run_balance_checks(t, actual, actual);
+  const auto result = investigate_case1(t, outcome);
+  EXPECT_EQ(result.localized_node, kNoNode);
+  EXPECT_TRUE(result.suspects.empty());
+}
+
+TEST(InvestigateCase2, FindsAttackerWithPortableMeter) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  std::vector<Kw> reported = actual;
+  reported[1] = 0.1;
+  const auto result = investigate_case2(t, actual, reported);
+  ASSERT_FALSE(result.suspects.empty());
+  EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(), 1u) !=
+              result.suspects.end());
+  // Only the left branch's consumers are suspected.
+  EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(), 2u) ==
+              result.suspects.end());
+}
+
+TEST(InvestigateCase2, HonestDataCostsOneCheck) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  const auto result = investigate_case2(t, actual, actual);
+  EXPECT_EQ(result.checks_performed, 1u);
+  EXPECT_TRUE(result.suspects.empty());
+}
+
+TEST(InvestigateCase2, PrunesUntouchedSubtrees) {
+  // Large random tree, one thief: the BFS must check far fewer nodes than an
+  // exhaustive sweep (the Section V-C argument for topology-aware search).
+  Rng rng(3);
+  const auto t = Topology::random_radial(200, 4, rng, 0.0);
+  std::vector<Kw> actual(200);
+  for (std::size_t i = 0; i < 200; ++i) actual[i] = 1.0 + 0.01 * i;
+  std::vector<Kw> reported = actual;
+  reported[137] *= 0.5;
+
+  const auto pruned = investigate_case2(t, actual, reported);
+  const auto exhaustive = investigate_exhaustive(t, actual, reported);
+
+  ASSERT_FALSE(pruned.suspects.empty());
+  EXPECT_TRUE(std::find(pruned.suspects.begin(), pruned.suspects.end(), 137u) !=
+              pruned.suspects.end());
+  EXPECT_EQ(exhaustive.suspects.size(), 1u);
+  EXPECT_EQ(exhaustive.suspects[0], 137u);
+  EXPECT_LT(pruned.checks_performed, exhaustive.checks_performed);
+}
+
+TEST(InvestigateCase2, MultipleThievesAllLocalised) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  std::vector<Kw> reported = actual;
+  reported[0] = 0.1;
+  reported[3] = 0.4;
+  const auto result = investigate_case2(t, actual, reported);
+  EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(), 0u) !=
+              result.suspects.end());
+  EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(), 3u) !=
+              result.suspects.end());
+}
+
+TEST(InvestigateExhaustive, CostIsAlwaysN) {
+  const auto t = three_level();
+  const std::vector<Kw> actual{1.0, 2.0, 3.0, 4.0};
+  const auto result = investigate_exhaustive(t, actual, actual);
+  EXPECT_EQ(result.checks_performed, 4u);
+}
+
+}  // namespace
+}  // namespace fdeta::grid

@@ -1,0 +1,76 @@
+#include "grid/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace fdeta::grid {
+namespace {
+
+TEST(LineImpedance, LossIsQuadraticInPower) {
+  const LineImpedance line{.resistance_ohm = 1.0, .voltage_kv = 11.0};
+  const Kw at_100 = line.loss_at(100.0);
+  const Kw at_200 = line.loss_at(200.0);
+  EXPECT_NEAR(at_200, 4.0 * at_100, 1e-12);
+}
+
+TEST(LineImpedance, KnownValue) {
+  // P = 110 kW at 11 kV -> I = 10 A; loss = I^2 R = 100 W = 0.1 kW at 1 ohm.
+  const LineImpedance line{.resistance_ohm = 1.0, .voltage_kv = 11.0};
+  EXPECT_NEAR(line.loss_at(110.0), 0.1, 1e-12);
+}
+
+TEST(AnalyzeNtl, HonestFeederShowsNoResidual) {
+  const LineImpedance line{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  const std::vector<Kw> actual{30.0, 50.0, 20.0};
+  const auto result = analyze_ntl(actual, actual, line);
+  EXPECT_NEAR(result.non_technical_loss, 0.0, 1e-9);
+  EXPECT_FALSE(result.suspicious(0.01));
+}
+
+TEST(AnalyzeNtl, LineTapShowsUpAsNtl) {
+  // Attack Class 1A by tapping: actual consumption exceeds every report,
+  // and the residual equals the tapped power (plus the small loss gap).
+  const LineImpedance line{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  const std::vector<Kw> reported{30.0, 50.0, 20.0};
+  std::vector<Kw> actual = reported;
+  actual[1] += 15.0;  // 15 kW tapped upstream of the meter
+  const auto result = analyze_ntl(actual, reported, line);
+  EXPECT_NEAR(result.non_technical_loss, 15.0, 0.1);
+  EXPECT_TRUE(result.suspicious(1.0));
+}
+
+TEST(AnalyzeNtl, BClassCompensationIsInvisible) {
+  // The paper's criticism of refs [9]/[10]/[24]: hacked meters hide theft
+  // from loss analysis.  Mallory under-reports, a neighbor is over-reported
+  // by the same amount: the NTL residual stays ~0.
+  const LineImpedance line{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  const std::vector<Kw> actual{30.0, 50.0, 20.0};
+  std::vector<Kw> reported = actual;
+  reported[0] -= 12.0;
+  reported[2] += 12.0;
+  const auto result = analyze_ntl(actual, reported, line);
+  EXPECT_NEAR(result.non_technical_loss, 0.0, 1e-6);
+  EXPECT_FALSE(result.suspicious(1.0));
+}
+
+TEST(AnalyzeNtl, UncompensatedUnderReportIsVisible) {
+  const LineImpedance line{.resistance_ohm = 0.8, .voltage_kv = 11.0};
+  const std::vector<Kw> actual{30.0, 50.0, 20.0};
+  std::vector<Kw> reported = actual;
+  reported[0] -= 12.0;  // Attack Class 2A (no neighbor compensation)
+  const auto result = analyze_ntl(actual, reported, line);
+  EXPECT_NEAR(result.non_technical_loss, 12.0, 0.1);
+}
+
+TEST(AnalyzeNtl, SizeMismatchThrows) {
+  const LineImpedance line;
+  EXPECT_THROW(
+      analyze_ntl(std::vector<Kw>{1.0}, std::vector<Kw>{1.0, 2.0}, line),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::grid

@@ -1,0 +1,79 @@
+#include "grid/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fdeta::grid {
+namespace {
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  Rng rng(1);
+  const auto original = Topology::random_radial(40, 4, rng, 0.02);
+
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const auto loaded = load_topology(buffer);
+
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.consumer_count(), original.consumer_count());
+  for (std::size_t id = 0; id < original.node_count(); ++id) {
+    const Node& a = original.node(static_cast<NodeId>(id));
+    const Node& b = loaded.node(static_cast<NodeId>(id));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.consumer_id, b.consumer_id);
+    EXPECT_DOUBLE_EQ(a.loss_fraction, b.loss_fraction);
+    EXPECT_EQ(a.has_balance_meter, b.has_balance_meter);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesDemandsAndChecks) {
+  Rng rng(2);
+  const auto original = Topology::random_radial(25, 3, rng, 0.05);
+  std::stringstream buffer;
+  save_topology(original, buffer);
+  const auto loaded = load_topology(buffer);
+
+  std::vector<Kw> demand(25);
+  for (std::size_t i = 0; i < 25; ++i) demand[i] = 0.3 + 0.1 * i;
+  const auto a = original.node_demands(demand);
+  const auto b = loaded.node_demands(demand);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Serialize, SingleFeederFormatIsReadable) {
+  const auto t = Topology::single_feeder(2, 0.05);
+  std::stringstream buffer;
+  save_topology(t, buffer);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("internal 0 - 1"), std::string::npos);
+  EXPECT_NE(text.find("consumer 1 0 1000"), std::string::npos);
+  EXPECT_NE(text.find("loss 3 0 0.05"), std::string::npos);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  {
+    std::stringstream in("internal 0 - 1\nbogus 1 0 5\n");
+    EXPECT_THROW(load_topology(in), DataError);
+  }
+  {
+    std::stringstream in("consumer 1 0 1000\n");  // no root
+    EXPECT_THROW(load_topology(in), DataError);
+  }
+  {
+    std::stringstream in("internal 0 - 1\nconsumer 5 0 1000\n");  // id gap
+    EXPECT_THROW(load_topology(in), DataError);
+  }
+  {
+    std::stringstream in("internal 0 - 1\ninternal 0 - 1\n");  // two roots
+    EXPECT_THROW(load_topology(in), DataError);
+  }
+}
+
+}  // namespace
+}  // namespace fdeta::grid

@@ -1,0 +1,115 @@
+#include "market/clearing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fdeta::market {
+namespace {
+
+TEST(ClearSlot, BalancesSupplyAndDemand) {
+  const std::vector<Participant> participants{
+      {.baseline = 100.0, .elasticity = 0.5, .price_distortion = 1.0},
+      {.baseline = 50.0, .elasticity = 1.0, .price_distortion = 1.0}};
+  const SupplyCurve supply{.base = 0.05, .slope = 1e-3};
+  const auto result = clear_slot(participants, supply, 0.20);
+
+  // At the clearing price the supply curve's price equals the price.
+  EXPECT_NEAR(supply.price_at(result.total_demand), result.price, 1e-6);
+  // Demand components sum to the cleared quantity.
+  EXPECT_NEAR(result.demand[0] + result.demand[1], result.total_demand,
+              1e-9);
+}
+
+TEST(ClearSlot, InelasticDemandClearsAtSupplyPrice) {
+  const std::vector<Participant> participants{
+      {.baseline = 80.0, .elasticity = 0.0, .price_distortion = 1.0}};
+  const SupplyCurve supply{.base = 0.05, .slope = 2e-3};
+  const auto result = clear_slot(participants, supply, 0.20);
+  EXPECT_NEAR(result.total_demand, 80.0, 1e-6);
+  EXPECT_NEAR(result.price, 0.05 + 2e-3 * 80.0, 1e-6);
+}
+
+TEST(ClearSlot, HigherBaselineRaisesPrice) {
+  const SupplyCurve supply{.base = 0.05, .slope = 1e-3};
+  const std::vector<Participant> low{{.baseline = 50.0, .elasticity = 0.5}};
+  const std::vector<Participant> high{{.baseline = 150.0, .elasticity = 0.5}};
+  EXPECT_LT(clear_slot(low, supply, 0.20).price,
+            clear_slot(high, supply, 0.20).price);
+}
+
+TEST(ClearSlot, PriceDistortionCurtailsVictimAndLowersPrice) {
+  // A 4B attacker inflating one participant's price signal: that victim
+  // consumes less; with demand withdrawn, the market clears LOWER for
+  // everyone else.
+  const SupplyCurve supply{.base = 0.05, .slope = 1e-3};
+  std::vector<Participant> honest{
+      {.baseline = 100.0, .elasticity = 0.8, .price_distortion = 1.0},
+      {.baseline = 100.0, .elasticity = 0.8, .price_distortion = 1.0}};
+  std::vector<Participant> attacked = honest;
+  attacked[1].price_distortion = 2.0;
+
+  const auto before = clear_slot(honest, supply, 0.20);
+  const auto after = clear_slot(attacked, supply, 0.20);
+
+  EXPECT_LT(after.demand[1], before.demand[1]);  // victim curtailed
+  EXPECT_LT(after.price, before.price);          // market price drops
+  EXPECT_GT(after.demand[0], before.demand[0]);  // others consume more
+}
+
+TEST(ClearSlot, RejectsInvalidInputs) {
+  const SupplyCurve supply;
+  const std::vector<Participant> bad{{.baseline = -1.0}};
+  EXPECT_THROW(clear_slot(bad, supply, 0.20), InvalidArgument);
+  const std::vector<Participant> ok{{.baseline = 1.0}};
+  EXPECT_THROW(clear_slot(ok, supply, 0.0), InvalidArgument);
+}
+
+TEST(RunMarket, PerSlotSeriesShapes) {
+  const std::vector<std::vector<Kw>> baselines{{10.0, 20.0, 30.0},
+                                               {5.0, 5.0, 5.0}};
+  const std::vector<double> elasticities{0.5, 0.2};
+  const std::vector<double> distortions{1.0, 1.0};
+  const SupplyCurve supply{.base = 0.05, .slope = 1e-3};
+  const auto run =
+      run_market(baselines, elasticities, distortions, supply, 0.20);
+
+  ASSERT_EQ(run.prices.size(), 3u);
+  ASSERT_EQ(run.consumption.size(), 2u);
+  // Rising baseline demand drives rising prices.
+  EXPECT_LT(run.prices[0], run.prices[1]);
+  EXPECT_LT(run.prices[1], run.prices[2]);
+}
+
+TEST(RunMarket, ValidatesShapes) {
+  const std::vector<std::vector<Kw>> baselines{{1.0, 2.0}, {1.0}};
+  const std::vector<double> e{0.5, 0.5};
+  const std::vector<double> d{1.0, 1.0};
+  EXPECT_THROW(run_market(baselines, e, d, SupplyCurve{}, 0.2),
+               InvalidArgument);
+}
+
+class ElasticitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ElasticitySweep, MoreElasticDemandClearsCheaperInScarcity) {
+  // In a scarcity regime (rigid clearing price above the reference price)
+  // elastic consumers curtail, pulling the clearing price down.  (Below the
+  // reference the sign flips: elastic demand EXPANDS on cheap power.)
+  const SupplyCurve supply{.base = 0.05, .slope = 1e-3};
+  const std::vector<Participant> rigid{{.baseline = 300.0, .elasticity = 0.0}};
+  const std::vector<Participant> flexible{
+      {.baseline = 300.0, .elasticity = GetParam()}};
+  const auto rigid_result = clear_slot(rigid, supply, 0.20);
+  ASSERT_GT(rigid_result.price, 0.20);  // scarcity regime
+  EXPECT_LE(clear_slot(flexible, supply, 0.20).price,
+            rigid_result.price + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Elasticities, ElasticitySweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace fdeta::market

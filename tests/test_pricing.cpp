@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "pricing/billing.h"
+#include "pricing/elasticity.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::pricing {
+namespace {
+
+TEST(FlatRate, ConstantPrice) {
+  const FlatRate flat(0.15);
+  EXPECT_DOUBLE_EQ(flat.price(0), 0.15);
+  EXPECT_DOUBLE_EQ(flat.price(12345), 0.15);
+  EXPECT_FALSE(flat.is_peak(10));
+}
+
+TEST(FlatRate, RejectsNegativeRate) {
+  EXPECT_THROW(FlatRate(-0.1), InvalidArgument);
+}
+
+TEST(Nightsaver, PaperBoundaries) {
+  const TimeOfUse tou = nightsaver();
+  // 00:00-09:00 off-peak at 0.18; 09:00-24:00 peak at 0.21.
+  EXPECT_DOUBLE_EQ(tou.price(0), 0.18);           // midnight
+  EXPECT_DOUBLE_EQ(tou.price(17), 0.18);          // 08:30
+  EXPECT_DOUBLE_EQ(tou.price(18), 0.21);          // 09:00 sharp
+  EXPECT_DOUBLE_EQ(tou.price(47), 0.21);          // 23:30
+  EXPECT_DOUBLE_EQ(tou.price(48), 0.18);          // next midnight
+  EXPECT_FALSE(tou.is_peak(17));
+  EXPECT_TRUE(tou.is_peak(18));
+}
+
+TEST(TimeOfUse, RejectsInvalidWindow) {
+  EXPECT_THROW(TimeOfUse(0.2, 0.1, 10.0, 9.0), InvalidArgument);
+  EXPECT_THROW(TimeOfUse(0.2, 0.1, -1.0, 9.0), InvalidArgument);
+  EXPECT_THROW(TimeOfUse(0.2, 0.1, 9.0, 25.0), InvalidArgument);
+}
+
+TEST(RealTimePricing, StreamAndPeakFlag) {
+  const RealTimePricing rtp(std::vector<double>{0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(rtp.price(2), 0.3);
+  EXPECT_FALSE(rtp.is_peak(0));  // below the 0.25 mean
+  EXPECT_TRUE(rtp.is_peak(3));
+  EXPECT_THROW(rtp.price(4), InvalidArgument);
+}
+
+TEST(RealTimePricing, SimulatedStreamPositiveAndCentred) {
+  Rng rng(1);
+  const auto rtp = RealTimePricing::simulate(48 * 7, 0.2, rng);
+  double total = 0.0;
+  for (std::size_t t = 0; t < 48 * 7; ++t) {
+    EXPECT_GT(rtp.price(t), 0.0);
+    total += rtp.price(t);
+  }
+  EXPECT_NEAR(total / (48 * 7), 0.2, 0.08);
+}
+
+TEST(Billing, Equation2) {
+  // 2 kW for 4 off-peak slots then 4 peak slots under Nightsaver... use
+  // explicit flat periods instead: price 0.5, demand 2 kW, 4 slots:
+  // B = 0.5 * 2 * 0.5h * 4 = 2.0.
+  const FlatRate flat(0.5);
+  const std::vector<Kw> demand(4, 2.0);
+  EXPECT_DOUBLE_EQ(bill(demand, flat), 2.0);
+}
+
+TEST(Billing, TouUsesCalendarOffset) {
+  const TimeOfUse tou = nightsaver();
+  const std::vector<Kw> demand{1.0};
+  // At slot 0 (off-peak): 1 kW * 0.5 h * 0.18.
+  EXPECT_DOUBLE_EQ(bill(demand, tou, 0), 0.09);
+  // At slot 18 (peak): 1 kW * 0.5 h * 0.21.
+  EXPECT_DOUBLE_EQ(bill(demand, tou, 18), 0.105);
+}
+
+TEST(Billing, EnergySums) {
+  const std::vector<Kw> demand{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(energy(demand), 3.0);
+}
+
+TEST(Billing, AttackerProfitSignsMatchCondition1) {
+  const FlatRate flat(1.0);
+  const std::vector<Kw> actual{2.0, 2.0};
+  const std::vector<Kw> honest = actual;
+  std::vector<Kw> under = actual;
+  under[0] = 1.0;
+  EXPECT_DOUBLE_EQ(attacker_profit(actual, honest, flat), 0.0);
+  EXPECT_FALSE(attack_condition_holds(actual, honest, flat));
+  EXPECT_GT(attacker_profit(actual, under, flat), 0.0);
+  EXPECT_TRUE(attack_condition_holds(actual, under, flat));
+}
+
+TEST(Billing, EnergyUnderReportedOnlyCountsTheftSlots) {
+  const std::vector<Kw> actual{2.0, 2.0, 2.0};
+  const std::vector<Kw> reported{1.0, 3.0, 2.0};
+  // Only the first slot under-reports: (2-1) kW * 0.5 h.
+  EXPECT_DOUBLE_EQ(energy_under_reported(actual, reported), 0.5);
+}
+
+TEST(Billing, NeighborLossEquation10) {
+  const FlatRate flat(0.2);
+  const std::vector<Kw> actual{1.0, 1.0};
+  const std::vector<Kw> reported{2.0, 1.5};
+  // L_n = 0.2 * (1.0 + 0.5) * 0.5h = 0.15.
+  EXPECT_DOUBLE_EQ(neighbor_loss(actual, reported, flat), 0.15);
+}
+
+TEST(Billing, SizeMismatchThrows) {
+  const FlatRate flat(0.2);
+  EXPECT_THROW(attacker_profit(std::vector<Kw>{1.0},
+                               std::vector<Kw>{1.0, 2.0}, flat),
+               InvalidArgument);
+}
+
+TEST(Elasticity, DemandDecreasesWithPrice) {
+  const OwnElasticity model(0.8, 0.20);
+  const Kw base = 2.0;
+  EXPECT_DOUBLE_EQ(model.respond(base, 0.20), base);
+  EXPECT_LT(model.respond(base, 0.30), base);
+  EXPECT_GT(model.respond(base, 0.10), base);
+}
+
+TEST(Elasticity, MonotonicInPrice) {
+  const OwnElasticity model(1.2, 0.20);
+  double prev = model.respond(1.0, 0.05);
+  for (double price = 0.10; price <= 0.60; price += 0.05) {
+    const double d = model.respond(1.0, price);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Elasticity, ZeroElasticityIsInelastic) {
+  const OwnElasticity model(0.0, 0.20);
+  EXPECT_DOUBLE_EQ(model.respond(3.0, 0.99), 3.0);
+}
+
+TEST(Elasticity, RejectsBadParameters) {
+  EXPECT_THROW(OwnElasticity(-0.1, 0.2), InvalidArgument);
+  EXPECT_THROW(OwnElasticity(0.5, 0.0), InvalidArgument);
+  const OwnElasticity ok(0.5, 0.2);
+  EXPECT_THROW(ok.respond(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Adr, InterfaceAppliesElasticity) {
+  const AdrInterface adr(OwnElasticity(0.8, 0.20));
+  EXPECT_LT(adr.actual_demand(2.0, 0.40), 2.0);
+  EXPECT_DOUBLE_EQ(adr.actual_demand(2.0, 0.20), 2.0);
+}
+
+}  // namespace
+}  // namespace fdeta::pricing

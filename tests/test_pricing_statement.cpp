@@ -1,0 +1,92 @@
+#include "pricing/statement.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "pricing/billing.h"
+
+namespace fdeta::pricing {
+namespace {
+
+TEST(Statement, SplitsPeakAndOffPeak) {
+  const TimeOfUse tou = nightsaver();
+  // One full day at a constant 2 kW: 18 off-peak slots, 30 peak slots.
+  const std::vector<Kw> demand(kSlotsPerDay, 2.0);
+  const auto s = make_statement(demand, tou, 0);
+  EXPECT_DOUBLE_EQ(s.off_peak_kwh, 18.0);  // 18 slots * 1 kWh
+  EXPECT_DOUBLE_EQ(s.peak_kwh, 30.0);
+  EXPECT_DOUBLE_EQ(s.off_peak_charge, 18.0 * 0.18);
+  EXPECT_DOUBLE_EQ(s.peak_charge, 30.0 * 0.21);
+}
+
+TEST(Statement, TotalMatchesBillingEngine) {
+  const TimeOfUse tou = nightsaver();
+  std::vector<Kw> demand(kSlotsPerWeek);
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    demand[t] = 0.5 + 0.01 * static_cast<double>(t % 48);
+  }
+  const auto s = make_statement(demand, tou, 0);
+  EXPECT_NEAR(s.total_charge(), bill(demand, tou, 0), 1e-9);
+  EXPECT_NEAR(s.total_kwh(), energy(demand), 1e-9);
+}
+
+TEST(Statement, FlatRateBillsEverythingOffPeak) {
+  const FlatRate flat(0.2);
+  const std::vector<Kw> demand(10, 1.0);
+  const auto s = make_statement(demand, flat, 0);
+  EXPECT_DOUBLE_EQ(s.peak_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(s.off_peak_kwh, 5.0);
+}
+
+TEST(Statement, CalendarOffsetRespected) {
+  const TimeOfUse tou = nightsaver();
+  const std::vector<Kw> demand(2, 2.0);
+  // Starting at 09:00 (slot 18): both slots are peak.
+  const auto s = make_statement(demand, tou, 18);
+  EXPECT_DOUBLE_EQ(s.off_peak_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(s.peak_kwh, 2.0);
+}
+
+TEST(StatementImpact, VictimIsOverbilled) {
+  const TimeOfUse tou = nightsaver();
+  const std::vector<Kw> actual(kSlotsPerDay, 1.0);
+  std::vector<Kw> reported = actual;
+  for (Kw& v : reported) v += 0.5;  // Attack Class 1B over-report
+  const auto impact = statement_impact(actual, reported, tou, 0);
+  EXPECT_TRUE(impact.is_victim());
+  EXPECT_FALSE(impact.is_beneficiary());
+  // Over-billed by exactly the neighbor-loss formula (eq. 10).
+  EXPECT_NEAR(impact.overbilled, neighbor_loss(actual, reported, tou, 0),
+              1e-9);
+}
+
+TEST(StatementImpact, ThiefIsUnderbilled) {
+  const TimeOfUse tou = nightsaver();
+  const std::vector<Kw> actual(kSlotsPerDay, 1.0);
+  std::vector<Kw> reported = actual;
+  for (Kw& v : reported) v *= 0.5;  // Attack Class 2A under-report
+  const auto impact = statement_impact(actual, reported, tou, 0);
+  EXPECT_TRUE(impact.is_beneficiary());
+  EXPECT_NEAR(-impact.overbilled, attacker_profit(actual, reported, tou, 0),
+              1e-9);
+}
+
+TEST(StatementImpact, SizeMismatchThrows) {
+  const FlatRate flat(0.2);
+  EXPECT_THROW(statement_impact(std::vector<Kw>{1.0},
+                                std::vector<Kw>{1.0, 2.0}, flat),
+               InvalidArgument);
+}
+
+TEST(Statement, FormatContainsTotals) {
+  const FlatRate flat(0.2);
+  const std::vector<Kw> demand(10, 1.0);
+  const auto text = format_statement(make_statement(demand, flat, 0));
+  EXPECT_NE(text.find("total"), std::string::npos);
+  EXPECT_NE(text.find("5.0 kWh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdeta::pricing

@@ -1,0 +1,137 @@
+// Cross-module property tests: the paper's structural invariants checked
+// over randomised topologies, injections and tariffs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/propositions.h"
+#include "common/rng.h"
+#include "grid/balance.h"
+#include "grid/investigate.h"
+#include "pricing/billing.h"
+
+namespace fdeta {
+namespace {
+
+struct RandomCase {
+  grid::Topology topology{grid::Topology::single_feeder(1)};
+  std::vector<Kw> actual;
+  std::vector<Kw> reported;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCase c;
+  const std::size_t consumers = 5 + rng.below(60);
+  c.topology = grid::Topology::random_radial(consumers, 2 + rng.below(4), rng,
+                                             0.01 * rng.uniform());
+  c.actual.resize(consumers);
+  for (auto& v : c.actual) v = 0.1 + 3.0 * rng.uniform();
+  c.reported = c.actual;
+  // Perturb a random subset of reports up or down.
+  const std::size_t tampered = rng.below(consumers) + 1;
+  for (std::size_t k = 0; k < tampered; ++k) {
+    const std::size_t i = rng.below(consumers);
+    c.reported[i] = std::max(0.0, c.reported[i] + rng.normal(0.0, 0.5));
+  }
+  return c;
+}
+
+class RandomGridSweep : public ::testing::TestWithParam<int> {};
+
+// Section V-B: "If W is true for an internal node, it must be true for all
+// its ancestors" (with trusted meters).
+TEST_P(RandomGridSweep, FailurePropagatesToAncestors) {
+  const auto c = make_case(static_cast<std::uint64_t>(GetParam()));
+  const auto outcome = grid::run_balance_checks(c.topology, c.actual,
+                                                c.reported, {}, 1e-9);
+  for (const auto id : outcome.failing_nodes()) {
+    for (grid::NodeId cur = c.topology.node(id).parent;
+         cur != grid::kNoNode; cur = c.topology.node(cur).parent) {
+      if (outcome.checked(cur)) {
+        EXPECT_TRUE(outcome.failed(cur))
+            << "ancestor " << cur << " of failing node " << id;
+      }
+    }
+  }
+}
+
+// Honest reports never fail any check; consistent failures raise no V-B
+// alarms when all meters are trusted.
+TEST_P(RandomGridSweep, TrustedMetersRaiseNoAlarms) {
+  const auto c = make_case(static_cast<std::uint64_t>(GetParam()) + 500);
+  const auto outcome = grid::run_balance_checks(c.topology, c.actual,
+                                                c.reported, {}, 1e-9);
+  EXPECT_TRUE(grid::inconsistent_meter_alarms(c.topology, outcome).empty());
+  const auto honest =
+      grid::run_balance_checks(c.topology, c.actual, c.actual, {}, 1e-9);
+  EXPECT_TRUE(honest.failing_nodes().empty());
+}
+
+// Case-2 investigation finds every divergent consumer while performing no
+// more portable checks than there are internal nodes + 1.
+TEST_P(RandomGridSweep, InvestigationIsSoundAndBounded) {
+  const auto c = make_case(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto result =
+      grid::investigate_case2(c.topology, c.actual, c.reported, 1e-9);
+  std::size_t internal_nodes = 0;
+  for (std::size_t id = 0; id < c.topology.node_count(); ++id) {
+    if (c.topology.node(static_cast<grid::NodeId>(id)).kind ==
+        grid::NodeKind::kInternal) {
+      ++internal_nodes;
+    }
+  }
+  EXPECT_LE(result.checks_performed, internal_nodes + 1);
+
+  // Soundness: every suspect set contains all consumers whose parent's
+  // subtree actually diverges... at minimum, the union of suspects must
+  // cover every divergent consumer whose divergence is visible at its
+  // parent (individual divergences here are all at one leaf each, so any
+  // tampered consumer with |delta| > tolerance must be suspected).
+  for (std::size_t i = 0; i < c.actual.size(); ++i) {
+    if (std::abs(c.actual[i] - c.reported[i]) > 1e-6) {
+      EXPECT_TRUE(std::find(result.suspects.begin(), result.suspects.end(),
+                            i) != result.suspects.end())
+          << "divergent consumer " << i << " not suspected";
+    }
+  }
+}
+
+// Proposition 1 as a biconditional sanity: under flat pricing, profit > 0
+// iff total reported < total actual, and then an under-report slot exists.
+TEST_P(RandomGridSweep, Proposition1OnRandomInjections) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const std::size_t slots = 10 + rng.below(300);
+  std::vector<Kw> actual(slots), reported(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    actual[t] = rng.uniform(0.0, 3.0);
+    reported[t] = std::max(0.0, actual[t] + rng.normal(0.0, 0.4));
+  }
+  const pricing::FlatRate flat(0.2);
+  if (pricing::attack_condition_holds(actual, reported, flat)) {
+    EXPECT_TRUE(attack::proposition1_witness(actual, reported).has_value());
+  }
+}
+
+// Billing is linear: bill(a) + bill(b) == bill(a + b) under any tariff.
+TEST_P(RandomGridSweep, BillingLinearity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const std::size_t slots = 48;
+  std::vector<Kw> a(slots), b(slots), sum(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    a[t] = rng.uniform(0.0, 2.0);
+    b[t] = rng.uniform(0.0, 2.0);
+    sum[t] = a[t] + b[t];
+  }
+  const auto tou = pricing::nightsaver();
+  EXPECT_NEAR(pricing::bill(a, tou) + pricing::bill(b, tou),
+              pricing::bill(sum, tou), 1e-9);
+  EXPECT_NEAR(pricing::energy(a) + pricing::energy(b), pricing::energy(sum),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGridSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace fdeta

@@ -1,0 +1,81 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, Mean) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Descriptive, MeanThrowsOnEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Descriptive, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(population_variance(kSample), 4.0);
+}
+
+TEST(Descriptive, SampleVariance) {
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceNeedsTwoSamples) {
+  EXPECT_THROW(variance(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Descriptive, Stddev) {
+  EXPECT_NEAR(stddev(kSample) * stddev(kSample), variance(kSample), 1e-12);
+}
+
+TEST(Descriptive, SumAndEmptySum) {
+  EXPECT_DOUBLE_EQ(sum(kSample), 40.0);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 9.0);
+}
+
+TEST(Descriptive, MedianEven) { EXPECT_DOUBLE_EQ(median(kSample), 4.5); }
+
+TEST(Descriptive, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Descriptive, MedianSingle) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{42.0}), 42.0);
+}
+
+TEST(Descriptive, CorrelationPerfectPositive) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationPerfectNegative) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationZeroVarianceThrows) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(a, b), InvalidArgument);
+}
+
+TEST(Descriptive, CorrelationSizeMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::stats

@@ -1,0 +1,109 @@
+#include "stats/kl_divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fdeta::stats {
+namespace {
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(kl_divergence_bits(p, p), 0.0);
+}
+
+TEST(KlDivergence, KnownValueTwoBins) {
+  // D(p||q) with p=(1,0), q=(0.5,0.5): 1*log2(1/0.5) = 1 bit.
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(kl_divergence_bits(p, q), 1.0);
+}
+
+TEST(KlDivergence, KnownValueUniformVsSkewed) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.25, 0.75};
+  const double expected =
+      0.5 * std::log2(0.5 / 0.25) + 0.5 * std::log2(0.5 / 0.75);
+  EXPECT_NEAR(kl_divergence_bits(p, q), expected, 1e-12);
+}
+
+TEST(KlDivergence, ZeroPTermContributesNothing) {
+  const std::vector<double> p{0.0, 1.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(kl_divergence_bits(p, q), 1.0);
+}
+
+TEST(KlDivergence, InfiniteWhenPMassOnQZero) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence_bits(p, q)));
+}
+
+TEST(KlDivergence, Asymmetric) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NE(kl_divergence_bits(p, q), kl_divergence_bits(q, p));
+}
+
+TEST(KlDivergence, SizeMismatchThrows) {
+  EXPECT_THROW(kl_divergence_bits(std::vector<double>{1.0},
+                                  std::vector<double>{0.5, 0.5}),
+               InvalidArgument);
+}
+
+TEST(KlDivergence, EmptyThrows) {
+  EXPECT_THROW(
+      kl_divergence_bits(std::vector<double>{}, std::vector<double>{}),
+      InvalidArgument);
+}
+
+TEST(KlDivergence, JeffreysIsSymmetric) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.3, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(jeffreys_divergence_bits(p, q),
+                   jeffreys_divergence_bits(q, p));
+}
+
+// Property: non-negativity (Gibbs' inequality) over random distributions.
+class KlProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlProperty, NonNegativeOnRandomDistributions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t bins = 2 + rng.below(10);
+  std::vector<double> p(bins), q(bins);
+  double sp = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    p[i] = rng.uniform() + 1e-3;
+    q[i] = rng.uniform() + 1e-3;
+    sp += p[i];
+    sq += q[i];
+  }
+  for (std::size_t i = 0; i < bins; ++i) {
+    p[i] /= sp;
+    q[i] /= sq;
+  }
+  EXPECT_GE(kl_divergence_bits(p, q), 0.0);
+}
+
+TEST_P(KlProperty, SelfDivergenceIsZero) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const std::size_t bins = 2 + rng.below(10);
+  std::vector<double> p(bins);
+  double sp = 0.0;
+  for (auto& v : p) {
+    v = rng.uniform() + 1e-3;
+    sp += v;
+  }
+  for (auto& v : p) v /= sp;
+  EXPECT_NEAR(kl_divergence_bits(p, p), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, KlProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fdeta::stats

@@ -1,0 +1,153 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.0, 2.0}};
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+}
+
+TEST(Matrix, ApplyVector) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix g = a.gram();
+  const Matrix expected = a.transpose() * a;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const std::vector<double> b{10.0, 8.0};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1.0, 1.0}),
+               NumericalError);
+}
+
+TEST(LuSolve, SolvesGeneralSystem) {
+  const Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const std::vector<double> b{-8.0, 0.0, 3.0};
+  const auto x = lu_solve(a, b);
+  // Verify A x = b.
+  EXPECT_NEAR(2.0 * x[1] + x[2], -8.0, 1e-10);
+  EXPECT_NEAR(x[0] - 2.0 * x[1] - 3.0 * x[2], 0.0, 1e-10);
+  EXPECT_NEAR(-x[0] + x[1] + 2.0 * x[2], 3.0, 1e-10);
+}
+
+TEST(LuSolve, RejectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(lu_solve(a, std::vector<double>{1.0, 2.0}), NumericalError);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const Matrix a{{3.0, 0.0}, {0.0, 1.0}};
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  const Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto eig = jacobi_eigen(a);
+  // A = V diag(lambda) V^T.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double rec = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        rec += eig.values[k] * eig.vectors(i, k) * eig.vectors(j, k);
+      }
+      EXPECT_NEAR(rec, a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvaluesSortedDescending) {
+  const Matrix a{{1.0, 0.2, 0.0}, {0.2, 5.0, 0.1}, {0.0, 0.1, 3.0}};
+  const auto eig = jacobi_eigen(a);
+  EXPECT_GE(eig.values[0], eig.values[1]);
+  EXPECT_GE(eig.values[1], eig.values[2]);
+}
+
+}  // namespace
+}  // namespace fdeta::stats

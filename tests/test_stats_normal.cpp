@@ -1,0 +1,69 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::stats {
+namespace {
+
+TEST(NormalPdf, PeakAtZero) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_GT(normal_pdf(0.0), normal_pdf(0.5));
+}
+
+TEST(NormalPdf, Symmetric) {
+  EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, MonotoneIncreasing) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double c = normal_cdf(x);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326347874, 1e-7);
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(-0.5), InvalidArgument);
+}
+
+TEST(TwoSidedZ, NinetyFivePercent) {
+  EXPECT_NEAR(two_sided_z(0.05), 1.959963985, 1e-7);
+  EXPECT_NEAR(two_sided_z(0.10), 1.644853627, 1e-7);
+}
+
+// Round-trip property across the distribution's body and tails.
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 1e-3, 0.01, 0.025, 0.1, 0.25,
+                                           0.5, 0.75, 0.9, 0.975, 0.99, 0.999,
+                                           1.0 - 1e-6));
+
+}  // namespace
+}  // namespace fdeta::stats

@@ -1,0 +1,97 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fdeta::stats {
+namespace {
+
+TEST(Quantile, EndpointsAreMinAndMax) {
+  const std::vector<double> s{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 1.0), 5.0);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.5), 3.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> s{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(s, 0.75), 7.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> s{7.0};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.3), 7.0);
+}
+
+TEST(Quantile, ThrowsOnEmptyOrBadP) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.1), InvalidArgument);
+}
+
+TEST(Quantile, PercentileConvenience) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), quantile(s, 0.5));
+}
+
+TEST(Quantile, MonotoneInP) {
+  Rng rng(3);
+  std::vector<double> s(101);
+  for (auto& v : s) v = rng.uniform();
+  double prev = quantile(s, 0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = quantile(s, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Quantile, MatchesSortedVariant) {
+  Rng rng(4);
+  std::vector<double> s(50);
+  for (auto& v : s) v = rng.uniform();
+  std::vector<double> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.1, 0.5, 0.9, 0.95}) {
+    EXPECT_DOUBLE_EQ(quantile(s, p), quantile_sorted(sorted, p));
+  }
+}
+
+TEST(Quantile, BatchQuantilesMatchSingles) {
+  const std::vector<double> s{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const std::vector<double> ps{0.1, 0.5, 0.9};
+  const auto qs = quantiles(s, ps);
+  ASSERT_EQ(qs.size(), 3u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(qs[i], quantile(s, ps[i]));
+  }
+}
+
+// Parameterized: the empirical quantile of a large uniform sample converges
+// to p.
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, UniformSampleQuantileNearP) {
+  const double p = GetParam();
+  Rng rng(11);
+  std::vector<double> s(20000);
+  for (auto& v : s) v = rng.uniform();
+  EXPECT_NEAR(quantile(s, p), p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95));
+
+}  // namespace
+}  // namespace fdeta::stats

@@ -1,0 +1,89 @@
+#include "stats/truncated_normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace fdeta::stats {
+namespace {
+
+TEST(TruncatedNormal, RequiresValidParameters) {
+  EXPECT_THROW(TruncatedNormal(0.0, 0.0, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 2.0, 1.0), InvalidArgument);
+}
+
+TEST(TruncatedNormal, SymmetricTruncationKeepsMean) {
+  const TruncatedNormal tnd(5.0, 2.0, 3.0, 7.0);
+  EXPECT_NEAR(tnd.mean(), 5.0, 1e-12);
+}
+
+TEST(TruncatedNormal, LowerTruncationRaisesMean) {
+  const TruncatedNormal tnd(0.0, 1.0, 0.0, 10.0);
+  // Half-normal mean = sqrt(2/pi).
+  EXPECT_NEAR(tnd.mean(), std::sqrt(2.0 / 3.14159265358979), 1e-6);
+}
+
+TEST(TruncatedNormal, VarianceSmallerThanParent) {
+  const TruncatedNormal tnd(0.0, 1.0, -1.0, 1.0);
+  EXPECT_LT(tnd.variance(), 1.0);
+  EXPECT_GT(tnd.variance(), 0.0);
+}
+
+TEST(TruncatedNormal, SamplesRespectBounds) {
+  const TruncatedNormal tnd(0.0, 3.0, -1.0, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = tnd.sample(rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 2.0);
+  }
+}
+
+TEST(TruncatedNormal, ExtremeTruncationStillSamples) {
+  // Support far in the tail: sampling must terminate and stay in bounds.
+  const TruncatedNormal tnd(0.0, 1.0, 20.0, 21.0);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x = tnd.sample(rng);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 21.0);
+  }
+}
+
+// Parameterized: empirical moments match analytical moments.
+using TndParams = std::tuple<double, double, double, double>;
+class TndMoments : public ::testing::TestWithParam<TndParams> {};
+
+TEST_P(TndMoments, EmpiricalMomentsMatchAnalytical) {
+  const auto [mu, sigma, lo, hi] = GetParam();
+  const TruncatedNormal tnd(mu, sigma, lo, hi);
+  Rng rng(99);
+  const int n = 200000;
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = tnd.sample(rng);
+
+  const double empirical_mean = mean(samples);
+  const double empirical_var = variance(samples);
+  EXPECT_NEAR(empirical_mean, tnd.mean(), 0.02 * sigma + 1e-3);
+  EXPECT_NEAR(empirical_var, tnd.variance(),
+              0.05 * tnd.variance() + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, TndMoments,
+    ::testing::Values(TndParams{0.0, 1.0, -1.0, 1.0},
+                      TndParams{0.0, 1.0, 0.0, 3.0},
+                      TndParams{2.0, 0.5, 1.0, 2.5},
+                      TndParams{-1.0, 2.0, -4.0, 0.0},
+                      TndParams{10.0, 3.0, 8.0, 9.0},
+                      TndParams{0.5, 0.2, 0.0, 2.0}));
+
+}  // namespace
+}  // namespace fdeta::stats

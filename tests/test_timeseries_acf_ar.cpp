@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "timeseries/acf.h"
+#include "timeseries/ar.h"
+
+namespace fdeta::ts {
+namespace {
+
+/// Simulates an AR(p) process y_t = c + sum phi_i y_{t-i} + e_t.
+std::vector<double> simulate_ar(const std::vector<double>& phi, double c,
+                                double sigma, std::size_t n, Rng& rng) {
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double v = c + rng.normal(0.0, sigma);
+    for (std::size_t j = 0; j < phi.size() && j < t; ++j) {
+      v += phi[j] * y[t - 1 - j];
+    }
+    y[t] = v;
+  }
+  return y;
+}
+
+TEST(Acf, Ar1AutocorrelationDecaysGeometrically) {
+  Rng rng(1);
+  const auto y = simulate_ar({0.7}, 0.0, 1.0, 50000, rng);
+  const auto r = acf(y, 5);
+  for (std::size_t lag = 1; lag <= 5; ++lag) {
+    EXPECT_NEAR(r[lag - 1], std::pow(0.7, static_cast<double>(lag)), 0.03);
+  }
+}
+
+TEST(Acf, WhiteNoiseUncorrelated) {
+  Rng rng(2);
+  std::vector<double> y(20000);
+  for (auto& v : y) v = rng.normal();
+  const auto r = acf(y, 10);
+  for (double v : r) EXPECT_NEAR(v, 0.0, 0.03);
+}
+
+TEST(Acf, ConstantSeriesThrows) {
+  EXPECT_THROW(acf(std::vector<double>(100, 3.0), 5), InvalidArgument);
+}
+
+TEST(Acf, RequiresLongEnoughSeries) {
+  EXPECT_THROW(acf(std::vector<double>{1.0, 2.0}, 5), InvalidArgument);
+}
+
+TEST(Pacf, Ar2CutsOffAfterLag2) {
+  Rng rng(3);
+  const auto y = simulate_ar({0.5, 0.3}, 0.0, 1.0, 50000, rng);
+  const auto p = pacf(y, 6);
+  EXPECT_GT(std::fabs(p[0]), 0.3);
+  EXPECT_NEAR(p[1], 0.3, 0.05);  // phi_22 equals the AR(2) coefficient
+  for (std::size_t lag = 3; lag <= 6; ++lag) {
+    EXPECT_NEAR(p[lag - 1], 0.0, 0.03);
+  }
+}
+
+TEST(FitArOls, RecoversCoefficients) {
+  Rng rng(4);
+  const auto y = simulate_ar({0.6, -0.2}, 1.0, 0.5, 30000, rng);
+  const auto fit = fit_ar_ols(y, 2);
+  EXPECT_NEAR(fit.phi[0], 0.6, 0.03);
+  EXPECT_NEAR(fit.phi[1], -0.2, 0.03);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+  EXPECT_NEAR(fit.sigma2, 0.25, 0.02);
+}
+
+TEST(FitArOls, ResidualCountMatches) {
+  Rng rng(5);
+  const auto y = simulate_ar({0.5}, 0.0, 1.0, 500, rng);
+  const auto fit = fit_ar_ols(y, 3);
+  EXPECT_EQ(fit.residuals.size(), y.size() - 3);
+}
+
+TEST(FitArYuleWalker, RecoversAr1Coefficient) {
+  Rng rng(6);
+  const auto y = simulate_ar({0.8}, 0.0, 1.0, 50000, rng);
+  const auto fit = fit_ar_yule_walker(y, 1);
+  EXPECT_NEAR(fit.phi[0], 0.8, 0.02);
+}
+
+TEST(FitArYuleWalker, AgreesWithOlsOnLargeSample) {
+  Rng rng(7);
+  const auto y = simulate_ar({0.5, 0.2}, 2.0, 1.0, 60000, rng);
+  const auto yw = fit_ar_yule_walker(y, 2);
+  const auto ls = fit_ar_ols(y, 2);
+  EXPECT_NEAR(yw.phi[0], ls.phi[0], 0.02);
+  EXPECT_NEAR(yw.phi[1], ls.phi[1], 0.02);
+  EXPECT_NEAR(yw.intercept, ls.intercept, 0.1);
+}
+
+TEST(FitArOls, RejectsBadOrders) {
+  const std::vector<double> y(10, 1.0);
+  EXPECT_THROW(fit_ar_ols(y, 0), InvalidArgument);
+  EXPECT_THROW(fit_ar_ols(y, 6), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::ts

@@ -1,0 +1,146 @@
+#include "timeseries/arima.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fdeta::ts {
+namespace {
+
+/// Simulates an ARMA(p,q) process.
+std::vector<double> simulate_arma(const std::vector<double>& phi,
+                                  const std::vector<double>& theta, double c,
+                                  double sigma, std::size_t n, Rng& rng) {
+  std::vector<double> y(n, 0.0), e(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    e[t] = rng.normal(0.0, sigma);
+    double v = c + e[t];
+    for (std::size_t j = 0; j < phi.size() && j < t; ++j) {
+      v += phi[j] * y[t - 1 - j];
+    }
+    for (std::size_t j = 0; j < theta.size() && j < t; ++j) {
+      v += theta[j] * e[t - 1 - j];
+    }
+    y[t] = v;
+  }
+  return y;
+}
+
+TEST(ArimaModel, RecoversArmaCoefficients) {
+  Rng rng(1);
+  const auto y = simulate_arma({0.6}, {0.4}, 1.0, 1.0, 60000, rng);
+  const auto model = ArimaModel::fit(y, {.p = 1, .d = 0, .q = 1});
+  EXPECT_NEAR(model.ar()[0], 0.6, 0.05);
+  EXPECT_NEAR(model.ma()[0], 0.4, 0.05);
+  EXPECT_NEAR(model.sigma2(), 1.0, 0.05);
+}
+
+TEST(ArimaModel, PureArFit) {
+  Rng rng(2);
+  const auto y = simulate_arma({0.5, 0.2}, {}, 0.5, 0.7, 40000, rng);
+  const auto model = ArimaModel::fit(y, {.p = 2, .d = 0, .q = 0});
+  EXPECT_NEAR(model.ar()[0], 0.5, 0.03);
+  EXPECT_NEAR(model.ar()[1], 0.2, 0.03);
+  EXPECT_NEAR(model.sigma2(), 0.49, 0.03);
+}
+
+TEST(ArimaModel, ProcessMeanMatchesSampleMean) {
+  Rng rng(3);
+  const auto y = simulate_arma({0.7}, {}, 3.0, 1.0, 50000, rng);
+  const auto model = ArimaModel::fit(y, {.p = 1, .d = 0, .q = 0});
+  // Implied mean c/(1-phi) = 3/(0.3) = 10.
+  EXPECT_NEAR(model.process_mean(), 10.0, 0.5);
+}
+
+TEST(ArimaModel, ClampsNearUnitRoot) {
+  // A random walk fitted as stationary AR must be clamped to sum(phi)<=0.98.
+  Rng rng(4);
+  std::vector<double> y(5000, 0.0);
+  for (std::size_t t = 1; t < y.size(); ++t) {
+    y[t] = y[t - 1] + rng.normal(0.0, 1.0);
+  }
+  const auto model = ArimaModel::fit(y, {.p = 2, .d = 0, .q = 0});
+  double s = 0.0;
+  for (double v : model.ar()) s += v;
+  EXPECT_LE(s, 0.9800001);
+}
+
+TEST(ArimaModel, RejectsShortSeries) {
+  const std::vector<double> y(10, 1.0);
+  EXPECT_THROW(ArimaModel::fit(y, {.p = 3, .d = 0, .q = 1}), Error);
+}
+
+TEST(ArimaModel, RejectsUnsupportedDifferencing) {
+  const std::vector<double> y(1000, 1.0);
+  EXPECT_THROW(ArimaModel::fit(y, {.p = 1, .d = 2, .q = 0}), InvalidArgument);
+}
+
+TEST(RollingForecaster, OneStepCoverageNearNominal) {
+  Rng rng(5);
+  const auto y = simulate_arma({0.6}, {0.3}, 1.0, 1.0, 12000, rng);
+  const std::size_t train_n = 10000;
+  const std::vector<double> train(y.begin(), y.begin() + train_n);
+  const auto model = ArimaModel::fit(train, {.p = 1, .d = 0, .q = 1});
+
+  RollingForecaster f = model.forecaster(train);
+  std::size_t inside = 0, total = 0;
+  for (std::size_t t = train_n; t < y.size(); ++t) {
+    const Forecast fc = f.next();
+    if (fc.contains(y[t], 1.96)) ++inside;
+    ++total;
+    f.observe(y[t]);
+  }
+  const double coverage = static_cast<double>(inside) / total;
+  EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+TEST(RollingForecaster, ForecastTracksLevelShift) {
+  // After observing a sustained high level, the mean-reverting forecast must
+  // move toward that level: this is the "poisoning" the attacks exploit.
+  Rng rng(6);
+  const auto y = simulate_arma({0.8}, {}, 1.0, 0.5, 5000, rng);
+  const auto model = ArimaModel::fit(y, {.p = 1, .d = 0, .q = 0});
+  RollingForecaster f = model.forecaster(y);
+
+  const double before = f.next().mean;
+  for (int i = 0; i < 200; ++i) f.observe(before + 10.0);
+  const double after = f.next().mean;
+  EXPECT_GT(after, before + 5.0);
+}
+
+TEST(RollingForecaster, DifferencedModelForecastsRawScale) {
+  // A deterministic ramp: d=1 turns it into a constant, so the one-step
+  // forecast must continue the ramp.
+  std::vector<double> y;
+  Rng rng(7);
+  for (int t = 0; t < 2000; ++t) {
+    y.push_back(2.0 * t + rng.normal(0.0, 0.01));
+  }
+  const auto model = ArimaModel::fit(y, {.p = 1, .d = 1, .q = 0});
+  RollingForecaster f = model.forecaster(y);
+  const double next = f.next().mean;
+  EXPECT_NEAR(next, 2.0 * 2000, 1.0);
+}
+
+TEST(RollingForecaster, HistoryTooShortThrows) {
+  Rng rng(8);
+  const auto y = simulate_arma({0.5}, {0.2}, 0.0, 1.0, 2000, rng);
+  const auto model = ArimaModel::fit(y, {.p = 3, .d = 0, .q = 1});
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(model.forecaster(tiny), InvalidArgument);
+}
+
+TEST(Forecast, BoundsAndContains) {
+  const Forecast f{.mean = 10.0, .stddev = 2.0};
+  EXPECT_DOUBLE_EQ(f.lower(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(f.upper(2.0), 14.0);
+  EXPECT_TRUE(f.contains(9.0, 1.0));
+  EXPECT_FALSE(f.contains(7.9, 1.0));
+}
+
+}  // namespace
+}  // namespace fdeta::ts

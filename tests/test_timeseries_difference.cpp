@@ -1,0 +1,58 @@
+#include "timeseries/difference.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace fdeta::ts {
+namespace {
+
+TEST(Difference, FirstDifference) {
+  const std::vector<double> s{1.0, 3.0, 6.0, 10.0};
+  const auto d = difference(s);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(Difference, NeedsTwoPoints) {
+  EXPECT_THROW(difference(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Difference, DifferenceNZeroIsCopy) {
+  const std::vector<double> s{1.0, 2.0, 4.0};
+  const auto d = difference_n(s, 0);
+  EXPECT_EQ(d, s);
+}
+
+TEST(Difference, SecondDifferenceOfQuadraticIsConstant) {
+  std::vector<double> s;
+  for (int t = 0; t < 10; ++t) s.push_back(static_cast<double>(t * t));
+  const auto d2 = difference_n(s, 2);
+  for (double v : d2) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Difference, NegativeOrderThrows) {
+  EXPECT_THROW(difference_n(std::vector<double>{1.0, 2.0}, -1),
+               InvalidArgument);
+}
+
+TEST(Difference, UndifferenceInvertsDifference) {
+  const std::vector<double> s{5.0, 2.0, 8.0, 3.0, 9.0};
+  const auto d = difference(s);
+  const auto rec = undifference(d, s[0]);
+  ASSERT_EQ(rec.size(), s.size() - 1);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rec[i], s[i + 1]);
+  }
+}
+
+TEST(Difference, UndifferenceEmptyIsEmpty) {
+  EXPECT_TRUE(undifference(std::vector<double>{}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace fdeta::ts

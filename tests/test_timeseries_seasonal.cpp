@@ -1,0 +1,76 @@
+#include "timeseries/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fdeta::ts {
+namespace {
+
+TEST(WeeklyProfile, MeansMatchPeriodicPattern) {
+  // Period-4 pattern repeated 10 times, no noise.
+  const std::vector<double> pattern{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> series;
+  for (int r = 0; r < 10; ++r) {
+    series.insert(series.end(), pattern.begin(), pattern.end());
+  }
+  const WeeklyProfile profile(series, 4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(profile.mean(s), pattern[s]);
+    EXPECT_DOUBLE_EQ(profile.stddev(s), 0.0);
+  }
+}
+
+TEST(WeeklyProfile, StddevCapturesNoise) {
+  Rng rng(1);
+  std::vector<double> series;
+  for (int r = 0; r < 200; ++r) {
+    series.push_back(5.0 + rng.normal(0.0, 0.5));
+    series.push_back(1.0 + rng.normal(0.0, 0.1));
+  }
+  const WeeklyProfile profile(series, 2);
+  EXPECT_NEAR(profile.mean(0), 5.0, 0.1);
+  EXPECT_NEAR(profile.mean(1), 1.0, 0.05);
+  EXPECT_NEAR(profile.stddev(0), 0.5, 0.1);
+  EXPECT_NEAR(profile.stddev(1), 0.1, 0.03);
+}
+
+TEST(WeeklyProfile, ZscoreNormalises) {
+  Rng rng(2);
+  std::vector<double> series;
+  for (int r = 0; r < 100; ++r) {
+    series.push_back(10.0 + rng.normal(0.0, 1.0));
+  }
+  const WeeklyProfile profile(series, 1);
+  EXPECT_NEAR(profile.zscore(0, profile.mean(0)), 0.0, 1e-12);
+  EXPECT_GT(profile.zscore(0, profile.mean(0) + 3.0), 2.0);
+}
+
+TEST(WeeklyProfile, ZscoreZeroForConstantSlot) {
+  const std::vector<double> series{2.0, 3.0, 2.0, 3.0};
+  const WeeklyProfile profile(series, 2);
+  EXPECT_DOUBLE_EQ(profile.zscore(0, 99.0), 0.0);
+}
+
+TEST(WeeklyProfile, SlotIndexWrapsModuloPeriod) {
+  const std::vector<double> series{1.0, 2.0, 1.0, 2.0};
+  const WeeklyProfile profile(series, 2);
+  EXPECT_DOUBLE_EQ(profile.mean(0), profile.mean(2));
+  EXPECT_DOUBLE_EQ(profile.mean(1), profile.mean(3));
+}
+
+TEST(WeeklyProfile, RequiresWholePeriods) {
+  EXPECT_THROW(WeeklyProfile(std::vector<double>{1.0, 2.0, 3.0}, 2),
+               InvalidArgument);
+}
+
+TEST(WeeklyProfile, RequiresTwoPeriods) {
+  EXPECT_THROW(WeeklyProfile(std::vector<double>{1.0, 2.0}, 2),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::ts

@@ -1,0 +1,23 @@
+# Drives the fdeta CLI through a full generate/inject/detect/investigate
+# round trip; any non-zero exit fails the test.
+file(MAKE_DIRECTORY ${WORK_DIR})
+function(run)
+  execute_process(COMMAND ${FDETA_CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "fdeta ${ARGN} failed (${code}): ${out}${err}")
+  endif()
+endfunction()
+
+run(generate --out actual.csv --consumers 6 --weeks 28 --seed 3)
+run(summary --in actual.csv)
+run(inject --in actual.csv --out reported.csv --consumer 1002 --week 24
+    --attack integrated-over --train-weeks 24)
+run(detect --in reported.csv --baseline actual.csv --train-weeks 24)
+run(topology --out topo.txt --consumers 6 --seed 5)
+run(investigate --topology topo.txt --baseline actual.csv --in reported.csv
+    --week 24)
+run(evaluate --in actual.csv --train-weeks 24 --vectors 2)

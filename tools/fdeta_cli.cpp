@@ -1,0 +1,346 @@
+// fdeta - command-line front end for the F-DETA library.
+//
+// Subcommands:
+//   generate  synthesize a CER-like smart-meter dataset to CSV
+//   summary   describe a dataset CSV
+//   inject    forge one consumer's week with an attack vector
+//   detect    run the detector panel over the test weeks of a dataset
+//
+// Examples:
+//   fdeta generate --consumers 50 --weeks 30 --seed 7 --out actual.csv
+//   fdeta inject --in actual.csv --consumer 1004 --week 24
+//         --attack integrated-over --train-weeks 24 --out reported.csv
+//   fdeta detect --in reported.csv --baseline actual.csv --train-weeks 24
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <algorithm>
+#include <string>
+
+#include "attack/arima_attack.h"
+#include "attack/integrated_arima_attack.h"
+#include "attack/optimal_swap.h"
+#include "common/cli_args.h"
+#include "common/csv.h"
+#include "common/error.h"
+#include "core/arima_detector.h"
+#include "core/integrated_arima_detector.h"
+#include "core/evaluation.h"
+#include "core/kld_detector.h"
+#include "datagen/generator.h"
+#include "grid/investigate.h"
+#include "grid/serialize.h"
+#include "meter/weekly_stats.h"
+#include "pricing/billing.h"
+
+using namespace fdeta;
+
+namespace {
+
+using Args = CliArgs;
+
+meter::Dataset load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("cannot open " + path);
+  return meter::Dataset::load_csv(in);
+}
+
+void save(const meter::Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open " + path + " for writing");
+  dataset.save_csv(out);
+}
+
+int cmd_generate(const Args& args) {
+  datagen::GeneratorConfig config;
+  const auto consumers =
+      static_cast<std::size_t>(args.get_long("consumers", 50));
+  config.weeks = static_cast<std::size_t>(args.get_long("weeks", 30));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 20160628));
+  config.sme = std::max<std::size_t>(1, consumers * 36 / 500);
+  config.unclassified = std::max<std::size_t>(1, consumers * 60 / 500);
+  config.residential = consumers - config.sme - config.unclassified;
+
+  const auto dataset = datagen::generate_dataset(config);
+  save(dataset, args.require_value("out"));
+  const auto s = meter::summarize(dataset);
+  std::printf("wrote %zu consumers x %zu weeks (%zu res / %zu sme / %zu "
+              "other), mean %.2f kW\n",
+              dataset.consumer_count(), dataset.week_count(), s.residential,
+              s.sme, s.unclassified, s.mean_kw);
+  return 0;
+}
+
+int cmd_summary(const Args& args) {
+  const auto dataset = load(args.require_value("in"));
+  const auto s = meter::summarize(dataset);
+  std::printf("consumers: %zu (%zu residential, %zu sme, %zu unclassified)\n",
+              dataset.consumer_count(), s.residential, s.sme, s.unclassified);
+  std::printf("weeks: %zu (%zu readings per consumer)\n",
+              dataset.week_count(), dataset.slot_count());
+  std::printf("mean demand: %.3f kW, max reading: %.3f kW\n", s.mean_kw,
+              s.max_kw);
+  std::printf("%-8s %-14s %12s %12s\n", "id", "type", "mean kW", "kWh/week");
+  for (const auto& c : dataset.consumers()) {
+    double total = 0.0;
+    for (double v : c.readings) total += v;
+    const double mean = total / static_cast<double>(c.readings.size());
+    std::printf("%-8u %-14s %12.3f %12.1f\n", c.id,
+                std::string(to_string(c.type)).c_str(), mean,
+                mean * 168.0);
+  }
+  return 0;
+}
+
+int cmd_inject(const Args& args) {
+  auto dataset = load(args.require_value("in"));
+  const auto id = static_cast<meter::ConsumerId>(
+      args.get_long("consumer", -1));
+  const auto index = dataset.index_of(id);
+  if (!index) throw InvalidArgument("no consumer with id " +
+                                    std::to_string(id));
+  const long week_raw = args.get_long("week", -1);
+  require(week_raw >= 0, "inject: --week is required");
+  const auto week = static_cast<std::size_t>(week_raw);
+  const auto train_weeks =
+      static_cast<std::size_t>(args.get_long("train-weeks", 24));
+  const std::string kind = args.get("attack", "integrated-over");
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 7));
+
+  auto& series = dataset.consumer(*index);
+  require(week < series.week_count(), "inject: week out of range");
+  require(train_weeks <= week,
+          "inject: attacked week must come after the training window");
+
+  const std::span<const Kw> train{series.readings.data(),
+                                  train_weeks * kSlotsPerWeek};
+  const auto model = ts::ArimaModel::fit(train, {});
+  const auto history = train.subspan(train.size() - 2 * kSlotsPerWeek);
+  const auto wstats = meter::weekly_stats(train);
+  Rng rng(seed);
+
+  std::vector<Kw> vector;
+  if (kind == "integrated-over" || kind == "integrated-under") {
+    attack::IntegratedAttackConfig cfg;
+    cfg.over_report = kind == "integrated-over";
+    vector = attack::integrated_arima_attack_vector(model, history, wstats,
+                                                    kSlotsPerWeek, rng, cfg);
+  } else if (kind == "arima-over" || kind == "arima-under") {
+    attack::ArimaAttackConfig cfg;
+    cfg.direction = kind == "arima-over" ? attack::Direction::kOverReport
+                                         : attack::Direction::kUnderReport;
+    vector = attack::arima_attack_vector(model, history, kSlotsPerWeek, cfg);
+  } else if (kind == "swap") {
+    const auto swap = attack::optimal_swap_attack(
+        series.week(week), pricing::nightsaver(), 0, &model, history, {});
+    vector = swap.reported;
+  } else {
+    throw InvalidArgument("unknown --attack '" + kind +
+                          "' (integrated-over|integrated-under|arima-over|"
+                          "arima-under|swap)");
+  }
+
+  const auto clean = series.week(week);
+  const auto tou = pricing::nightsaver();
+  std::printf("injected %s on consumer %u week %zu: energy %.1f -> %.1f "
+              "kWh, bill delta $%.2f\n",
+              kind.c_str(), id, week, pricing::energy(clean),
+              pricing::energy(vector),
+              pricing::attacker_profit(clean, vector, tou));
+  std::copy(vector.begin(), vector.end(),
+            series.readings.begin() + week * kSlotsPerWeek);
+  save(dataset, args.require_value("out"));
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  // Runs the Tables II/III evaluation harness over a CSV dataset.
+  const auto dataset = load(args.require_value("in"));
+  core::EvaluationConfig config;
+  config.split.train_weeks =
+      static_cast<std::size_t>(args.get_long("train-weeks", 24));
+  config.split.test_weeks =
+      dataset.week_count() - config.split.train_weeks;
+  require(dataset.week_count() > config.split.train_weeks + 1,
+          "evaluate: horizon too short for the split");
+  config.attack_vectors =
+      static_cast<std::size_t>(args.get_long("vectors", 10));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 7));
+
+  const auto result = core::run_evaluation(dataset, config);
+  std::printf("evaluated %zu consumers (%zu skipped)\n\n",
+              result.evaluated_count(),
+              result.consumers.size() - result.evaluated_count());
+  std::printf("%-34s %8s %8s %8s\n", "Metric 1 (detected %)", "1B",
+              "2A/2B", "3A/3B");
+  for (std::size_t d = 0; d < core::kDetectorCount; ++d) {
+    const auto kind = static_cast<core::DetectorKind>(d);
+    std::printf("%-34s %7.1f%% %7.1f%% %7.1f%%\n", core::to_string(kind),
+                result.metric1_percent(kind, core::AttackKind::k1B),
+                result.metric1_percent(kind, core::AttackKind::k2A2B),
+                result.metric1_percent(kind, core::AttackKind::k3A3B));
+  }
+  std::printf("\n%-34s %10s %10s %10s\n", "Metric 2 (stolen kWh)", "1B",
+              "2A/2B", "3A/3B");
+  for (std::size_t d = 0; d < core::kDetectorCount; ++d) {
+    const auto kind = static_cast<core::DetectorKind>(d);
+    std::printf("%-34s %10.0f %10.0f %10.0f\n", core::to_string(kind),
+                result.metric2_kwh(kind, core::AttackKind::k1B),
+                result.metric2_kwh(kind, core::AttackKind::k2A2B),
+                result.metric2_kwh(kind, core::AttackKind::k3A3B));
+  }
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const auto reported = load(args.require_value("in"));
+  const std::string baseline_path = args.get("baseline", "");
+  const auto baseline =
+      baseline_path.empty() ? reported : load(baseline_path);
+  const auto train_weeks =
+      static_cast<std::size_t>(args.get_long("train-weeks", 24));
+  const double significance = args.get_double("significance", 0.05);
+  const auto bins = static_cast<std::size_t>(args.get_long("bins", 10));
+
+  require(baseline.consumer_count() == reported.consumer_count(),
+          "detect: baseline/reported consumer counts differ");
+  require(train_weeks < reported.week_count(),
+          "detect: train-weeks exceeds the horizon");
+
+  std::printf("%-8s", "week");
+  std::printf("  flagged consumers (KLD alpha=%.0f%%, B=%zu)\n",
+              100.0 * significance, bins);
+  std::vector<core::KldDetector> detectors;
+  detectors.reserve(reported.consumer_count());
+  for (const auto& series : baseline.consumers()) {
+    core::KldDetector d({.bins = bins, .significance = significance});
+    d.fit(std::span<const Kw>(series.readings.data(),
+                              train_weeks * kSlotsPerWeek));
+    detectors.push_back(std::move(d));
+  }
+  for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
+    std::printf("%-8zu", w);
+    bool any = false;
+    for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
+      const auto week = reported.consumer(c).week(w);
+      if (detectors[c].flag_week(week)) {
+        std::printf(" %u(K=%.2f)", reported.consumer(c).id,
+                    detectors[c].score(week));
+        any = true;
+      }
+    }
+    if (!any) std::printf(" -");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  // Build a random radial feeder for N consumers and write it to a file.
+  const auto consumers =
+      static_cast<std::size_t>(args.get_long("consumers", 50));
+  const auto fanout = static_cast<std::size_t>(args.get_long("fanout", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 7));
+  Rng rng(seed);
+  const auto topology = grid::Topology::random_radial(
+      consumers, fanout, rng, args.get_double("loss", 0.02));
+  std::ofstream out(args.require_value("out"));
+  if (!out) throw DataError("cannot open output file");
+  grid::save_topology(topology, out);
+  std::printf("wrote %zu-node topology (%zu consumers, max depth ", 
+              topology.node_count(), topology.consumer_count());
+  int depth = 0;
+  for (std::size_t i = 0; i < topology.consumer_count(); ++i) {
+    depth = std::max(depth, topology.depth(topology.consumer_leaf(i)));
+  }
+  std::printf("%d)\n", depth);
+  return 0;
+}
+
+int cmd_investigate(const Args& args) {
+  // Balance-check a week of reported vs baseline readings over a topology
+  // file and run the Case-2 portable-meter search.
+  std::ifstream tin(args.require_value("topology"));
+  if (!tin) throw DataError("cannot open topology file");
+  const auto topology = grid::load_topology(tin);
+  const auto actual = load(args.require_value("baseline"));
+  const auto reported = load(args.require_value("in"));
+  require(topology.consumer_count() == actual.consumer_count() &&
+              actual.consumer_count() == reported.consumer_count(),
+          "investigate: consumer counts disagree");
+  const long week_raw = args.get_long("week", -1);
+  require(week_raw >= 0, "investigate: --week is required");
+  const auto week = static_cast<std::size_t>(week_raw);
+
+  std::vector<Kw> actual_avg(actual.consumer_count());
+  std::vector<Kw> reported_avg(actual.consumer_count());
+  for (std::size_t c = 0; c < actual.consumer_count(); ++c) {
+    double a = 0.0, r = 0.0;
+    const auto wa = actual.consumer(c).week(week);
+    const auto wr = reported.consumer(c).week(week);
+    for (std::size_t t = 0; t < wa.size(); ++t) {
+      a += wa[t];
+      r += wr[t];
+    }
+    actual_avg[c] = a / static_cast<double>(wa.size());
+    reported_avg[c] = r / static_cast<double>(wr.size());
+  }
+
+  const auto result = grid::investigate_case2(
+      topology, actual_avg, reported_avg, args.get_double("tolerance", 1e-3));
+  if (result.suspects.empty()) {
+    std::printf("week %zu: books balance, nothing to investigate "
+                "(%zu portable checks)\n",
+                week, result.checks_performed);
+    return 0;
+  }
+  std::printf("week %zu: balance failure localised to node %d after %zu "
+              "portable checks; inspect meters:",
+              week, result.localized_node, result.checks_performed);
+  for (const std::size_t s : result.suspects) {
+    std::printf(" %u", reported.consumer(s).id);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: fdeta <command> [--flag value ...]\n\n"
+      "commands:\n"
+      "  generate  --out F [--consumers N] [--weeks W] [--seed S]\n"
+      "  summary   --in F\n"
+      "  inject    --in F --out F --consumer ID --week W\n"
+      "            [--attack integrated-over|integrated-under|arima-over|\n"
+      "             arima-under|swap] [--train-weeks T] [--seed S]\n"
+      "  detect    --in F [--baseline F] [--train-weeks T]\n"
+      "            [--significance A] [--bins B]\n"
+      "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
+      "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
+      "  investigate --topology F --baseline F --in F --week W\n"
+      "            [--tolerance KW]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "summary") return cmd_summary(args);
+    if (command == "inject") return cmd_inject(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "topology") return cmd_topology(args);
+    if (command == "investigate") return cmd_investigate(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
