@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arima_order"
+  "../bench/ablation_arima_order.pdb"
+  "CMakeFiles/ablation_arima_order.dir/ablation_arima_order.cpp.o"
+  "CMakeFiles/ablation_arima_order.dir/ablation_arima_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arima_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

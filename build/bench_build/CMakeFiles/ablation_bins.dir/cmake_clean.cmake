@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bins"
+  "../bench/ablation_bins.pdb"
+  "CMakeFiles/ablation_bins.dir/ablation_bins.cpp.o"
+  "CMakeFiles/ablation_bins.dir/ablation_bins.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

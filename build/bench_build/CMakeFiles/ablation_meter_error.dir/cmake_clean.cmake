@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_meter_error"
+  "../bench/ablation_meter_error.pdb"
+  "CMakeFiles/ablation_meter_error.dir/ablation_meter_error.cpp.o"
+  "CMakeFiles/ablation_meter_error.dir/ablation_meter_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meter_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_significance"
+  "../bench/ablation_significance.pdb"
+  "CMakeFiles/ablation_significance.dir/ablation_significance.cpp.o"
+  "CMakeFiles/ablation_significance.dir/ablation_significance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

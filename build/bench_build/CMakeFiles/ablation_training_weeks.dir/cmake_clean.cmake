@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_training_weeks"
+  "../bench/ablation_training_weeks.pdb"
+  "CMakeFiles/ablation_training_weeks.dir/ablation_training_weeks.cpp.o"
+  "CMakeFiles/ablation_training_weeks.dir/ablation_training_weeks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_weeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_adr_attack"
+  "../bench/ext_adr_attack.pdb"
+  "CMakeFiles/ext_adr_attack.dir/ext_adr_attack.cpp.o"
+  "CMakeFiles/ext_adr_attack.dir/ext_adr_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adr_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_detector_comparison"
+  "../bench/ext_detector_comparison.pdb"
+  "CMakeFiles/ext_detector_comparison.dir/ext_detector_comparison.cpp.o"
+  "CMakeFiles/ext_detector_comparison.dir/ext_detector_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_detector_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multiple_attackers"
+  "../bench/ext_multiple_attackers.pdb"
+  "CMakeFiles/ext_multiple_attackers.dir/ext_multiple_attackers.cpp.o"
+  "CMakeFiles/ext_multiple_attackers.dir/ext_multiple_attackers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiple_attackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

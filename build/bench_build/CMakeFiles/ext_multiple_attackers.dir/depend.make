@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_multiple_attackers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ntl_baseline"
+  "../bench/ext_ntl_baseline.pdb"
+  "CMakeFiles/ext_ntl_baseline.dir/ext_ntl_baseline.cpp.o"
+  "CMakeFiles/ext_ntl_baseline.dir/ext_ntl_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ntl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_rtp_market"
+  "../bench/ext_rtp_market.pdb"
+  "CMakeFiles/ext_rtp_market.dir/ext_rtp_market.cpp.o"
+  "CMakeFiles/ext_rtp_market.dir/ext_rtp_market.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rtp_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_time_to_detection"
+  "../bench/ext_time_to_detection.pdb"
+  "CMakeFiles/ext_time_to_detection.dir/ext_time_to_detection.cpp.o"
+  "CMakeFiles/ext_time_to_detection.dir/ext_time_to_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_time_to_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weather_evidence"
+  "../bench/ext_weather_evidence.pdb"
+  "CMakeFiles/ext_weather_evidence.dir/ext_weather_evidence.cpp.o"
+  "CMakeFiles/ext_weather_evidence.dir/ext_weather_evidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weather_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_topology_balance"
+  "../bench/fig2_topology_balance.pdb"
+  "CMakeFiles/fig2_topology_balance.dir/fig2_topology_balance.cpp.o"
+  "CMakeFiles/fig2_topology_balance.dir/fig2_topology_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_topology_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_attack_vectors"
+  "../bench/fig3_attack_vectors.pdb"
+  "CMakeFiles/fig3_attack_vectors.dir/fig3_attack_vectors.cpp.o"
+  "CMakeFiles/fig3_attack_vectors.dir/fig3_attack_vectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_attack_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

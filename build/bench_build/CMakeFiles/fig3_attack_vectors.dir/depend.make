@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_attack_vectors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_kld_illustration"
+  "../bench/fig4_kld_illustration.pdb"
+  "CMakeFiles/fig4_kld_illustration.dir/fig4_kld_illustration.cpp.o"
+  "CMakeFiles/fig4_kld_illustration.dir/fig4_kld_illustration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_kld_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_classification"
+  "../bench/table1_classification.pdb"
+  "CMakeFiles/table1_classification.dir/table1_classification.cpp.o"
+  "CMakeFiles/table1_classification.dir/table1_classification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

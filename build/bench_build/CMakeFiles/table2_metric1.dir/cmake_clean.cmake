@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_metric1"
+  "../bench/table2_metric1.pdb"
+  "CMakeFiles/table2_metric1.dir/table2_metric1.cpp.o"
+  "CMakeFiles/table2_metric1.dir/table2_metric1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_metric1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_metric1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_metric2"
+  "../bench/table3_metric2.pdb"
+  "CMakeFiles/table3_metric2.dir/table3_metric2.cpp.o"
+  "CMakeFiles/table3_metric2.dir/table3_metric2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_metric2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

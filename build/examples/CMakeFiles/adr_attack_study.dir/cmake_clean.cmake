@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_attack_study.dir/adr_attack_study.cpp.o"
+  "CMakeFiles/adr_attack_study.dir/adr_attack_study.cpp.o.d"
+  "adr_attack_study"
+  "adr_attack_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_attack_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_gallery.dir/attack_gallery.cpp.o"
+  "CMakeFiles/attack_gallery.dir/attack_gallery.cpp.o.d"
+  "attack_gallery"
+  "attack_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

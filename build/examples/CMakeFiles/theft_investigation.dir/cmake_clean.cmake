@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theft_investigation.dir/theft_investigation.cpp.o"
+  "CMakeFiles/theft_investigation.dir/theft_investigation.cpp.o.d"
+  "theft_investigation"
+  "theft_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theft_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for theft_investigation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/utility_monitoring.cpp" "examples/CMakeFiles/utility_monitoring.dir/utility_monitoring.cpp.o" "gcc" "examples/CMakeFiles/utility_monitoring.dir/utility_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/fdeta_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/fdeta_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fdeta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/fdeta_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/fdeta_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fdeta_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/fdeta_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ami/CMakeFiles/fdeta_ami.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/fdeta_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

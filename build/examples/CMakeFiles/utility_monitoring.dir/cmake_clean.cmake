@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_monitoring.dir/utility_monitoring.cpp.o"
+  "CMakeFiles/utility_monitoring.dir/utility_monitoring.cpp.o.d"
+  "utility_monitoring"
+  "utility_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

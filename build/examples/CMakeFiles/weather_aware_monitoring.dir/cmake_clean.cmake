@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_aware_monitoring.dir/weather_aware_monitoring.cpp.o"
+  "CMakeFiles/weather_aware_monitoring.dir/weather_aware_monitoring.cpp.o.d"
+  "weather_aware_monitoring"
+  "weather_aware_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_aware_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

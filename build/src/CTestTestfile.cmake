@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("timeseries")
+subdirs("meter")
+subdirs("datagen")
+subdirs("grid")
+subdirs("market")
+subdirs("pricing")
+subdirs("attack")
+subdirs("core")
+subdirs("ami")

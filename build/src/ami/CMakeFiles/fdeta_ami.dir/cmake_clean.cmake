@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_ami.dir/network.cpp.o"
+  "CMakeFiles/fdeta_ami.dir/network.cpp.o.d"
+  "libfdeta_ami.a"
+  "libfdeta_ami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_ami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

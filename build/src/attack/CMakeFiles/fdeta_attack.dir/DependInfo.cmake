@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adr_attack.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/adr_attack.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/adr_attack.cpp.o.d"
+  "/root/repo/src/attack/arima_attack.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/arima_attack.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/arima_attack.cpp.o.d"
+  "/root/repo/src/attack/attack_class.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/attack_class.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/attack_class.cpp.o.d"
+  "/root/repo/src/attack/combined_attack.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/combined_attack.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/combined_attack.cpp.o.d"
+  "/root/repo/src/attack/injector.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/injector.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/injector.cpp.o.d"
+  "/root/repo/src/attack/integrated_arima_attack.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/integrated_arima_attack.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/integrated_arima_attack.cpp.o.d"
+  "/root/repo/src/attack/optimal_swap.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/optimal_swap.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/optimal_swap.cpp.o.d"
+  "/root/repo/src/attack/propositions.cpp" "src/attack/CMakeFiles/fdeta_attack.dir/propositions.cpp.o" "gcc" "src/attack/CMakeFiles/fdeta_attack.dir/propositions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/fdeta_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/fdeta_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/fdeta_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_attack.dir/adr_attack.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/adr_attack.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/arima_attack.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/arima_attack.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/attack_class.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/attack_class.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/combined_attack.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/combined_attack.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/injector.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/injector.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/integrated_arima_attack.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/integrated_arima_attack.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/optimal_swap.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/optimal_swap.cpp.o.d"
+  "CMakeFiles/fdeta_attack.dir/propositions.cpp.o"
+  "CMakeFiles/fdeta_attack.dir/propositions.cpp.o.d"
+  "libfdeta_attack.a"
+  "libfdeta_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdeta_attack.a"
+)

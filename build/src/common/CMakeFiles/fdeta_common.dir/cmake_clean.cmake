@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_common.dir/cli_args.cpp.o"
+  "CMakeFiles/fdeta_common.dir/cli_args.cpp.o.d"
+  "CMakeFiles/fdeta_common.dir/csv.cpp.o"
+  "CMakeFiles/fdeta_common.dir/csv.cpp.o.d"
+  "CMakeFiles/fdeta_common.dir/env.cpp.o"
+  "CMakeFiles/fdeta_common.dir/env.cpp.o.d"
+  "CMakeFiles/fdeta_common.dir/rng.cpp.o"
+  "CMakeFiles/fdeta_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fdeta_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fdeta_common.dir/thread_pool.cpp.o.d"
+  "libfdeta_common.a"
+  "libfdeta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arima_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/arima_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/arima_detector.cpp.o.d"
+  "/root/repo/src/core/conditioned_kld_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/conditioned_kld_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/conditioned_kld_detector.cpp.o.d"
+  "/root/repo/src/core/cusum_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/cusum_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/cusum_detector.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/fdeta_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/evidence.cpp" "src/core/CMakeFiles/fdeta_core.dir/evidence.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/core/integrated_arima_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/integrated_arima_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/integrated_arima_detector.cpp.o.d"
+  "/root/repo/src/core/kld_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/kld_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/kld_detector.cpp.o.d"
+  "/root/repo/src/core/online_monitor.cpp" "src/core/CMakeFiles/fdeta_core.dir/online_monitor.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/online_monitor.cpp.o.d"
+  "/root/repo/src/core/pca_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/pca_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/pca_detector.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/fdeta_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/profile_detector.cpp" "src/core/CMakeFiles/fdeta_core.dir/profile_detector.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/profile_detector.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fdeta_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/time_to_detection.cpp" "src/core/CMakeFiles/fdeta_core.dir/time_to_detection.cpp.o" "gcc" "src/core/CMakeFiles/fdeta_core.dir/time_to_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/fdeta_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/fdeta_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fdeta_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/fdeta_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/fdeta_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

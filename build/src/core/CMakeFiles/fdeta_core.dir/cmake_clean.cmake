@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_core.dir/arima_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/arima_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/conditioned_kld_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/conditioned_kld_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/cusum_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/cusum_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/evaluation.cpp.o"
+  "CMakeFiles/fdeta_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/evidence.cpp.o"
+  "CMakeFiles/fdeta_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/integrated_arima_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/integrated_arima_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/kld_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/kld_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/online_monitor.cpp.o"
+  "CMakeFiles/fdeta_core.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/pca_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/pca_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fdeta_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/profile_detector.cpp.o"
+  "CMakeFiles/fdeta_core.dir/profile_detector.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/report.cpp.o"
+  "CMakeFiles/fdeta_core.dir/report.cpp.o.d"
+  "CMakeFiles/fdeta_core.dir/time_to_detection.cpp.o"
+  "CMakeFiles/fdeta_core.dir/time_to_detection.cpp.o.d"
+  "libfdeta_core.a"
+  "libfdeta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

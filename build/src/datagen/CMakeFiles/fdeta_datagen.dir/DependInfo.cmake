@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/generator.cpp" "src/datagen/CMakeFiles/fdeta_datagen.dir/generator.cpp.o" "gcc" "src/datagen/CMakeFiles/fdeta_datagen.dir/generator.cpp.o.d"
+  "/root/repo/src/datagen/load_profiles.cpp" "src/datagen/CMakeFiles/fdeta_datagen.dir/load_profiles.cpp.o" "gcc" "src/datagen/CMakeFiles/fdeta_datagen.dir/load_profiles.cpp.o.d"
+  "/root/repo/src/datagen/weather.cpp" "src/datagen/CMakeFiles/fdeta_datagen.dir/weather.cpp.o" "gcc" "src/datagen/CMakeFiles/fdeta_datagen.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meter/CMakeFiles/fdeta_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_datagen.dir/generator.cpp.o"
+  "CMakeFiles/fdeta_datagen.dir/generator.cpp.o.d"
+  "CMakeFiles/fdeta_datagen.dir/load_profiles.cpp.o"
+  "CMakeFiles/fdeta_datagen.dir/load_profiles.cpp.o.d"
+  "CMakeFiles/fdeta_datagen.dir/weather.cpp.o"
+  "CMakeFiles/fdeta_datagen.dir/weather.cpp.o.d"
+  "libfdeta_datagen.a"
+  "libfdeta_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/balance.cpp" "src/grid/CMakeFiles/fdeta_grid.dir/balance.cpp.o" "gcc" "src/grid/CMakeFiles/fdeta_grid.dir/balance.cpp.o.d"
+  "/root/repo/src/grid/investigate.cpp" "src/grid/CMakeFiles/fdeta_grid.dir/investigate.cpp.o" "gcc" "src/grid/CMakeFiles/fdeta_grid.dir/investigate.cpp.o.d"
+  "/root/repo/src/grid/losses.cpp" "src/grid/CMakeFiles/fdeta_grid.dir/losses.cpp.o" "gcc" "src/grid/CMakeFiles/fdeta_grid.dir/losses.cpp.o.d"
+  "/root/repo/src/grid/serialize.cpp" "src/grid/CMakeFiles/fdeta_grid.dir/serialize.cpp.o" "gcc" "src/grid/CMakeFiles/fdeta_grid.dir/serialize.cpp.o.d"
+  "/root/repo/src/grid/topology.cpp" "src/grid/CMakeFiles/fdeta_grid.dir/topology.cpp.o" "gcc" "src/grid/CMakeFiles/fdeta_grid.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meter/CMakeFiles/fdeta_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

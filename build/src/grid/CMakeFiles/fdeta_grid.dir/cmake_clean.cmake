@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_grid.dir/balance.cpp.o"
+  "CMakeFiles/fdeta_grid.dir/balance.cpp.o.d"
+  "CMakeFiles/fdeta_grid.dir/investigate.cpp.o"
+  "CMakeFiles/fdeta_grid.dir/investigate.cpp.o.d"
+  "CMakeFiles/fdeta_grid.dir/losses.cpp.o"
+  "CMakeFiles/fdeta_grid.dir/losses.cpp.o.d"
+  "CMakeFiles/fdeta_grid.dir/serialize.cpp.o"
+  "CMakeFiles/fdeta_grid.dir/serialize.cpp.o.d"
+  "CMakeFiles/fdeta_grid.dir/topology.cpp.o"
+  "CMakeFiles/fdeta_grid.dir/topology.cpp.o.d"
+  "libfdeta_grid.a"
+  "libfdeta_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_market.dir/clearing.cpp.o"
+  "CMakeFiles/fdeta_market.dir/clearing.cpp.o.d"
+  "libfdeta_market.a"
+  "libfdeta_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meter/dataset.cpp" "src/meter/CMakeFiles/fdeta_meter.dir/dataset.cpp.o" "gcc" "src/meter/CMakeFiles/fdeta_meter.dir/dataset.cpp.o.d"
+  "/root/repo/src/meter/measurement_error.cpp" "src/meter/CMakeFiles/fdeta_meter.dir/measurement_error.cpp.o" "gcc" "src/meter/CMakeFiles/fdeta_meter.dir/measurement_error.cpp.o.d"
+  "/root/repo/src/meter/series.cpp" "src/meter/CMakeFiles/fdeta_meter.dir/series.cpp.o" "gcc" "src/meter/CMakeFiles/fdeta_meter.dir/series.cpp.o.d"
+  "/root/repo/src/meter/weekly_stats.cpp" "src/meter/CMakeFiles/fdeta_meter.dir/weekly_stats.cpp.o" "gcc" "src/meter/CMakeFiles/fdeta_meter.dir/weekly_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_meter.dir/dataset.cpp.o"
+  "CMakeFiles/fdeta_meter.dir/dataset.cpp.o.d"
+  "CMakeFiles/fdeta_meter.dir/measurement_error.cpp.o"
+  "CMakeFiles/fdeta_meter.dir/measurement_error.cpp.o.d"
+  "CMakeFiles/fdeta_meter.dir/series.cpp.o"
+  "CMakeFiles/fdeta_meter.dir/series.cpp.o.d"
+  "CMakeFiles/fdeta_meter.dir/weekly_stats.cpp.o"
+  "CMakeFiles/fdeta_meter.dir/weekly_stats.cpp.o.d"
+  "libfdeta_meter.a"
+  "libfdeta_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

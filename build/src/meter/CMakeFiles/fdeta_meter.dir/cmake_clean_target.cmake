@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdeta_meter.a"
+)

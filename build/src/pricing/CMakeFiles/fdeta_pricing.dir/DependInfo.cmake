@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/billing.cpp" "src/pricing/CMakeFiles/fdeta_pricing.dir/billing.cpp.o" "gcc" "src/pricing/CMakeFiles/fdeta_pricing.dir/billing.cpp.o.d"
+  "/root/repo/src/pricing/elasticity.cpp" "src/pricing/CMakeFiles/fdeta_pricing.dir/elasticity.cpp.o" "gcc" "src/pricing/CMakeFiles/fdeta_pricing.dir/elasticity.cpp.o.d"
+  "/root/repo/src/pricing/statement.cpp" "src/pricing/CMakeFiles/fdeta_pricing.dir/statement.cpp.o" "gcc" "src/pricing/CMakeFiles/fdeta_pricing.dir/statement.cpp.o.d"
+  "/root/repo/src/pricing/tariff.cpp" "src/pricing/CMakeFiles/fdeta_pricing.dir/tariff.cpp.o" "gcc" "src/pricing/CMakeFiles/fdeta_pricing.dir/tariff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_pricing.dir/billing.cpp.o"
+  "CMakeFiles/fdeta_pricing.dir/billing.cpp.o.d"
+  "CMakeFiles/fdeta_pricing.dir/elasticity.cpp.o"
+  "CMakeFiles/fdeta_pricing.dir/elasticity.cpp.o.d"
+  "CMakeFiles/fdeta_pricing.dir/statement.cpp.o"
+  "CMakeFiles/fdeta_pricing.dir/statement.cpp.o.d"
+  "CMakeFiles/fdeta_pricing.dir/tariff.cpp.o"
+  "CMakeFiles/fdeta_pricing.dir/tariff.cpp.o.d"
+  "libfdeta_pricing.a"
+  "libfdeta_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

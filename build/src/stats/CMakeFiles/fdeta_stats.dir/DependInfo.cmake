@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kl_divergence.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/kl_divergence.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/kl_divergence.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/ols.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/truncated_normal.cpp" "src/stats/CMakeFiles/fdeta_stats.dir/truncated_normal.cpp.o" "gcc" "src/stats/CMakeFiles/fdeta_stats.dir/truncated_normal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/histogram.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/kl_divergence.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/kl_divergence.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/matrix.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/normal.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/ols.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/pca.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/quantile.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/fdeta_stats.dir/truncated_normal.cpp.o"
+  "CMakeFiles/fdeta_stats.dir/truncated_normal.cpp.o.d"
+  "libfdeta_stats.a"
+  "libfdeta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

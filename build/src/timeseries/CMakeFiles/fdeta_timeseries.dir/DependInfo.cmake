@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/acf.cpp" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/acf.cpp.o" "gcc" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/acf.cpp.o.d"
+  "/root/repo/src/timeseries/ar.cpp" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/ar.cpp.o" "gcc" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/ar.cpp.o.d"
+  "/root/repo/src/timeseries/arima.cpp" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/arima.cpp.o" "gcc" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/arima.cpp.o.d"
+  "/root/repo/src/timeseries/difference.cpp" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/difference.cpp.o" "gcc" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/difference.cpp.o.d"
+  "/root/repo/src/timeseries/seasonal.cpp" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/seasonal.cpp.o" "gcc" "src/timeseries/CMakeFiles/fdeta_timeseries.dir/seasonal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fdeta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fdeta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_timeseries.dir/acf.cpp.o"
+  "CMakeFiles/fdeta_timeseries.dir/acf.cpp.o.d"
+  "CMakeFiles/fdeta_timeseries.dir/ar.cpp.o"
+  "CMakeFiles/fdeta_timeseries.dir/ar.cpp.o.d"
+  "CMakeFiles/fdeta_timeseries.dir/arima.cpp.o"
+  "CMakeFiles/fdeta_timeseries.dir/arima.cpp.o.d"
+  "CMakeFiles/fdeta_timeseries.dir/difference.cpp.o"
+  "CMakeFiles/fdeta_timeseries.dir/difference.cpp.o.d"
+  "CMakeFiles/fdeta_timeseries.dir/seasonal.cpp.o"
+  "CMakeFiles/fdeta_timeseries.dir/seasonal.cpp.o.d"
+  "libfdeta_timeseries.a"
+  "libfdeta_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

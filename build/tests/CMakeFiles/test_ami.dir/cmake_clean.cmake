@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ami.dir/test_ami.cpp.o"
+  "CMakeFiles/test_ami.dir/test_ami.cpp.o.d"
+  "test_ami"
+  "test_ami.pdb"
+  "test_ami[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ami.
+# This may be replaced when dependencies are built.

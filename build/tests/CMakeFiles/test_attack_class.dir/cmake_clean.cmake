@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_class.dir/test_attack_class.cpp.o"
+  "CMakeFiles/test_attack_class.dir/test_attack_class.cpp.o.d"
+  "test_attack_class"
+  "test_attack_class.pdb"
+  "test_attack_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

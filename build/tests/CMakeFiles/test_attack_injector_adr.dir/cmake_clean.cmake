@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_injector_adr.dir/test_attack_injector_adr.cpp.o"
+  "CMakeFiles/test_attack_injector_adr.dir/test_attack_injector_adr.cpp.o.d"
+  "test_attack_injector_adr"
+  "test_attack_injector_adr.pdb"
+  "test_attack_injector_adr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_injector_adr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

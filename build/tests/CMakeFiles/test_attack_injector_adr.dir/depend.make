@@ -1,0 +1,2 @@
+# Empty dependencies file for test_attack_injector_adr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_vectors.dir/test_attack_vectors.cpp.o"
+  "CMakeFiles/test_attack_vectors.dir/test_attack_vectors.cpp.o.d"
+  "test_attack_vectors"
+  "test_attack_vectors.pdb"
+  "test_attack_vectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

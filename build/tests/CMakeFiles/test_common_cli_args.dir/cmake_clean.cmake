@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_cli_args.dir/test_common_cli_args.cpp.o"
+  "CMakeFiles/test_common_cli_args.dir/test_common_cli_args.cpp.o.d"
+  "test_common_cli_args"
+  "test_common_cli_args.pdb"
+  "test_common_cli_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_rng.dir/test_common_rng.cpp.o"
+  "CMakeFiles/test_common_rng.dir/test_common_rng.cpp.o.d"
+  "test_common_rng"
+  "test_common_rng.pdb"
+  "test_common_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_conditioned_kld.dir/test_core_conditioned_kld.cpp.o"
+  "CMakeFiles/test_core_conditioned_kld.dir/test_core_conditioned_kld.cpp.o.d"
+  "test_core_conditioned_kld"
+  "test_core_conditioned_kld.pdb"
+  "test_core_conditioned_kld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_conditioned_kld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

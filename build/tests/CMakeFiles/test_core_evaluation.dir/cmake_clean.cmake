@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_evaluation.dir/test_core_evaluation.cpp.o"
+  "CMakeFiles/test_core_evaluation.dir/test_core_evaluation.cpp.o.d"
+  "test_core_evaluation"
+  "test_core_evaluation.pdb"
+  "test_core_evaluation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

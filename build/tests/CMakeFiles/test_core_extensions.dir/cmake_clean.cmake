@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extensions.dir/test_core_extensions.cpp.o"
+  "CMakeFiles/test_core_extensions.dir/test_core_extensions.cpp.o.d"
+  "test_core_extensions"
+  "test_core_extensions.pdb"
+  "test_core_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

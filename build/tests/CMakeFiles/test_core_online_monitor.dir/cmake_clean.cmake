@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_online_monitor.dir/test_core_online_monitor.cpp.o"
+  "CMakeFiles/test_core_online_monitor.dir/test_core_online_monitor.cpp.o.d"
+  "test_core_online_monitor"
+  "test_core_online_monitor.pdb"
+  "test_core_online_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_online_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pipeline.dir/test_core_pipeline.cpp.o"
+  "CMakeFiles/test_core_pipeline.dir/test_core_pipeline.cpp.o.d"
+  "test_core_pipeline"
+  "test_core_pipeline.pdb"
+  "test_core_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_report.dir/test_core_report.cpp.o"
+  "CMakeFiles/test_core_report.dir/test_core_report.cpp.o.d"
+  "test_core_report"
+  "test_core_report.pdb"
+  "test_core_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sequential_detectors.dir/test_core_sequential_detectors.cpp.o"
+  "CMakeFiles/test_core_sequential_detectors.dir/test_core_sequential_detectors.cpp.o.d"
+  "test_core_sequential_detectors"
+  "test_core_sequential_detectors.pdb"
+  "test_core_sequential_detectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sequential_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

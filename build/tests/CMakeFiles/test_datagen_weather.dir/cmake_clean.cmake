@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datagen_weather.dir/test_datagen_weather.cpp.o"
+  "CMakeFiles/test_datagen_weather.dir/test_datagen_weather.cpp.o.d"
+  "test_datagen_weather"
+  "test_datagen_weather.pdb"
+  "test_datagen_weather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datagen_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

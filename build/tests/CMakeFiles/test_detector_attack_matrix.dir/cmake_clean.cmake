@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_attack_matrix.dir/test_detector_attack_matrix.cpp.o"
+  "CMakeFiles/test_detector_attack_matrix.dir/test_detector_attack_matrix.cpp.o.d"
+  "test_detector_attack_matrix"
+  "test_detector_attack_matrix.pdb"
+  "test_detector_attack_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_attack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_balance.dir/test_grid_balance.cpp.o"
+  "CMakeFiles/test_grid_balance.dir/test_grid_balance.cpp.o.d"
+  "test_grid_balance"
+  "test_grid_balance.pdb"
+  "test_grid_balance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

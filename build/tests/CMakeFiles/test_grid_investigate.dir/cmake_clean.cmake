@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_investigate.dir/test_grid_investigate.cpp.o"
+  "CMakeFiles/test_grid_investigate.dir/test_grid_investigate.cpp.o.d"
+  "test_grid_investigate"
+  "test_grid_investigate.pdb"
+  "test_grid_investigate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_investigate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

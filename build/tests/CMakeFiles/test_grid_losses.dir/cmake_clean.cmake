@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_losses.dir/test_grid_losses.cpp.o"
+  "CMakeFiles/test_grid_losses.dir/test_grid_losses.cpp.o.d"
+  "test_grid_losses"
+  "test_grid_losses.pdb"
+  "test_grid_losses[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

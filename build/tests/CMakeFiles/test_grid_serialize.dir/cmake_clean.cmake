@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_serialize.dir/test_grid_serialize.cpp.o"
+  "CMakeFiles/test_grid_serialize.dir/test_grid_serialize.cpp.o.d"
+  "test_grid_serialize"
+  "test_grid_serialize.pdb"
+  "test_grid_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

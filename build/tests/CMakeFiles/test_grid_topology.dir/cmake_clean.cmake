@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_topology.dir/test_grid_topology.cpp.o"
+  "CMakeFiles/test_grid_topology.dir/test_grid_topology.cpp.o.d"
+  "test_grid_topology"
+  "test_grid_topology.pdb"
+  "test_grid_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market.dir/test_market.cpp.o"
+  "CMakeFiles/test_market.dir/test_market.cpp.o.d"
+  "test_market"
+  "test_market.pdb"
+  "test_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

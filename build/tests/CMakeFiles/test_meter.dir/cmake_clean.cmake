@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meter.dir/test_meter.cpp.o"
+  "CMakeFiles/test_meter.dir/test_meter.cpp.o.d"
+  "test_meter"
+  "test_meter.pdb"
+  "test_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

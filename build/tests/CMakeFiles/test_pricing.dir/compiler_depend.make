@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_pricing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing_statement.dir/test_pricing_statement.cpp.o"
+  "CMakeFiles/test_pricing_statement.dir/test_pricing_statement.cpp.o.d"
+  "test_pricing_statement"
+  "test_pricing_statement.pdb"
+  "test_pricing_statement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing_statement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pricing_statement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_invariants.dir/test_property_invariants.cpp.o"
+  "CMakeFiles/test_property_invariants.dir/test_property_invariants.cpp.o.d"
+  "test_property_invariants"
+  "test_property_invariants.pdb"
+  "test_property_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

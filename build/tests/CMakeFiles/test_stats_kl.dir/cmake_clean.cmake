@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_kl.dir/test_stats_kl.cpp.o"
+  "CMakeFiles/test_stats_kl.dir/test_stats_kl.cpp.o.d"
+  "test_stats_kl"
+  "test_stats_kl.pdb"
+  "test_stats_kl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

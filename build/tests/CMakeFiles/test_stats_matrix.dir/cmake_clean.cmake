@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_matrix.dir/test_stats_matrix.cpp.o"
+  "CMakeFiles/test_stats_matrix.dir/test_stats_matrix.cpp.o.d"
+  "test_stats_matrix"
+  "test_stats_matrix.pdb"
+  "test_stats_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_normal.dir/test_stats_normal.cpp.o"
+  "CMakeFiles/test_stats_normal.dir/test_stats_normal.cpp.o.d"
+  "test_stats_normal"
+  "test_stats_normal.pdb"
+  "test_stats_normal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ols_pca.dir/test_stats_ols_pca.cpp.o"
+  "CMakeFiles/test_stats_ols_pca.dir/test_stats_ols_pca.cpp.o.d"
+  "test_stats_ols_pca"
+  "test_stats_ols_pca.pdb"
+  "test_stats_ols_pca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ols_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

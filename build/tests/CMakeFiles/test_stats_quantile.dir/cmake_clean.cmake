@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_quantile.dir/test_stats_quantile.cpp.o"
+  "CMakeFiles/test_stats_quantile.dir/test_stats_quantile.cpp.o.d"
+  "test_stats_quantile"
+  "test_stats_quantile.pdb"
+  "test_stats_quantile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries_acf_ar.dir/test_timeseries_acf_ar.cpp.o"
+  "CMakeFiles/test_timeseries_acf_ar.dir/test_timeseries_acf_ar.cpp.o.d"
+  "test_timeseries_acf_ar"
+  "test_timeseries_acf_ar.pdb"
+  "test_timeseries_acf_ar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries_acf_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

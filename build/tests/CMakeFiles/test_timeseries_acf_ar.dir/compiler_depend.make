@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_timeseries_acf_ar.
+# This may be replaced when dependencies are built.

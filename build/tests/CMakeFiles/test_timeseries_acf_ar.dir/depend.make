@@ -1,0 +1,2 @@
+# Empty dependencies file for test_timeseries_acf_ar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries_arima.dir/test_timeseries_arima.cpp.o"
+  "CMakeFiles/test_timeseries_arima.dir/test_timeseries_arima.cpp.o.d"
+  "test_timeseries_arima"
+  "test_timeseries_arima.pdb"
+  "test_timeseries_arima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

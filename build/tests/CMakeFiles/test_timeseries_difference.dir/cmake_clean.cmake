@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries_difference.dir/test_timeseries_difference.cpp.o"
+  "CMakeFiles/test_timeseries_difference.dir/test_timeseries_difference.cpp.o.d"
+  "test_timeseries_difference"
+  "test_timeseries_difference.pdb"
+  "test_timeseries_difference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_timeseries_difference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries_seasonal.dir/test_timeseries_seasonal.cpp.o"
+  "CMakeFiles/test_timeseries_seasonal.dir/test_timeseries_seasonal.cpp.o.d"
+  "test_timeseries_seasonal"
+  "test_timeseries_seasonal.pdb"
+  "test_timeseries_seasonal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdeta_cli.dir/fdeta_cli.cpp.o"
+  "CMakeFiles/fdeta_cli.dir/fdeta_cli.cpp.o.d"
+  "fdeta"
+  "fdeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdeta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_end_to_end "/usr/bin/cmake" "-DFDETA_CLI=/root/repo/build/tools/fdeta" "-DWORK_DIR=/root/repo/build/tools/cli_test" "-P" "/root/repo/tools/cli_end_to_end.cmake")
+set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
