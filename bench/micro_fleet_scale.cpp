@@ -1,0 +1,122 @@
+// Fleet-scale throughput: consumers/sec for FdetaPipeline::fit and weekly
+// KLD scoring, serial vs the shared thread pool, at 1k / 10k / 50k synthetic
+// consumers, plus OnlineMonitor::ingest_batch readings/sec.  This is the
+// ROADMAP's production-scale loop (millions of meters at a control center);
+// the numbers here anchor the perf trajectory from PR 1 onward.
+//
+// Env knobs: FDETA_FLEET_MAX caps the largest population (default 50000,
+// lower it on small machines); FDETA_FLEET_WEEKS sets the horizon (default
+// 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
+#include "core/online_monitor.h"
+#include "core/pipeline.h"
+#include "datagen/generator.h"
+#include "meter/dataset.h"
+
+namespace {
+
+using fdeta::Kw;
+using fdeta::kSlotsPerWeek;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct FleetTimings {
+  double fit_serial = 0.0;
+  double fit_pooled = 0.0;
+  double score_serial = 0.0;
+  double score_pooled = 0.0;
+  double batch_pooled = 0.0;  // readings/sec
+};
+
+FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
+                       std::uint64_t seed) {
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+  const fdeta::core::EvidenceCalendar calendar;
+  FleetTimings out;
+
+  for (const bool pooled : {false, true}) {
+    fdeta::core::PipelineConfig config;
+    config.split = split;
+    config.threads = pooled ? 0 : 1;
+    fdeta::core::FdetaPipeline pipeline(config);
+
+    auto start = std::chrono::steady_clock::now();
+    pipeline.fit(dataset);
+    const double fit_s = seconds_since(start);
+
+    // A single weekly sweep is microseconds/consumer; average a few rounds.
+    const std::size_t rounds = 5;
+    start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const auto report =
+          pipeline.evaluate_week(dataset, dataset, weeks - 1, calendar);
+      if (report.verdicts.size() != consumers) std::abort();
+    }
+    const double score_s = seconds_since(start) / rounds;
+
+    (pooled ? out.fit_pooled : out.fit_serial) =
+        static_cast<double>(consumers) / fit_s;
+    (pooled ? out.score_pooled : out.score_serial) =
+        static_cast<double>(consumers) / score_s;
+  }
+
+  // Streaming path: one head-end delivery = one slot for every consumer.
+  fdeta::core::OnlineMonitorConfig mon_config;
+  mon_config.stride = 1;  // score on every reading (worst case)
+  fdeta::core::OnlineMonitor monitor(mon_config);
+  monitor.fit(dataset, split);
+  std::vector<fdeta::core::Reading> delivery;
+  delivery.reserve(consumers);
+  const fdeta::SlotIndex base = split.train_weeks * kSlotsPerWeek;
+  const std::size_t slots = 4;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < slots; ++s) {
+    delivery.clear();
+    for (std::size_t c = 0; c < consumers; ++c) {
+      delivery.push_back({.consumer_index = c,
+                          .slot = base + s,
+                          .kw = dataset.consumer(c).readings[base + s]});
+    }
+    monitor.ingest_batch(delivery);
+  }
+  out.batch_pooled =
+      static_cast<double>(consumers * slots) / seconds_since(start);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t max_consumers = fdeta::env_size("FDETA_FLEET_MAX", 50000);
+  const std::size_t weeks = fdeta::env_size("FDETA_FLEET_WEEKS", 9);
+  const auto seed =
+      static_cast<std::uint64_t>(fdeta::env_size("FDETA_SEED", 20160628));
+
+  std::printf("\n=== fleet scale: consumers/sec, serial vs shared pool (%zu "
+              "workers) ===\n",
+              fdeta::shared_pool().thread_count());
+  std::printf("%9s | %11s %11s %7s | %12s %12s %7s | %14s\n", "consumers",
+              "fit ser", "fit pool", "speedup", "score ser", "score pool",
+              "speedup", "ingest rdgs/s");
+  for (const std::size_t consumers : {std::size_t{1000}, std::size_t{10000},
+                                      std::size_t{50000}}) {
+    if (consumers > max_consumers) continue;
+    const auto t = run_scale(consumers, weeks, seed);
+    std::printf("%9zu | %11.0f %11.0f %6.2fx | %12.0f %12.0f %6.2fx | %14.0f\n",
+                consumers, t.fit_serial, t.fit_pooled,
+                t.fit_pooled / t.fit_serial, t.score_serial, t.score_pooled,
+                t.score_pooled / t.score_serial, t.batch_pooled);
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace fdeta {
 
@@ -33,8 +34,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -48,42 +54,113 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
   }
 }
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+/// Shared bookkeeping for one parallel_for call.  Helpers submitted to the
+/// pool hold it by shared_ptr, so a helper scheduled after the call has
+/// already returned finds no claimable work and exits without touching the
+/// (by then dead) body.
+struct ParallelForState {
+  ParallelForState(std::size_t count, std::size_t grain,
+                   const std::function<void(std::size_t)>& body)
+      : count(count), grain(grain),
+        chunks((count + grain - 1) / grain), body(&body) {}
+
+  const std::size_t count;
+  const std::size_t grain;
+  const std::size_t chunks;
+  const std::function<void(std::size_t)>* body;
+
+  std::atomic<std::size_t> next{0};     // next unclaimed chunk
+  std::atomic<bool> cancelled{false};   // set on first exception
+
+  std::mutex mutex;
+  std::condition_variable drained;
+  std::size_t active = 0;  // participants currently inside run()
+  std::exception_ptr error;
+
+  void run() {
+    {
+      std::lock_guard lock(mutex);
+      ++active;
+    }
+    for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) break;
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) break;
+      const std::size_t begin = chunk * grain;
+      const std::size_t end = std::min(begin + grain, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard lock(mutex);
+      if (--active == 0) drained.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
+                  std::size_t threads, std::size_t grain) {
   if (count == 0) return;
-  std::size_t workers =
-      threads ? threads
-              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  workers = std::min(workers, count);
-  if (workers <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  grain = std::max<std::size_t>(1, grain);
+
+  ThreadPool& pool = shared_pool();
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t limit = threads ? threads : pool.thread_count() + 1;
+  const std::size_t workers = std::min(limit, chunks);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);  // exceptions propagate
     return;
   }
-  // Atomic work-stealing counter: cheap and balances uneven iterations
-  // (per-consumer ARIMA fits vary in cost).
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        body(i);
-      }
-    });
+
+  auto state = std::make_shared<ParallelForState>(count, grain, body);
+  // The caller is one participant; the rest are pool helpers.  The caller
+  // works too, so even a fully congested pool (e.g. a nested parallel_for
+  // from inside a pool task) makes progress and completes.
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.submit([state] { state->run(); });
   }
-  for (auto& t : pool) t.join();
+  state->run();
+
+  // After the caller's own run() the work is fully claimed (or cancelled);
+  // wait only for helpers still executing claimed chunks.  Helpers that the
+  // pool schedules later find nothing to claim and exit via `state` alone.
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(state->mutex);
+    state->drained.wait(lock, [&] { return state->active == 0; });
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace fdeta

@@ -1,23 +1,32 @@
-// A fixed-size worker pool with a parallel-for helper.
+// A fixed-size worker pool with a parallel-for helper and a process-wide
+// shared instance.
 //
 // The paper's evaluation ran "74 CPU cores for a total period of 4 weeks"
 // (Section VIII-B); our evaluation harness runs the same
 // consumer x attack-vector x detector sweep, parallelised per consumer.
+// The fleet path (FdetaPipeline / OnlineMonitor) runs on the shared pool so
+// that repeated calls (weekly sweeps, streaming batches, bench loops) do not
+// pay thread-spawn cost.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace fdeta {
 
-/// Work-queue thread pool.  Tasks are std::function<void()>; exceptions
-/// escaping a task terminate the process (tasks are expected to capture and
-/// report their own failures, as the evaluation harness does).
+/// Work-queue thread pool.  Tasks are std::function<void()>.  An exception
+/// escaping a task is captured (the first one wins) and rethrown to the
+/// caller of wait_idle(); it does not terminate the process.  For per-task
+/// error handling use submit_task(), whose future carries the task's own
+/// exception instead.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -26,13 +35,29 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains outstanding tasks and joins all workers.
+  /// Drains outstanding tasks and joins all workers.  A pending captured
+  /// exception that was never collected by wait_idle() is discarded.
   ~ThreadPool();
 
-  /// Enqueues a task for execution.
+  /// Enqueues a fire-and-forget task.  If it throws, the first such
+  /// exception is rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Futures-style submission: enqueues `f` and returns a future for its
+  /// result.  Exceptions thrown by `f` surface through the future (not
+  /// through wait_idle()).
+  template <typename F>
+  auto submit_task(F f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });  // packaged_task never lets escape
+    return future;
+  }
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception captured from a fire-and-forget task (if any),
+  /// clearing it so the pool stays usable.
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -47,12 +72,28 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // from fire-and-forget tasks
 };
 
-/// Runs `body(i)` for i in [0, count) across a temporary pool (or inline for
-/// tiny ranges).  Blocks until all iterations complete.  `body` must be safe
-/// to invoke concurrently for distinct indices.
+/// The lazily-initialized process-wide pool (hardware_concurrency workers).
+/// All parallel_for calls and the fleet path share it, so tight bench loops
+/// stop paying per-call thread-spawn cost.
+ThreadPool& shared_pool();
+
+/// Runs `body(i)` for i in [0, count) on the shared pool (or inline for tiny
+/// ranges).  Blocks until all iterations complete; the calling thread
+/// participates in the work, so nested calls cannot deadlock the pool.
+///
+/// `threads` caps the parallelism (0 = pool width + the caller).  `grain`
+/// batches consecutive indices per scheduling step: leave it at 1 for
+/// expensive uneven iterations (per-consumer ARIMA fits), raise it for cheap
+/// ones (per-consumer KLD scoring) to amortise the work-counter contention.
+///
+/// If `body` throws, remaining unclaimed iterations are abandoned and the
+/// first exception is rethrown on the calling thread once in-flight
+/// iterations have drained.  `body` must be safe to invoke concurrently for
+/// distinct indices.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
-                  std::size_t threads = 0);
+                  std::size_t threads = 0, std::size_t grain = 1);
 
 }  // namespace fdeta

@@ -1,6 +1,10 @@
 #include "core/online_monitor.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace fdeta::core {
 
@@ -10,36 +14,34 @@ OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
 
 void OnlineMonitor::fit(const meter::Dataset& history,
                         const meter::TrainTestSplit& split) {
-  detectors_.clear();
-  ids_.clear();
-  state_.clear();
+  fitted_ = false;
   alerts_.clear();
 
-  detectors_.reserve(history.consumer_count());
-  for (const auto& series : history.consumers()) {
-    const auto train = split.train(series);
-    KldDetector detector(config_.kld);
-    detector.fit(train);
-    detectors_.push_back(std::move(detector));
-    ids_.push_back(series.id);
-
-    ConsumerState cs;
-    // Prime with the last (trusted) training week.
-    cs.window.assign(train.end() - kSlotsPerWeek, train.end());
-    state_.push_back(std::move(cs));
-  }
+  const std::size_t count = history.consumer_count();
+  detectors_.assign(count, KldDetector(config_.kld));
+  ids_.assign(count, meter::ConsumerId{});
+  state_.assign(count, ConsumerState{});
+  // Per-consumer fits are independent; run them on the shared pool.
+  parallel_for(
+      count,
+      [&](std::size_t i) {
+        const auto& series = history.consumer(i);
+        const auto train = split.train(series);
+        detectors_[i].fit(train);
+        ids_[i] = series.id;
+        // Prime with the last (trusted) training week.  Training spans start
+        // at a week boundary, so the primed vector is slot-of-week aligned.
+        state_[i].window.assign(train.end() - kSlotsPerWeek, train.end());
+      },
+      config_.threads);
   fitted_ = true;
 }
 
-std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
-                                                SlotIndex slot, Kw reading) {
-  require(fitted_, "OnlineMonitor: fit() not called");
-  require(consumer_index < state_.size(),
-          "OnlineMonitor: consumer index out of range");
+std::optional<AlertEvent> OnlineMonitor::apply(std::size_t consumer_index,
+                                               SlotIndex slot, Kw reading) {
   ConsumerState& cs = state_[consumer_index];
 
-  cs.window[cs.next_slot] = reading;
-  cs.next_slot = (cs.next_slot + 1) % cs.window.size();
+  cs.window[slot % cs.window.size()] = reading;
   if (cs.cooldown > 0) {
     --cs.cooldown;
     return std::nullopt;
@@ -52,10 +54,65 @@ std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
   if (score <= detector.threshold()) return std::nullopt;
 
   cs.cooldown = config_.cooldown_slots;
-  AlertEvent event{consumer_index, ids_[consumer_index], slot, score,
-                   detector.threshold()};
-  alerts_.push_back(event);
+  return AlertEvent{consumer_index, ids_[consumer_index], slot, score,
+                    detector.threshold()};
+}
+
+std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
+                                                SlotIndex slot, Kw reading) {
+  require(fitted_, "OnlineMonitor: fit() not called");
+  require(consumer_index < state_.size(),
+          "OnlineMonitor: consumer index out of range");
+  auto event = apply(consumer_index, slot, reading);
+  if (event) alerts_.push_back(*event);
   return event;
+}
+
+std::vector<AlertEvent> OnlineMonitor::ingest_batch(
+    std::span<const Reading> readings) {
+  require(fitted_, "OnlineMonitor: fit() not called");
+  for (const auto& r : readings) {  // validate before mutating any state
+    require(r.consumer_index < state_.size(),
+            "OnlineMonitor: consumer index out of range");
+  }
+
+  // Group the batch by consumer, preserving each consumer's arrival order.
+  // Distinct consumers have disjoint state, so they score in parallel; the
+  // (batch position, alert) pairs are then merged back into arrival order
+  // to match repeated ingest() exactly.
+  std::vector<std::vector<std::size_t>> by_consumer(state_.size());
+  for (std::size_t r = 0; r < readings.size(); ++r) {
+    by_consumer[readings[r].consumer_index].push_back(r);
+  }
+  std::vector<std::size_t> touched;
+  for (std::size_t c = 0; c < by_consumer.size(); ++c) {
+    if (!by_consumer[c].empty()) touched.push_back(c);
+  }
+
+  std::vector<std::optional<AlertEvent>> raised(readings.size());
+  parallel_for(
+      touched.size(),
+      [&](std::size_t t) {
+        for (const std::size_t r : by_consumer[touched[t]]) {
+          raised[r] = apply(readings[r].consumer_index, readings[r].slot,
+                            readings[r].kw);
+        }
+      },
+      config_.threads);
+
+  std::vector<AlertEvent> events;
+  for (auto& event : raised) {
+    if (event) events.push_back(*event);
+  }
+  alerts_.insert(alerts_.end(), events.begin(), events.end());
+  return events;
+}
+
+std::span<const Kw> OnlineMonitor::window(std::size_t consumer_index) const {
+  require(fitted_, "OnlineMonitor: fit() not called");
+  require(consumer_index < state_.size(),
+          "OnlineMonitor: consumer index out of range");
+  return state_[consumer_index].window;
 }
 
 }  // namespace fdeta::core

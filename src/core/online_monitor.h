@@ -6,9 +6,14 @@
 // time-to-detection machinery) are rescored as reported readings stream in
 // from the AMI head-end, emitting alert events with a per-consumer cooldown
 // so a single anomaly does not flood the operator queue.
+//
+// Thread-safety: fit() and ingest_batch() parallelise internally on the
+// shared pool; external calls into one OnlineMonitor must still be
+// serialised by the caller (single head-end feed).
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/kld_detector.h"
@@ -25,6 +30,13 @@ struct AlertEvent {
   double threshold = 0.0;
 };
 
+/// One reported reading as delivered by the AMI head-end.
+struct Reading {
+  std::size_t consumer_index = 0;
+  SlotIndex slot = 0;  ///< absolute slot of the reading
+  Kw kw = 0.0;
+};
+
 struct OnlineMonitorConfig {
   KldDetectorConfig kld{};
   /// Rescore the sliding vector every `stride` readings (1 = every reading;
@@ -33,6 +45,9 @@ struct OnlineMonitorConfig {
   /// After an alert, suppress further alerts for this consumer until this
   /// many readings have passed (default: one day).
   std::size_t cooldown_slots = 48;
+  /// Parallelism cap for fit()/ingest_batch() on the shared pool
+  /// (0 = full pool width, 1 = serial).
+  std::size_t threads = 0;
 };
 
 class OnlineMonitor {
@@ -48,18 +63,39 @@ class OnlineMonitor {
   std::optional<AlertEvent> ingest(std::size_t consumer_index, SlotIndex slot,
                                    Kw reading);
 
+  /// Ingests a batch of readings (one head-end delivery), scoring consumers
+  /// in parallel on the shared pool.  Per-consumer readings are applied in
+  /// batch order, so the returned alerts (also appended to alerts()) are
+  /// identical to calling ingest() once per reading, in the same order.
+  /// Validates every consumer index up front; on failure nothing is applied.
+  std::vector<AlertEvent> ingest_batch(std::span<const Reading> readings);
+
   /// All alerts raised so far, in ingestion order.
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
+
+  /// The consumer's sliding week vector, indexed by slot-of-week (exposed
+  /// for diagnostics and alignment tests).
+  std::span<const Kw> window(std::size_t consumer_index) const;
 
   std::size_t consumer_count() const { return detectors_.size(); }
 
  private:
   struct ConsumerState {
-    std::vector<Kw> window;    // sliding week vector
-    std::size_t next_slot = 0;
+    // Sliding week vector, indexed by slot-of-week: window[s % kSlotsPerWeek]
+    // always holds the freshest reading for that slot position, so the
+    // vector handed to the detector is slot-aligned by construction (a ring
+    // buffer rotated by its write cursor is only accidentally correct for
+    // the order-insensitive plain KLD and breaks slot-aligned detectors
+    // such as the price-conditioned KLD).
+    std::vector<Kw> window;
     std::size_t since_score = 0;
     std::size_t cooldown = 0;
   };
+
+  /// Applies one reading to its consumer's state; does NOT touch alerts_
+  /// (callers append, preserving ingestion order across a parallel batch).
+  std::optional<AlertEvent> apply(std::size_t consumer_index, SlotIndex slot,
+                                  Kw reading);
 
   OnlineMonitorConfig config_;
   std::vector<KldDetector> detectors_;

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "meter/weekly_stats.h"
 #include "stats/descriptive.h"
 #include "stats/quantile.h"
@@ -37,17 +38,19 @@ std::vector<meter::ConsumerId> PipelineReport::suspected_victims() const {
 FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {}
 
 void FdetaPipeline::fit(const meter::Dataset& actual) {
-  detectors_.clear();
-  train_stats_.clear();
-  detectors_.reserve(actual.consumer_count());
-  train_stats_.reserve(actual.consumer_count());
-  for (const auto& series : actual.consumers()) {
-    const auto train = config_.split.train(series);
-    KldDetector detector(config_.kld);
-    detector.fit(train);
-    detectors_.push_back(std::move(detector));
-    train_stats_.push_back(meter::weekly_stats(train));
-  }
+  fitted_ = false;
+  const std::size_t count = actual.consumer_count();
+  detectors_.assign(count, KldDetector(config_.kld));
+  train_stats_.assign(count, meter::WeeklyStats{});
+  // Per-consumer fits are independent; run them on the shared pool.
+  parallel_for(
+      count,
+      [&](std::size_t i) {
+        const auto train = config_.split.train(actual.consumer(i));
+        detectors_[i].fit(train);
+        train_stats_[i] = meter::weekly_stats(train);
+      },
+      config_.threads);
   fitted_ = true;
 }
 
@@ -59,48 +62,65 @@ PipelineReport FdetaPipeline::evaluate_week(
   require(reported.consumer_count() == detectors_.size(),
           "FdetaPipeline: reported dataset size mismatch");
   require(week < reported.week_count(), "FdetaPipeline: week out of range");
+  require(actual.consumer_count() == detectors_.size(),
+          "FdetaPipeline: actual dataset size mismatch");
+  require(week < actual.week_count(),
+          "FdetaPipeline: week out of range in actual dataset");
 
   PipelineReport report;
-  report.verdicts.reserve(reported.consumer_count());
+  report.verdicts.resize(reported.consumer_count());
 
-  for (std::size_t i = 0; i < reported.consumer_count(); ++i) {
-    const auto& series = reported.consumer(i);
-    const auto week_readings = series.week(week);
+  // Steps 2-4 are independent per consumer; KLD scoring is ~microseconds,
+  // so schedule in chunks to amortise the work-counter contention.
+  parallel_for(
+      reported.consumer_count(),
+      [&](std::size_t i) {
+        const auto& series = reported.consumer(i);
+        const auto week_readings = series.week(week);
 
-    ConsumerVerdict verdict;
-    verdict.id = series.id;
-    verdict.kld_score = detectors_[i].score(week_readings);       // step 2
-    verdict.kld_threshold = detectors_[i].threshold();
+        ConsumerVerdict verdict;
+        verdict.id = series.id;
+        verdict.kld_score = detectors_[i].score(week_readings);       // step 2
+        verdict.kld_threshold = detectors_[i].threshold();
 
-    if (verdict.kld_score > verdict.kld_threshold) {
-      // Step 3: classify the anomaly direction by the week's mean relative
-      // to the training weekly-mean range.
-      // Direction is judged against the bulk of the training weekly means
-      // (upper/lower quartile), not the extremes: a flagged week whose mean
-      // sits in the top quartile reads as over-reporting (victim), bottom
-      // quartile as under-reporting (attacker).
-      const double m = stats::mean(week_readings);
-      const auto& ts = train_stats_[i];
-      const double hi = stats::quantile(ts.means, 0.75) *
-                        (1.0 + config_.direction_margin);
-      const double lo = stats::quantile(ts.means, 0.25) *
-                        (1.0 - config_.direction_margin);
-      if (m > hi) {
-        verdict.status = VerdictStatus::kSuspectedVictim;
-      } else if (m < lo) {
-        verdict.status = VerdictStatus::kSuspectedAttacker;
-      } else {
-        verdict.status = VerdictStatus::kSuspectedAnomaly;
-      }
+        if (verdict.kld_score > verdict.kld_threshold) {
+          // Step 3: classify the anomaly direction by the week's mean
+          // relative to the training weekly-mean range.
+          // Direction is judged against the bulk of the training weekly means
+          // (upper/lower quartile), not the extremes: a flagged week whose
+          // mean sits in the top quartile reads as over-reporting (victim),
+          // bottom quartile as under-reporting (attacker).
+          const double m = stats::mean(week_readings);
+          const auto& ts = train_stats_[i];
+          const double q75 = stats::quantile(ts.means, 0.75);
+          const double q25 = stats::quantile(ts.means, 0.25);
+          if (q25 < config_.direction_floor_kw ||
+              q75 < config_.direction_floor_kw) {
+            // Quartile means ~0 (vacant property, dead meter): the lower
+            // band collapses to 0 and no week could ever read as
+            // under-reporting, so direction is indeterminate.
+            verdict.status = VerdictStatus::kSuspectedAnomaly;
+          } else {
+            const double hi = q75 * (1.0 + config_.direction_margin);
+            const double lo = q25 * (1.0 - config_.direction_margin);
+            if (m > hi) {
+              verdict.status = VerdictStatus::kSuspectedVictim;
+            } else if (m < lo) {
+              verdict.status = VerdictStatus::kSuspectedAttacker;
+            } else {
+              verdict.status = VerdictStatus::kSuspectedAnomaly;
+            }
+          }
 
-      // Step 4: external evidence can excuse the anomaly.
-      if (auto excuse = calendar.excuse(week)) {
-        verdict.status = VerdictStatus::kExcused;
-        verdict.excuse = std::move(excuse);
-      }
-    }
-    report.verdicts.push_back(std::move(verdict));
-  }
+          // Step 4: external evidence can excuse the anomaly.
+          if (auto excuse = calendar.excuse(week)) {
+            verdict.status = VerdictStatus::kExcused;
+            verdict.excuse = std::move(excuse);
+          }
+        }
+        report.verdicts[i] = std::move(verdict);
+      },
+      config_.threads, /*grain=*/16);
 
   // Step 5: systematic investigation via the topology's balance checks,
   // using the attacked week's average demands.
@@ -109,10 +129,13 @@ PipelineReport FdetaPipeline::evaluate_week(
             "FdetaPipeline: topology consumer count mismatch");
     std::vector<Kw> actual_avg(reported.consumer_count());
     std::vector<Kw> reported_avg(reported.consumer_count());
-    for (std::size_t i = 0; i < reported.consumer_count(); ++i) {
-      actual_avg[i] = stats::mean(actual.consumer(i).week(week));
-      reported_avg[i] = stats::mean(reported.consumer(i).week(week));
-    }
+    parallel_for(
+        reported.consumer_count(),
+        [&](std::size_t i) {
+          actual_avg[i] = stats::mean(actual.consumer(i).week(week));
+          reported_avg[i] = stats::mean(reported.consumer(i).week(week));
+        },
+        config_.threads, /*grain=*/32);
     report.investigation =
         grid::investigate_case2(*topology, actual_avg, reported_avg,
                                 /*tolerance_kw=*/1e-6);

@@ -44,6 +44,15 @@ struct PipelineConfig {
   /// Relative margin applied to the training weekly-mean quartiles when
   /// classifying the anomaly direction (step 3).
   double direction_margin = 0.0;
+  /// Absolute floor (kW) under which the training quartile means are too
+  /// close to zero to judge an anomaly's direction: `q25 * (1 - margin)`
+  /// collapses to ~0 for such consumers, so under-reporting could never be
+  /// classified.  Below the floor the verdict falls back to
+  /// kSuspectedAnomaly instead of silently mislabeling.
+  double direction_floor_kw = 1e-6;
+  /// Parallelism cap for fit()/evaluate_week() on the shared pool
+  /// (0 = full pool width, 1 = serial).
+  std::size_t threads = 0;
 };
 
 struct PipelineReport {

@@ -156,6 +156,80 @@ TEST_F(PipelineTest, RequiresFitBeforeEvaluate) {
                InvalidArgument);
 }
 
+TEST_F(PipelineTest, RejectsMismatchedActualDataset) {
+  const EvidenceCalendar calendar;
+  // Fewer consumers in `actual` than the pipeline was fitted on: previously
+  // an out-of-range access in the step-5 averages; now rejected up front.
+  const auto fewer_consumers = datagen::small_dataset(6, 30, 31);
+  EXPECT_THROW(pipeline_->evaluate_week(fewer_consumers, actual_, 24, calendar),
+               InvalidArgument);
+  // Same consumer count but a shorter horizon than the judged week.
+  const auto fewer_weeks = datagen::small_dataset(12, 20, 31);
+  EXPECT_THROW(pipeline_->evaluate_week(fewer_weeks, actual_, 24, calendar),
+               InvalidArgument);
+  // Mismatched `reported` stays rejected too.
+  EXPECT_THROW(pipeline_->evaluate_week(actual_, fewer_consumers, 24, calendar),
+               InvalidArgument);
+}
+
+TEST_F(PipelineTest, SerialAndPooledEvaluationAgree) {
+  PipelineConfig serial_config = config_;
+  serial_config.threads = 1;
+  FdetaPipeline serial(serial_config);
+  serial.fit(actual_);
+
+  const EvidenceCalendar calendar;
+  const auto reported = inject(3, /*over_report=*/false);
+  const auto topology = grid::Topology::single_feeder(12, 0.0);
+  const auto pooled_report =
+      pipeline_->evaluate_week(actual_, reported, 24, calendar, &topology);
+  const auto serial_report =
+      serial.evaluate_week(actual_, reported, 24, calendar, &topology);
+
+  ASSERT_EQ(pooled_report.verdicts.size(), serial_report.verdicts.size());
+  for (std::size_t i = 0; i < pooled_report.verdicts.size(); ++i) {
+    EXPECT_EQ(pooled_report.verdicts[i].id, serial_report.verdicts[i].id);
+    EXPECT_EQ(pooled_report.verdicts[i].status,
+              serial_report.verdicts[i].status);
+    EXPECT_DOUBLE_EQ(pooled_report.verdicts[i].kld_score,
+                     serial_report.verdicts[i].kld_score);
+    EXPECT_DOUBLE_EQ(pooled_report.verdicts[i].kld_threshold,
+                     serial_report.verdicts[i].kld_threshold);
+  }
+  ASSERT_TRUE(pooled_report.investigation.has_value());
+  ASSERT_TRUE(serial_report.investigation.has_value());
+  EXPECT_EQ(pooled_report.investigation->suspects,
+            serial_report.investigation->suspects);
+}
+
+TEST(PipelineDirectionFloor, NearZeroTrainingMeansFallBackToAnomaly) {
+  // A vacant property: essentially zero consumption through training, then a
+  // large flagged week.  `lo = q25 * (1 - margin)` collapses to ~0 for such
+  // a consumer, so the old classifier could only ever call it a victim;
+  // direction is indeterminate and must read as kSuspectedAnomaly.
+  const std::size_t weeks = 30;
+  meter::ConsumerSeries vacant;
+  vacant.id = 4242;
+  vacant.readings.assign(weeks * kSlotsPerWeek, 0.0);
+  for (std::size_t t = 24 * kSlotsPerWeek; t < 25 * kSlotsPerWeek; ++t) {
+    vacant.readings[t] = 5.0;  // anomalous occupied week
+  }
+  meter::Dataset population({vacant});
+
+  PipelineConfig config;
+  config.split = meter::TrainTestSplit{.train_weeks = 24, .test_weeks = 6};
+  config.kld = {.bins = 10, .significance = 0.10};
+  FdetaPipeline pipeline(config);
+  pipeline.fit(population);
+
+  const EvidenceCalendar calendar;
+  const auto report =
+      pipeline.evaluate_week(population, population, 24, calendar);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_GT(report.verdicts[0].kld_score, report.verdicts[0].kld_threshold);
+  EXPECT_EQ(report.verdicts[0].status, VerdictStatus::kSuspectedAnomaly);
+}
+
 TEST(EvidenceCalendar, ExcuseSemantics) {
   EvidenceCalendar calendar;
   EXPECT_FALSE(calendar.excuse(5).has_value());
