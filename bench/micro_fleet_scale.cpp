@@ -4,11 +4,18 @@
 // ROADMAP's production-scale loop (millions of meters at a control center);
 // the numbers here anchor the perf trajectory from PR 1 onward.
 //
+// Each scale also prints a stage-level breakdown from the obs telemetry
+// layer (one isolated registry per scale, plus shared-pool deltas from the
+// default registry), so a throughput regression can be localised to a stage
+// before anyone reaches for a profiler.
+//
+// Flags: --smoke caps the population at 1000 consumers (the CI lane).
 // Env knobs: FDETA_FLEET_MAX caps the largest population (default 50000,
 // lower it on small machines); FDETA_FLEET_WEEKS sets the horizon (default
 // 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/env.h"
@@ -17,6 +24,7 @@
 #include "core/pipeline.h"
 #include "datagen/generator.h"
 #include "meter/dataset.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -38,7 +46,7 @@ struct FleetTimings {
 };
 
 FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, fdeta::obs::MetricsRegistry& reg) {
   const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
   const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
                                            .test_weeks = 1};
@@ -49,6 +57,7 @@ FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
     fdeta::core::PipelineConfig config;
     config.split = split;
     config.threads = pooled ? 0 : 1;
+    config.metrics = &reg;
     fdeta::core::FdetaPipeline pipeline(config);
 
     auto start = std::chrono::steady_clock::now();
@@ -74,6 +83,7 @@ FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
   // Streaming path: one head-end delivery = one slot for every consumer.
   fdeta::core::OnlineMonitorConfig mon_config;
   mon_config.stride = 1;  // score on every reading (worst case)
+  mon_config.metrics = &reg;
   fdeta::core::OnlineMonitor monitor(mon_config);
   monitor.fit(dataset, split);
   std::vector<fdeta::core::Reading> delivery;
@@ -95,10 +105,57 @@ FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
   return out;
 }
 
+double hist_sum(const fdeta::obs::MetricsSnapshot& snap, const char* name) {
+  const auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? 0.0 : it->second.sum;
+}
+
+void print_breakdown(std::size_t consumers,
+                     const fdeta::obs::MetricsSnapshot& snap,
+                     const fdeta::obs::MetricsSnapshot& pool_before,
+                     const fdeta::obs::MetricsSnapshot& pool_after) {
+  std::printf(
+      "          | stages @%zu: fit consumers=%llu thresholds=%llu "
+      "(%.3fs) | score weeks=%llu verdicts=%llu anomalous=%llu (%.3fs) | "
+      "ingest readings=%llu scored=%llu alerts=%llu (%.3fs)\n",
+      consumers,
+      static_cast<unsigned long long>(snap.counter("pipeline.consumers_fitted")),
+      static_cast<unsigned long long>(
+          snap.counter("pipeline.thresholds_recomputed")),
+      hist_sum(snap, "pipeline.fit_seconds"),
+      static_cast<unsigned long long>(snap.counter("pipeline.weeks_scored")),
+      static_cast<unsigned long long>(snap.counter("pipeline.verdicts")),
+      static_cast<unsigned long long>(
+          snap.counter("pipeline.verdicts") -
+          snap.counter("pipeline.verdict_normal")),
+      hist_sum(snap, "pipeline.evaluate_seconds"),
+      static_cast<unsigned long long>(
+          snap.counter("monitor.readings_ingested")),
+      static_cast<unsigned long long>(snap.counter("monitor.scores_evaluated")),
+      static_cast<unsigned long long>(snap.counter("monitor.alerts_raised")),
+      hist_sum(snap, "monitor.ingest_batch_seconds"));
+  std::printf(
+      "          | pool @%zu: +tasks=%llu (completed +%llu) "
+      "queue_highwater=%lld\n",
+      consumers,
+      static_cast<unsigned long long>(
+          pool_after.counter("pool.tasks_submitted") -
+          pool_before.counter("pool.tasks_submitted")),
+      static_cast<unsigned long long>(
+          pool_after.counter("pool.tasks_completed") -
+          pool_before.counter("pool.tasks_completed")),
+      static_cast<long long>(pool_after.gauge("pool.queue_depth_highwater")));
+}
+
 }  // namespace
 
-int main() {
-  const std::size_t max_consumers = fdeta::env_size("FDETA_FLEET_MAX", 50000);
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::size_t max_consumers = fdeta::env_size("FDETA_FLEET_MAX", 50000);
+  if (smoke && max_consumers > 1000) max_consumers = 1000;
   const std::size_t weeks = fdeta::env_size("FDETA_FLEET_WEEKS", 9);
   const auto seed =
       static_cast<std::uint64_t>(fdeta::env_size("FDETA_SEED", 20160628));
@@ -112,11 +169,15 @@ int main() {
   for (const std::size_t consumers : {std::size_t{1000}, std::size_t{10000},
                                       std::size_t{50000}}) {
     if (consumers > max_consumers) continue;
-    const auto t = run_scale(consumers, weeks, seed);
+    fdeta::obs::MetricsRegistry reg;
+    const auto pool_before = fdeta::obs::default_registry().snapshot();
+    const auto t = run_scale(consumers, weeks, seed, reg);
+    const auto pool_after = fdeta::obs::default_registry().snapshot();
     std::printf("%9zu | %11.0f %11.0f %6.2fx | %12.0f %12.0f %6.2fx | %14.0f\n",
                 consumers, t.fit_serial, t.fit_pooled,
                 t.fit_pooled / t.fit_serial, t.score_serial, t.score_pooled,
                 t.score_pooled / t.score_serial, t.batch_pooled);
+    print_breakdown(consumers, reg.snapshot(), pool_before, pool_after);
   }
   return 0;
 }

@@ -1,12 +1,21 @@
 #include "ami/network.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace fdeta::ami {
 
-HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots) : slots_(slots) {
+HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
+                 obs::MetricsRegistry* metrics)
+    : slots_(slots), missing_(consumers * slots) {
   values_.assign(consumers, std::vector<Kw>(slots, 0.0));
   received_.assign(consumers, std::vector<char>(slots, 0));
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::default_registry();
+  reports_received_ = &registry.counter("ami.reports_received");
+  reports_overwritten_ = &registry.counter("ami.reports_overwritten");
+  missing_gauge_ = &registry.gauge("ami.reports_missing");
+  missing_gauge_->set(static_cast<std::int64_t>(missing_));
 }
 
 void HeadEnd::receive(const ReadingReport& report) {
@@ -14,7 +23,15 @@ void HeadEnd::receive(const ReadingReport& report) {
           "HeadEnd::receive: consumer out of range");
   require(report.slot < slots_, "HeadEnd::receive: slot out of range");
   values_[report.consumer_index][report.slot] = report.kw;
-  received_[report.consumer_index][report.slot] = 1;
+  char& seen = received_[report.consumer_index][report.slot];
+  if (seen) {
+    reports_overwritten_->add();
+  } else {
+    seen = 1;
+    --missing_;
+    missing_gauge_->set(static_cast<std::int64_t>(missing_));
+  }
+  reports_received_->add();
 }
 
 bool HeadEnd::has_reading(std::size_t consumer, SlotIndex slot) const {
@@ -34,28 +51,35 @@ std::vector<Kw> HeadEnd::consumer_readings(std::size_t consumer) const {
   return values_[consumer];
 }
 
-std::size_t HeadEnd::missing_count() const {
-  std::size_t missing = 0;
-  for (const auto& row : received_) {
-    for (char r : row) {
-      if (!r) ++missing;
-    }
+std::vector<Kw> HeadEnd::consumer_readings(
+    std::size_t consumer, std::vector<char>& missing_mask) const {
+  require(consumer < values_.size(),
+          "HeadEnd::consumer_readings: out of range");
+  missing_mask.assign(slots_, 0);
+  for (std::size_t t = 0; t < slots_; ++t) {
+    if (!received_[consumer][t]) missing_mask[t] = 1;
   }
-  return missing;
+  return values_[consumer];
 }
 
-MeterNetwork::MeterNetwork(const meter::Dataset& actual) : actual_(&actual) {}
-
-void MeterNetwork::add_interceptor(Interceptor interceptor) {
-  require(static_cast<bool>(interceptor),
-          "MeterNetwork::add_interceptor: empty interceptor");
-  interceptors_.push_back(std::move(interceptor));
+MeterNetwork::MeterNetwork(const meter::Dataset& actual,
+                           obs::MetricsRegistry* metrics)
+    : actual_(&actual) {
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::default_registry();
+  sent_counter_ = &registry.counter("ami.messages_sent");
+  tampered_counter_ = &registry.counter("ami.messages_tampered");
+  dropped_counter_ = &registry.counter("ami.messages_dropped");
+  deliveries_counter_ = &registry.counter("ami.deliveries");
 }
 
 void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
                             SlotIndex last) {
   require(first <= last && last <= actual_->slot_count(),
           "MeterNetwork::transmit: bad slot range");
+  const std::size_t sent_before = messages_sent_;
+  const std::size_t tampered_before = messages_tampered_;
+  const std::size_t dropped_before = messages_dropped_;
   for (std::size_t c = 0; c < actual_->consumer_count(); ++c) {
     const auto& readings = actual_->consumer(c).readings;
     for (SlotIndex t = first; t < last; ++t) {
@@ -83,6 +107,16 @@ void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
       head_end.receive(report);
     }
   }
+  deliveries_counter_->add();
+  sent_counter_->add(messages_sent_ - sent_before);
+  tampered_counter_->add(messages_tampered_ - tampered_before);
+  dropped_counter_->add(messages_dropped_ - dropped_before);
+}
+
+void MeterNetwork::add_interceptor(Interceptor interceptor) {
+  require(static_cast<bool>(interceptor),
+          "MeterNetwork::add_interceptor: empty interceptor");
+  interceptors_.push_back(std::move(interceptor));
 }
 
 Interceptor scale_interceptor(std::size_t consumer_index, double factor) {

@@ -7,6 +7,13 @@
 // injections are man-in-the-middle mutations of in-flight reading reports,
 // and the head-end's collected view is exactly the reported dataset D' that
 // the detectors judge.
+//
+// Telemetry (obs/metrics.h): per-delivery accounting of the reporting plane
+// - ami.messages_sent / ami.messages_tampered / ami.messages_dropped /
+// ami.deliveries from the network side, ami.reports_received /
+// ami.reports_overwritten and the ami.reports_missing gauge from the
+// head-end side.  Pass a MetricsRegistry to isolate an instance; null uses
+// the process-wide default registry.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,14 @@
 
 #include "common/units.h"
 #include "meter/dataset.h"
+
+namespace fdeta {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace fdeta
 
 namespace fdeta::ami {
 
@@ -36,7 +51,8 @@ using Interceptor =
 /// from "zero demand".
 class HeadEnd {
  public:
-  HeadEnd(std::size_t consumers, std::size_t slots);
+  HeadEnd(std::size_t consumers, std::size_t slots,
+          obs::MetricsRegistry* metrics = nullptr);
 
   void receive(const ReadingReport& report);
 
@@ -47,21 +63,36 @@ class HeadEnd {
   Kw reading(std::size_t consumer, SlotIndex slot) const;
 
   /// Reported readings for one consumer (missing slots filled with 0).
+  /// Prefer the mask overload below: a 0 here is indistinguishable from a
+  /// dropped report, and downstream consumers must not impute demand.
   std::vector<Kw> consumer_readings(std::size_t consumer) const;
 
-  std::size_t missing_count() const;
+  /// As above, but also fills `missing_mask` (resized to slot_count()) with
+  /// 1 for every slot that never received a report, so callers can count
+  /// missing readings instead of imputing 0.
+  std::vector<Kw> consumer_readings(std::size_t consumer,
+                                    std::vector<char>& missing_mask) const;
+
+  /// Slots (over all consumers) that never received a report.  O(1).
+  std::size_t missing_count() const { return missing_; }
 
  private:
   std::size_t slots_;
   std::vector<std::vector<Kw>> values_;
   std::vector<std::vector<char>> received_;
+  std::size_t missing_ = 0;  // slots never reported, kept current by receive()
+
+  obs::Counter* reports_received_ = nullptr;
+  obs::Counter* reports_overwritten_ = nullptr;
+  obs::Gauge* missing_gauge_ = nullptr;
 };
 
 /// The field network: walks a ground-truth dataset, emitting one report per
 /// consumer per slot, passing each through the interceptor chain.
 class MeterNetwork {
  public:
-  explicit MeterNetwork(const meter::Dataset& actual);
+  explicit MeterNetwork(const meter::Dataset& actual,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   /// Appends an interceptor; interceptors run in insertion order.
   void add_interceptor(Interceptor interceptor);
@@ -80,6 +111,11 @@ class MeterNetwork {
   std::size_t messages_sent_ = 0;
   std::size_t messages_tampered_ = 0;
   std::size_t messages_dropped_ = 0;
+
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* tampered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* deliveries_counter_ = nullptr;
 };
 
 /// Interceptor scaling one consumer's readings by `factor` (< 1 under-

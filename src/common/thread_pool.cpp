@@ -4,12 +4,22 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fdeta {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, obs::MetricsRegistry* metrics) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Resolve the metric handles before any worker exists so the workers only
+  // ever touch initialized pointers.  (default_registry() outlives the
+  // shared pool: it is constructed here, before the pool's static finishes.)
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::default_registry();
+  tasks_submitted_ = &registry.counter("pool.tasks_submitted");
+  tasks_completed_ = &registry.counter("pool.tasks_completed");
+  queue_highwater_ = &registry.gauge("pool.queue_depth_highwater");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -29,7 +39,9 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_highwater_->update_max(static_cast<std::int64_t>(queue_.size()));
   }
+  tasks_submitted_->add();
   work_available_.notify_one();
 }
 
@@ -60,6 +72,7 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       error = std::current_exception();
     }
+    tasks_completed_->add();
     {
       std::lock_guard lock(mutex_);
       if (error && !first_error_) first_error_ = error;

@@ -22,6 +22,12 @@
 
 namespace fdeta {
 
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Work-queue thread pool.  Tasks are std::function<void()>.  An exception
 /// escaping a task is captured (the first one wins) and rethrown to the
 /// caller of wait_idle(); it does not terminate the process.  For per-task
@@ -30,7 +36,11 @@ namespace fdeta {
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(std::size_t threads = 0);
+  /// Pool load telemetry (pool.tasks_submitted / pool.tasks_completed /
+  /// pool.queue_depth_highwater) is reported to `metrics`, or to
+  /// obs::default_registry() when null.
+  explicit ThreadPool(std::size_t threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -73,6 +83,11 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;  // from fire-and-forget tasks
+
+  // Cached at construction; updates are lock-free (see obs/metrics.h).
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Gauge* queue_highwater_ = nullptr;
 };
 
 /// The lazily-initialized process-wide pool (hardware_concurrency workers).

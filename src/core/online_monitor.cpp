@@ -5,15 +5,39 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
 
 namespace fdeta::core {
 
+const char* to_string(AlertDirection direction) {
+  switch (direction) {
+    case AlertDirection::kUnderReport: return "under-report";
+    case AlertDirection::kOverReport: return "over-report";
+  }
+  return "?";
+}
+
 OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
   require(config_.stride >= 1, "OnlineMonitor: stride must be >= 1");
+  obs::MetricsRegistry& registry = config_.metrics != nullptr
+                                       ? *config_.metrics
+                                       : obs::default_registry();
+  consumers_fitted_ = &registry.counter("monitor.consumers_fitted");
+  readings_ingested_ = &registry.counter("monitor.readings_ingested");
+  readings_missing_ = &registry.counter("monitor.readings_missing");
+  readings_in_cooldown_ = &registry.counter("monitor.readings_in_cooldown");
+  scores_evaluated_ = &registry.counter("monitor.scores_evaluated");
+  alerts_raised_ = &registry.counter("monitor.alerts_raised");
+  alerts_over_ = &registry.counter("monitor.alerts_over_report");
+  alerts_under_ = &registry.counter("monitor.alerts_under_report");
+  fit_seconds_ = &registry.histogram("monitor.fit_seconds");
+  batch_seconds_ = &registry.histogram("monitor.ingest_batch_seconds");
 }
 
 void OnlineMonitor::fit(const meter::Dataset& history,
                         const meter::TrainTestSplit& split) {
+  obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   alerts_.clear();
 
@@ -32,38 +56,60 @@ void OnlineMonitor::fit(const meter::Dataset& history,
         // Prime with the last (trusted) training week.  Training spans start
         // at a week boundary, so the primed vector is slot-of-week aligned.
         state_[i].window.assign(train.end() - kSlotsPerWeek, train.end());
+        state_[i].train_mean = stats::mean(train);
       },
       config_.threads);
   fitted_ = true;
+  consumers_fitted_->add(count);
 }
 
-std::optional<AlertEvent> OnlineMonitor::apply(std::size_t consumer_index,
-                                               SlotIndex slot, Kw reading) {
-  ConsumerState& cs = state_[consumer_index];
+std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
+  ConsumerState& cs = state_[reading.consumer_index];
 
-  cs.window[slot % cs.window.size()] = reading;
+  if (reading.missing) {
+    // A dropped report carries no information: keep the last slot-aligned
+    // value (do NOT impute 0 - a zero week is exactly what an under-report
+    // attack looks like) and account for the gap.
+    readings_missing_->add();
+    return std::nullopt;
+  }
+  readings_ingested_->add();
+
+  cs.window[reading.slot % cs.window.size()] = reading.kw;
   if (cs.cooldown > 0) {
     --cs.cooldown;
+    readings_in_cooldown_->add();
     return std::nullopt;
   }
   if (++cs.since_score < config_.stride) return std::nullopt;
   cs.since_score = 0;
 
-  const KldDetector& detector = detectors_[consumer_index];
+  scores_evaluated_->add();
+  const KldDetector& detector = detectors_[reading.consumer_index];
   const double score = detector.score(cs.window);
   if (score <= detector.threshold()) return std::nullopt;
 
   cs.cooldown = config_.cooldown_slots;
-  return AlertEvent{consumer_index, ids_[consumer_index], slot, score,
-                    detector.threshold()};
+  const AlertDirection direction = stats::mean(cs.window) > cs.train_mean
+                                       ? AlertDirection::kOverReport
+                                       : AlertDirection::kUnderReport;
+  alerts_raised_->add();
+  (direction == AlertDirection::kOverReport ? alerts_over_ : alerts_under_)
+      ->add();
+  return AlertEvent{reading.consumer_index, ids_[reading.consumer_index],
+                    reading.slot, score, detector.threshold(), direction};
 }
 
 std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
                                                 SlotIndex slot, Kw reading) {
+  return ingest(Reading{consumer_index, slot, reading, /*missing=*/false});
+}
+
+std::optional<AlertEvent> OnlineMonitor::ingest(const Reading& reading) {
   require(fitted_, "OnlineMonitor: fit() not called");
-  require(consumer_index < state_.size(),
+  require(reading.consumer_index < state_.size(),
           "OnlineMonitor: consumer index out of range");
-  auto event = apply(consumer_index, slot, reading);
+  auto event = apply(reading);
   if (event) alerts_.push_back(*event);
   return event;
 }
@@ -75,6 +121,7 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
     require(r.consumer_index < state_.size(),
             "OnlineMonitor: consumer index out of range");
   }
+  obs::ScopedTimer timer(*batch_seconds_);
 
   // Group the batch by consumer, preserving each consumer's arrival order.
   // Distinct consumers have disjoint state, so they score in parallel; the
@@ -94,8 +141,7 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
       touched.size(),
       [&](std::size_t t) {
         for (const std::size_t r : by_consumer[touched[t]]) {
-          raised[r] = apply(readings[r].consumer_index, readings[r].slot,
-                            readings[r].kw);
+          raised[r] = apply(readings[r]);
         }
       },
       config_.threads);

@@ -10,6 +10,11 @@
 // Thread-safety: fit() and ingest_batch() parallelise internally on the
 // shared pool; external calls into one OnlineMonitor must still be
 // serialised by the caller (single head-end feed).
+//
+// Telemetry (obs/metrics.h, "monitor." prefix): readings ingested / missing
+// / in-cooldown, scores evaluated, alerts raised split by direction, fit and
+// per-batch latency histograms.  All counters are deterministic under a
+// fixed seed and identical between the ingest() and ingest_batch() paths.
 #pragma once
 
 #include <optional>
@@ -20,7 +25,22 @@
 #include "core/time_to_detection.h"
 #include "meter/dataset.h"
 
+namespace fdeta {
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace fdeta
+
 namespace fdeta::core {
+
+/// Which way the triggering week vector deviates from the consumer's
+/// training mean: under-reporting marks a suspected attacker (Proposition
+/// 1), over-reporting a suspected victim (Proposition 2).
+enum class AlertDirection : std::uint8_t { kUnderReport, kOverReport };
+
+const char* to_string(AlertDirection direction);
 
 struct AlertEvent {
   std::size_t consumer_index = 0;
@@ -28,13 +48,18 @@ struct AlertEvent {
   SlotIndex slot = 0;      ///< absolute slot of the triggering reading
   double score = 0.0;      ///< KLD of the sliding week vector
   double threshold = 0.0;
+  AlertDirection direction = AlertDirection::kUnderReport;
 };
 
-/// One reported reading as delivered by the AMI head-end.
+/// One reported reading as delivered by the AMI head-end.  `missing` marks
+/// a slot the head-end never received (see HeadEnd::consumer_readings with
+/// a mask): it is counted, not imputed - the sliding window keeps its last
+/// slot-aligned value and no score is evaluated for it.
 struct Reading {
   std::size_t consumer_index = 0;
   SlotIndex slot = 0;  ///< absolute slot of the reading
   Kw kw = 0.0;
+  bool missing = false;
 };
 
 struct OnlineMonitorConfig {
@@ -48,6 +73,8 @@ struct OnlineMonitorConfig {
   /// Parallelism cap for fit()/ingest_batch() on the shared pool
   /// (0 = full pool width, 1 = serial).
   std::size_t threads = 0;
+  /// Telemetry sink; null = the process-wide obs::default_registry().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class OnlineMonitor {
@@ -62,6 +89,9 @@ class OnlineMonitor {
   /// sliding week vector crosses its threshold (subject to stride/cooldown).
   std::optional<AlertEvent> ingest(std::size_t consumer_index, SlotIndex slot,
                                    Kw reading);
+
+  /// As above, honouring `reading.missing` (counted, never applied).
+  std::optional<AlertEvent> ingest(const Reading& reading);
 
   /// Ingests a batch of readings (one head-end delivery), scoring consumers
   /// in parallel on the shared pool.  Per-consumer readings are applied in
@@ -90,12 +120,14 @@ class OnlineMonitor {
     std::vector<Kw> window;
     std::size_t since_score = 0;
     std::size_t cooldown = 0;
+    double train_mean = 0.0;  ///< training-span mean, for alert direction
   };
 
   /// Applies one reading to its consumer's state; does NOT touch alerts_
   /// (callers append, preserving ingestion order across a parallel batch).
-  std::optional<AlertEvent> apply(std::size_t consumer_index, SlotIndex slot,
-                                  Kw reading);
+  /// Counter updates are atomic, so concurrent calls for distinct consumers
+  /// keep the totals exact.
+  std::optional<AlertEvent> apply(const Reading& reading);
 
   OnlineMonitorConfig config_;
   std::vector<KldDetector> detectors_;
@@ -103,6 +135,18 @@ class OnlineMonitor {
   std::vector<ConsumerState> state_;
   std::vector<AlertEvent> alerts_;
   bool fitted_ = false;
+
+  // Cached at construction; updates are lock-free (see obs/metrics.h).
+  obs::Counter* consumers_fitted_ = nullptr;
+  obs::Counter* readings_ingested_ = nullptr;
+  obs::Counter* readings_missing_ = nullptr;
+  obs::Counter* readings_in_cooldown_ = nullptr;
+  obs::Counter* scores_evaluated_ = nullptr;
+  obs::Counter* alerts_raised_ = nullptr;
+  obs::Counter* alerts_over_ = nullptr;
+  obs::Counter* alerts_under_ = nullptr;
+  obs::Histogram* fit_seconds_ = nullptr;
+  obs::Histogram* batch_seconds_ = nullptr;
 };
 
 }  // namespace fdeta::core

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "meter/weekly_stats.h"
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 #include "stats/quantile.h"
 
@@ -35,9 +36,26 @@ std::vector<meter::ConsumerId> PipelineReport::suspected_victims() const {
   return out;
 }
 
-FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {}
+FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {
+  obs::MetricsRegistry& registry = config_.metrics != nullptr
+                                       ? *config_.metrics
+                                       : obs::default_registry();
+  consumers_fitted_ = &registry.counter("pipeline.consumers_fitted");
+  thresholds_recomputed_ = &registry.counter("pipeline.thresholds_recomputed");
+  weeks_scored_ = &registry.counter("pipeline.weeks_scored");
+  verdicts_ = &registry.counter("pipeline.verdicts");
+  verdict_normal_ = &registry.counter("pipeline.verdict_normal");
+  verdict_attacker_ = &registry.counter("pipeline.verdict_attacker");
+  verdict_victim_ = &registry.counter("pipeline.verdict_victim");
+  verdict_anomaly_ = &registry.counter("pipeline.verdict_anomaly");
+  verdict_excused_ = &registry.counter("pipeline.verdict_excused");
+  investigations_ = &registry.counter("pipeline.investigations");
+  fit_seconds_ = &registry.histogram("pipeline.fit_seconds");
+  evaluate_seconds_ = &registry.histogram("pipeline.evaluate_seconds");
+}
 
 void FdetaPipeline::fit(const meter::Dataset& actual) {
+  obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   const std::size_t count = actual.consumer_count();
   detectors_.assign(count, KldDetector(config_.kld));
@@ -52,6 +70,9 @@ void FdetaPipeline::fit(const meter::Dataset& actual) {
       },
       config_.threads);
   fitted_ = true;
+  consumers_fitted_->add(count);
+  // Each KldDetector::fit recomputes its (1-alpha) quantile threshold.
+  thresholds_recomputed_->add(count);
 }
 
 PipelineReport FdetaPipeline::evaluate_week(
@@ -66,6 +87,7 @@ PipelineReport FdetaPipeline::evaluate_week(
           "FdetaPipeline: actual dataset size mismatch");
   require(week < actual.week_count(),
           "FdetaPipeline: week out of range in actual dataset");
+  obs::ScopedTimer timer(*evaluate_seconds_);
 
   PipelineReport report;
   report.verdicts.resize(reported.consumer_count());
@@ -122,6 +144,20 @@ PipelineReport FdetaPipeline::evaluate_week(
       },
       config_.threads, /*grain=*/16);
 
+  // Tally verdicts serially after the parallel sweep: one add per status,
+  // and the totals stay byte-identical between serial and pooled runs.
+  weeks_scored_->add();
+  verdicts_->add(report.verdicts.size());
+  for (const auto& v : report.verdicts) {
+    switch (v.status) {
+      case VerdictStatus::kNormal: verdict_normal_->add(); break;
+      case VerdictStatus::kSuspectedAttacker: verdict_attacker_->add(); break;
+      case VerdictStatus::kSuspectedVictim: verdict_victim_->add(); break;
+      case VerdictStatus::kSuspectedAnomaly: verdict_anomaly_->add(); break;
+      case VerdictStatus::kExcused: verdict_excused_->add(); break;
+    }
+  }
+
   // Step 5: systematic investigation via the topology's balance checks,
   // using the attacked week's average demands.
   if (topology != nullptr) {
@@ -139,6 +175,7 @@ PipelineReport FdetaPipeline::evaluate_week(
     report.investigation =
         grid::investigate_case2(*topology, actual_avg, reported_avg,
                                 /*tolerance_kw=*/1e-6);
+    investigations_->add();
   }
   return report;
 }

@@ -18,6 +18,14 @@
 #include "meter/dataset.h"
 #include "meter/weekly_stats.h"
 
+namespace fdeta {
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace fdeta
+
 namespace fdeta::core {
 
 enum class VerdictStatus : std::uint8_t {
@@ -53,6 +61,11 @@ struct PipelineConfig {
   /// Parallelism cap for fit()/evaluate_week() on the shared pool
   /// (0 = full pool width, 1 = serial).
   std::size_t threads = 0;
+  /// Telemetry sink; null = the process-wide obs::default_registry().
+  /// Counters ("pipeline." prefix: consumers fitted, KLD threshold
+  /// recomputations, weeks scored, verdicts by status, investigations) are
+  /// deterministic under a fixed seed regardless of `threads`.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PipelineReport {
@@ -89,6 +102,21 @@ class FdetaPipeline {
   std::vector<KldDetector> detectors_;          // one per consumer
   std::vector<meter::WeeklyStats> train_stats_; // one per consumer
   bool fitted_ = false;
+
+  // Cached at construction; updates are lock-free (see obs/metrics.h) and
+  // happen once per fit/evaluate call, outside the per-consumer hot loops.
+  obs::Counter* consumers_fitted_ = nullptr;
+  obs::Counter* thresholds_recomputed_ = nullptr;
+  obs::Counter* weeks_scored_ = nullptr;
+  obs::Counter* verdicts_ = nullptr;
+  obs::Counter* verdict_normal_ = nullptr;
+  obs::Counter* verdict_attacker_ = nullptr;
+  obs::Counter* verdict_victim_ = nullptr;
+  obs::Counter* verdict_anomaly_ = nullptr;
+  obs::Counter* verdict_excused_ = nullptr;
+  obs::Counter* investigations_ = nullptr;
+  obs::Histogram* fit_seconds_ = nullptr;
+  obs::Histogram* evaluate_seconds_ = nullptr;
 };
 
 }  // namespace fdeta::core

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace fdeta::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty() || name.front() < 'a' || name.front() > 'z') return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  });
+}
+
+void check_name(std::string_view name) {
+  require(valid_metric_name(name),
+          "MetricsRegistry: metric name must match [a-z][a-z0-9_.]*: '" +
+              std::string(name) + "'");
+}
+
+void atomic_add_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), buckets_(edges_.size() + 1) {
+  require(!edges_.empty(), "Histogram: at least one bucket edge required");
+  require(std::is_sorted(edges_.begin(), edges_.end()) &&
+              std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+          "Histogram: bucket edges must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - edges_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+const std::vector<double>& default_latency_edges_seconds() {
+  static const std::vector<double> edges{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+                                         1e-3, 5e-3, 1e-2, 5e-2, 0.1,  0.5,
+                                         1.0,  5.0,  10.0};
+  return edges;
+}
+
+double ScopedTimer::stop() {
+  if (sink_ == nullptr) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  sink_->observe(elapsed);
+  sink_ = nullptr;
+  return elapsed;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+bool MetricsSnapshot::same_counts(const MetricsSnapshot& other) const {
+  return counters == other.counters && gauges == other.gauges;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + format_double(h.sum) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.upper_edges.size() ? format_double(h.upper_edges[i])
+                                      : std::string("\"inf\"");
+      out += ", \"count\": " + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out = "-- metrics " + std::string(48, '-') + "\n";
+  char line[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(line, sizeof(line), "counter  %-40s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge    %-40s %14lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    const double mean = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+    std::snprintf(line, sizeof(line),
+                  "hist     %-40s count=%llu sum=%.6gs mean=%.6gs\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum, mean);
+    out += line;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  check_name(name);
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  check_name(name);
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_edges) {
+  check_name(name);
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_edges.empty()) upper_edges = default_latency_edges_seconds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_edges)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.upper_edges = h->upper_edges();
+    hs.buckets = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fdeta::obs

@@ -1,0 +1,181 @@
+// Fleet telemetry: a lock-cheap metrics registry for the control-center
+// loop (head-end deliveries, online scoring, pipeline sweeps, pool load).
+//
+// Design rules:
+//  - Hot path is wait-free: Counter/Gauge/Histogram updates are relaxed
+//    atomics; instrumented code caches metric pointers at construction so
+//    per-reading work never takes the registry lock.
+//  - The registry lock guards only metric *creation/lookup* and snapshots.
+//  - Reads are snapshot-on-read: snapshot() copies every value into plain
+//    structs, so exposition (JSON/text) and test assertions never race the
+//    producers.
+//  - Counters are monotonic facts (readings ingested, alerts raised) - the
+//    deterministic fixed-seed paths make them exactly assertable; latency
+//    histograms are the only wall-clock-dependent metrics.
+//
+// Naming scheme (see DESIGN.md "Telemetry"): "<component>.<what>[_<unit>]",
+// lowercase [a-z0-9_.]; one metric name = one fixed time series, never
+// per-consumer/per-week names (unbounded cardinality).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdeta::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can move both ways (queue depth, missing-report backlog),
+/// with a CAS max-raise for high-water marks.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void update_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= upper_edges[i]
+/// (first matching edge); one extra overflow bucket catches the rest.
+/// Edges are frozen at creation, so concurrent observers only touch atomics.
+class Histogram {
+ public:
+  /// `upper_edges` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v);
+
+  const std::vector<double>& upper_edges() const { return edges_; }
+  /// Per-bucket counts; size upper_edges().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket edges in seconds: 1us .. 10s, decade +
+/// half-decade steps - wide enough for a 336-slot KLD score (~us) and a
+/// 50k-consumer fit (~s) in the same registry.
+const std::vector<double>& default_latency_edges_seconds();
+
+/// Records the elapsed wall time into a histogram on destruction (or at an
+/// explicit stop()).  Intended for per-batch / per-sweep latencies.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now and detaches; returns the elapsed seconds.  Subsequent
+  /// stop()/destruction record nothing.
+  double stop();
+
+  ~ScopedTimer() { stop(); }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> upper_edges;
+  std::vector<std::uint64_t> buckets;  ///< upper_edges.size()+1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A point-in-time copy of every metric in a registry.  Plain data: safe to
+/// compare, serialize, and diff long after the producers moved on.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when the counter does not exist.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value by name; 0 when the gauge does not exist.
+  std::int64_t gauge(std::string_view name) const;
+
+  /// True when every counter and gauge (names and values) agree.  Latency
+  /// histograms are deliberately excluded: they carry wall-clock time and
+  /// can never be deterministic across runs.
+  bool same_counts(const MetricsSnapshot& other) const;
+
+  /// Stable machine-readable exposition (keys sorted by name).
+  std::string to_json() const;
+  /// Human summary table (one line per metric).
+  std::string to_text() const;
+};
+
+/// Named-metric owner.  Metric objects have stable addresses for the
+/// registry's lifetime; instrumented components cache the pointers once and
+/// update lock-free afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use.  Names must
+  /// match [a-z][a-z0-9_.]* and are shared: the same name always yields the
+  /// same object.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_edges` applies only on first creation (empty = the default
+  /// latency edges); later lookups return the existing histogram.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_edges = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry: the shared thread pool and any component not
+/// given an explicit registry report here.  The fdeta CLI exposes it via
+/// --metrics-out.
+MetricsRegistry& default_registry();
+
+}  // namespace fdeta::obs

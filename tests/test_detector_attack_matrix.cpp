@@ -1,8 +1,19 @@
 // The qualitative detector-vs-attack matrix of the paper, swept over
 // consumer seeds: the relationships that define the contribution must hold
 // for (nearly) every consumer, not just a lucky fixture.
+//
+// The GoldenMatrix test below pins the full quantitative matrix (flagged
+// counts per detector x attack over the seed sweep) to a golden file in
+// tests/golden/.  Regenerate after an intentional detector change with
+//   FDETA_REGEN_GOLDEN=1 ctest -R GoldenMatrix
+// and commit the updated CSV alongside the change that moved it.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "attack/integrated_arima_attack.h"
@@ -86,6 +97,134 @@ TEST_P(MatrixSweep, CleanWeekSilence) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707,
                                            808));
+
+// ---------------------------------------------------------------------------
+// Golden-file matrix: the exact flagged counts, not just the qualitative
+// relations.  Each cell aggregates flag_week() over the same 8 fixture seeds
+// the sweep above uses; `denominator` is the number of seeds that produced a
+// vector for that attack (the swap attack skips seeds with no profitable
+// swaps).  Comparison allows +-1 on `flagged` - one borderline consumer is
+// platform noise, two is a detector change - and is exact on `denominator`.
+
+constexpr std::uint64_t kGoldenSeeds[] = {101, 202, 303, 404, 505,
+                                          606, 707, 808};
+
+std::string golden_path() {
+  return std::string(FDETA_SOURCE_DIR) +
+         "/tests/golden/detector_attack_matrix.csv";
+}
+
+// (detector, attack) -> {flagged, denominator}, keyed for stable CSV order.
+using MatrixCells = std::map<std::pair<std::string, std::string>,
+                             std::pair<int, int>>;
+
+MatrixCells compute_matrix() {
+  MatrixCells cells;
+  for (const std::uint64_t seed : kGoldenSeeds) {
+    auto f = make_fixture(seed);
+    ArimaDetector arima;
+    arima.fit(f.train());
+    IntegratedArimaDetector integrated;
+    integrated.fit(f.train());
+    KldDetector kld({.bins = 10, .significance = 0.05});
+    kld.fit(f.train());
+    ConditionedKldDetectorConfig cc;
+    cc.bins = 10;
+    cc.significance = 0.05;
+    cc.slot_group = tou_slot_groups(pricing::nightsaver());
+    ConditionedKldDetector ckld(cc);
+    ckld.fit(f.train());
+
+    std::map<std::string, std::vector<Kw>> attacks;
+    attacks["clean"].assign(f.clean_week().begin(), f.clean_week().end());
+    for (const bool over : {true, false}) {
+      Rng rng(seed + 17);
+      attack::IntegratedAttackConfig cfg;
+      cfg.over_report = over;
+      attacks[over ? "integrated-over" : "integrated-under"] =
+          attack::integrated_arima_attack_vector(f.model, f.history, f.wstats,
+                                                 kSlotsPerWeek, rng, cfg);
+    }
+    attack::OptimalSwapConfig swap_cfg;
+    swap_cfg.violation_budget = arima.violation_threshold();
+    const auto swap = attack::optimal_swap_attack(
+        f.clean_week(), pricing::nightsaver(), 0, &f.model, f.history,
+        swap_cfg);
+    if (!swap.swaps.empty()) attacks["swap"] = swap.reported;
+
+    for (const auto& [attack_name, vector] : attacks) {
+      const auto tally = [&](const std::string& detector, bool flagged) {
+        auto& cell = cells[{detector, attack_name}];
+        cell.first += flagged ? 1 : 0;
+        cell.second += 1;
+      };
+      tally("arima", arima.flag_week(vector));
+      tally("integrated", integrated.flag_week(vector));
+      tally("kld", kld.flag_week(vector));
+      tally("ckld", ckld.flag_week(vector));
+    }
+  }
+  return cells;
+}
+
+std::string to_csv(const MatrixCells& cells) {
+  std::ostringstream out;
+  out << "detector,attack,flagged,denominator\n";
+  for (const auto& [key, cell] : cells) {
+    out << key.first << ',' << key.second << ',' << cell.first << ','
+        << cell.second << '\n';
+  }
+  return out.str();
+}
+
+MatrixCells parse_csv(std::istream& in) {
+  MatrixCells cells;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string detector, attack, flagged, denominator;
+    std::getline(row, detector, ',');
+    std::getline(row, attack, ',');
+    std::getline(row, flagged, ',');
+    std::getline(row, denominator, ',');
+    cells[{detector, attack}] = {std::stoi(flagged), std::stoi(denominator)};
+  }
+  return cells;
+}
+
+TEST(GoldenMatrix, FlaggedCountsMatchGoldenFile) {
+  const MatrixCells actual = compute_matrix();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("FDETA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << to_csv(actual);
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << " - regenerate with FDETA_REGEN_GOLDEN=1 ctest -R GoldenMatrix";
+  const MatrixCells golden = parse_csv(in);
+
+  ASSERT_EQ(actual.size(), golden.size()) << "matrix shape changed:\n"
+                                          << to_csv(actual);
+  for (const auto& [key, cell] : golden) {
+    const auto it = actual.find(key);
+    ASSERT_NE(it, actual.end())
+        << "cell (" << key.first << ", " << key.second << ") disappeared";
+    EXPECT_EQ(it->second.second, cell.second)
+        << "denominator moved for (" << key.first << ", " << key.second
+        << ")";
+    EXPECT_NEAR(it->second.first, cell.first, 1)
+        << "flagged count moved for (" << key.first << ", " << key.second
+        << ") - if intentional, regenerate the golden file";
+  }
+}
 
 }  // namespace
 }  // namespace fdeta::core

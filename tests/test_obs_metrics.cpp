@@ -1,0 +1,176 @@
+// The obs metrics primitives: the telemetry layer's contract is exactness -
+// counters are monotonic facts, histogram bucket edges are upper-inclusive,
+// concurrent hot-path updates lose nothing, and snapshots are isolated
+// copies.  Everything the instrumentation tests assume is pinned here.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace fdeta::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddAndHighWater) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.update_max(5);
+  EXPECT_EQ(g.value(), 7) << "update_max must not lower the gauge";
+  g.update_max(19);
+  EXPECT_EQ(g.value(), 19);
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == edge   -> bucket 0 (upper-inclusive)
+  h.observe(1.0001); // > 1       -> bucket 1
+  h.observe(10.0);   // == edge   -> bucket 1
+  h.observe(100.0);  // == edge   -> bucket 2
+  h.observe(100.5);  // > last    -> overflow
+  h.observe(1e9);    //           -> overflow
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 edges + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 100.5 + 1e9, 1e-3);
+}
+
+TEST(Histogram, DefaultLatencyEdgesAreStrictlyIncreasing) {
+  const auto& edges = default_latency_edges_seconds();
+  ASSERT_FALSE(edges.empty());
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]);
+  }
+}
+
+TEST(ScopedTimer, RecordsOnceEvenWithExplicitStop) {
+  Histogram h({1e9});  // everything lands in bucket 0
+  {
+    ScopedTimer t(h);
+    const double s = t.stop();
+    EXPECT_GE(s, 0.0);
+    EXPECT_EQ(t.stop(), 0.0) << "second stop must be a no-op";
+  }  // destructor must not record again
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Registry, SameNameYieldsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test.hits");
+  Counter& b = reg.counter("test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = reg.histogram("test.lat", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("test.lat", {7.0});  // edges ignored on lookup
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_edges(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, RejectsInvalidNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter("Upper.case"), InvalidArgument);
+  EXPECT_THROW(reg.counter("9starts.with.digit"), InvalidArgument);
+  EXPECT_THROW(reg.counter("has space"), InvalidArgument);
+  EXPECT_NO_THROW(reg.counter("ok.name_2"));
+}
+
+// The core hot-path claim: increments racing from the shared pool sum
+// exactly.  parallel_for is the same machinery the pipeline and monitor use.
+TEST(Registry, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry reg;
+  Counter& hits = reg.counter("race.hits");
+  Gauge& high = reg.gauge("race.highwater");
+  Histogram& lat = reg.histogram("race.lat", {0.5});
+  const std::size_t iterations = 100000;
+  parallel_for(iterations, [&](std::size_t i) {
+    hits.add();
+    high.update_max(static_cast<std::int64_t>(i));
+    lat.observe(i % 2 == 0 ? 0.25 : 0.75);
+  });
+  EXPECT_EQ(hits.value(), iterations);
+  EXPECT_EQ(high.value(), static_cast<std::int64_t>(iterations - 1));
+  const auto buckets = lat.bucket_counts();
+  EXPECT_EQ(buckets[0], iterations / 2);
+  EXPECT_EQ(buckets[1], iterations / 2);
+  EXPECT_EQ(lat.count(), iterations);
+  EXPECT_NEAR(lat.sum(), 0.25 * (iterations / 2) + 0.75 * (iterations / 2),
+              1e-6);
+}
+
+TEST(Snapshot, IsAnIsolatedCopy) {
+  MetricsRegistry reg;
+  reg.counter("snap.events").add(5);
+  reg.gauge("snap.depth").set(-2);
+  reg.histogram("snap.lat", {1.0}).observe(0.5);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.counter("snap.events").add(100);
+  reg.gauge("snap.depth").set(9);
+  reg.histogram("snap.lat", {}).observe(0.5);
+  EXPECT_EQ(before.counter("snap.events"), 5u);
+  EXPECT_EQ(before.gauge("snap.depth"), -2);
+  EXPECT_EQ(before.histograms.at("snap.lat").count, 1u);
+  // Unknown names read as 0, not a throw (absent metric == never touched).
+  EXPECT_EQ(before.counter("no.such"), 0u);
+  EXPECT_EQ(before.gauge("no.such"), 0);
+}
+
+TEST(Snapshot, SameCountsComparesCountersAndGaugesOnly) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("x.events").add(3);
+  b.counter("x.events").add(3);
+  a.gauge("x.depth").set(7);
+  b.gauge("x.depth").set(7);
+  // Histograms differ wildly - same_counts must not care.
+  a.histogram("x.lat", {1.0}).observe(0.1);
+  EXPECT_TRUE(a.snapshot().same_counts(b.snapshot()));
+
+  b.counter("x.events").add(1);
+  EXPECT_FALSE(a.snapshot().same_counts(b.snapshot()));
+  b.counter("x.events").add(0);  // still 4 vs 3
+  EXPECT_FALSE(b.snapshot().same_counts(a.snapshot()));
+
+  MetricsRegistry c;
+  c.counter("x.events").add(3);
+  EXPECT_FALSE(a.snapshot().same_counts(c.snapshot()))
+      << "a missing gauge is a difference";
+}
+
+TEST(Snapshot, JsonExposesAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.counter("j.events").add(12);
+  reg.gauge("j.depth").set(-4);
+  reg.histogram("j.lat", {0.5}).observe(0.25);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"j.events\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"j.depth\": -4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"j.lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos)
+      << "overflow bucket must be present: " << json;
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("j.events"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace fdeta::obs

@@ -1,0 +1,74 @@
+# Verifies the acceptance criterion for --metrics-out: the ingest/alert
+# counters in the emitted JSON must exactly match the run's printed report.
+# The printed tallies are computed by the CLI from the verdicts it prints;
+# the JSON counters come from FdetaPipeline's own instrumentation - two
+# independent accountings of the same run.
+#
+# Macros, not functions: in `cmake -P` script mode, set(... PARENT_SCOPE)
+# from a top-level function call does not reach the script scope.
+file(MAKE_DIRECTORY ${WORK_DIR})
+macro(run)
+  execute_process(COMMAND ${FDETA_CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE run_stdout
+                  ERROR_VARIABLE run_stderr)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+            "fdeta ${ARGN} failed (${code}): ${run_stdout}${run_stderr}")
+  endif()
+endmacro()
+
+# Extracts the first integer capture of `pattern` from the variable named by
+# `text_var` into `var`.  Takes the variable NAME so the macro never textually
+# substitutes multi-line command output into its own body.  Patterns must not
+# contain quote characters (macro substitution would break the quoting); use
+# `.` to match the quotes around JSON keys.
+macro(extract var text_var pattern)
+  string(REGEX MATCH "${pattern}" _m "${${text_var}}")
+  set(_cap "${CMAKE_MATCH_1}")  # if(MATCHES) below clobbers CMAKE_MATCH_1
+  if(NOT _cap MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "pattern '${pattern}' not found in:\n${${text_var}}")
+  endif()
+  set(${var} "${_cap}")
+endmacro()
+
+run(generate --out actual.csv --consumers 6 --weeks 16 --seed 3)
+run(inject --in actual.csv --out reported.csv --consumer 1002 --week 13
+    --attack integrated-over --train-weeks 12)
+run(detect --in reported.csv --baseline actual.csv --train-weeks 12
+    --metrics-out metrics.json)
+set(detect_stdout "${run_stdout}")
+set(detect_stderr "${run_stderr}")
+
+extract(printed_weeks detect_stdout "weeks_scored=([0-9]+)")
+extract(printed_consumer_weeks detect_stdout "consumer_weeks=([0-9]+)")
+extract(printed_flagged detect_stdout "flagged_total=([0-9]+)")
+
+file(READ ${WORK_DIR}/metrics.json metrics_json)
+extract(m_weeks metrics_json "pipeline.weeks_scored.: ([0-9]+)")
+extract(m_verdicts metrics_json "pipeline.verdicts.: ([0-9]+)")
+extract(m_normal metrics_json "pipeline.verdict_normal.: ([0-9]+)")
+math(EXPR m_flagged "${m_verdicts} - ${m_normal}")
+
+if(NOT printed_weeks EQUAL m_weeks)
+  message(FATAL_ERROR "weeks_scored mismatch: printed ${printed_weeks}, "
+                      "metrics ${m_weeks}")
+endif()
+if(NOT printed_consumer_weeks EQUAL m_verdicts)
+  message(FATAL_ERROR "consumer_weeks mismatch: printed "
+                      "${printed_consumer_weeks}, metrics ${m_verdicts}")
+endif()
+if(NOT printed_flagged EQUAL m_flagged)
+  message(FATAL_ERROR "flagged_total mismatch: printed ${printed_flagged}, "
+                      "metrics ${m_flagged}")
+endif()
+if(printed_flagged EQUAL 0)
+  message(FATAL_ERROR "expected the injected integrated-over attack to be "
+                      "flagged at least once:\n${detect_stdout}")
+endif()
+# The stderr summary table must accompany the JSON.
+if(NOT detect_stderr MATCHES "pipeline.weeks_scored")
+  message(FATAL_ERROR "metrics summary table missing from stderr:\n"
+                      "${detect_stderr}")
+endif()

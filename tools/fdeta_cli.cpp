@@ -11,6 +11,10 @@
 //   fdeta inject --in actual.csv --consumer 1004 --week 24
 //         --attack integrated-over --train-weeks 24 --out reported.csv
 //   fdeta detect --in reported.csv --baseline actual.csv --train-weeks 24
+//
+// Every subcommand accepts --metrics-out <file>: after a successful run the
+// process-wide metrics registry (pipeline/monitor/pool counters, latency
+// histograms) is written there as JSON and summarised on stderr.
 
 #include <cstdio>
 #include <fstream>
@@ -29,9 +33,11 @@
 #include "core/evaluation.h"
 #include "core/kld_detector.h"
 #include "datagen/generator.h"
+#include "core/pipeline.h"
 #include "grid/investigate.h"
 #include "grid/serialize.h"
 #include "meter/weekly_stats.h"
+#include "obs/metrics.h"
 #include "pricing/billing.h"
 
 using namespace fdeta;
@@ -194,6 +200,9 @@ int cmd_evaluate(const Args& args) {
 }
 
 int cmd_detect(const Args& args) {
+  // Runs the five-step F-DETA pipeline (minus step 5: no topology here)
+  // over every test week, so the run is fully accounted in the "pipeline."
+  // metrics exposed via --metrics-out.
   const auto reported = load(args.require_value("in"));
   const std::string baseline_path = args.get("baseline", "");
   const auto baseline =
@@ -205,34 +214,54 @@ int cmd_detect(const Args& args) {
 
   require(baseline.consumer_count() == reported.consumer_count(),
           "detect: baseline/reported consumer counts differ");
+  require(baseline.week_count() == reported.week_count(),
+          "detect: baseline/reported horizons differ");
   require(train_weeks < reported.week_count(),
           "detect: train-weeks exceeds the horizon");
+
+  core::PipelineConfig config;
+  config.split =
+      meter::TrainTestSplit{.train_weeks = train_weeks,
+                            .test_weeks = reported.week_count() - train_weeks};
+  config.kld = {.bins = bins, .significance = significance};
+  core::FdetaPipeline pipeline(config);
+  pipeline.fit(baseline);
+  const core::EvidenceCalendar calendar;  // no external evidence from CSV
+
+  const auto status_tag = [](core::VerdictStatus status) {
+    switch (status) {
+      case core::VerdictStatus::kSuspectedAttacker: return "under";
+      case core::VerdictStatus::kSuspectedVictim: return "over";
+      case core::VerdictStatus::kExcused: return "excused";
+      default: return "anom";
+    }
+  };
 
   std::printf("%-8s", "week");
   std::printf("  flagged consumers (KLD alpha=%.0f%%, B=%zu)\n",
               100.0 * significance, bins);
-  std::vector<core::KldDetector> detectors;
-  detectors.reserve(reported.consumer_count());
-  for (const auto& series : baseline.consumers()) {
-    core::KldDetector d({.bins = bins, .significance = significance});
-    d.fit(std::span<const Kw>(series.readings.data(),
-                              train_weeks * kSlotsPerWeek));
-    detectors.push_back(std::move(d));
-  }
+  // These tallies are computed from the printed report itself; the
+  // cli_metrics_check test cross-checks them against the --metrics-out
+  // JSON, whose counters come from the pipeline's own instrumentation.
+  std::size_t weeks_scored = 0;
+  std::size_t flagged_total = 0;
   for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
+    const auto report = pipeline.evaluate_week(baseline, reported, w, calendar);
+    ++weeks_scored;
     std::printf("%-8zu", w);
     bool any = false;
-    for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
-      const auto week = reported.consumer(c).week(w);
-      if (detectors[c].flag_week(week)) {
-        std::printf(" %u(K=%.2f)", reported.consumer(c).id,
-                    detectors[c].score(week));
-        any = true;
-      }
+    for (const auto& v : report.verdicts) {
+      if (v.status == core::VerdictStatus::kNormal) continue;
+      std::printf(" %u(%s K=%.2f)", v.id, status_tag(v.status), v.kld_score);
+      ++flagged_total;
+      any = true;
     }
     if (!any) std::printf(" -");
     std::printf("\n");
   }
+  std::printf("weeks_scored=%zu consumer_weeks=%zu flagged_total=%zu\n",
+              weeks_scored, weeks_scored * reported.consumer_count(),
+              flagged_total);
   return 0;
 }
 
@@ -319,8 +348,34 @@ int usage() {
       "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
       "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
       "  investigate --topology F --baseline F --in F --week W\n"
-      "            [--tolerance KW]\n");
+      "            [--tolerance KW]\n\n"
+      "every command also accepts --metrics-out F: write the run's\n"
+      "telemetry (JSON) to F and print a summary table on stderr\n");
   return 2;
+}
+
+/// Writes the process-wide metrics registry as JSON to --metrics-out (when
+/// given) and prints the human summary table on stderr.
+void emit_metrics(const Args& args) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return;
+  const auto snapshot = obs::default_registry().snapshot();
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open " + path + " for writing");
+  out << snapshot.to_json();
+  std::fputs(snapshot.to_text().c_str(), stderr);
+}
+
+int run_command(const std::string& command, const Args& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "summary") return cmd_summary(args);
+  if (command == "inject") return cmd_inject(args);
+  if (command == "detect") return cmd_detect(args);
+  if (command == "evaluate") return cmd_evaluate(args);
+  if (command == "topology") return cmd_topology(args);
+  if (command == "investigate") return cmd_investigate(args);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage();
 }
 
 }  // namespace
@@ -330,15 +385,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "summary") return cmd_summary(args);
-    if (command == "inject") return cmd_inject(args);
-    if (command == "detect") return cmd_detect(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "topology") return cmd_topology(args);
-    if (command == "investigate") return cmd_investigate(args);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return usage();
+    const int code = run_command(command, args);
+    if (code == 0) emit_metrics(args);
+    return code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
