@@ -1,8 +1,10 @@
 // Fleet-scale throughput: consumers/sec for FdetaPipeline::fit and weekly
 // KLD scoring, serial vs the shared thread pool, at 1k / 10k / 50k synthetic
-// consumers, plus OnlineMonitor::ingest_batch readings/sec.  This is the
-// ROADMAP's production-scale loop (millions of meters at a control center);
-// the numbers here anchor the perf trajectory from PR 1 onward.
+// consumers, plus OnlineMonitor::ingest_batch readings/sec and the
+// cold-fit vs warm-start (save_model/load_model checkpoint) comparison.
+// This is the ROADMAP's production-scale loop (millions of meters at a
+// control center); the numbers here anchor the perf trajectory from PR 1
+// onward.
 //
 // Each scale also prints a stage-level breakdown from the obs telemetry
 // layer (one isolated registry per scale, plus shared-pool deltas from the
@@ -15,7 +17,9 @@
 // 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "common/env.h"
@@ -42,7 +46,10 @@ struct FleetTimings {
   double fit_pooled = 0.0;
   double score_serial = 0.0;
   double score_pooled = 0.0;
-  double batch_pooled = 0.0;  // readings/sec
+  double batch_pooled = 0.0;     // readings/sec
+  double cold_fit_s = 0.0;       // pooled fit wall time (one fit)
+  double warm_restore_s = 0.0;   // load_model wall time from a checkpoint
+  std::size_t model_bytes = 0;   // checkpoint size
 };
 
 FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
@@ -78,6 +85,37 @@ FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
         static_cast<double>(consumers) / fit_s;
     (pooled ? out.score_pooled : out.score_serial) =
         static_cast<double>(consumers) / score_s;
+
+    if (pooled) {
+      // Warm-start serving: checkpoint the fitted pipeline and time a fresh
+      // process restoring it instead of refitting from raw readings.  The
+      // restored pipeline must reproduce the cold fit's verdicts exactly.
+      out.cold_fit_s = fit_s;
+      std::stringstream model(std::ios::in | std::ios::out |
+                              std::ios::binary);
+      pipeline.save_model(model);
+      out.model_bytes = model.str().size();
+
+      fdeta::core::PipelineConfig warm_config;
+      warm_config.metrics = &reg;
+      fdeta::core::FdetaPipeline warm(warm_config);
+      start = std::chrono::steady_clock::now();
+      warm.load_model(model);
+      out.warm_restore_s = seconds_since(start);
+
+      const auto cold =
+          pipeline.evaluate_week(dataset, dataset, weeks - 1, calendar);
+      const auto warmed =
+          warm.evaluate_week(dataset, dataset, weeks - 1, calendar);
+      for (std::size_t c = 0; c < consumers; ++c) {
+        if (cold.verdicts[c].status != warmed.verdicts[c].status ||
+            cold.verdicts[c].kld_score != warmed.verdicts[c].kld_score) {
+          std::fprintf(stderr, "warm-start verdict mismatch at consumer %zu\n",
+                       c);
+          std::abort();
+        }
+      }
+    }
   }
 
   // Streaming path: one head-end delivery = one slot for every consumer.
@@ -177,6 +215,13 @@ int main(int argc, char** argv) {
                 consumers, t.fit_serial, t.fit_pooled,
                 t.fit_pooled / t.fit_serial, t.score_serial, t.score_pooled,
                 t.score_pooled / t.score_serial, t.batch_pooled);
+    std::printf(
+        "          | warm-start @%zu: cold fit %.3fs, restore %.3fs "
+        "(%.1fx faster, %.1f MB model, %.0f consumers/s)\n",
+        consumers, t.cold_fit_s, t.warm_restore_s,
+        t.cold_fit_s / t.warm_restore_s,
+        static_cast<double>(t.model_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(consumers) / t.warm_restore_s);
     print_breakdown(consumers, reg.snapshot(), pool_before, pool_after);
   }
   return 0;

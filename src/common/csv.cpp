@@ -53,9 +53,26 @@ long parse_long(std::string_view token, std::string_view context) {
 std::vector<std::string> read_lines(std::istream& in) {
   std::vector<std::string> lines;
   std::string line;
+  std::size_t blank_at = 0;  // 1-based line number of the first pending blank
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!line.empty()) lines.push_back(line);
+    if (line.empty()) {
+      // Benign only if nothing follows: remember the position and decide
+      // when the next non-blank line (if any) arrives.
+      if (blank_at == 0) blank_at = line_no;
+      continue;
+    }
+    if (blank_at != 0) {
+      // Dropping an interior blank would silently shift every subsequent
+      // row - for slot-indexed meter data that de-aligns whole weeks - so
+      // reject the file instead.
+      throw DataError("read_lines: blank line " + std::to_string(blank_at) +
+                      " before line " + std::to_string(line_no) +
+                      " (interior blank lines would shift row positions)");
+    }
+    lines.push_back(line);
   }
   return lines;
 }

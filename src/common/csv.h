@@ -22,7 +22,10 @@ double parse_double(std::string_view token, std::string_view context);
 /// Parses a string as a non-negative integer; throws DataError on failure.
 long parse_long(std::string_view token, std::string_view context);
 
-/// Reads all non-empty lines from a stream.
+/// Reads all lines from a stream, stripping trailing '\r'.  Trailing blank
+/// lines are ignored; an *interior* blank line throws DataError, because
+/// silently dropping it would shift the position of every subsequent row
+/// (and with it the slot/week alignment of meter data).
 std::vector<std::string> read_lines(std::istream& in);
 
 /// Writes rows of doubles as CSV with the given header (header skipped if

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "persist/binary_io.h"
 #include "stats/kl_divergence.h"
 #include "stats/quantile.h"
 
@@ -52,6 +53,8 @@ ConditionedKldDetector::ConditionedKldDetector(
   require(config_.bins >= 2, "ConditionedKldDetector: need >= 2 bins");
   require(config_.significance > 0.0 && config_.significance < 1.0,
           "ConditionedKldDetector: significance must be in (0,1)");
+  require(config_.epsilon >= 0.0,
+          "ConditionedKldDetector: epsilon must be >= 0");
   require(config_.groups >= 2, "ConditionedKldDetector: need >= 2 groups");
   if (!config_.slot_group) {
     const pricing::TimeOfUse tou = pricing::nightsaver();
@@ -70,6 +73,18 @@ std::vector<double> ConditionedKldDetector::group_values(
   return values;
 }
 
+std::vector<double> ConditionedKldDetector::scoring_baseline(
+    std::size_t g) const {
+  if (config_.epsilon <= 0.0) return baselines_[g];  // paper-exact
+  std::vector<double> out(baselines_[g].size());
+  const double norm =
+      1.0 + config_.epsilon * static_cast<double>(out.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = (baselines_[g][j] + config_.epsilon) / norm;
+  }
+  return out;
+}
+
 void ConditionedKldDetector::fit(std::span<const Kw> training) {
   require(training.size() % kSlotsPerWeek == 0,
           "ConditionedKldDetector: training must be whole weeks");
@@ -78,6 +93,7 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
 
   histograms_.assign(config_.groups, std::nullopt);
   baselines_.assign(config_.groups, {});
+  scorings_.assign(config_.groups, {});
   thresholds_.assign(config_.groups, 0.0);
 
   for (std::size_t g = 0; g < config_.groups; ++g) {
@@ -87,6 +103,7 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
             "ConditionedKldDetector: a price group matched no slots");
     histograms_[g].emplace(all, config_.bins);
     baselines_[g] = histograms_[g]->probabilities(all);
+    scorings_[g] = scoring_baseline(g);
 
     std::vector<double> k;
     k.reserve(weeks);
@@ -95,7 +112,7 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
                                      static_cast<std::size_t>(kSlotsPerWeek)};
       const auto values = group_values(week, g);
       const auto p = histograms_[g]->probabilities(values);
-      k.push_back(stats::kl_divergence_bits(p, baselines_[g]));
+      k.push_back(stats::kl_divergence_bits(p, scorings_[g]));
     }
     thresholds_[g] = stats::quantile(k, 1.0 - config_.significance);
   }
@@ -109,7 +126,7 @@ std::vector<double> ConditionedKldDetector::scores(
   for (std::size_t g = 0; g < config_.groups; ++g) {
     const auto values = group_values(week, g);
     const auto p = histograms_[g]->probabilities(values);
-    out[g] = stats::kl_divergence_bits(p, baselines_[g]);
+    out[g] = stats::kl_divergence_bits(p, scorings_[g]);
   }
   return out;
 }
@@ -126,6 +143,73 @@ bool ConditionedKldDetector::flag_week(std::span<const Kw> week,
 const std::vector<double>& ConditionedKldDetector::thresholds() const {
   require(fitted_, "ConditionedKldDetector: fit() not called");
   return thresholds_;
+}
+
+void ConditionedKldDetector::save(persist::Encoder& enc) const {
+  require(fitted_, "ConditionedKldDetector::save: fit() not called");
+  enc.u64(config_.groups);
+  enc.u64(config_.bins);
+  enc.f64(config_.significance);
+  enc.f64(config_.epsilon);
+  for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
+    enc.u32(static_cast<std::uint32_t>(config_.slot_group(s)));
+  }
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    histograms_[g]->save(enc);
+    enc.doubles(baselines_[g]);
+    enc.f64(thresholds_[g]);
+  }
+}
+
+void ConditionedKldDetector::restore(persist::Decoder& dec) {
+  ConditionedKldDetectorConfig config;
+  config.groups = dec.count("ckld groups", 1u << 16);
+  config.bins = dec.count("ckld bins", 1u << 20);
+  config.significance = dec.f64();
+  config.epsilon = dec.f64();
+  require(config.groups >= 2, "checkpoint: ckld needs >= 2 groups");
+  require(config.bins >= 2, "checkpoint: ckld needs >= 2 bins");
+  require(config.significance > 0.0 && config.significance < 1.0,
+          "checkpoint: ckld significance out of range");
+  require(config.epsilon >= 0.0, "checkpoint: ckld epsilon negative");
+
+  std::vector<std::size_t> table(kSlotsPerWeek);
+  for (auto& g : table) {
+    g = dec.u32();
+    if (g >= config.groups) {
+      throw DataError("checkpoint: ckld slot group id out of range");
+    }
+  }
+  config.slot_group = [table = std::move(table)](std::size_t slot) {
+    return table[slot % kSlotsPerWeek];
+  };
+
+  std::vector<std::optional<stats::Histogram>> histograms;
+  std::vector<std::vector<double>> baselines;
+  std::vector<double> thresholds;
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    stats::Histogram histogram = stats::Histogram::load(dec);
+    if (histogram.bin_count() != config.bins) {
+      throw DataError("checkpoint: ckld histogram bin count mismatch");
+    }
+    histograms.emplace_back(std::move(histogram));
+    baselines.push_back(dec.doubles("ckld baseline", 1u << 20));
+    if (baselines.back().size() != config.bins) {
+      throw DataError("checkpoint: ckld baseline size mismatch");
+    }
+    thresholds.push_back(dec.f64());
+  }
+
+  config_ = std::move(config);
+  histograms_ = std::move(histograms);
+  baselines_ = std::move(baselines);
+  scorings_.clear();
+  scorings_.reserve(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    scorings_.push_back(scoring_baseline(g));
+  }
+  thresholds_ = std::move(thresholds);
+  fitted_ = true;
 }
 
 }  // namespace fdeta::core

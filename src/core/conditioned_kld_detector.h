@@ -17,11 +17,20 @@
 #include "pricing/tariff.h"
 #include "stats/histogram.h"
 
+namespace fdeta::persist {
+class Encoder;
+class Decoder;
+}  // namespace fdeta::persist
+
 namespace fdeta::core {
 
 struct ConditionedKldDetectorConfig {
   std::size_t bins = 10;
   double significance = 0.05;
+  /// Per-group Laplace-style baseline smoothing, as KldDetectorConfig's
+  /// epsilon: keeps group scores finite when a scored week puts mass in a
+  /// bin empty across that group's training readings.  0 = paper-exact.
+  double epsilon = 1e-9;
   /// Maps a slot-of-week [0, 336) to a price-group id [0, groups).
   /// Defaults (set by the constructor) to Nightsaver peak/off-peak.
   std::function<std::size_t(std::size_t)> slot_group;
@@ -53,15 +62,29 @@ class ConditionedKldDetector final : public Detector {
   /// Per-group thresholds.
   const std::vector<double>& thresholds() const;
 
+  /// Serializes the fitted state for model checkpoints.  The slot->group
+  /// function is captured as its evaluated table over the kSlotsPerWeek
+  /// slot-of-week positions (all fit/score paths reduce slots mod week, so
+  /// the table is the function's entire observable behaviour).
+  void save(persist::Encoder& enc) const;
+  /// Restores state saved by save(); scores bit-exactly match the saved
+  /// detector.
+  void restore(persist::Decoder& dec);
+
  private:
   /// Readings of `week` falling into group `g`.
   std::vector<double> group_values(std::span<const Kw> week,
                                    std::size_t g) const;
 
+  /// Derives the smoothed scoring baseline for one group (see
+  /// KldDetector::rebuild_scoring_baseline).
+  std::vector<double> scoring_baseline(std::size_t g) const;
+
   ConditionedKldDetectorConfig config_;
   std::vector<std::optional<stats::Histogram>> histograms_;  // per group
-  std::vector<std::vector<double>> baselines_;               // per group
-  std::vector<double> thresholds_;                           // per group
+  std::vector<std::vector<double>> baselines_;               // per group, raw
+  std::vector<std::vector<double>> scorings_;  // per group, smoothed
+  std::vector<double> thresholds_;             // per group
   bool fitted_ = false;
 };
 

@@ -1,15 +1,38 @@
 #include "core/kld_detector.h"
 
 #include "common/error.h"
+#include "persist/binary_io.h"
 #include "stats/kl_divergence.h"
 #include "stats/quantile.h"
 
 namespace fdeta::core {
 
-KldDetector::KldDetector(KldDetectorConfig config) : config_(config) {
-  require(config_.bins >= 2, "KldDetector: need at least two bins");
-  require(config_.significance > 0.0 && config_.significance < 1.0,
+namespace {
+
+void validate_config(const KldDetectorConfig& config) {
+  require(config.bins >= 2, "KldDetector: need at least two bins");
+  require(config.significance > 0.0 && config.significance < 1.0,
           "KldDetector: significance must be in (0,1)");
+  require(config.epsilon >= 0.0, "KldDetector: epsilon must be >= 0");
+}
+
+}  // namespace
+
+KldDetector::KldDetector(KldDetectorConfig config) : config_(config) {
+  validate_config(config_);
+}
+
+void KldDetector::rebuild_scoring_baseline() {
+  if (config_.epsilon <= 0.0) {
+    scoring_ = baseline_;  // paper-exact: infinities on out-of-support mass
+    return;
+  }
+  scoring_.resize(baseline_.size());
+  const double norm =
+      1.0 + config_.epsilon * static_cast<double>(baseline_.size());
+  for (std::size_t j = 0; j < baseline_.size(); ++j) {
+    scoring_[j] = (baseline_[j] + config_.epsilon) / norm;
+  }
 }
 
 void KldDetector::fit(std::span<const Kw> training) {
@@ -21,6 +44,7 @@ void KldDetector::fit(std::span<const Kw> training) {
   // X distribution over the full training matrix; edges frozen here.
   histogram_.emplace(training, config_.bins);
   baseline_ = histogram_->probabilities(training);
+  rebuild_scoring_baseline();
 
   // K_i for every training week against the same edges (eq. 12).
   k_training_.clear();
@@ -29,7 +53,7 @@ void KldDetector::fit(std::span<const Kw> training) {
     const std::span<const Kw> week{training.data() + w * kSlotsPerWeek,
                                    static_cast<std::size_t>(kSlotsPerWeek)};
     const auto p = histogram_->probabilities(week);
-    k_training_.push_back(stats::kl_divergence_bits(p, baseline_));
+    k_training_.push_back(stats::kl_divergence_bits(p, scoring_));
   }
   threshold_ = stats::quantile(k_training_, 1.0 - config_.significance);
 }
@@ -37,7 +61,7 @@ void KldDetector::fit(std::span<const Kw> training) {
 double KldDetector::score(std::span<const Kw> week) const {
   require(histogram_.has_value(), "KldDetector: fit() not called");
   const auto p = histogram_->probabilities(week);
-  return stats::kl_divergence_bits(p, baseline_);
+  return stats::kl_divergence_bits(p, scoring_);
 }
 
 bool KldDetector::flag_week(std::span<const Kw> week,
@@ -63,6 +87,48 @@ const stats::Histogram& KldDetector::histogram() const {
 const std::vector<double>& KldDetector::baseline_distribution() const {
   require(histogram_.has_value(), "KldDetector: fit() not called");
   return baseline_;
+}
+
+void KldDetector::save(persist::Encoder& enc) const {
+  require(histogram_.has_value(), "KldDetector::save: fit() not called");
+  enc.u64(config_.bins);
+  enc.f64(config_.significance);
+  enc.f64(config_.epsilon);
+  histogram_->save(enc);
+  enc.doubles(baseline_);
+  enc.doubles(k_training_);
+  enc.f64(threshold_);
+}
+
+void KldDetector::restore(persist::Decoder& dec) {
+  KldDetectorConfig config;
+  config.bins = dec.count("kld bins", 1u << 20);
+  config.significance = dec.f64();
+  config.epsilon = dec.f64();
+  validate_config(config);
+
+  stats::Histogram histogram = stats::Histogram::load(dec);
+  if (histogram.bin_count() != config.bins) {
+    throw DataError("checkpoint: kld histogram bin count mismatch");
+  }
+  std::vector<double> baseline = dec.doubles("kld baseline", 1u << 20);
+  if (baseline.size() != config.bins) {
+    throw DataError("checkpoint: kld baseline size mismatch");
+  }
+  std::vector<double> k_training = dec.doubles("kld training K", 1u << 20);
+  if (k_training.empty()) {
+    throw DataError("checkpoint: kld training divergences missing");
+  }
+  const double threshold = dec.f64();
+
+  config_ = config;
+  histogram_.emplace(std::move(histogram));
+  baseline_ = std::move(baseline);
+  // The smoothed scoring copy is derived deterministically from the raw
+  // baseline, so recomputing it reproduces the saved detector bit-exactly.
+  rebuild_scoring_baseline();
+  k_training_ = std::move(k_training);
+  threshold_ = threshold;
 }
 
 }  // namespace fdeta::core

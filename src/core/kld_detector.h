@@ -19,11 +19,25 @@
 #include "core/detector.h"
 #include "stats/histogram.h"
 
+namespace fdeta::persist {
+class Encoder;
+class Decoder;
+}  // namespace fdeta::persist
+
 namespace fdeta::core {
 
 struct KldDetectorConfig {
   std::size_t bins = 10;       ///< B of Section VIII-D
   double significance = 0.05;  ///< alpha: 0.05 or 0.10 in the paper
+  /// Laplace-style smoothing mass added to every baseline bin before
+  /// scoring: q'_j = (q_j + epsilon) / (1 + B * epsilon).  With the paper's
+  /// bare eq. (12) (epsilon = 0), a scored week that puts ANY mass in a bin
+  /// that happened to be empty across the training weeks scores +infinity -
+  /// one out-of-support reading saturates the score, and with it thresholds,
+  /// time-to-detection, and every downstream metric.  The default keeps an
+  /// out-of-support bin worth ~30 bits per unit of week mass: still a strong
+  /// anomaly signal, never non-finite.  Set 0 for paper-exact scores.
+  double epsilon = 1e-9;
 };
 
 class KldDetector final : public Detector {
@@ -31,12 +45,14 @@ class KldDetector final : public Detector {
   explicit KldDetector(KldDetectorConfig config = {});
 
   std::string_view name() const override { return "KLD"; }
+  const KldDetectorConfig& config() const { return config_; }
   void fit(std::span<const Kw> training) override;
   bool flag_week(std::span<const Kw> week,
                  SlotIndex first_slot = 0) const override;
 
-  /// K_A: the divergence score of a week (may be +infinity when the week
-  /// puts mass where the training distribution has none).
+  /// K_A: the divergence score of a week.  Finite for any input when
+  /// config.epsilon > 0; with epsilon = 0 it is +infinity whenever the week
+  /// puts mass where the training distribution has none.
   double score(std::span<const Kw> week) const;
 
   /// The decision threshold (the (1-alpha) quantile of training K_i).
@@ -46,13 +62,25 @@ class KldDetector final : public Detector {
   const std::vector<double>& training_divergences() const;
 
   /// The frozen-edge histogram and the baseline X distribution (Fig. 4a).
+  /// The exposed baseline is the raw eq.-(12) p(X^(j)); epsilon smoothing
+  /// applies only to the internal scoring copy.
   const stats::Histogram& histogram() const;
   const std::vector<double>& baseline_distribution() const;
 
+  /// Serializes the fitted state (config, frozen edges, baseline, training
+  /// K_i, threshold) for model checkpoints; requires fit() to have run.
+  void save(persist::Encoder& enc) const;
+  /// Restores state saved by save(), replacing this detector's config and
+  /// fit; scores bit-exactly match the detector that was saved.
+  void restore(persist::Decoder& dec);
+
  private:
+  void rebuild_scoring_baseline();
+
   KldDetectorConfig config_;
   std::optional<stats::Histogram> histogram_;
-  std::vector<double> baseline_;   // p(X^(j))
+  std::vector<double> baseline_;   // p(X^(j)), raw
+  std::vector<double> scoring_;    // epsilon-smoothed baseline used to score
   std::vector<double> k_training_; // K_i
   double threshold_ = 0.0;
 };

@@ -1,11 +1,14 @@
 #include "core/online_monitor.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <utility>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "persist/checkpoint.h"
 #include "stats/descriptive.h"
 
 namespace fdeta::core {
@@ -24,6 +27,7 @@ OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
                                        ? *config_.metrics
                                        : obs::default_registry();
   consumers_fitted_ = &registry.counter("monitor.consumers_fitted");
+  consumers_restored_ = &registry.counter("monitor.consumers_restored");
   readings_ingested_ = &registry.counter("monitor.readings_ingested");
   readings_missing_ = &registry.counter("monitor.readings_missing");
   readings_in_cooldown_ = &registry.counter("monitor.readings_in_cooldown");
@@ -152,6 +156,98 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
   }
   alerts_.insert(alerts_.end(), events.begin(), events.end());
   return events;
+}
+
+void OnlineMonitor::save(std::ostream& out) const {
+  require(fitted_, "OnlineMonitor::save: fit() not called");
+  persist::Encoder enc;
+  enc.u64(config_.stride);
+  enc.u64(config_.cooldown_slots);
+  enc.u64(detectors_.size());
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    detectors_[i].save(enc);
+    enc.u32(ids_[i]);
+    const ConsumerState& cs = state_[i];
+    enc.doubles(cs.window);
+    enc.u64(cs.since_score);
+    enc.u64(cs.cooldown);
+    enc.f64(cs.train_mean);
+  }
+  enc.u64(alerts_.size());
+  for (const AlertEvent& a : alerts_) {
+    enc.u64(a.consumer_index);
+    enc.u32(a.consumer_id);
+    enc.u64(a.slot);
+    enc.f64(a.score);
+    enc.f64(a.threshold);
+    enc.u8(static_cast<std::uint8_t>(a.direction));
+  }
+  persist::write_checkpoint(out, persist::Section::kOnlineMonitor,
+                            enc.bytes());
+}
+
+void OnlineMonitor::restore(std::istream& in) {
+  const std::string payload =
+      persist::read_checkpoint(in, persist::Section::kOnlineMonitor);
+  persist::Decoder dec(payload);
+
+  OnlineMonitorConfig config = config_;  // threads/metrics survive
+  config.stride = dec.count("stride", 1u << 20);
+  config.cooldown_slots = dec.count("cooldown slots", 1u << 20);
+  require(config.stride >= 1, "checkpoint: monitor stride must be >= 1");
+
+  const std::size_t count = dec.count("monitor consumers", 100u << 20);
+  std::vector<KldDetector> detectors;
+  std::vector<meter::ConsumerId> ids;
+  std::vector<ConsumerState> state;
+  detectors.reserve(count);
+  ids.reserve(count);
+  state.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    KldDetector detector;
+    detector.restore(dec);
+    detectors.push_back(std::move(detector));
+    ids.push_back(dec.u32());
+    ConsumerState cs;
+    cs.window = dec.doubles("monitor window", 1u << 20);
+    if (cs.window.size() != static_cast<std::size_t>(kSlotsPerWeek)) {
+      throw DataError("checkpoint: monitor window is not one week");
+    }
+    cs.since_score = dec.count("since_score", 1u << 20);
+    cs.cooldown = dec.count("cooldown", 1u << 20);
+    cs.train_mean = dec.f64();
+    state.push_back(std::move(cs));
+  }
+
+  const std::size_t alert_count = dec.count("alerts", 100u << 20);
+  std::vector<AlertEvent> alerts;
+  alerts.reserve(alert_count);
+  for (std::size_t i = 0; i < alert_count; ++i) {
+    AlertEvent a;
+    a.consumer_index = dec.count("alert consumer", 100u << 20);
+    if (a.consumer_index >= count) {
+      throw DataError("checkpoint: alert consumer index out of range");
+    }
+    a.consumer_id = dec.u32();
+    a.slot = static_cast<SlotIndex>(dec.u64());
+    a.score = dec.f64();
+    a.threshold = dec.f64();
+    const std::uint8_t direction = dec.u8();
+    if (direction > static_cast<std::uint8_t>(AlertDirection::kOverReport)) {
+      throw DataError("checkpoint: bad alert direction");
+    }
+    a.direction = static_cast<AlertDirection>(direction);
+    alerts.push_back(a);
+  }
+  dec.require_exhausted("monitor model");
+
+  config_ = config;
+  detectors_ = std::move(detectors);
+  ids_ = std::move(ids);
+  state_ = std::move(state);
+  alerts_ = std::move(alerts);
+  fitted_ = true;
+  consumers_restored_->add(count);
 }
 
 std::span<const Kw> OnlineMonitor::window(std::size_t consumer_index) const {

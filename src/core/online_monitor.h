@@ -17,6 +17,7 @@
 // fixed seed and identical between the ingest() and ingest_batch() paths.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <vector>
@@ -103,6 +104,18 @@ class OnlineMonitor {
   /// All alerts raised so far, in ingestion order.
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
 
+  /// Serializes the fitted monitor (detectors, sliding windows, stride /
+  /// cooldown counters, alert log) as a checkpoint (persist/checkpoint.h).
+  /// Requires fit() to have run.
+  void save(std::ostream& out) const;
+
+  /// Restores a save() checkpoint, replacing this monitor's fit, window
+  /// state, and the fit-related config (kld, stride, cooldown_slots;
+  /// `threads` and `metrics` keep their constructed values).  Subsequent
+  /// ingest calls behave bit-identically to the monitor that was saved.
+  /// Throws DataError on a corrupted/truncated/version-mismatched file.
+  void restore(std::istream& in);
+
   /// The consumer's sliding week vector, indexed by slot-of-week (exposed
   /// for diagnostics and alignment tests).
   std::span<const Kw> window(std::size_t consumer_index) const;
@@ -138,6 +151,7 @@ class OnlineMonitor {
 
   // Cached at construction; updates are lock-free (see obs/metrics.h).
   obs::Counter* consumers_fitted_ = nullptr;
+  obs::Counter* consumers_restored_ = nullptr;
   obs::Counter* readings_ingested_ = nullptr;
   obs::Counter* readings_missing_ = nullptr;
   obs::Counter* readings_in_cooldown_ = nullptr;

@@ -1,9 +1,13 @@
 #include "core/pipeline.h"
 
+#include <istream>
+#include <ostream>
+
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "meter/weekly_stats.h"
 #include "obs/metrics.h"
+#include "persist/checkpoint.h"
 #include "stats/descriptive.h"
 #include "stats/quantile.h"
 
@@ -41,6 +45,7 @@ FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {
                                        ? *config_.metrics
                                        : obs::default_registry();
   consumers_fitted_ = &registry.counter("pipeline.consumers_fitted");
+  consumers_restored_ = &registry.counter("pipeline.consumers_restored");
   thresholds_recomputed_ = &registry.counter("pipeline.thresholds_recomputed");
   weeks_scored_ = &registry.counter("pipeline.weeks_scored");
   verdicts_ = &registry.counter("pipeline.verdicts");
@@ -73,6 +78,54 @@ void FdetaPipeline::fit(const meter::Dataset& actual) {
   consumers_fitted_->add(count);
   // Each KldDetector::fit recomputes its (1-alpha) quantile threshold.
   thresholds_recomputed_->add(count);
+}
+
+void FdetaPipeline::save_model(std::ostream& out) const {
+  require(fitted_, "FdetaPipeline::save_model: fit() not called");
+  persist::Encoder enc;
+  enc.u64(config_.split.train_weeks);
+  enc.u64(config_.split.test_weeks);
+  enc.f64(config_.direction_margin);
+  enc.f64(config_.direction_floor_kw);
+  enc.u64(detectors_.size());
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    detectors_[i].save(enc);
+    meter::save_weekly_stats(train_stats_[i], enc);
+  }
+  persist::write_checkpoint(out, persist::Section::kPipeline, enc.bytes());
+}
+
+void FdetaPipeline::load_model(std::istream& in) {
+  const std::string payload =
+      persist::read_checkpoint(in, persist::Section::kPipeline);
+  persist::Decoder dec(payload);
+
+  PipelineConfig config = config_;  // threads/metrics survive the restore
+  config.split.train_weeks = dec.count("train weeks", 1u << 20);
+  config.split.test_weeks = dec.count("test weeks", 1u << 20);
+  config.direction_margin = dec.f64();
+  config.direction_floor_kw = dec.f64();
+
+  const std::size_t count = dec.count("consumers", 100u << 20);
+  std::vector<KldDetector> detectors;
+  std::vector<meter::WeeklyStats> train_stats;
+  detectors.reserve(count);
+  train_stats.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    KldDetector detector;
+    detector.restore(dec);
+    detectors.push_back(std::move(detector));
+    train_stats.push_back(meter::load_weekly_stats(dec));
+  }
+  dec.require_exhausted("pipeline model");
+
+  // All consumers decoded cleanly; commit the restore atomically.
+  if (count > 0) config.kld = detectors.front().config();
+  config_ = std::move(config);
+  detectors_ = std::move(detectors);
+  train_stats_ = std::move(train_stats);
+  fitted_ = true;
+  consumers_restored_->add(count);
 }
 
 PipelineReport FdetaPipeline::evaluate_week(

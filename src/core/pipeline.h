@@ -8,6 +8,7 @@
 //   (5) investigate systematically via the grid topology's balance checks.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -97,6 +98,24 @@ class FdetaPipeline {
                                const EvidenceCalendar& calendar,
                                const grid::Topology* topology = nullptr) const;
 
+  /// Serializes the fitted state (split, direction parameters, every
+  /// consumer's detector and training weekly stats) as a checkpoint
+  /// (persist/checkpoint.h), so a head-end can fit once offline and serving
+  /// processes warm-start in milliseconds.  Requires fit() to have run.
+  void save_model(std::ostream& out) const;
+
+  /// Restores a save_model() checkpoint, replacing this pipeline's fit and
+  /// the fit-related config (split, kld, direction margins; `threads` and
+  /// `metrics` keep their constructed values).  evaluate_week() then yields
+  /// verdicts bit-identical to the pipeline that was saved.  Throws
+  /// DataError on a corrupted, truncated, or version-mismatched checkpoint.
+  void load_model(std::istream& in);
+
+  /// The active config (load_model overwrites the fit-related fields).
+  const PipelineConfig& config() const { return config_; }
+
+  std::size_t consumer_count() const { return detectors_.size(); }
+
  private:
   PipelineConfig config_;
   std::vector<KldDetector> detectors_;          // one per consumer
@@ -106,6 +125,7 @@ class FdetaPipeline {
   // Cached at construction; updates are lock-free (see obs/metrics.h) and
   // happen once per fit/evaluate call, outside the per-consumer hot loops.
   obs::Counter* consumers_fitted_ = nullptr;
+  obs::Counter* consumers_restored_ = nullptr;
   obs::Counter* thresholds_recomputed_ = nullptr;
   obs::Counter* weeks_scored_ = nullptr;
   obs::Counter* verdicts_ = nullptr;

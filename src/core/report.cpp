@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -15,6 +16,18 @@ void append_line(std::string& out, const char* format, auto... args) {
   std::snprintf(buffer, sizeof(buffer), format, args...);
   out += buffer;
   out += '\n';
+}
+
+// A non-finite score or threshold would render as a bare "inf"/"nan" token
+// and poison any parser downstream of the report; refuse to emit it (with
+// the default epsilon smoothing enabled, scores are finite by construction).
+double finite(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    throw NumericalError(std::string("render_report: ") + what +
+                         " is non-finite (enable KldDetectorConfig::epsilon "
+                         "smoothing to keep out-of-support scores finite)");
+  }
+  return value;
 }
 
 }  // namespace
@@ -47,7 +60,8 @@ std::string render_report(const PipelineReport& report,
       continue;
     }
     append_line(out, "- meter %u: %s (KLD %.3f / threshold %.3f)", v.id,
-                to_string(v.status), v.kld_score, v.kld_threshold);
+                to_string(v.status), finite(v.kld_score, "KLD score"),
+                finite(v.kld_threshold, "KLD threshold"));
     if (v.excuse) {
       append_line(out, "    excused by %s: %s",
                   to_string(v.excuse->kind), v.excuse->description.c_str());

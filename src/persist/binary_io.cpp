@@ -1,0 +1,92 @@
+#include "persist/binary_io.h"
+
+#include "common/error.h"
+
+namespace fdeta::persist {
+
+void Encoder::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void Encoder::doubles(std::span<const double> values) {
+  u64(values.size());
+  for (double v : values) f64(v);
+}
+
+void Decoder::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    throw DataError("checkpoint: truncated payload (wanted " +
+                    std::to_string(n) + " bytes, " +
+                    std::to_string(bytes_.size() - pos_) + " left)");
+  }
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+std::size_t Decoder::count(std::string_view what, std::size_t max_count) {
+  const std::uint64_t n = u64();
+  if (n > max_count) {
+    throw DataError("checkpoint: implausible " + std::string(what) +
+                    " count " + std::to_string(n));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<double> Decoder::doubles(std::string_view what,
+                                     std::size_t max_count) {
+  const std::size_t n = count(what, max_count);
+  need(n * sizeof(double));
+  std::vector<double> out(n);
+  for (auto& v : out) v = f64();
+  return out;
+}
+
+void Decoder::require_exhausted(std::string_view what) const {
+  if (pos_ != bytes_.size()) {
+    throw DataError("checkpoint: " + std::string(what) + " left " +
+                    std::to_string(bytes_.size() - pos_) +
+                    " undecoded payload bytes");
+  }
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace fdeta::persist

@@ -1,0 +1,74 @@
+// Endian-stable binary encoding primitives for model checkpoints.
+//
+// Fitted pipeline state (histogram edges, baseline distributions, training
+// KLD vectors, thresholds, monitor windows) must restore bit-exactly on any
+// host, so every integer is written byte-by-byte least-significant-first and
+// every double travels as the little-endian bytes of its IEEE-754 bit
+// pattern - the in-memory representation never leaks into the format.
+//
+// Encoder appends to an in-memory buffer (the checkpoint framing in
+// checkpoint.h checksums and writes it in one piece); Decoder walks a byte
+// view with bounds checks and throws DataError on any overrun, so a
+// truncated or corrupted payload can never read uninitialised memory.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdeta::persist {
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern, little-endian (bit-exact round trip).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Element count (u64) followed by each element as f64.
+  void doubles(std::span<const double> values);
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads the Encoder format back; throws DataError on overrun.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Reads a u64 count and validates it against `max_count` (a structural
+  /// sanity bound - a corrupted length must not drive a multi-gigabyte
+  /// allocation) and against the bytes actually remaining.
+  std::size_t count(std::string_view what, std::size_t max_count);
+  /// Reads a doubles() sequence.
+  std::vector<double> doubles(std::string_view what, std::size_t max_count);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// Throws DataError if any payload bytes were left unread (a section that
+  /// decodes "successfully" but short is as corrupt as a truncated one).
+  void require_exhausted(std::string_view what) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit checksum over a byte string (the header checksum of
+/// checkpoint.h; detects truncation and bit rot, not adversarial tampering).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace fdeta::persist

@@ -1,0 +1,89 @@
+#include "persist/checkpoint.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace fdeta::persist {
+
+const char* to_string(Section section) {
+  switch (section) {
+    case Section::kPipeline: return "pipeline";
+    case Section::kOnlineMonitor: return "online-monitor";
+  }
+  return "?";
+}
+
+void write_checkpoint(std::ostream& out, Section section,
+                      std::string_view payload) {
+  Encoder header;
+  for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u32(kFormatVersion);
+  header.u32(static_cast<std::uint32_t>(section));
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload));
+
+  out.write(header.bytes().data(),
+            static_cast<std::streamsize>(header.bytes().size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw DataError("checkpoint: write failed");
+}
+
+std::string read_checkpoint(std::istream& in, Section expected_section) {
+  std::string magic(kMagic.size(), '\0');
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (!in || magic != kMagic) {
+    throw DataError("checkpoint: bad magic (not a model checkpoint)");
+  }
+
+  // Header fields after the magic: version, section, size, checksum.
+  std::string fixed(4 + 4 + 8 + 8, '\0');
+  in.read(fixed.data(), static_cast<std::streamsize>(fixed.size()));
+  if (!in) throw DataError("checkpoint: truncated header");
+  Decoder header(fixed);
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion) {
+    throw DataError("checkpoint: format version " + std::to_string(version) +
+                    " unsupported (this build reads version " +
+                    std::to_string(kFormatVersion) + "); refit the model");
+  }
+  const std::uint32_t section = header.u32();
+  if (section != static_cast<std::uint32_t>(expected_section)) {
+    throw DataError("checkpoint: holds section " + std::to_string(section) +
+                    ", expected " +
+                    std::string(to_string(expected_section)));
+  }
+  const std::uint64_t size = header.u64();
+  const std::uint64_t checksum = header.u64();
+
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw DataError("checkpoint: truncated payload (header promised " +
+                    std::to_string(size) + " bytes, got " +
+                    std::to_string(in.gcount()) + ")");
+  }
+  if (fnv1a64(payload) != checksum) {
+    throw DataError("checkpoint: payload checksum mismatch (corrupted file)");
+  }
+  return payload;
+}
+
+void save_checkpoint_file(const std::string& path, Section section,
+                          std::string_view payload) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw DataError("checkpoint: cannot open " + path +
+                            " for writing");
+  write_checkpoint(out, section, payload);
+}
+
+std::string load_checkpoint_file(const std::string& path,
+                                 Section expected_section) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("checkpoint: cannot open " + path);
+  return read_checkpoint(in, expected_section);
+}
+
+}  // namespace fdeta::persist

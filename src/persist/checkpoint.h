@@ -1,0 +1,64 @@
+// Checkpoint file framing for fitted models (the warm-start layer).
+//
+// The paper fits each detector once on the M x 336 training week-matrix and
+// then scores new weeks indefinitely; a fleet head-end therefore fits
+// offline (`fdeta fit --save-model`) and serving restores the fitted state
+// in milliseconds (`fdeta detect --model`) instead of refitting from raw
+// readings on every process start.
+//
+// File layout (all integers little-endian; see binary_io.h):
+//
+//   offset  size  field
+//        0     8  magic "FDETAMDL"
+//        8     4  format version (kFormatVersion)
+//       12     4  section id (what model the payload holds)
+//       16     8  payload size in bytes
+//       24     8  FNV-1a 64 checksum of the payload bytes
+//       32     -  payload (section-specific; encoded via persist::Encoder)
+//
+// Compatibility policy: the version is bumped on ANY payload layout change
+// and readers reject mismatches outright (a fit is cheap relative to the
+// cost of silently misinterpreting thresholds); there is no in-place
+// migration. Readers validate magic -> version -> section -> size ->
+// checksum in that order, then require the section decoder to consume the
+// payload exactly. Conventions follow src/grid/serialize.*: free
+// save/load functions, DataError on every structural violation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "persist/binary_io.h"
+
+namespace fdeta::persist {
+
+inline constexpr std::string_view kMagic = "FDETAMDL";
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What fitted model a checkpoint holds. A reader asks for the section it
+/// expects; a pipeline checkpoint can never be restored into a monitor.
+enum class Section : std::uint32_t {
+  kPipeline = 1,       ///< FdetaPipeline (detectors + weekly stats)
+  kOnlineMonitor = 2,  ///< OnlineMonitor (detectors + window state)
+};
+
+const char* to_string(Section section);
+
+/// Writes header + checksummed payload; throws DataError on stream failure.
+void write_checkpoint(std::ostream& out, Section section,
+                      std::string_view payload);
+
+/// Reads and validates a checkpoint written by write_checkpoint, returning
+/// the payload bytes. Throws DataError on bad magic, version or section
+/// mismatch, truncation, or checksum failure.
+std::string read_checkpoint(std::istream& in, Section expected_section);
+
+/// Convenience file wrappers (binary mode; DataError on open failure).
+void save_checkpoint_file(const std::string& path, Section section,
+                          std::string_view payload);
+std::string load_checkpoint_file(const std::string& path,
+                                 Section expected_section);
+
+}  // namespace fdeta::persist

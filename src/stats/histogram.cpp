@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "persist/binary_io.h"
 
 namespace fdeta::stats {
 
@@ -41,6 +42,18 @@ std::size_t Histogram::bin_of(double value) const {
   return std::min(idx, bin_count() - 1);                    // above range/max
 }
 
+std::size_t Histogram::underflow_count(std::span<const double> sample) const {
+  std::size_t n = 0;
+  for (double v : sample) n += v < edges_.front() ? 1 : 0;
+  return n;
+}
+
+std::size_t Histogram::overflow_count(std::span<const double> sample) const {
+  std::size_t n = 0;
+  for (double v : sample) n += v > edges_.back() ? 1 : 0;
+  return n;
+}
+
 std::vector<std::size_t> Histogram::counts(std::span<const double> sample) const {
   std::vector<std::size_t> out(bin_count(), 0);
   for (double v : sample) ++out[bin_of(v)];
@@ -57,6 +70,14 @@ std::vector<double> Histogram::probabilities(
     out[j] = static_cast<double>(raw[j]) / n;
   }
   return out;
+}
+
+void Histogram::save(persist::Encoder& enc) const { enc.doubles(edges_); }
+
+Histogram Histogram::load(persist::Decoder& dec) {
+  // The explicit-edges constructor revalidates (>= 2 edges, ascending), so
+  // a corrupted edge array is rejected rather than silently misbinned.
+  return Histogram(dec.doubles("histogram edges", 1u << 20));
 }
 
 }  // namespace fdeta::stats

@@ -12,6 +12,11 @@
 #include <span>
 #include <vector>
 
+namespace fdeta::persist {
+class Encoder;
+class Decoder;
+}  // namespace fdeta::persist
+
 namespace fdeta::stats {
 
 /// A histogram with B equal-width bins whose edges were frozen from a
@@ -29,9 +34,24 @@ class Histogram {
   std::size_t bin_count() const { return edges_.size() - 1; }
   const std::vector<double>& edges() const { return edges_; }
 
-  /// Index of the bin receiving `value`.  Out-of-range values clamp into the
-  /// first/last bin (open outer bins).
+  /// Index of the bin receiving `value`.
+  ///
+  /// Clamping semantics (deliberate, per Section VII-D): the outer bins are
+  /// open, so a value below edges().front() lands in bin 0 and a value above
+  /// edges().back() in the last bin.  The detector must still see the
+  /// probability mass of out-of-range readings (attack vectors often sit
+  /// outside the training range), but the clamp is silent - bin_of(v) == 0
+  /// cannot tell "v was in the lowest training bin" from "v was below the
+  /// training support entirely".  Callers that need the distinction count
+  /// out-of-support values with underflow_count()/overflow_count().
   std::size_t bin_of(double value) const;
+
+  /// Number of values in `sample` strictly below edges().front() - readings
+  /// outside the training support that bin_of() clamps into bin 0.
+  std::size_t underflow_count(std::span<const double> sample) const;
+
+  /// Number of values in `sample` strictly above edges().back().
+  std::size_t overflow_count(std::span<const double> sample) const;
 
   /// Raw counts of `sample` per bin.
   std::vector<std::size_t> counts(std::span<const double> sample) const;
@@ -39,6 +59,11 @@ class Histogram {
   /// Relative frequencies per bin (counts / sample size).  This is the
   /// p(X^(j)) of eq. (12).  Requires a non-empty sample.
   std::vector<double> probabilities(std::span<const double> sample) const;
+
+  /// Serialization hooks for model checkpoints (persist/checkpoint.h): the
+  /// frozen edges are the histogram's entire state.
+  void save(persist::Encoder& enc) const;
+  static Histogram load(persist::Decoder& dec);
 
  private:
   std::vector<double> edges_;  // ascending, size = bins + 1

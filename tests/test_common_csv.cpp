@@ -63,13 +63,27 @@ TEST(ParseLong, RejectsFloats) {
   EXPECT_THROW(parse_long("1.5", "test"), DataError);
 }
 
-TEST(ReadLines, SkipsEmptyLinesAndCr) {
-  std::istringstream in("a\r\n\nb\nc\r\n");
+TEST(ReadLines, StripsCrAndIgnoresTrailingBlanks) {
+  std::istringstream in("a\r\nb\nc\r\n\n\r\n");
   const auto lines = read_lines(in);
   ASSERT_EQ(lines.size(), 3u);
   EXPECT_EQ(lines[0], "a");
   EXPECT_EQ(lines[1], "b");
   EXPECT_EQ(lines[2], "c");
+}
+
+TEST(ReadLines, RejectsInteriorBlankLines) {
+  // A silently-dropped interior blank would shift every later row up one
+  // position - in a week-per-row dataset that misaligns the train/test
+  // split and scores the wrong weeks.
+  std::istringstream in("a\n\nb\n");
+  try {
+    read_lines(in);
+    FAIL() << "interior blank line was not rejected";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(WriteCsv, WritesHeaderAndRows) {

@@ -1,0 +1,387 @@
+// Tests of the model checkpoint layer: binary primitives, file framing,
+// bit-exact pipeline / monitor / detector round trips, rejection of
+// corrupted, truncated, version- and section-mismatched checkpoints, and
+// the epsilon-smoothing finiteness guarantees the format preserves.
+#include "persist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/conditioned_kld_detector.h"
+#include "core/kld_detector.h"
+#include "core/online_monitor.h"
+#include "core/pipeline.h"
+#include "datagen/generator.h"
+#include "meter/weekly_stats.h"
+#include "obs/metrics.h"
+#include "persist/binary_io.h"
+
+namespace fdeta::persist {
+namespace {
+
+TEST(BinaryIo, RoundTripsScalarsLittleEndian) {
+  Encoder enc;
+  enc.u8(0xAB);
+  enc.u32(0x01020304u);
+  enc.u64(0x0102030405060708ull);
+  enc.f64(-1234.5678);
+  enc.f64(std::numeric_limits<double>::infinity());
+
+  // Little-endian on the wire regardless of host order.
+  const std::string& b = enc.bytes();
+  ASSERT_EQ(b.size(), 1u + 4u + 8u + 8u + 8u);
+  EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[4]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[5]), 0x08);
+
+  Decoder dec(b);
+  EXPECT_EQ(dec.u8(), 0xAB);
+  EXPECT_EQ(dec.u32(), 0x01020304u);
+  EXPECT_EQ(dec.u64(), 0x0102030405060708ull);
+  EXPECT_EQ(dec.f64(), -1234.5678);  // bit-exact
+  EXPECT_TRUE(std::isinf(dec.f64()));
+  EXPECT_NO_THROW(dec.require_exhausted("scalars"));
+}
+
+TEST(BinaryIo, DoublesRoundTripAndBoundsCheck) {
+  Encoder enc;
+  const std::vector<double> values{0.0, -0.0, 1e-300, 42.5};
+  enc.doubles(values);
+
+  Decoder dec(enc.bytes());
+  const auto back = dec.doubles("values", 16);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(values[i]));
+  }
+
+  // An implausible count must throw, not allocate.
+  Decoder dec2(enc.bytes());
+  EXPECT_THROW(dec2.doubles("values", 2), DataError);
+}
+
+TEST(BinaryIo, TruncationAndTrailingBytesThrow) {
+  Encoder enc;
+  enc.u64(7);
+  Decoder short_dec(std::string_view(enc.bytes()).substr(0, 4));
+  EXPECT_THROW(short_dec.u64(), DataError);
+
+  Decoder trailing(enc.bytes());
+  trailing.u32();
+  EXPECT_THROW(trailing.require_exhausted("payload"), DataError);
+}
+
+TEST(Checkpoint, FramingRoundTrip) {
+  Encoder enc;
+  enc.u64(99);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(ss, Section::kPipeline, enc.bytes());
+  const std::string payload = read_checkpoint(ss, Section::kPipeline);
+  Decoder dec(payload);
+  EXPECT_EQ(dec.u64(), 99u);
+}
+
+std::string framed_pipeline_payload() {
+  Encoder enc;
+  enc.u64(99);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(ss, Section::kPipeline, enc.bytes());
+  return ss.str();
+}
+
+std::string expect_rejected(std::string bytes) {
+  std::stringstream ss(std::move(bytes),
+                       std::ios::in | std::ios::out | std::ios::binary);
+  try {
+    read_checkpoint(ss, Section::kPipeline);
+  } catch (const DataError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "checkpoint was not rejected";
+  return {};
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  auto bytes = framed_pipeline_payload();
+  bytes[0] = 'X';
+  EXPECT_NE(expect_rejected(bytes).find("magic"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsVersionMismatch) {
+  auto bytes = framed_pipeline_payload();
+  bytes[8] = static_cast<char>(kFormatVersion + 1);  // version u32 LSB
+  EXPECT_NE(expect_rejected(bytes).find("version"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsWrongSection) {
+  Encoder enc;
+  enc.u64(99);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(ss, Section::kOnlineMonitor, enc.bytes());
+  EXPECT_THROW(read_checkpoint(ss, Section::kPipeline), DataError);
+}
+
+TEST(Checkpoint, RejectsCorruptedPayload) {
+  auto bytes = framed_pipeline_payload();
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);  // payload bit flip
+  EXPECT_NE(expect_rejected(bytes).find("checksum"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsTruncatedPayload) {
+  auto bytes = framed_pipeline_payload();
+  bytes.resize(bytes.size() - 3);
+  expect_rejected(bytes);
+}
+
+TEST(Checkpoint, RejectsTruncatedHeader) {
+  auto bytes = framed_pipeline_payload();
+  bytes.resize(16);
+  expect_rejected(bytes);
+}
+
+}  // namespace
+}  // namespace fdeta::persist
+
+namespace fdeta::core {
+namespace {
+
+constexpr const char* kVerdictCounters[] = {
+    "pipeline.weeks_scored",    "pipeline.verdicts",
+    "pipeline.verdict_normal",  "pipeline.verdict_attacker",
+    "pipeline.verdict_victim",  "pipeline.verdict_anomaly",
+    "pipeline.verdict_excused",
+};
+
+TEST(PipelineCheckpoint, RoundTripReproducesVerdictsAndCounters) {
+  const auto dataset = datagen::small_dataset(10, 28, 11);
+  obs::MetricsRegistry cold_reg, warm_reg;
+
+  PipelineConfig config;
+  config.split = meter::TrainTestSplit{.train_weeks = 24, .test_weeks = 4};
+  config.kld = {.bins = 10, .significance = 0.10};
+  config.metrics = &cold_reg;
+  FdetaPipeline cold(config);
+  cold.fit(dataset);
+
+  std::stringstream model(std::ios::in | std::ios::out | std::ios::binary);
+  cold.save_model(model);
+
+  PipelineConfig warm_config;  // split/kld come from the checkpoint
+  warm_config.metrics = &warm_reg;
+  FdetaPipeline warm(warm_config);
+  warm.load_model(model);
+
+  EXPECT_EQ(warm.consumer_count(), cold.consumer_count());
+  EXPECT_EQ(warm.config().split.train_weeks, 24u);
+  EXPECT_EQ(warm.config().split.test_weeks, 4u);
+  EXPECT_EQ(warm.config().kld.significance, 0.10);
+  EXPECT_EQ(warm_reg.snapshot().counter("pipeline.consumers_restored"), 10u);
+
+  const EvidenceCalendar calendar;
+  for (std::size_t w = 24; w < dataset.week_count(); ++w) {
+    const auto a = cold.evaluate_week(dataset, dataset, w, calendar);
+    const auto b = warm.evaluate_week(dataset, dataset, w, calendar);
+    ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+    for (std::size_t c = 0; c < a.verdicts.size(); ++c) {
+      EXPECT_EQ(a.verdicts[c].id, b.verdicts[c].id);
+      EXPECT_EQ(a.verdicts[c].status, b.verdicts[c].status);
+      // Bit-exact, not approximately equal: the checkpoint restores the
+      // same doubles the cold fit computed.
+      EXPECT_EQ(a.verdicts[c].kld_score, b.verdicts[c].kld_score);
+      EXPECT_EQ(a.verdicts[c].kld_threshold, b.verdicts[c].kld_threshold);
+    }
+  }
+  const auto cold_snap = cold_reg.snapshot();
+  const auto warm_snap = warm_reg.snapshot();
+  for (const char* name : kVerdictCounters) {
+    EXPECT_EQ(cold_snap.counter(name), warm_snap.counter(name)) << name;
+  }
+}
+
+TEST(PipelineCheckpoint, SaveRequiresFitAndLoadCommitsAtomically) {
+  obs::MetricsRegistry reg;
+  PipelineConfig config;
+  config.metrics = &reg;
+  FdetaPipeline pipeline(config);
+  std::stringstream model(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(pipeline.save_model(model), InvalidArgument);
+
+  const auto dataset = datagen::small_dataset(4, 10, 5);
+  PipelineConfig fit_config;
+  fit_config.split = meter::TrainTestSplit{.train_weeks = 8, .test_weeks = 2};
+  fit_config.metrics = &reg;
+  FdetaPipeline fitted(fit_config);
+  fitted.fit(dataset);
+  fitted.save_model(model);
+
+  // Corrupt the payload: load_model must throw and leave the target usable
+  // for a later, successful load.
+  std::string bytes = model.str();
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x10);
+  std::stringstream bad(std::move(bytes),
+                        std::ios::in | std::ios::out | std::ios::binary);
+  FdetaPipeline target(config);
+  EXPECT_THROW(target.load_model(bad), DataError);
+
+  model.clear();
+  model.seekg(0);
+  target.load_model(model);
+  EXPECT_EQ(target.consumer_count(), 4u);
+}
+
+TEST(MonitorCheckpoint, RestoreContinuesBitExactly) {
+  const auto dataset = datagen::small_dataset(6, 10, 17);
+  const meter::TrainTestSplit split{.train_weeks = 8, .test_weeks = 2};
+  obs::MetricsRegistry reg_a, reg_b;
+
+  OnlineMonitorConfig config;
+  config.stride = 2;
+  config.cooldown_slots = 10;
+  config.metrics = &reg_a;
+  OnlineMonitor live(config);
+  live.fit(dataset, split);
+
+  // Stream half a week, checkpoint mid-stream (cooldown/stride counters in
+  // flight), then have a restored monitor consume the remainder.
+  const SlotIndex base = split.train_weeks * kSlotsPerWeek;
+  const auto feed = [&](OnlineMonitor& m, SlotIndex from, SlotIndex to) {
+    for (SlotIndex s = from; s < to; ++s) {
+      for (std::size_t c = 0; c < dataset.consumer_count(); ++c) {
+        m.ingest(c, base + s, dataset.consumer(c).readings[base + s]);
+      }
+    }
+  };
+  feed(live, 0, kSlotsPerWeek / 2);
+
+  std::stringstream ckpt(std::ios::in | std::ios::out | std::ios::binary);
+  live.save(ckpt);
+
+  OnlineMonitorConfig fresh_config;
+  fresh_config.metrics = &reg_b;
+  OnlineMonitor restored(fresh_config);
+  restored.restore(ckpt);
+  EXPECT_EQ(restored.consumer_count(), live.consumer_count());
+  EXPECT_EQ(reg_b.snapshot().counter("monitor.consumers_restored"), 6u);
+
+  feed(live, kSlotsPerWeek / 2, kSlotsPerWeek);
+  feed(restored, kSlotsPerWeek / 2, kSlotsPerWeek);
+
+  ASSERT_EQ(restored.alerts().size(), live.alerts().size());
+  for (std::size_t i = 0; i < live.alerts().size(); ++i) {
+    EXPECT_EQ(restored.alerts()[i].consumer_index,
+              live.alerts()[i].consumer_index);
+    EXPECT_EQ(restored.alerts()[i].slot, live.alerts()[i].slot);
+    EXPECT_EQ(restored.alerts()[i].score, live.alerts()[i].score);
+    EXPECT_EQ(restored.alerts()[i].direction, live.alerts()[i].direction);
+  }
+  for (std::size_t c = 0; c < dataset.consumer_count(); ++c) {
+    const auto wa = live.window(c);
+    const auto wb = restored.window(c);
+    for (std::size_t s = 0; s < wa.size(); ++s) EXPECT_EQ(wa[s], wb[s]);
+  }
+}
+
+TEST(MonitorCheckpoint, RejectsPipelineCheckpoint) {
+  const auto dataset = datagen::small_dataset(3, 10, 7);
+  obs::MetricsRegistry reg;
+  PipelineConfig config;
+  config.split = meter::TrainTestSplit{.train_weeks = 8, .test_weeks = 2};
+  config.metrics = &reg;
+  FdetaPipeline pipeline(config);
+  pipeline.fit(dataset);
+  std::stringstream model(std::ios::in | std::ios::out | std::ios::binary);
+  pipeline.save_model(model);
+
+  OnlineMonitorConfig mon_config;
+  mon_config.metrics = &reg;
+  OnlineMonitor monitor(mon_config);
+  EXPECT_THROW(monitor.restore(model), DataError);
+}
+
+TEST(ConditionedKldCheckpoint, RoundTripIsBitExact) {
+  const auto dataset = datagen::small_dataset(1, 12, 23);
+  const auto& readings = dataset.consumer(0).readings;
+  const std::span<const Kw> train{readings.data(),
+                                  10 * static_cast<std::size_t>(kSlotsPerWeek)};
+
+  ConditionedKldDetector fitted;
+  fitted.fit(train);
+
+  persist::Encoder enc;
+  fitted.save(enc);
+  persist::Decoder dec(enc.bytes());
+  ConditionedKldDetector restored;
+  restored.restore(dec);
+  dec.require_exhausted("conditioned detector");
+
+  const auto week = dataset.consumer(0).week(11);
+  const auto a = fitted.scores(week);
+  const auto b = restored.scores(week);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) EXPECT_EQ(a[g], b[g]);
+  EXPECT_EQ(fitted.thresholds(), restored.thresholds());
+  EXPECT_EQ(fitted.flag_week(week), restored.flag_week(week));
+}
+
+TEST(EpsilonSmoothing, MatchesPaperScoresOnInSupportWeeks) {
+  const auto dataset = datagen::small_dataset(1, 12, 29);
+  const auto& readings = dataset.consumer(0).readings;
+  const std::span<const Kw> train{readings.data(),
+                                  10 * static_cast<std::size_t>(kSlotsPerWeek)};
+
+  KldDetector exact({.bins = 10, .significance = 0.05, .epsilon = 0.0});
+  KldDetector smoothed({.bins = 10, .significance = 0.05, .epsilon = 1e-9});
+  exact.fit(train);
+  smoothed.fit(train);
+
+  // Training weeks are in-support by construction: epsilon perturbs their
+  // scores only at the smoothing-mass scale.
+  for (std::size_t w = 0; w < 10; ++w) {
+    const auto week = dataset.consumer(0).week(w);
+    const double a = exact.score(week);
+    const double b = smoothed.score(week);
+    ASSERT_TRUE(std::isfinite(a));
+    EXPECT_NEAR(a, b, 1e-6);
+  }
+  EXPECT_NEAR(exact.threshold(), smoothed.threshold(), 1e-6);
+}
+
+TEST(EpsilonSmoothing, KeepsOutOfSupportScoresFinite) {
+  // Bimodal training: readings alternate near 1 kW and near 10 kW, so the
+  // equal-width bins over [min, max] leave every interior bin empty.
+  const std::size_t slots = 10 * static_cast<std::size_t>(kSlotsPerWeek);
+  std::vector<Kw> train(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const double jitter = 0.001 * static_cast<double>(s % 7);
+    train[s] = (s % 2 == 0) ? 1.0 + jitter : 10.0 - jitter;
+  }
+
+  KldDetector exact({.bins = 10, .significance = 0.05, .epsilon = 0.0});
+  KldDetector smoothed({.bins = 10, .significance = 0.05, .epsilon = 1e-9});
+  exact.fit(train);
+  smoothed.fit(train);
+
+  // A flat 5.5 kW week lands entirely in an empty interior bin: the bare
+  // eq.-(12) score saturates to infinity, the smoothed score stays finite
+  // but far above threshold.
+  std::vector<Kw> mid_week(static_cast<std::size_t>(kSlotsPerWeek), 5.5);
+  ASSERT_TRUE(std::isinf(exact.score(mid_week)));
+  const double s = smoothed.score(mid_week);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, smoothed.threshold());  // still a screaming anomaly
+}
+
+TEST(EpsilonSmoothing, RejectsNegativeEpsilon) {
+  EXPECT_THROW(KldDetector({.epsilon = -1e-9}), InvalidArgument);
+  ConditionedKldDetectorConfig conditioned;
+  conditioned.epsilon = -1.0;
+  EXPECT_THROW(ConditionedKldDetector{conditioned}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fdeta::core

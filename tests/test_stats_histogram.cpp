@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "persist/binary_io.h"
 
 namespace fdeta::stats {
 namespace {
@@ -49,6 +50,18 @@ TEST(Histogram, OutOfRangeClampsToOuterBins) {
   const Histogram h(ref, 10);
   EXPECT_EQ(h.bin_of(-5.0), 0u);
   EXPECT_EQ(h.bin_of(999.0), 9u);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounts) {
+  const std::vector<double> ref{0.0, 10.0};
+  const Histogram h(ref, 10);
+  // bin_of clamps silently; these counters are the only way to see how much
+  // of a sample fell outside the frozen support.
+  const std::vector<double> sample{-1.0, -0.5, 0.0, 5.0, 10.0, 11.0};
+  EXPECT_EQ(h.underflow_count(sample), 2u);
+  EXPECT_EQ(h.overflow_count(sample), 1u);
+  EXPECT_EQ(h.underflow_count(std::vector<double>{}), 0u);
+  EXPECT_EQ(h.overflow_count(std::vector<double>{}), 0u);
 }
 
 TEST(Histogram, CountsSumToSampleSize) {
@@ -105,6 +118,31 @@ TEST(Histogram, FrozenEdgesSharedAcrossSamples) {
   EXPECT_DOUBLE_EQ(p[3], 0.5);
   EXPECT_DOUBLE_EQ(p[1], 0.0);
   EXPECT_DOUBLE_EQ(p[2], 0.0);
+}
+
+TEST(Histogram, SaveLoadRoundTripsEdges) {
+  Rng rng(3);
+  std::vector<double> ref(500);
+  for (auto& v : ref) v = rng.normal();
+  const Histogram h(ref, 10);
+
+  persist::Encoder enc;
+  h.save(enc);
+  persist::Decoder dec(enc.bytes());
+  const Histogram back = Histogram::load(dec);
+  dec.require_exhausted("histogram");
+
+  ASSERT_EQ(back.edges().size(), h.edges().size());
+  for (std::size_t i = 0; i < h.edges().size(); ++i) {
+    EXPECT_EQ(back.edges()[i], h.edges()[i]);  // bit-exact
+  }
+}
+
+TEST(Histogram, LoadRejectsCorruptEdges) {
+  persist::Encoder enc;
+  enc.doubles(std::vector<double>{1.0, 0.0});  // descending
+  persist::Decoder dec(enc.bytes());
+  EXPECT_THROW(Histogram::load(dec), InvalidArgument);
 }
 
 class HistogramBinSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -4,18 +4,27 @@
 //   generate  synthesize a CER-like smart-meter dataset to CSV
 //   summary   describe a dataset CSV
 //   inject    forge one consumer's week with an attack vector
+//   fit       fit the pipeline on a dataset and save a model checkpoint
 //   detect    run the detector panel over the test weeks of a dataset
 //
 // Examples:
 //   fdeta generate --consumers 50 --weeks 30 --seed 7 --out actual.csv
 //   fdeta inject --in actual.csv --consumer 1004 --week 24
 //         --attack integrated-over --train-weeks 24 --out reported.csv
+//   fdeta fit --in actual.csv --train-weeks 24 --save-model model.fdeta
+//   fdeta detect --in reported.csv --model model.fdeta
 //   fdeta detect --in reported.csv --baseline actual.csv --train-weeks 24
+//
+// The fit/detect split is the warm-start serving path: a head-end fits once
+// offline and every serving process restores the fitted state from the
+// checkpoint in milliseconds instead of refitting from raw readings.
+// Without --model, detect falls back to fitting in-process.
 //
 // Every subcommand accepts --metrics-out <file>: after a successful run the
 // process-wide metrics registry (pipeline/monitor/pool counters, latency
 // histograms) is written there as JSON and summarised on stderr.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -199,6 +208,55 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
+core::KldDetectorConfig kld_config_from(const Args& args) {
+  core::KldDetectorConfig kld;
+  kld.bins = static_cast<std::size_t>(args.get_long("bins", 10));
+  kld.significance = args.get_double("significance", 0.05);
+  kld.epsilon = args.get_double("epsilon", kld.epsilon);
+  return kld;
+}
+
+/// Guards every score/threshold the CLI emits: a non-finite value would
+/// print as a bare "inf"/"nan" token and poison any downstream parser, so
+/// serving refuses to emit it (enable epsilon smoothing, the default, to
+/// keep scores finite on out-of-support readings).
+double finite_or_throw(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    throw NumericalError(std::string(what) +
+                         " is non-finite; refusing to emit it (run with "
+                         "--epsilon > 0 to smooth empty baseline bins)");
+  }
+  return value;
+}
+
+int cmd_fit(const Args& args) {
+  // Fits the pipeline on a trusted dataset and checkpoints the fitted state
+  // (the offline half of the warm-start serving split).
+  const auto actual = load(args.require_value("in"));
+  const auto train_weeks =
+      static_cast<std::size_t>(args.get_long("train-weeks", 24));
+  require(train_weeks < actual.week_count(),
+          "fit: train-weeks exceeds the horizon");
+
+  core::PipelineConfig config;
+  config.split =
+      meter::TrainTestSplit{.train_weeks = train_weeks,
+                            .test_weeks = actual.week_count() - train_weeks};
+  config.kld = kld_config_from(args);
+  core::FdetaPipeline pipeline(config);
+  pipeline.fit(actual);
+
+  const std::string path = args.require_value("save-model");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw DataError("fit: cannot open " + path + " for writing");
+  pipeline.save_model(out);
+  std::printf("fitted %zu consumers on %zu training weeks (B=%zu, "
+              "alpha=%.0f%%), model -> %s\n",
+              pipeline.consumer_count(), train_weeks, config.kld.bins,
+              100.0 * config.kld.significance, path.c_str());
+  return 0;
+}
+
 int cmd_detect(const Args& args) {
   // Runs the five-step F-DETA pipeline (minus step 5: no topology here)
   // over every test week, so the run is fully accounted in the "pipeline."
@@ -207,25 +265,42 @@ int cmd_detect(const Args& args) {
   const std::string baseline_path = args.get("baseline", "");
   const auto baseline =
       baseline_path.empty() ? reported : load(baseline_path);
-  const auto train_weeks =
-      static_cast<std::size_t>(args.get_long("train-weeks", 24));
-  const double significance = args.get_double("significance", 0.05);
-  const auto bins = static_cast<std::size_t>(args.get_long("bins", 10));
+  const std::string model_path = args.get("model", "");
 
   require(baseline.consumer_count() == reported.consumer_count(),
           "detect: baseline/reported consumer counts differ");
   require(baseline.week_count() == reported.week_count(),
           "detect: baseline/reported horizons differ");
-  require(train_weeks < reported.week_count(),
-          "detect: train-weeks exceeds the horizon");
 
   core::PipelineConfig config;
-  config.split =
-      meter::TrainTestSplit{.train_weeks = train_weeks,
-                            .test_weeks = reported.week_count() - train_weeks};
-  config.kld = {.bins = bins, .significance = significance};
   core::FdetaPipeline pipeline(config);
-  pipeline.fit(baseline);
+  if (!model_path.empty()) {
+    // Warm start: restore the fitted state saved by `fdeta fit`; the
+    // checkpoint carries the split and KLD parameters it was fitted with.
+    std::ifstream in(model_path, std::ios::binary);
+    if (!in) throw DataError("detect: cannot open model " + model_path);
+    pipeline.load_model(in);
+    require(pipeline.consumer_count() == reported.consumer_count(),
+            "detect: model consumer count does not match the dataset");
+  } else {
+    // Cold path: fit in-process on the baseline dataset.
+    config.split = meter::TrainTestSplit{
+        .train_weeks =
+            static_cast<std::size_t>(args.get_long("train-weeks", 24)),
+        .test_weeks = 0};
+    require(config.split.train_weeks < reported.week_count(),
+            "detect: train-weeks exceeds the horizon");
+    config.split.test_weeks =
+        reported.week_count() - config.split.train_weeks;
+    config.kld = kld_config_from(args);
+    pipeline = core::FdetaPipeline(config);
+    pipeline.fit(baseline);
+  }
+  const std::size_t train_weeks = pipeline.config().split.train_weeks;
+  const double significance = pipeline.config().kld.significance;
+  const std::size_t bins = pipeline.config().kld.bins;
+  require(train_weeks < reported.week_count(),
+          "detect: model training span exceeds the dataset horizon");
   const core::EvidenceCalendar calendar;  // no external evidence from CSV
 
   const auto status_tag = [](core::VerdictStatus status) {
@@ -252,7 +327,8 @@ int cmd_detect(const Args& args) {
     bool any = false;
     for (const auto& v : report.verdicts) {
       if (v.status == core::VerdictStatus::kNormal) continue;
-      std::printf(" %u(%s K=%.2f)", v.id, status_tag(v.status), v.kld_score);
+      std::printf(" %u(%s K=%.2f)", v.id, status_tag(v.status),
+                  finite_or_throw(v.kld_score, "detect: KLD score"));
       ++flagged_total;
       any = true;
     }
@@ -343,8 +419,10 @@ int usage() {
       "  inject    --in F --out F --consumer ID --week W\n"
       "            [--attack integrated-over|integrated-under|arima-over|\n"
       "             arima-under|swap] [--train-weeks T] [--seed S]\n"
-      "  detect    --in F [--baseline F] [--train-weeks T]\n"
-      "            [--significance A] [--bins B]\n"
+      "  fit       --in F --save-model F [--train-weeks T]\n"
+      "            [--significance A] [--bins B] [--epsilon E]\n"
+      "  detect    --in F [--model F] [--baseline F] [--train-weeks T]\n"
+      "            [--significance A] [--bins B] [--epsilon E]\n"
       "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
       "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
       "  investigate --topology F --baseline F --in F --week W\n"
@@ -370,6 +448,7 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "summary") return cmd_summary(args);
   if (command == "inject") return cmd_inject(args);
+  if (command == "fit") return cmd_fit(args);
   if (command == "detect") return cmd_detect(args);
   if (command == "evaluate") return cmd_evaluate(args);
   if (command == "topology") return cmd_topology(args);
