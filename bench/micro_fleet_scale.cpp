@@ -14,7 +14,10 @@
 // Flags: --smoke caps the population at 1000 consumers (the CI lane).
 // Env knobs: FDETA_FLEET_MAX caps the largest population (default 50000,
 // lower it on small machines); FDETA_FLEET_WEEKS sets the horizon (default
-// 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere.
+// 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere;
+// FDETA_TRACE_BUDGET sets the relative tracing-overhead budget (default
+// 0.05 = 5%) enforced by the final stage.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,7 @@
 #include "datagen/generator.h"
 #include "meter/dataset.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -185,6 +189,75 @@ void print_breakdown(std::size_t consumers,
       static_cast<long long>(pool_after.gauge("pool.queue_depth_highwater")));
 }
 
+// Tracing tax: the same pooled evaluate_week sweep with the span tracer off
+// vs on.  The enabled overhead must stay under FDETA_TRACE_BUDGET (relative,
+// default 5%) plus a 2ms absolute allowance for tiny populations where one
+// scheduler hiccup dominates the relative number.  Aborts on a blown budget
+// so the CI smoke lane enforces it.
+void run_tracing_overhead(std::size_t max_consumers, std::size_t weeks,
+                          std::uint64_t seed) {
+  const std::size_t consumers = std::min<std::size_t>(10000, max_consumers);
+  const double budget = fdeta::env_double("FDETA_TRACE_BUDGET", 0.05);
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+  const fdeta::core::EvidenceCalendar calendar;
+
+  fdeta::obs::MetricsRegistry reg;
+  fdeta::core::PipelineConfig config;
+  config.split = split;
+  config.metrics = &reg;
+  fdeta::core::FdetaPipeline pipeline(config);
+  pipeline.fit(dataset);
+
+  auto sweep_seconds = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const auto report =
+        pipeline.evaluate_week(dataset, dataset, weeks - 1, calendar);
+    if (report.verdicts.size() != consumers) std::abort();
+    return seconds_since(start);
+  };
+
+  // Best-of-N on both sides: we are comparing code paths, not machines, so
+  // the minimum is the right estimator for the deterministic cost.
+  const std::size_t rounds = 5;
+  fdeta::obs::Tracer& tracer = fdeta::obs::Tracer::instance();
+  double off_s = 1e300;
+  sweep_seconds();  // warm the caches once before either side measures
+  for (std::size_t r = 0; r < rounds; ++r) {
+    off_s = std::min(off_s, sweep_seconds());
+  }
+  double on_s = 1e300;
+  tracer.enable(/*ring_capacity=*/1 << 16);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    on_s = std::min(on_s, sweep_seconds());
+  }
+  tracer.disable();
+
+  bool saw_sweep_span = false;
+  for (const auto& event : tracer.collect()) {
+    if (std::strcmp(event.name, "pipeline.evaluate_week") == 0) {
+      saw_sweep_span = true;
+    }
+  }
+  if (!saw_sweep_span) {
+    std::fprintf(stderr,
+                 "tracing overhead stage captured no pipeline.evaluate_week "
+                 "span\n");
+    std::abort();
+  }
+
+  const double overhead = on_s / off_s - 1.0;
+  std::printf(
+      "\n=== tracing overhead @%zu consumers: sweep off %.4fs, on %.4fs "
+      "(%+.2f%%, budget %.0f%% + 2ms) ===\n",
+      consumers, off_s, on_s, overhead * 100.0, budget * 100.0);
+  if (on_s > off_s * (1.0 + budget) + 0.002) {
+    std::fprintf(stderr, "tracing overhead blew the budget\n");
+    std::abort();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,5 +297,6 @@ int main(int argc, char** argv) {
         static_cast<double>(consumers) / t.warm_restore_s);
     print_breakdown(consumers, reg.snapshot(), pool_before, pool_after);
   }
+  run_tracing_overhead(max_consumers, weeks, seed);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fdeta::ami {
 
@@ -75,6 +76,7 @@ MeterNetwork::MeterNetwork(const meter::Dataset& actual,
 
 void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
                             SlotIndex last) {
+  obs::TraceSpan span("ami.transmit", "ami");
   require(first <= last && last <= actual_->slot_count(),
           "MeterNetwork::transmit: bad slot range");
   const std::size_t sent_before = messages_sent_;

@@ -8,15 +8,17 @@
 namespace fdeta {
 
 CliArgs::CliArgs(int argc, const char* const* argv, int first) {
-  for (int i = first; i < argc; i += 2) {
+  for (int i = first; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       throw InvalidArgument(std::string("expected --flag, got ") + argv[i]);
     }
-    if (i + 1 >= argc) {
-      throw InvalidArgument(std::string("flag ") + argv[i] +
-                            " is missing its value");
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      values_[argv[i] + 2] = "";  // bare boolean flag
+      i += 1;
+    } else {
+      values_[argv[i] + 2] = argv[i + 1];
+      i += 2;
     }
-    values_[argv[i] + 2] = argv[i + 1];
   }
 }
 

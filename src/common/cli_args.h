@@ -9,9 +9,10 @@ namespace fdeta {
 
 class CliArgs {
  public:
-  /// Parses argv[first..argc) as alternating "--key value" pairs.
-  /// Throws InvalidArgument on a token that is not a --flag, or on a
-  /// trailing flag with no value.
+  /// Parses argv[first..argc) as "--key value" pairs and bare boolean
+  /// "--flag"s.  A --flag followed by another --flag (or by nothing) is
+  /// boolean: has() is true and its value is the empty string.  Throws
+  /// InvalidArgument on a token that is not a --flag.
   CliArgs(int argc, const char* const* argv, int first = 1);
 
   /// String value, or `fallback` when the flag is absent.

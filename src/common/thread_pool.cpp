@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fdeta {
 
@@ -68,6 +69,7 @@ void ThreadPool::worker_loop() {
     }
     std::exception_ptr error;
     try {
+      obs::TraceSpan span("pool.task", "pool");
       task();
     } catch (...) {
       error = std::current_exception();

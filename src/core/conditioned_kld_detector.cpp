@@ -1,6 +1,8 @@
 #include "core/conditioned_kld_detector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "persist/binary_io.h"
@@ -138,6 +140,48 @@ bool ConditionedKldDetector::flag_week(std::span<const Kw> week,
     if (s[g] > thresholds_[g]) return true;
   }
   return false;
+}
+
+std::vector<KldExplanation> ConditionedKldDetector::explain(
+    std::span<const Kw> week) const {
+  require(fitted_, "ConditionedKldDetector: fit() not called");
+  std::vector<KldExplanation> out(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    const auto values = group_values(week, g);
+    const auto p = histograms_[g]->probabilities(values);
+    const std::vector<double>& edges = histograms_[g]->edges();
+    const std::vector<double>& q = scorings_[g];
+
+    KldExplanation& exp = out[g];
+    exp.threshold = thresholds_[g];
+    exp.bins.reserve(p.size());
+    double total = 0.0;
+    bool infinite = false;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      KldBinContribution c;
+      c.bin = j;
+      c.lower = edges[j];
+      c.upper = edges[j + 1];
+      c.p = p[j];
+      c.q = q[j];
+      if (p[j] > 0.0) {
+        if (q[j] <= 0.0) {
+          c.bits = std::numeric_limits<double>::infinity();
+          infinite = true;
+        } else {
+          c.bits = p[j] * std::log2(p[j] / q[j]);
+          total += c.bits;
+        }
+      }
+      exp.bins.push_back(c);
+    }
+    if (infinite) {
+      exp.score = std::numeric_limits<double>::infinity();
+    } else {
+      exp.score = total < 0.0 && total > -1e-12 ? 0.0 : total;
+    }
+  }
+  return out;
 }
 
 const std::vector<double>& ConditionedKldDetector::thresholds() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "core/kld_detector.h"
 #include "pricing/tariff.h"
 #include "stats/histogram.h"
 
@@ -61,6 +62,10 @@ class ConditionedKldDetector final : public Detector {
 
   /// Per-group thresholds.
   const std::vector<double>& thresholds() const;
+
+  /// Per-group per-bin breakdowns: explanations[g].score equals
+  /// scores(week)[g] and explanations[g].threshold equals thresholds()[g].
+  std::vector<KldExplanation> explain(std::span<const Kw> week) const;
 
   /// Serializes the fitted state for model checkpoints.  The slot->group
   /// function is captured as its evaluated table over the kSlotsPerWeek

@@ -1,5 +1,8 @@
 #include "core/kld_detector.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.h"
 #include "persist/binary_io.h"
 #include "stats/kl_divergence.h"
@@ -62,6 +65,44 @@ double KldDetector::score(std::span<const Kw> week) const {
   require(histogram_.has_value(), "KldDetector: fit() not called");
   const auto p = histogram_->probabilities(week);
   return stats::kl_divergence_bits(p, scoring_);
+}
+
+KldExplanation KldDetector::explain(std::span<const Kw> week) const {
+  require(histogram_.has_value(), "KldDetector: fit() not called");
+  const auto p = histogram_->probabilities(week);
+  const std::vector<double>& edges = histogram_->edges();
+
+  KldExplanation out;
+  out.threshold = threshold_;
+  out.bins.reserve(p.size());
+  // Mirror kl_divergence_bits term by term so the bits sum is bit-identical
+  // to score(week), clamp included.
+  double total = 0.0;
+  bool infinite = false;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    KldBinContribution c;
+    c.bin = j;
+    c.lower = edges[j];
+    c.upper = edges[j + 1];
+    c.p = p[j];
+    c.q = scoring_[j];
+    if (p[j] > 0.0) {
+      if (scoring_[j] <= 0.0) {
+        c.bits = std::numeric_limits<double>::infinity();
+        infinite = true;
+      } else {
+        c.bits = p[j] * std::log2(p[j] / scoring_[j]);
+        total += c.bits;
+      }
+    }
+    out.bins.push_back(c);
+  }
+  if (infinite) {
+    out.score = std::numeric_limits<double>::infinity();
+  } else {
+    out.score = total < 0.0 && total > -1e-12 ? 0.0 : total;
+  }
+  return out;
 }
 
 bool KldDetector::flag_week(std::span<const Kw> week,

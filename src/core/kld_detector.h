@@ -40,6 +40,27 @@ struct KldDetectorConfig {
   double epsilon = 1e-9;
 };
 
+/// One bin's share of a week's K_A score: the p_j * log2(p_j / q_j) term of
+/// eq. (12), where p is the scored week's distribution and q the (smoothed)
+/// training baseline.
+struct KldBinContribution {
+  std::size_t bin = 0;  ///< bin index in [0, B)
+  double lower = 0.0;   ///< bin lower edge (kW)
+  double upper = 0.0;   ///< bin upper edge (kW)
+  double p = 0.0;       ///< week mass in the bin
+  double q = 0.0;       ///< baseline (scoring) mass in the bin
+  double bits = 0.0;    ///< contribution to K_A; 0 when p == 0
+};
+
+/// A full per-bin breakdown of one scored week.  Invariant: the sum of
+/// bins[*].bits equals score up to the same clamp kl_divergence_bits
+/// applies (tiny negative totals snap to 0).
+struct KldExplanation {
+  double score = 0.0;      ///< K_A, identical to score(week)
+  double threshold = 0.0;  ///< the detector's decision threshold
+  std::vector<KldBinContribution> bins;
+};
+
 class KldDetector final : public Detector {
  public:
   explicit KldDetector(KldDetectorConfig config = {});
@@ -54,6 +75,11 @@ class KldDetector final : public Detector {
   /// config.epsilon > 0; with epsilon = 0 it is +infinity whenever the week
   /// puts mass where the training distribution has none.
   double score(std::span<const Kw> week) const;
+
+  /// Per-bin breakdown of score(week): which consumption bins drove the
+  /// divergence and by how many bits.  Accumulates terms in the same order
+  /// as kl_divergence_bits, so the bits sum reproduces score(week) exactly.
+  KldExplanation explain(std::span<const Kw> week) const;
 
   /// The decision threshold (the (1-alpha) quantile of training K_i).
   double threshold() const;

@@ -7,7 +7,9 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "stats/descriptive.h"
 
@@ -37,10 +39,27 @@ OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
   alerts_under_ = &registry.counter("monitor.alerts_under_report");
   fit_seconds_ = &registry.histogram("monitor.fit_seconds");
   batch_seconds_ = &registry.histogram("monitor.ingest_batch_seconds");
+  events_ = config_.events != nullptr ? config_.events
+                                      : &obs::default_event_log();
+}
+
+void OnlineMonitor::emit_alert(const AlertEvent& event) const {
+  if (!events_->enabled()) return;
+  events_->emit(
+      "alert_raised",
+      obs::EventFields{}
+          .str("source", "monitor")
+          .u64("consumer", event.consumer_id)
+          .u64("week", event.slot / static_cast<SlotIndex>(kSlotsPerWeek))
+          .u64("slot", event.slot)
+          .f64("k_a", event.score)
+          .f64("threshold", event.threshold)
+          .str("direction", to_string(event.direction)));
 }
 
 void OnlineMonitor::fit(const meter::Dataset& history,
                         const meter::TrainTestSplit& split) {
+  obs::TraceSpan span("monitor.fit", "monitor");
   obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   alerts_.clear();
@@ -110,16 +129,21 @@ std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
 }
 
 std::optional<AlertEvent> OnlineMonitor::ingest(const Reading& reading) {
+  obs::TraceSpan span("monitor.ingest", "monitor");
   require(fitted_, "OnlineMonitor: fit() not called");
   require(reading.consumer_index < state_.size(),
           "OnlineMonitor: consumer index out of range");
   auto event = apply(reading);
-  if (event) alerts_.push_back(*event);
+  if (event) {
+    alerts_.push_back(*event);
+    emit_alert(*event);
+  }
   return event;
 }
 
 std::vector<AlertEvent> OnlineMonitor::ingest_batch(
     std::span<const Reading> readings) {
+  obs::TraceSpan span("monitor.ingest_batch", "monitor");
   require(fitted_, "OnlineMonitor: fit() not called");
   for (const auto& r : readings) {  // validate before mutating any state
     require(r.consumer_index < state_.size(),
@@ -152,13 +176,19 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
 
   std::vector<AlertEvent> events;
   for (auto& event : raised) {
-    if (event) events.push_back(*event);
+    if (event) {
+      events.push_back(*event);
+      // Serial emission in merged arrival order: the event log matches a
+      // reading-by-reading ingest() replay byte for byte.
+      emit_alert(*event);
+    }
   }
   alerts_.insert(alerts_.end(), events.begin(), events.end());
   return events;
 }
 
 void OnlineMonitor::save(std::ostream& out) const {
+  obs::TraceSpan span("monitor.save", "monitor");
   require(fitted_, "OnlineMonitor::save: fit() not called");
   persist::Encoder enc;
   enc.u64(config_.stride);
@@ -187,6 +217,7 @@ void OnlineMonitor::save(std::ostream& out) const {
 }
 
 void OnlineMonitor::restore(std::istream& in) {
+  obs::TraceSpan span("monitor.restore", "monitor");
   const std::string payload =
       persist::read_checkpoint(in, persist::Section::kOnlineMonitor);
   persist::Decoder dec(payload);
@@ -248,6 +279,11 @@ void OnlineMonitor::restore(std::istream& in) {
   alerts_ = std::move(alerts);
   fitted_ = true;
   consumers_restored_->add(count);
+  events_->emit("model_restored",
+                obs::EventFields{}
+                    .str("component", "monitor")
+                    .u64("consumers", count)
+                    .u64("alerts_restored", alert_count));
 }
 
 std::span<const Kw> OnlineMonitor::window(std::size_t consumer_index) const {

@@ -29,6 +29,7 @@
 namespace fdeta {
 namespace obs {
 class Counter;
+class EventLog;
 class Histogram;
 class MetricsRegistry;
 }  // namespace obs
@@ -76,6 +77,10 @@ struct OnlineMonitorConfig {
   std::size_t threads = 0;
   /// Telemetry sink; null = the process-wide obs::default_registry().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Domain-event sink; null = the process-wide obs::default_event_log().
+  /// Emits alert_raised per alert (in alerts() order) and model_restored on
+  /// restore().
+  obs::EventLog* events = nullptr;
 };
 
 class OnlineMonitor {
@@ -142,6 +147,10 @@ class OnlineMonitor {
   /// keep the totals exact.
   std::optional<AlertEvent> apply(const Reading& reading);
 
+  /// Emits an alert_raised event for `event` (no-op while the sink is
+  /// disabled).  Called serially, in alerts() order.
+  void emit_alert(const AlertEvent& event) const;
+
   OnlineMonitorConfig config_;
   std::vector<KldDetector> detectors_;
   std::vector<meter::ConsumerId> ids_;
@@ -161,6 +170,7 @@ class OnlineMonitor {
   obs::Counter* alerts_under_ = nullptr;
   obs::Histogram* fit_seconds_ = nullptr;
   obs::Histogram* batch_seconds_ = nullptr;
+  obs::EventLog* events_ = nullptr;  // never null after construction
 };
 
 }  // namespace fdeta::core

@@ -1,17 +1,35 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "meter/weekly_stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "stats/descriptive.h"
 #include "stats/quantile.h"
 
 namespace fdeta::core {
+
+namespace {
+
+/// The alert's reporting direction as forensics vocabulary: a suspected
+/// attacker under-reports their own meter, a suspected victim's meter
+/// over-reports to absorb a neighbour's theft (Propositions 1 and 2).
+const char* alert_direction(VerdictStatus status) {
+  switch (status) {
+    case VerdictStatus::kSuspectedAttacker: return "under-report";
+    case VerdictStatus::kSuspectedVictim: return "over-report";
+    default: return "unclear";
+  }
+}
+
+}  // namespace
 
 const char* to_string(VerdictStatus status) {
   switch (status) {
@@ -57,9 +75,12 @@ FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {
   investigations_ = &registry.counter("pipeline.investigations");
   fit_seconds_ = &registry.histogram("pipeline.fit_seconds");
   evaluate_seconds_ = &registry.histogram("pipeline.evaluate_seconds");
+  events_ = config_.events != nullptr ? config_.events
+                                      : &obs::default_event_log();
 }
 
 void FdetaPipeline::fit(const meter::Dataset& actual) {
+  obs::TraceSpan span("pipeline.fit", "pipeline");
   obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   const std::size_t count = actual.consumer_count();
@@ -81,6 +102,7 @@ void FdetaPipeline::fit(const meter::Dataset& actual) {
 }
 
 void FdetaPipeline::save_model(std::ostream& out) const {
+  obs::TraceSpan span("pipeline.save_model", "pipeline");
   require(fitted_, "FdetaPipeline::save_model: fit() not called");
   persist::Encoder enc;
   enc.u64(config_.split.train_weeks);
@@ -96,6 +118,7 @@ void FdetaPipeline::save_model(std::ostream& out) const {
 }
 
 void FdetaPipeline::load_model(std::istream& in) {
+  obs::TraceSpan span("pipeline.load_model", "pipeline");
   const std::string payload =
       persist::read_checkpoint(in, persist::Section::kPipeline);
   persist::Decoder dec(payload);
@@ -126,6 +149,12 @@ void FdetaPipeline::load_model(std::istream& in) {
   train_stats_ = std::move(train_stats);
   fitted_ = true;
   consumers_restored_->add(count);
+  events_->emit("model_restored",
+                obs::EventFields{}
+                    .str("component", "pipeline")
+                    .u64("consumers", count)
+                    .u64("train_weeks", config_.split.train_weeks)
+                    .u64("bins", config_.kld.bins));
 }
 
 PipelineReport FdetaPipeline::evaluate_week(
@@ -140,6 +169,7 @@ PipelineReport FdetaPipeline::evaluate_week(
           "FdetaPipeline: actual dataset size mismatch");
   require(week < actual.week_count(),
           "FdetaPipeline: week out of range in actual dataset");
+  obs::TraceSpan span("pipeline.evaluate_week", "pipeline");
   obs::ScopedTimer timer(*evaluate_seconds_);
 
   PipelineReport report;
@@ -192,6 +222,10 @@ PipelineReport FdetaPipeline::evaluate_week(
             verdict.status = VerdictStatus::kExcused;
             verdict.excuse = std::move(excuse);
           }
+
+          if (config_.explain) {
+            verdict.explanation = detectors_[i].explain(week_readings);
+          }
         }
         report.verdicts[i] = std::move(verdict);
       },
@@ -211,6 +245,52 @@ PipelineReport FdetaPipeline::evaluate_week(
     }
   }
 
+  // Forensic events, emitted serially in consumer index order so a
+  // fixed-seed run produces a byte-identical log regardless of `threads`.
+  if (events_->enabled()) {
+    for (const auto& v : report.verdicts) {
+      if (v.status == VerdictStatus::kNormal) continue;
+      if (v.status == VerdictStatus::kExcused) {
+        obs::EventFields fields;
+        fields.str("source", "pipeline")
+            .u64("consumer", v.id)
+            .u64("week", week)
+            .f64("k_a", v.kld_score)
+            .f64("threshold", v.kld_threshold);
+        if (v.excuse.has_value()) {
+          fields.str("evidence", to_string(v.excuse->kind))
+              .str("description", v.excuse->description);
+        }
+        events_->emit("alert_excused", fields);
+        continue;
+      }
+      obs::EventFields fields;
+      fields.str("source", "pipeline")
+          .u64("consumer", v.id)
+          .u64("week", week)
+          .f64("k_a", v.kld_score)
+          .f64("threshold", v.kld_threshold)
+          .str("direction", alert_direction(v.status));
+      if (v.explanation.has_value()) {
+        // Nested array of the dominant bins: [bin, bits] pairs for every
+        // bin contributing non-zero divergence.
+        std::string contrib = "[";
+        bool first = true;
+        for (const auto& c : v.explanation->bins) {
+          if (c.bits == 0.0) continue;
+          if (!first) contrib += ',';
+          char buf[96];
+          std::snprintf(buf, sizeof(buf), "[%zu,%.17g]", c.bin, c.bits);
+          contrib += buf;
+          first = false;
+        }
+        contrib += ']';
+        fields.raw("bin_bits", contrib);
+      }
+      events_->emit("alert_raised", fields);
+    }
+  }
+
   // Step 5: systematic investigation via the topology's balance checks,
   // using the attacked week's average demands.
   if (topology != nullptr) {
@@ -227,7 +307,7 @@ PipelineReport FdetaPipeline::evaluate_week(
         config_.threads, /*grain=*/32);
     report.investigation =
         grid::investigate_case2(*topology, actual_avg, reported_avg,
-                                /*tolerance_kw=*/1e-6);
+                                /*tolerance_kw=*/1e-6, events_);
     investigations_->add();
   }
   return report;

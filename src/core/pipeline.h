@@ -22,6 +22,7 @@
 namespace fdeta {
 namespace obs {
 class Counter;
+class EventLog;
 class Histogram;
 class MetricsRegistry;
 }  // namespace obs
@@ -45,6 +46,9 @@ struct ConsumerVerdict {
   double kld_score = 0.0;
   double kld_threshold = 0.0;
   std::optional<EvidenceEvent> excuse;
+  /// Per-bin KLD breakdown; populated only for non-normal verdicts when
+  /// PipelineConfig::explain is set.
+  std::optional<KldExplanation> explanation;
 };
 
 struct PipelineConfig {
@@ -67,6 +71,13 @@ struct PipelineConfig {
   /// recomputations, weeks scored, verdicts by status, investigations) are
   /// deterministic under a fixed seed regardless of `threads`.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Attach a per-bin KLD explanation to every non-normal verdict.
+  bool explain = false;
+  /// Domain-event sink; null = the process-wide obs::default_event_log().
+  /// Emits alert_raised / alert_excused per flagged consumer (in consumer
+  /// index order, regardless of `threads`), model_restored on load_model(),
+  /// and investigation_step during step 5.
+  obs::EventLog* events = nullptr;
 };
 
 struct PipelineReport {
@@ -137,6 +148,7 @@ class FdetaPipeline {
   obs::Counter* investigations_ = nullptr;
   obs::Histogram* fit_seconds_ = nullptr;
   obs::Histogram* evaluate_seconds_ = nullptr;
+  obs::EventLog* events_ = nullptr;  // never null after construction
 };
 
 }  // namespace fdeta::core

@@ -66,6 +66,18 @@ std::string render_report(const PipelineReport& report,
       append_line(out, "    excused by %s: %s",
                   to_string(v.excuse->kind), v.excuse->description.c_str());
     }
+    if (v.explanation) {
+      // Only bins carrying week mass contribute (0 * log(0/q) := 0); a
+      // non-finite score was already rejected above, so bits are finite.
+      append_line(out, "    KLD per-bin contributions:");
+      for (const auto& c : v.explanation->bins) {
+        if (c.bits == 0.0) continue;
+        append_line(out,
+                    "      bin %zu [%.3f, %.3f) kW: week %.4f vs baseline "
+                    "%.4f -> %+.4f bits",
+                    c.bin, c.lower, c.upper, c.p, c.q, c.bits);
+      }
+    }
     if (options.include_billing) {
       const auto impact = pricing::statement_impact(
           actual.consumer(i).week(week), reported.consumer(i).week(week),

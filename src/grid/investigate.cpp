@@ -2,13 +2,50 @@
 
 #include <cmath>
 
-
 #include "common/error.h"
+#include "obs/event_log.h"
 
 namespace fdeta::grid {
 
+const char* to_string(InvestigationBranch branch) {
+  switch (branch) {
+    case InvestigationBranch::kBalanced: return "balanced";
+    case InvestigationBranch::kDescend: return "descend";
+    case InvestigationBranch::kPruned: return "pruned";
+    case InvestigationBranch::kLeafSuspects: return "leaf_suspects";
+    case InvestigationBranch::kDeeperFailure: return "deeper_failure";
+    case InvestigationBranch::kMeterFault: return "meter_fault";
+    case InvestigationBranch::kLocalized: return "localized";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Emits the recorded audit trail as investigation_step events.  Done once
+/// at the end (not per step) so the recursion stays event-log-agnostic.
+void emit_steps(obs::EventLog* events, const char* mode,
+                const std::vector<InvestigationStep>& steps) {
+  if (events == nullptr || !events->enabled()) return;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const InvestigationStep& s = steps[i];
+    events->emit("investigation_step",
+                 obs::EventFields{}
+                     .str("mode", mode)
+                     .u64("step", i)
+                     .i64("node", s.node)
+                     .i64("depth", s.depth)
+                     .f64("imbalance_kw", s.imbalance_kw)
+                     .str("branch", to_string(s.branch))
+                     .u64("suspects", s.suspects));
+  }
+}
+
+}  // namespace
+
 InvestigationResult investigate_case1(const Topology& topology,
-                                      const BalanceOutcome& outcome) {
+                                      const BalanceOutcome& outcome,
+                                      obs::EventLog* events) {
   InvestigationResult result;
   // Deepest failing node with no failing internal descendant: scan all
   // failing nodes, prefer maximum depth; each metered node costs one reading.
@@ -23,7 +60,18 @@ InvestigationResult investigate_case1(const Topology& topology,
         break;
       }
     }
-    if (has_failing_internal_child) continue;
+    InvestigationStep step;
+    step.node = id;
+    step.depth = topology.depth(id);
+    // Case 1 works from boolean W events; no flow magnitudes are available.
+    step.imbalance_kw = 0.0;
+    if (has_failing_internal_child) {
+      step.branch = InvestigationBranch::kDeeperFailure;
+      result.steps.push_back(step);
+      continue;
+    }
+    step.branch = InvestigationBranch::kLeafSuspects;
+    result.steps.push_back(step);
     const int d = topology.depth(id);
     if (d > best_depth) {
       best_depth = d;
@@ -32,7 +80,23 @@ InvestigationResult investigate_case1(const Topology& topology,
   }
   if (result.localized_node != kNoNode) {
     result.suspects = topology.consumers_under(result.localized_node);
+    InvestigationStep step;
+    step.node = result.localized_node;
+    step.depth = topology.depth(result.localized_node);
+    step.branch = InvestigationBranch::kLocalized;
+    step.suspects = result.suspects.size();
+    result.steps.push_back(step);
   }
+  // Section V-B consistency rules: meters whose W flags contradict their
+  // neighbours' are themselves suspect (fault or compromise).
+  for (NodeId id : inconsistent_meter_alarms(topology, outcome)) {
+    InvestigationStep step;
+    step.node = id;
+    step.depth = topology.depth(id);
+    step.branch = InvestigationBranch::kMeterFault;
+    result.steps.push_back(step);
+  }
+  emit_steps(events, "case1", result.steps);
   return result;
 }
 
@@ -44,6 +108,11 @@ bool portable_check_fails(NodeId node, const std::vector<Kw>& actual_nodes,
                           const std::vector<Kw>& reported_nodes,
                           double tolerance_kw) {
   return std::fabs(actual_nodes[node] - reported_nodes[node]) > tolerance_kw;
+}
+
+double node_imbalance(NodeId node, const std::vector<Kw>& actual_nodes,
+                      const std::vector<Kw>& reported_nodes) {
+  return std::fabs(actual_nodes[node] - reported_nodes[node]);
 }
 
 /// Recursive descent from a node whose check is known to fail.  Checks each
@@ -62,19 +131,37 @@ void descend(const Topology& topology, NodeId node,
   for (NodeId c : topology.node(node).children) {
     if (topology.node(c).kind != NodeKind::kInternal) continue;
     ++result.checks_performed;
+    InvestigationStep step;
+    step.node = c;
+    step.depth = depth + 1;
+    step.imbalance_kw = node_imbalance(c, actual_nodes, reported_nodes);
     if (portable_check_fails(c, actual_nodes, reported_nodes,
                              tolerance_kw)) {
       any_failing_child = true;
+      step.branch = InvestigationBranch::kDescend;
+      result.steps.push_back(step);
       descend(topology, c, actual_nodes, reported_nodes, tolerance_kw,
               depth + 1, best_depth, result);
+    } else {
+      step.branch = InvestigationBranch::kPruned;
+      result.steps.push_back(step);
     }
   }
   if (!any_failing_child) {
+    std::size_t added = 0;
     for (NodeId c : topology.node(node).children) {
       if (topology.node(c).kind == NodeKind::kConsumer) {
         result.suspects.push_back(topology.node(c).consumer_index);
+        ++added;
       }
     }
+    InvestigationStep step;
+    step.node = node;
+    step.depth = depth;
+    step.imbalance_kw = node_imbalance(node, actual_nodes, reported_nodes);
+    step.branch = InvestigationBranch::kLeafSuspects;
+    step.suspects = added;
+    result.steps.push_back(step);
   }
 }
 
@@ -83,7 +170,8 @@ void descend(const Topology& topology, NodeId node,
 InvestigationResult investigate_case2(const Topology& topology,
                                       std::span<const Kw> actual,
                                       std::span<const Kw> reported,
-                                      double tolerance_kw) {
+                                      double tolerance_kw,
+                                      obs::EventLog* events) {
   require(actual.size() == reported.size(), "investigate_case2: size mismatch");
   const std::vector<Kw> actual_nodes = topology.node_demands(actual);
   const std::vector<Kw> reported_nodes = topology.node_demands(reported);
@@ -92,13 +180,34 @@ InvestigationResult investigate_case2(const Topology& topology,
 
   // Root check first; if it passes there is nothing to investigate.
   ++result.checks_performed;
+  InvestigationStep root_step;
+  root_step.node = topology.root();
+  root_step.depth = 0;
+  root_step.imbalance_kw =
+      node_imbalance(topology.root(), actual_nodes, reported_nodes);
   if (!portable_check_fails(topology.root(), actual_nodes,
                             reported_nodes, tolerance_kw)) {
+    root_step.branch = InvestigationBranch::kBalanced;
+    result.steps.push_back(root_step);
+    emit_steps(events, "case2", result.steps);
     return result;
   }
+  root_step.branch = InvestigationBranch::kDescend;
+  result.steps.push_back(root_step);
   int best_depth = -1;
   descend(topology, topology.root(), actual_nodes, reported_nodes,
           tolerance_kw, 0, best_depth, result);
+  {
+    InvestigationStep step;
+    step.node = result.localized_node;
+    step.depth = topology.depth(result.localized_node);
+    step.imbalance_kw =
+        node_imbalance(result.localized_node, actual_nodes, reported_nodes);
+    step.branch = InvestigationBranch::kLocalized;
+    step.suspects = result.suspects.size();
+    result.steps.push_back(step);
+  }
+  emit_steps(events, "case2", result.steps);
   return result;
 }
 

@@ -9,6 +9,10 @@
 // subtrees whose check fails; other subtrees are pruned.  The number of
 // portable-meter checks is the investigation cost (O(depth * fanout) for a
 // balanced tree vs O(N) worst case).
+//
+// Both cases record the decision path they took as InvestigationSteps - the
+// audit trail a utility needs to justify a truck roll - and optionally emit
+// each step as an `investigation_step` event (obs/event_log.h).
 #pragma once
 
 #include <span>
@@ -18,7 +22,34 @@
 #include "grid/balance.h"
 #include "grid/topology.h"
 
+namespace fdeta::obs {
+class EventLog;
+}  // namespace fdeta::obs
+
 namespace fdeta::grid {
+
+/// Why the investigation visited (or skipped) a node.
+enum class InvestigationBranch : std::uint8_t {
+  kBalanced,       ///< check passed; nothing to investigate below
+  kDescend,        ///< check failed; investigation moves into this subtree
+  kPruned,         ///< sibling subtree check passed; subtree skipped
+  kLeafSuspects,   ///< no failing internal child; consumer leaves suspected
+  kDeeperFailure,  ///< failing node skipped: a descendant also fails
+  kMeterFault,     ///< W-event inconsistency flags this node's meter itself
+  kLocalized,      ///< final localisation decision
+};
+
+const char* to_string(InvestigationBranch branch);
+
+/// One decision in an investigation's audit trail, in the order taken.
+struct InvestigationStep {
+  NodeId node = kNoNode;
+  int depth = 0;             ///< node depth in the topology (root = 0)
+  double imbalance_kw = 0.0; ///< |actual - reported| at the node; 0 for
+                             ///< Case 1, where only W flags are available
+  InvestigationBranch branch = InvestigationBranch::kBalanced;
+  std::size_t suspects = 0;  ///< consumers added by this step
+};
 
 struct InvestigationResult {
   /// Dense consumer indices that must be manually inspected; the attacker is
@@ -28,22 +59,29 @@ struct InvestigationResult {
   NodeId localized_node = kNoNode;
   /// Number of meter readings/portable checks performed.
   std::size_t checks_performed = 0;
+  /// The decision path, in the order the investigation took it.
+  std::vector<InvestigationStep> steps;
 };
 
 /// Case 1: localise theft from a full set of W events (all internal nodes
 /// metered and trusted).  Picks the deepest failing node that has no failing
-/// internal descendant and returns its consumer leaves.
+/// internal descendant and returns its consumer leaves.  Section V-B meter
+/// consistency alarms are appended as kMeterFault steps.  When `events` is
+/// non-null, each step is also emitted as an `investigation_step` event.
 InvestigationResult investigate_case1(const Topology& topology,
-                                      const BalanceOutcome& outcome);
+                                      const BalanceOutcome& outcome,
+                                      obs::EventLog* events = nullptr);
 
 /// Case 2: portable-meter BFS.  The serviceman measures actual demand at
 /// internal nodes (this is physics: reads `actual` flows) and compares
 /// against the sum of reported smart-meter readings + calculated losses in
-/// that subtree, descending only into failing subtrees.
+/// that subtree, descending only into failing subtrees.  When `events` is
+/// non-null, each step is also emitted as an `investigation_step` event.
 InvestigationResult investigate_case2(const Topology& topology,
                                       std::span<const Kw> actual,
                                       std::span<const Kw> reported,
-                                      double tolerance_kw = 1e-6);
+                                      double tolerance_kw = 1e-6,
+                                      obs::EventLog* events = nullptr);
 
 /// Exhaustive baseline: inspect every consumer whose reported deviates from
 /// actual (O(N) cost).  Used by benchmarks to contrast with Case 2 pruning.

@@ -36,7 +36,20 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Captured at static initialization so uptime measures from process start,
+// not from the first snapshot.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
 }  // namespace
+
+const char* fdeta_version() { return "0.4.0"; }
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
 
 Histogram::Histogram(std::vector<double> upper_edges)
     : edges_(std::move(upper_edges)), buckets_(edges_.size() + 1) {
@@ -81,6 +94,28 @@ double ScopedTimer::stop() {
   return elapsed;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[i]);
+    const double before = cumulative;
+    cumulative += in_bucket;
+    if (cumulative < rank) continue;
+    if (i >= upper_edges.size()) return upper_edges.back();  // overflow
+    const double lower = i == 0 ? 0.0 : upper_edges[i - 1];
+    const double upper = upper_edges[i];
+    // Clamp so q=0 lands on the first non-empty bucket's lower edge.
+    const double within = std::max(0.0, rank - before);
+    return lower + (upper - lower) * within / in_bucket;
+  }
+  // Unreachable when count matches the bucket totals; be defensive anyway.
+  return upper_edges.empty() ? 0.0 : upper_edges.back();
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   const auto it = counters.find(std::string(name));
   return it == counters.end() ? 0 : it->second;
@@ -96,7 +131,12 @@ bool MetricsSnapshot::same_counts(const MetricsSnapshot& other) const {
 }
 
 std::string MetricsSnapshot::to_json() const {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n  \"meta\": {\"schema\": ";
+  out += std::to_string(kMetricsSchemaVersion);
+  out += ", \"version\": \"";
+  out += fdeta_version();
+  out += "\", \"uptime_seconds\": " + format_double(uptime_seconds) + "},\n";
+  out += "  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters) {
     out += first ? "\n" : ",\n";
@@ -119,7 +159,10 @@ std::string MetricsSnapshot::to_json() const {
   for (const auto& [name, h] : histograms) {
     out += first ? "\n" : ",\n";
     out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count) +
-           ", \"sum\": " + format_double(h.sum) + ", \"buckets\": [";
+           ", \"sum\": " + format_double(h.sum) +
+           ", \"p50\": " + format_double(h.quantile(0.50)) +
+           ", \"p95\": " + format_double(h.quantile(0.95)) +
+           ", \"p99\": " + format_double(h.quantile(0.99)) + ", \"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) out += ", ";
       out += "{\"le\": ";
@@ -151,9 +194,11 @@ std::string MetricsSnapshot::to_text() const {
   for (const auto& [name, h] : histograms) {
     const double mean = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
     std::snprintf(line, sizeof(line),
-                  "hist     %-40s count=%llu sum=%.6gs mean=%.6gs\n",
+                  "hist     %-40s count=%llu sum=%.6gs mean=%.6gs "
+                  "p50=%.6gs p95=%.6gs p99=%.6gs\n",
                   name.c_str(), static_cast<unsigned long long>(h.count),
-                  h.sum, mean);
+                  h.sum, mean, h.quantile(0.50), h.quantile(0.95),
+                  h.quantile(0.99));
     out += line;
   }
   return out;
@@ -198,6 +243,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snap;
+  snap.uptime_seconds = process_uptime_seconds();
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {

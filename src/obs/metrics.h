@@ -30,6 +30,21 @@
 
 namespace fdeta::obs {
 
+/// Library version string stamped into exposition metadata so downstream
+/// scrapers can attribute a metrics file to a build.
+const char* fdeta_version();
+
+/// Seconds of monotonic (steady) clock since the process started; snapshots
+/// capture it so a scraper can distinguish a fresh process from a long-lived
+/// one with identical counters.
+double process_uptime_seconds();
+
+/// Bumped on ANY change to the JSON exposition layout.  Version history:
+///   1 - counters/gauges/histograms maps (PR 2)
+///   2 - leading "meta" object (schema/version/uptime) + histogram
+///       p50/p95/p99 derived quantiles
+inline constexpr std::uint32_t kMetricsSchemaVersion = 2;
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -120,6 +135,14 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;  ///< upper_edges.size()+1, last = overflow
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Derived quantile (q in [0, 1]) by linear interpolation inside the
+  /// containing bucket.  Assumes non-negative observations (these are
+  /// latency histograms): bucket 0 spans [0, upper_edges[0]].  Observations
+  /// in the overflow bucket clamp to the last finite edge - an honest lower
+  /// bound, since the histogram cannot know how far past it they landed.
+  /// Returns 0 for an empty histogram.
+  double quantile(double q) const;
 };
 
 /// A point-in-time copy of every metric in a registry.  Plain data: safe to
@@ -128,6 +151,8 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// process_uptime_seconds() at snapshot time (0 for hand-built snapshots).
+  double uptime_seconds = 0.0;
 
   /// Counter value by name; 0 when the counter does not exist.
   std::uint64_t counter(std::string_view name) const;

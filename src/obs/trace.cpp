@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace fdeta::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+// Per-thread buffer size before a drain into the process ring.  Big enough
+// that a scoring sweep drains a handful of times, small enough that
+// collect() sees recent spans without waiting for a full buffer.
+constexpr std::size_t kThreadBufferCapacity = 4096;
+}  // namespace
+
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;  // acquired after Tracer::mutex_ when both are held
+  std::vector<TraceEvent> events;
+  std::uint64_t generation = 0;  // enable() window the events belong to
+  std::uint32_t tid = 0;
+};
+
+Tracer& Tracer::instance() {
+  // Leaked singleton: pool worker threads may still finish spans while
+  // static destructors run, so the tracer must never be destroyed.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  ring_head_ = 0;
+  ring_capacity_ = std::max<std::size_t>(1, ring_capacity);
+  dropped_ = 0;
+  epoch_ns_ = now_ns();
+  // Invalidate spans still parked in thread buffers from an earlier window;
+  // they self-clear on each thread's next record().
+  generation_.fetch_add(1, std::memory_order_release);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+const std::shared_ptr<Tracer::ThreadBuffer>& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock(mutex_);
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return buffer;
+}
+
+void Tracer::drain_into_ring(ThreadBuffer& buf) {
+  if (buf.generation != generation_.load(std::memory_order_acquire)) {
+    buf.events.clear();  // stale spans from a previous enable() window
+    return;
+  }
+  for (const TraceEvent& e : buf.events) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[ring_head_] = e;
+      ring_head_ = (ring_head_ + 1) % ring_capacity_;
+      ++dropped_;
+    }
+  }
+  buf.events.clear();
+}
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t end_ns) {
+  if (!trace_enabled()) return;  // disabled between span start and finish
+  const std::shared_ptr<ThreadBuffer>& buf = local_buffer();
+
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.tid = buf->tid;
+
+  bool full = false;
+  {
+    std::lock_guard lock(buf->mutex);
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (buf->generation != gen) {
+      buf->events.clear();
+      buf->generation = gen;
+    }
+    buf->events.push_back(event);
+    full = buf->events.size() >= kThreadBufferCapacity;
+  }
+  if (full) {
+    // Re-acquire in the global order (tracer state, then buffer).
+    std::lock_guard state(mutex_);
+    std::lock_guard lock(buf->mutex);
+    drain_into_ring(*buf);
+  }
+}
+
+std::vector<TraceEvent> Tracer::collect() {
+  std::lock_guard state(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard lock(buf->mutex);
+    drain_into_ring(*buf);
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Unroll the ring so overwritten windows still come out oldest-first.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.duration_ns > b.duration_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::chrome_trace_json() {
+  const std::vector<TraceEvent> events = collect();
+  std::uint64_t epoch = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard lock(mutex_);
+    epoch = epoch_ns_;
+    dropped = dropped_;
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  char line[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const double ts_us =
+        e.start_ns >= epoch ? static_cast<double>(e.start_ns - epoch) / 1e3
+                            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%s\n  {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  first ? "" : ",", e.name, e.category, ts_us,
+                  static_cast<double>(e.duration_ns) / 1e3, e.tid);
+    out += line;
+    first = false;
+  }
+  out += first ? "]" : "\n]";
+  out += ",\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"" +
+         std::to_string(dropped) + "\"}}\n";
+  return out;
+}
+
+}  // namespace fdeta::obs

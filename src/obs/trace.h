@@ -1,0 +1,139 @@
+// Span tracing for latency attribution: where does a fleet sweep spend its
+// wall-clock time - pool tasks, pipeline fits, monitor batches, checkpoint
+// IO, head-end deliveries?
+//
+// Design rules (complementing the metrics registry, obs/metrics.h):
+//  - Off by default and near-zero cost while off: a disabled TraceSpan is
+//    one relaxed atomic load in the constructor and a null check in the
+//    destructor - no allocation, no clock read, no lock.
+//  - Lock-cheap while on: spans record into a per-thread buffer (one
+//    uncontended mutex acquisition per span); buffers drain into a bounded
+//    process-wide ring, so a runaway producer overwrites its oldest spans
+//    instead of growing without bound.
+//  - Span names and categories are static string literals (they are stored
+//    as `const char*` and embedded unescaped in the JSON export).  Naming
+//    follows the metric scheme: "<component>.<what>", e.g. "pipeline.fit".
+//    Never encode a consumer/week into a span name - cardinality lives in
+//    the event log (obs/event_log.h), not here.
+//  - Export is the Chrome trace-event JSON format ("X" complete events), so
+//    a --trace-out file loads directly in Perfetto / chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fdeta::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// The disabled-path check: exactly one relaxed atomic load.
+inline bool trace_enabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span.  `name`/`category` are static literals (never owned).
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t start_ns = 0;     ///< absolute steady-clock nanoseconds
+  std::uint64_t duration_ns = 0;
+  std::uint32_t tid = 0;          ///< tracer-assigned dense thread id
+};
+
+/// The process-wide span collector.  All methods are thread-safe; record()
+/// is the only one expected on hot paths (and only while enabled).
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 16;
+
+  static Tracer& instance();
+
+  /// Clears previously collected spans and starts recording.  Bumping the
+  /// generation invalidates whatever stale spans still sit in thread-local
+  /// buffers from an earlier enable window.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Stops recording; already-recorded spans remain until the next enable().
+  void disable();
+
+  bool enabled() const { return trace_enabled(); }
+
+  /// Appends one completed span (called by ~TraceSpan).  Drops silently when
+  /// recording is off.
+  void record(const char* name, const char* category, std::uint64_t start_ns,
+              std::uint64_t end_ns);
+
+  /// Drains every thread buffer into the ring and returns the ring's spans
+  /// in chronological order (ties: longer span first, so parents precede
+  /// their children).  At most ring_capacity spans survive; see dropped().
+  std::vector<TraceEvent> collect();
+
+  /// Spans overwritten because the ring was full (since the last enable()).
+  std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), timestamps in
+  /// microseconds relative to the last enable().  Loads in Perfetto.
+  std::string chrome_trace_json();
+
+  /// Absolute steady-clock nanoseconds (the span clock).
+  static std::uint64_t now_ns();
+
+ private:
+  struct ThreadBuffer;
+
+  Tracer() = default;
+
+  const std::shared_ptr<ThreadBuffer>& local_buffer();
+  /// Moves `buf`'s spans into the ring.  Caller holds mutex_ THEN buf.mutex
+  /// (the global lock order; record() takes only buf.mutex on its fast path
+  /// and re-acquires in that order when the buffer fills).
+  void drain_into_ring(ThreadBuffer& buf);
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> ring_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::size_t ring_head_ = 0;  // next overwrite position once full
+  std::uint64_t dropped_ = 0;
+  std::uint64_t epoch_ns_ = 0;  // set at enable(); JSON timestamps are
+                                // relative to it
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// RAII span: times the enclosing scope when tracing is enabled.  Cheap to
+/// construct unconditionally - the disabled path does no work beyond the
+/// trace_enabled() load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "fdeta") {
+    if (trace_enabled()) {
+      name_ = name;
+      category_ = category;
+      start_ns_ = Tracer::now_ns();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::instance().record(name_, category_, start_ns_,
+                                Tracer::now_ns());
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  // null = disabled at construction
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace fdeta::obs

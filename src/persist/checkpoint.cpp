@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace fdeta::persist {
 
@@ -18,6 +19,7 @@ const char* to_string(Section section) {
 
 void write_checkpoint(std::ostream& out, Section section,
                       std::string_view payload) {
+  obs::TraceSpan span("persist.write_checkpoint", "persist");
   Encoder header;
   for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
   header.u32(kFormatVersion);
@@ -32,6 +34,7 @@ void write_checkpoint(std::ostream& out, Section section,
 }
 
 std::string read_checkpoint(std::istream& in, Section expected_section) {
+  obs::TraceSpan span("persist.read_checkpoint", "persist");
   std::string magic(kMagic.size(), '\0');
   in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
   if (!in || magic != kMagic) {

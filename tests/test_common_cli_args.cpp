@@ -39,8 +39,19 @@ TEST(CliArgs, RejectsBareToken) {
   EXPECT_THROW(parse({"notaflag", "1"}), InvalidArgument);
 }
 
-TEST(CliArgs, RejectsTrailingFlag) {
-  EXPECT_THROW(parse({"--x"}), InvalidArgument);
+TEST(CliArgs, TrailingFlagIsBoolean) {
+  const auto args = parse({"--x"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_EQ(args.get("x", "dflt"), "");
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean) {
+  const auto args = parse({"--explain", "--in", "a.csv", "--verbose"});
+  EXPECT_EQ(args.size(), 3u);
+  EXPECT_TRUE(args.has("explain"));
+  EXPECT_EQ(args.get("explain", "dflt"), "");
+  EXPECT_EQ(args.get("in", ""), "a.csv");
+  EXPECT_TRUE(args.has("verbose"));
 }
 
 TEST(CliArgs, NumericParsingErrors) {

@@ -157,6 +157,61 @@ TEST(Snapshot, SameCountsComparesCountersAndGaugesOnly) {
       << "a missing gauge is a difference";
 }
 
+// Pins the quantile interpolation rule: rank = q * count, linear within the
+// containing bucket, bucket 0 anchored at 0, overflow clamped to the last
+// finite edge.  Hand-built snapshots make every expectation exact.
+TEST(Snapshot, QuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot h;
+  h.upper_edges = {1.0, 2.0, 4.0};
+  h.buckets = {2, 2, 0, 0};  // two obs in [0,1], two in (1,2]
+  h.count = 4;
+  // rank 2 exhausts bucket 0 exactly: its upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.0);
+  // rank 3 is halfway through bucket 1: 1 + (2-1) * 1/2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1.5);
+  // rank 4 is the top of bucket 1.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  // q = 0 lands on the first non-empty bucket's lower edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 0.0);
+}
+
+TEST(Snapshot, QuantileOverflowClampsToLastEdge) {
+  HistogramSnapshot h;
+  h.upper_edges = {1.0, 2.0};
+  h.buckets = {0, 0, 3};  // everything past the last finite edge
+  h.count = 3;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Snapshot, QuantileOfEmptyHistogramIsZero) {
+  HistogramSnapshot h;
+  h.upper_edges = {1.0};
+  h.buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Snapshot, JsonCarriesMetaHeaderAndQuantiles) {
+  MetricsRegistry reg;
+  reg.histogram("m.lat", {1.0, 2.0}).observe(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.uptime_seconds, 0.0);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"meta\": {\"schema\": 2, \"version\": \"0.4.0\", "
+                      "\"uptime_seconds\": "),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos) << json;
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos) << text;
+  EXPECT_NE(text.find("p99="), std::string::npos) << text;
+}
+
 TEST(Snapshot, JsonExposesAllThreeKinds) {
   MetricsRegistry reg;
   reg.counter("j.events").add(12);

@@ -46,6 +46,11 @@ extract(printed_consumer_weeks detect_stdout "consumer_weeks=([0-9]+)")
 extract(printed_flagged detect_stdout "flagged_total=([0-9]+)")
 
 file(READ ${WORK_DIR}/metrics.json metrics_json)
+# The metadata header: schema version, library version, monotonic uptime.
+if(NOT metrics_json MATCHES ".meta.: {.schema.: 2, .version.: .0\\.4\\.0., .uptime_seconds.: [0-9]")
+  message(FATAL_ERROR "metrics.json is missing the meta header:\n"
+                      "${metrics_json}")
+endif()
 extract(m_weeks metrics_json "pipeline.weeks_scored.: ([0-9]+)")
 extract(m_verdicts metrics_json "pipeline.verdicts.: ([0-9]+)")
 extract(m_normal metrics_json "pipeline.verdict_normal.: ([0-9]+)")

@@ -23,6 +23,15 @@
 // Every subcommand accepts --metrics-out <file>: after a successful run the
 // process-wide metrics registry (pipeline/monitor/pool counters, latency
 // histograms) is written there as JSON and summarised on stderr.
+//
+// Forensics flags (also on every subcommand):
+//   --trace-out F   record spans (pool tasks, pipeline sweeps, monitor
+//                   batches, checkpoint IO, head-end deliveries) and write a
+//                   Chrome trace-event JSON file loadable in Perfetto
+//   --events-out F  record domain events (alert_raised, alert_excused,
+//                   investigation_step, model_restored) as JSONL
+// `detect --explain` additionally prints per-bin KLD contributions for every
+// flagged consumer-week and attaches them to alert_raised events.
 
 #include <cmath>
 #include <cstdio>
@@ -41,12 +50,16 @@
 #include "core/integrated_arima_detector.h"
 #include "core/evaluation.h"
 #include "core/kld_detector.h"
+#include "core/online_monitor.h"
 #include "datagen/generator.h"
 #include "core/pipeline.h"
+#include "grid/balance.h"
 #include "grid/investigate.h"
 #include "grid/serialize.h"
 #include "meter/weekly_stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pricing/billing.h"
 
 using namespace fdeta;
@@ -272,7 +285,9 @@ int cmd_detect(const Args& args) {
   require(baseline.week_count() == reported.week_count(),
           "detect: baseline/reported horizons differ");
 
+  const bool explain = args.has("explain");
   core::PipelineConfig config;
+  config.explain = explain;
   core::FdetaPipeline pipeline(config);
   if (!model_path.empty()) {
     // Warm start: restore the fitted state saved by `fdeta fit`; the
@@ -293,6 +308,7 @@ int cmd_detect(const Args& args) {
     config.split.test_weeks =
         reported.week_count() - config.split.train_weeks;
     config.kld = kld_config_from(args);
+    config.explain = explain;
     pipeline = core::FdetaPipeline(config);
     pipeline.fit(baseline);
   }
@@ -334,10 +350,61 @@ int cmd_detect(const Args& args) {
     }
     if (!any) std::printf(" -");
     std::printf("\n");
+    if (explain) {
+      // Per-bin contributions: which consumption bins pushed K_A over the
+      // threshold.  Bins with zero week mass contribute nothing and are
+      // elided.
+      for (const auto& v : report.verdicts) {
+        if (!v.explanation) continue;
+        std::printf("    consumer %u per-bin bits:", v.id);
+        for (const auto& c : v.explanation->bins) {
+          if (c.bits == 0.0) continue;
+          std::printf(" %zu:%+.3f", c.bin,
+                      finite_or_throw(c.bits, "detect: bin contribution"));
+        }
+        std::printf("\n");
+      }
+    }
   }
   std::printf("weeks_scored=%zu consumer_weeks=%zu flagged_total=%zu\n",
               weeks_scored, weeks_scored * reported.consumer_count(),
               flagged_total);
+
+  // Streaming replay (disable with --stream 0): feed the same test span
+  // through an OnlineMonitor reading by reading, as the control-center loop
+  // would see it from the head-end.  Alerts land in the event log and the
+  // monitor's spans in the trace, so one detect run exercises the full
+  // batch + online forensic surface.
+  if (args.get_long("stream", 1) != 0) {
+    core::OnlineMonitorConfig mconfig;
+    mconfig.kld = pipeline.config().kld;
+    core::OnlineMonitor monitor(mconfig);
+    monitor.fit(baseline, pipeline.config().split);
+
+    std::size_t readings = 0;
+    std::size_t over = 0;
+    std::size_t under = 0;
+    for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
+      std::vector<core::Reading> batch;
+      batch.reserve(reported.consumer_count() * kSlotsPerWeek);
+      // Slot-major: all consumers' slot-t readings arrive before any
+      // slot-t+1 reading, as one head-end delivery per slot would.
+      for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
+        const auto slot = static_cast<SlotIndex>(w * kSlotsPerWeek + s);
+        for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
+          batch.push_back(core::Reading{
+              c, slot, reported.consumer(c).readings[slot], false});
+        }
+      }
+      const auto alerts = monitor.ingest_batch(batch);
+      readings += batch.size();
+      for (const auto& a : alerts) {
+        ++(a.direction == core::AlertDirection::kOverReport ? over : under);
+      }
+    }
+    std::printf("stream: readings=%zu alerts=%zu over=%zu under=%zu\n",
+                readings, monitor.alerts().size(), over, under);
+  }
   return 0;
 }
 
@@ -365,7 +432,11 @@ int cmd_topology(const Args& args) {
 
 int cmd_investigate(const Args& args) {
   // Balance-check a week of reported vs baseline readings over a topology
-  // file and run the Case-2 portable-meter search.
+  // file and localise the imbalance: --mode case2 (default) runs the
+  // portable-meter search, --mode case1 assumes every internal node is
+  // metered and works from the full set of W events.  Either way the
+  // decision path is printed as an audit trail and recorded in the event
+  // log (--events-out).
   std::ifstream tin(args.require_value("topology"));
   if (!tin) throw DataError("cannot open topology file");
   const auto topology = grid::load_topology(tin);
@@ -392,17 +463,49 @@ int cmd_investigate(const Args& args) {
     reported_avg[c] = r / static_cast<double>(wr.size());
   }
 
-  const auto result = grid::investigate_case2(
-      topology, actual_avg, reported_avg, args.get_double("tolerance", 1e-3));
+  const double tolerance = args.get_double("tolerance", 1e-3);
+  const std::string mode = args.get("mode", "case2");
+  obs::EventLog& events = obs::default_event_log();
+
+  grid::InvestigationResult result;
+  if (mode == "case1") {
+    // Case 1: every internal node carries a trusted balance meter; the W
+    // events alone localise the theft.
+    const auto outcome = grid::run_balance_checks(
+        topology, actual_avg, reported_avg, /*compromised_meters=*/{},
+        tolerance);
+    result = grid::investigate_case1(topology, outcome, &events);
+  } else if (mode == "case2") {
+    result = grid::investigate_case2(topology, actual_avg, reported_avg,
+                                     tolerance, &events);
+  } else {
+    throw InvalidArgument("unknown --mode '" + mode + "' (case1|case2)");
+  }
+
+  std::printf("audit trail (%s, %zu steps):\n", mode.c_str(),
+              result.steps.size());
+  for (std::size_t i = 0; i < result.steps.size(); ++i) {
+    const auto& s = result.steps[i];
+    std::printf("  %2zu. node %d (depth %d): %s", i, s.node, s.depth,
+                grid::to_string(s.branch));
+    if (s.imbalance_kw > 0.0) {
+      std::printf(", imbalance %.3f kW", s.imbalance_kw);
+    }
+    if (s.suspects > 0) std::printf(", %zu suspects", s.suspects);
+    std::printf("\n");
+  }
+
   if (result.suspects.empty()) {
     std::printf("week %zu: books balance, nothing to investigate "
-                "(%zu portable checks)\n",
-                week, result.checks_performed);
+                "(%zu %s checks)\n",
+                week, result.checks_performed,
+                mode == "case1" ? "meter" : "portable");
     return 0;
   }
   std::printf("week %zu: balance failure localised to node %d after %zu "
-              "portable checks; inspect meters:",
-              week, result.localized_node, result.checks_performed);
+              "%s checks; inspect meters:",
+              week, result.localized_node, result.checks_performed,
+              mode == "case1" ? "meter" : "portable");
   for (const std::size_t s : result.suspects) {
     std::printf(" %u", reported.consumer(s).id);
   }
@@ -423,12 +526,18 @@ int usage() {
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "  detect    --in F [--model F] [--baseline F] [--train-weeks T]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
+      "            [--explain] [--stream 0|1]\n"
       "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
       "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
       "  investigate --topology F --baseline F --in F --week W\n"
-      "            [--tolerance KW]\n\n"
-      "every command also accepts --metrics-out F: write the run's\n"
-      "telemetry (JSON) to F and print a summary table on stderr\n");
+      "            [--tolerance KW] [--mode case1|case2]\n\n"
+      "every command also accepts:\n"
+      "  --metrics-out F  write the run's telemetry (JSON) to F and print\n"
+      "                   a summary table on stderr\n"
+      "  --trace-out F    record spans; write Chrome trace-event JSON to F\n"
+      "                   (loads in Perfetto / chrome://tracing)\n"
+      "  --events-out F   record domain events (alerts, investigation\n"
+      "                   steps, model restores) as JSONL to F\n");
   return 2;
 }
 
@@ -442,6 +551,28 @@ void emit_metrics(const Args& args) {
   if (!out) throw DataError("cannot open " + path + " for writing");
   out << snapshot.to_json();
   std::fputs(snapshot.to_text().c_str(), stderr);
+}
+
+/// Writes the recorded spans as Chrome trace-event JSON to --trace-out.
+void emit_trace(const Args& args) {
+  const std::string path = args.get("trace-out", "");
+  if (path.empty()) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open " + path + " for writing");
+  out << tracer.chrome_trace_json();
+}
+
+/// Writes the recorded domain events as JSONL to --events-out.
+void emit_events(const Args& args) {
+  const std::string path = args.get("events-out", "");
+  if (path.empty()) return;
+  obs::EventLog& log = obs::default_event_log();
+  log.disable();
+  std::ofstream out(path);
+  if (!out) throw DataError("cannot open " + path + " for writing");
+  log.write(out);
 }
 
 int run_command(const std::string& command, const Args& args) {
@@ -464,8 +595,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    if (!args.get("trace-out", "").empty()) obs::Tracer::instance().enable();
+    if (!args.get("events-out", "").empty()) obs::default_event_log().enable();
     const int code = run_command(command, args);
-    if (code == 0) emit_metrics(args);
+    if (code == 0) {
+      emit_metrics(args);
+      emit_trace(args);
+      emit_events(args);
+    }
     return code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
