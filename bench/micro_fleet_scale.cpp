@@ -25,6 +25,8 @@
 #include <sstream>
 #include <vector>
 
+#include "ami/faults.h"
+#include "ami/network.h"
 #include "common/env.h"
 #include "common/thread_pool.h"
 #include "core/online_monitor.h"
@@ -258,6 +260,93 @@ void run_tracing_overhead(std::size_t max_consumers, std::size_t weeks,
   }
 }
 
+// Degradation lane: detection recall and false-positive rate versus AMI
+// loss rate, with and without the NACK retransmit pass.  Every 10th
+// consumer under-reports its readings through a MITM interceptor; the
+// reported dataset is whatever the head-end collected after the fault
+// plan's losses, and weeks past the coverage gate return
+// kInsufficientData instead of a score (gated consumers are neither
+// recall hits nor false positives - they are visible in the gated column).
+void run_degradation(std::size_t max_consumers, std::size_t weeks,
+                     std::uint64_t seed) {
+  const std::size_t consumers = std::min<std::size_t>(200, max_consumers);
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+  const fdeta::core::EvidenceCalendar calendar;
+  const std::size_t week = weeks - 1;
+
+  fdeta::obs::MetricsRegistry reg;
+  fdeta::core::PipelineConfig config;
+  config.split = split;
+  config.metrics = &reg;
+  fdeta::core::FdetaPipeline pipeline(config);
+  pipeline.fit(dataset);
+
+  std::printf(
+      "\n=== degradation @%zu consumers: recall / false positives vs loss "
+      "rate (gate %.0f%% missing) ===\n",
+      consumers, 100.0 * config.max_missing_fraction);
+  std::printf("%7s %8s | %7s %7s %7s | %10s %8s\n", "loss", "retries",
+              "recall", "fpr", "gated", "missing", "retx");
+  for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
+    for (const std::size_t retries : {std::size_t{0}, std::size_t{3}}) {
+      if (loss == 0.0 && retries > 0) continue;  // nothing to repair
+      fdeta::ami::HeadEnd head_end(consumers, dataset.slot_count(), &reg);
+      fdeta::ami::MeterNetwork network(dataset, &reg);
+      for (std::size_t c = 0; c < consumers; c += 10) {
+        network.add_interceptor(fdeta::ami::scale_interceptor(c, 0.25));
+      }
+      fdeta::ami::FaultPlanConfig plan;
+      plan.drop_rate = loss;
+      plan.seed = seed;
+      network.set_fault_plan(fdeta::ami::FaultPlan(plan));
+      network.set_retransmit({retries, 1});
+      for (std::size_t w = 0; w < weeks; ++w) {
+        network.transmit(head_end, w * kSlotsPerWeek,
+                         (w + 1) * kSlotsPerWeek);
+      }
+      const auto collected = fdeta::ami::collect_reported(head_end, dataset);
+
+      fdeta::core::WeekCoverage coverage;
+      coverage.missing_slots = collected.week_missing(week);
+      const auto report = pipeline.evaluate_week(
+          dataset, collected.dataset, week, calendar, nullptr, &coverage);
+
+      std::size_t attacked = 0, hits = 0, clean = 0, false_pos = 0, gated = 0;
+      for (std::size_t c = 0; c < consumers; ++c) {
+        const auto status = report.verdicts[c].status;
+        if (status == fdeta::core::VerdictStatus::kInsufficientData) {
+          ++gated;
+          continue;
+        }
+        const bool flagged =
+            status != fdeta::core::VerdictStatus::kNormal &&
+            status != fdeta::core::VerdictStatus::kExcused;
+        if (c % 10 == 0) {
+          ++attacked;
+          if (flagged) ++hits;
+        } else {
+          ++clean;
+          if (flagged) ++false_pos;
+        }
+      }
+      std::printf(
+          "%6.0f%% %8zu | %6.1f%% %6.1f%% %6.1f%% | %10zu %8zu\n",
+          100.0 * loss, retries,
+          attacked > 0 ? 100.0 * static_cast<double>(hits) /
+                             static_cast<double>(attacked)
+                       : 0.0,
+          clean > 0 ? 100.0 * static_cast<double>(false_pos) /
+                          static_cast<double>(clean)
+                    : 0.0,
+          100.0 * static_cast<double>(gated) /
+              static_cast<double>(consumers),
+          head_end.missing_count(), network.messages_retried());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +386,7 @@ int main(int argc, char** argv) {
         static_cast<double>(consumers) / t.warm_restore_s);
     print_breakdown(consumers, reg.snapshot(), pool_before, pool_after);
   }
+  run_degradation(max_consumers, weeks, seed);
   run_tracing_overhead(max_consumers, weeks, seed);
   return 0;
 }

@@ -1,0 +1,270 @@
+#include "ami/faults.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace fdeta::ami {
+
+namespace {
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double rate = 0.0;
+  try {
+    rate = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == value.size() && rate >= 0.0 && rate <= 1.0,
+          "parse_fault_plan: " + key + " must be a rate in [0,1], got '" +
+              value + "'");
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long n = 0;
+  try {
+    n = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == value.size() && !value.empty(),
+          "parse_fault_plan: " + key + " must be a non-negative integer, "
+              "got '" + value + "'");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+FaultPlanConfig parse_fault_plan(const std::string& spec) {
+  FaultPlanConfig config;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos,
+            "parse_fault_plan: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      config.drop_rate = parse_rate(key, value);
+    } else if (key == "dup") {
+      config.duplicate_rate = parse_rate(key, value);
+    } else if (key == "reorder") {
+      config.reorder_rate = parse_rate(key, value);
+    } else if (key == "delay") {
+      config.max_delay_slots =
+          static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "corrupt") {
+      config.corrupt_rate = parse_rate(key, value);
+    } else if (key == "burst-every") {
+      config.burst_period_slots =
+          static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "burst-len") {
+      config.burst_length_slots =
+          static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "seed") {
+      config.seed = parse_u64(key, value);
+    } else {
+      throw InvalidArgument("parse_fault_plan: unknown key '" + key + "'");
+    }
+  }
+  require(config.burst_period_slots == 0 ||
+              config.burst_length_slots <= config.burst_period_slots,
+          "parse_fault_plan: burst-len must not exceed burst-every");
+  return config;
+}
+
+FaultStage burst_outage_stage(std::size_t period_slots,
+                              std::size_t length_slots) {
+  require(period_slots > 0, "burst_outage_stage: period must be positive");
+  require(length_slots <= period_slots,
+          "burst_outage_stage: length must not exceed period");
+  return [period_slots, length_slots](DeliveryAttempt& attempt, Rng&) {
+    if (attempt.sent_at % period_slots < length_slots) attempt.dropped = true;
+  };
+}
+
+FaultStage drop_stage(double rate) {
+  require(rate >= 0.0 && rate <= 1.0, "drop_stage: rate out of [0,1]");
+  return [rate](DeliveryAttempt& attempt, Rng& rng) {
+    if (rng.uniform() < rate) attempt.dropped = true;
+  };
+}
+
+FaultStage corrupt_stage(double rate) {
+  require(rate >= 0.0 && rate <= 1.0, "corrupt_stage: rate out of [0,1]");
+  return [rate](DeliveryAttempt& attempt, Rng& rng) {
+    if (rng.uniform() >= rate) return;
+    attempt.corrupted = true;
+    // Three shapes of in-flight bit rot, all outside the legitimate domain
+    // (the generator clamps demand to >= 0), so the head-end quarantine can
+    // recognise every one of them.
+    switch (rng.below(3)) {
+      case 0:
+        attempt.report.kw = -(attempt.report.kw + 1.0);
+        break;
+      case 1:
+        attempt.report.kw = 1.0e9 * (1.0 + rng.uniform());
+        break;
+      default:
+        attempt.report.kw = std::numeric_limits<double>::quiet_NaN();
+        break;
+    }
+  };
+}
+
+FaultStage duplicate_stage(double rate) {
+  require(rate >= 0.0 && rate <= 1.0, "duplicate_stage: rate out of [0,1]");
+  return [rate](DeliveryAttempt& attempt, Rng& rng) {
+    if (rng.uniform() < rate) attempt.duplicates += 1;
+  };
+}
+
+FaultStage reorder_stage(double rate, std::size_t max_delay_slots) {
+  require(rate >= 0.0 && rate <= 1.0, "reorder_stage: rate out of [0,1]");
+  require(max_delay_slots > 0, "reorder_stage: max delay must be positive");
+  return [rate, max_delay_slots](DeliveryAttempt& attempt, Rng& rng) {
+    if (rng.uniform() < rate) {
+      attempt.delay_slots = 1 + static_cast<std::size_t>(
+                                    rng.below(max_delay_slots));
+    }
+  };
+}
+
+FaultStage interceptor_stage(Interceptor interceptor) {
+  require(static_cast<bool>(interceptor),
+          "interceptor_stage: empty interceptor");
+  return [interceptor = std::move(interceptor)](DeliveryAttempt& attempt,
+                                                Rng&) {
+    const auto out = interceptor(attempt.report);
+    if (!out.has_value()) {
+      attempt.dropped = true;
+      return;
+    }
+    attempt.report.consumer_index = out->consumer_index;
+    attempt.report.slot = out->slot;
+    attempt.report.kw = out->kw;
+  };
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config) {
+  if (config_.burst_period_slots > 0 && config_.burst_length_slots > 0) {
+    stages_.push_back(burst_outage_stage(config_.burst_period_slots,
+                                         config_.burst_length_slots));
+  }
+  if (config_.drop_rate > 0.0) {
+    stages_.push_back(drop_stage(config_.drop_rate));
+  }
+  if (config_.corrupt_rate > 0.0) {
+    stages_.push_back(corrupt_stage(config_.corrupt_rate));
+  }
+  if (config_.duplicate_rate > 0.0) {
+    stages_.push_back(duplicate_stage(config_.duplicate_rate));
+  }
+  if (config_.reorder_rate > 0.0) {
+    require(config_.max_delay_slots > 0,
+            "FaultPlan: reorder enabled with zero max_delay_slots");
+    stages_.push_back(
+        reorder_stage(config_.reorder_rate, config_.max_delay_slots));
+  }
+}
+
+void FaultPlan::add_stage(FaultStage stage) {
+  require(static_cast<bool>(stage), "FaultPlan::add_stage: empty stage");
+  stages_.push_back(std::move(stage));
+}
+
+Rng FaultPlan::attempt_rng(const ReadingReport& report,
+                          std::uint32_t attempt) const {
+  // Fold (seed, consumer, slot, attempt) into one key by chaining SplitMix64
+  // rounds.  The resulting generator is independent of delivery order,
+  // thread schedule, and every other attempt's draws.
+  std::uint64_t key = config_.seed;
+  const std::uint64_t words[3] = {
+      static_cast<std::uint64_t>(report.consumer_index),
+      static_cast<std::uint64_t>(report.slot),
+      static_cast<std::uint64_t>(attempt)};
+  for (const std::uint64_t word : words) {
+    SplitMix64 mix(key ^ (word + 0x9E3779B97F4A7C15ULL));
+    key = mix.next();
+  }
+  return Rng(key);
+}
+
+DeliveryAttempt FaultPlan::apply(const ReadingReport& report,
+                                 SlotIndex sent_at,
+                                 std::uint32_t attempt) const {
+  DeliveryAttempt out;
+  out.report = report;
+  out.sent_at = sent_at;
+  out.attempt = attempt;
+  Rng rng = attempt_rng(report, attempt);
+  for (const auto& stage : stages_) {
+    stage(out, rng);
+    if (out.dropped) break;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> CollectedReport::week_missing(
+    std::size_t week) const {
+  const auto slots = static_cast<std::size_t>(kSlotsPerWeek);
+  std::vector<std::uint32_t> counts(missing.size(), 0);
+  for (std::size_t c = 0; c < missing.size(); ++c) {
+    const auto& mask = missing[c];
+    require((week + 1) * slots <= mask.size(),
+            "CollectedReport::week_missing: week out of range");
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (mask[week * slots + s]) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+CollectedReport collect_reported(const HeadEnd& head_end,
+                                 const meter::Dataset& shape) {
+  require(head_end.consumer_count() == shape.consumer_count(),
+          "collect_reported: consumer count mismatch");
+  require(head_end.slot_count() == shape.slot_count(),
+          "collect_reported: slot count mismatch");
+  const auto slots = static_cast<std::size_t>(kSlotsPerWeek);
+  CollectedReport out;
+  out.missing.reserve(shape.consumer_count());
+  std::vector<meter::ConsumerSeries> series;
+  series.reserve(shape.consumer_count());
+  for (std::size_t c = 0; c < shape.consumer_count(); ++c) {
+    std::vector<char> mask;
+    std::vector<Kw> values = head_end.consumer_readings(c, mask);
+    // Fill gaps with the most recent accepted reading at the same
+    // slot-of-week position - the least surprising stand-in for detectors
+    // that are not coverage-aware.  Coverage-aware callers consult the mask
+    // and never score a gated week at all.
+    std::vector<Kw> last(slots, 0.0);
+    std::vector<char> seen(slots, 0);
+    for (std::size_t t = 0; t < values.size(); ++t) {
+      const std::size_t column = t % slots;
+      if (!mask[t]) {
+        last[column] = values[t];
+        seen[column] = 1;
+      } else if (seen[column]) {
+        values[t] = last[column];
+      }
+    }
+    series.push_back({shape.consumer(c).id, shape.consumer(c).type,
+                      std::move(values)});
+    out.missing.push_back(std::move(mask));
+  }
+  out.dataset = meter::Dataset(std::move(series));
+  return out;
+}
+
+}  // namespace fdeta::ami

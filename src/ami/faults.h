@@ -1,0 +1,135 @@
+// Deterministic fault injection for the AMI reporting plane.
+//
+// Real AMI meshes are not the perfect in-order, exactly-once channel the
+// original MeterNetwork modelled: they lose, duplicate, reorder, delay, and
+// corrupt reports (EnThM motivates hierarchical verification precisely
+// because metering data arrives unreliably).  A FaultPlan is a seeded,
+// fully deterministic composition of those failure channels - drop,
+// duplicate, bounded-delay reorder, value corruption, and mesh-wide burst
+// outages - that the MeterNetwork applies to every delivery attempt.
+//
+// Determinism contract: every decision is a pure function of
+// (plan seed, consumer, slot, attempt number).  No global stream position is
+// consumed, so the same plan produces byte-identical outcomes regardless of
+// delivery order, retransmission history, or thread count - the chaos test
+// lane (ctest -L chaos) pins this.
+//
+// Channels compose as stages (FaultStage) that run in order over one
+// DeliveryAttempt, each drawing from the attempt's private RNG.  An existing
+// attack Interceptor can be lifted into the same chain with
+// interceptor_stage(), so MITM tampering and mesh faults share one
+// composition model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ami/network.h"
+#include "common/rng.h"
+
+namespace fdeta::ami {
+
+/// Tunable rates for the built-in fault channels.  All rates are per
+/// delivery attempt (a retransmission re-rolls with a fresh attempt key).
+struct FaultPlanConfig {
+  /// P(report silently lost in the mesh).
+  double drop_rate = 0.0;
+  /// P(an accepted report is delivered twice with the same sequence number).
+  double duplicate_rate = 0.0;
+  /// P(delivery deferred by 1..max_delay_slots on the logical clock).
+  double reorder_rate = 0.0;
+  /// Upper bound for the reorder channel's delay queue.
+  std::size_t max_delay_slots = 4;
+  /// P(payload corrupted in flight: negative, absurdly large, or NaN - all
+  /// shapes the head-end quarantine must catch).
+  double corrupt_rate = 0.0;
+  /// Mesh-wide outage windows on the logical clock: every report sent during
+  /// slots [k*period, k*period + length) is lost, for all k.  0 disables.
+  std::size_t burst_period_slots = 0;
+  std::size_t burst_length_slots = 0;
+  /// Seed for the per-attempt decision RNG.
+  std::uint64_t seed = 0xC4A05u;
+};
+
+/// Parses a "key=value,key=value" spec (the CLI's --fault-plan syntax).
+/// Keys: drop, dup, reorder, delay, corrupt, burst-every, burst-len, seed.
+/// Throws InvalidArgument on an unknown key or malformed value.
+FaultPlanConfig parse_fault_plan(const std::string& spec);
+
+/// One delivery attempt flowing through the stage chain.  Stages mutate it:
+/// a drop ends the chain, corruption rewrites the payload, duplication adds
+/// extra copies, reordering defers delivery on the logical clock.
+struct DeliveryAttempt {
+  ReadingReport report;
+  SlotIndex sent_at = 0;      ///< logical send time (slot clock)
+  std::uint32_t attempt = 0;  ///< 0 = first transmission, >0 = retransmit
+  bool dropped = false;
+  bool corrupted = false;
+  std::size_t duplicates = 0;   ///< extra copies to deliver
+  std::size_t delay_slots = 0;  ///< 0 = on time
+};
+
+/// One composable fault channel.  `rng` is the attempt's private generator:
+/// a pure function of (seed, consumer, slot, attempt).
+using FaultStage = std::function<void(DeliveryAttempt&, Rng&)>;
+
+/// Built-in channel factories (composed in this order by FaultPlan).
+FaultStage burst_outage_stage(std::size_t period_slots,
+                              std::size_t length_slots);
+FaultStage drop_stage(double rate);
+FaultStage corrupt_stage(double rate);
+FaultStage duplicate_stage(double rate);
+FaultStage reorder_stage(double rate, std::size_t max_delay_slots);
+
+/// Lifts an attack Interceptor into the stage chain: a nullopt drop becomes
+/// DeliveryAttempt::dropped, a mutation rewrites the in-flight report.
+FaultStage interceptor_stage(Interceptor interceptor);
+
+/// A seeded composition of fault stages.  Copyable; the MeterNetwork owns a
+/// copy, so a plan value can be reused across networks and runs.
+class FaultPlan {
+ public:
+  /// Builds the stage chain from `config` (channels with zero rate/period
+  /// are elided, so an all-default plan is a no-op).
+  explicit FaultPlan(FaultPlanConfig config = {});
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// Appends a custom stage after the built-in channels.
+  void add_stage(FaultStage stage);
+
+  /// Runs the stage chain over one delivery attempt.  Deterministic: the
+  /// outcome depends only on the plan seed and (consumer, slot, attempt).
+  DeliveryAttempt apply(const ReadingReport& report, SlotIndex sent_at,
+                        std::uint32_t attempt) const;
+
+ private:
+  Rng attempt_rng(const ReadingReport& report, std::uint32_t attempt) const;
+
+  FaultPlanConfig config_;
+  std::vector<FaultStage> stages_;
+};
+
+/// The head-end's collected view materialised for the batch pipeline:
+/// readings plus an explicit per-slot missing mask, so downstream consumers
+/// can gate on coverage instead of scoring imputed values.
+struct CollectedReport {
+  /// Missing slots hold the last received reading at the same slot-of-week
+  /// position (never an imputed zero); slots never observed at that position
+  /// carry 0 and are only usable behind the coverage gate.
+  meter::Dataset dataset;
+  /// missing[consumer][slot] != 0 for every slot the head-end never accepted.
+  std::vector<std::vector<char>> missing;
+
+  /// Per-consumer missing-slot counts for one week (coverage-gate input).
+  std::vector<std::uint32_t> week_missing(std::size_t week) const;
+};
+
+/// Reads the head-end back into a dataset shaped like `shape` (ids/types are
+/// copied from it; values come from the head-end).
+CollectedReport collect_reported(const HeadEnd& head_end,
+                                 const meter::Dataset& shape);
+
+}  // namespace fdeta::ami

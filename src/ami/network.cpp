@@ -1,38 +1,81 @@
 #include "ami/network.h"
 
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "ami/faults.h"
 #include "common/error.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fdeta::ami {
 
 HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
-                 obs::MetricsRegistry* metrics)
-    : slots_(slots), missing_(consumers * slots) {
+                 obs::MetricsRegistry* metrics, HeadEndConfig config)
+    : slots_(slots), config_(config), missing_(consumers * slots) {
+  require(std::isfinite(config_.max_plausible_kw) &&
+              config_.max_plausible_kw > 0.0,
+          "HeadEnd: max_plausible_kw must be positive and finite");
   values_.assign(consumers, std::vector<Kw>(slots, 0.0));
   received_.assign(consumers, std::vector<char>(slots, 0));
+  sequences_.assign(consumers, std::vector<std::uint32_t>(slots, 0));
   obs::MetricsRegistry& registry =
       metrics != nullptr ? *metrics : obs::default_registry();
   reports_received_ = &registry.counter("ami.reports_received");
   reports_overwritten_ = &registry.counter("ami.reports_overwritten");
+  duplicates_suppressed_ = &registry.counter("ami.duplicates_suppressed");
+  stale_rejected_ = &registry.counter("ami.reports_stale_rejected");
+  quarantined_counter_ = &registry.counter("ami.reports_quarantined");
   missing_gauge_ = &registry.gauge("ami.reports_missing");
   missing_gauge_->set(static_cast<std::int64_t>(missing_));
 }
 
-void HeadEnd::receive(const ReadingReport& report) {
+ReceiveOutcome HeadEnd::receive(const ReadingReport& report) {
   require(report.consumer_index < values_.size(),
           "HeadEnd::receive: consumer out of range");
   require(report.slot < slots_, "HeadEnd::receive: slot out of range");
-  values_[report.consumer_index][report.slot] = report.kw;
-  char& seen = received_[report.consumer_index][report.slot];
-  if (seen) {
-    reports_overwritten_->add();
-  } else {
-    seen = 1;
-    --missing_;
-    missing_gauge_->set(static_cast<std::int64_t>(missing_));
-  }
+  // Every delivered message is accounted here, whatever its fate, so the
+  // plane-level conservation identity received == sent - dropped holds.
   reports_received_->add();
+
+  if (!std::isfinite(report.kw) || report.kw < 0.0 ||
+      report.kw > config_.max_plausible_kw) {
+    // Corrupt or impossible value: never store it.  The slot stays missing,
+    // so the NACK retransmit pass will ask for a clean copy.
+    ++quarantined_;
+    quarantined_counter_->add();
+    return ReceiveOutcome::kQuarantined;
+  }
+
+  char& seen = received_[report.consumer_index][report.slot];
+  std::uint32_t& stored = sequences_[report.consumer_index][report.slot];
+  if (seen) {
+    if (report.sequence == stored) {
+      ++duplicates_;
+      duplicates_suppressed_->add();
+      return ReceiveOutcome::kDuplicate;
+    }
+    if (report.sequence < stored) {
+      // A delayed copy of an older transmission must not clobber the
+      // fresher reading (the stale-duplicate bug this path fixes).
+      ++stale_;
+      stale_rejected_->add();
+      return ReceiveOutcome::kStale;
+    }
+    values_[report.consumer_index][report.slot] = report.kw;
+    stored = report.sequence;
+    reports_overwritten_->add();
+    return ReceiveOutcome::kAccepted;
+  }
+
+  values_[report.consumer_index][report.slot] = report.kw;
+  stored = report.sequence;
+  seen = 1;
+  --missing_;
+  missing_gauge_->set(static_cast<std::int64_t>(missing_));
+  return ReceiveOutcome::kAccepted;
 }
 
 bool HeadEnd::has_reading(std::size_t consumer, SlotIndex slot) const {
@@ -64,7 +107,8 @@ std::vector<Kw> HeadEnd::consumer_readings(
 }
 
 MeterNetwork::MeterNetwork(const meter::Dataset& actual,
-                           obs::MetricsRegistry* metrics)
+                           obs::MetricsRegistry* metrics,
+                           obs::EventLog* events)
     : actual_(&actual) {
   obs::MetricsRegistry& registry =
       metrics != nullptr ? *metrics : obs::default_registry();
@@ -72,6 +116,19 @@ MeterNetwork::MeterNetwork(const meter::Dataset& actual,
   tampered_counter_ = &registry.counter("ami.messages_tampered");
   dropped_counter_ = &registry.counter("ami.messages_dropped");
   deliveries_counter_ = &registry.counter("ami.deliveries");
+  retries_counter_ = &registry.counter("ami.retries");
+  late_accepted_counter_ = &registry.counter("ami.late_accepted");
+  events_ = events != nullptr ? events : &obs::default_event_log();
+}
+
+void MeterNetwork::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+}
+
+void MeterNetwork::set_retransmit(RetransmitPolicy policy) {
+  require(policy.max_retries == 0 || policy.backoff_base_slots > 0,
+          "MeterNetwork::set_retransmit: backoff base must be positive");
+  retransmit_ = policy;
 }
 
 void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
@@ -82,37 +139,142 @@ void MeterNetwork::transmit(HeadEnd& head_end, SlotIndex first,
   const std::size_t sent_before = messages_sent_;
   const std::size_t tampered_before = messages_tampered_;
   const std::size_t dropped_before = messages_dropped_;
-  for (std::size_t c = 0; c < actual_->consumer_count(); ++c) {
-    const auto& readings = actual_->consumer(c).readings;
-    for (SlotIndex t = first; t < last; ++t) {
-      ReadingReport report{c, t, readings[t]};
-      ++messages_sent_;
-      bool dropped = false;
-      bool tampered = false;
-      for (const auto& interceptor : interceptors_) {
-        const auto out = interceptor(report);
-        if (!out.has_value()) {
-          dropped = true;
-          break;
-        }
-        if (out->kw != report.kw || out->slot != report.slot ||
-            out->consumer_index != report.consumer_index) {
-          tampered = true;
-        }
-        report = *out;
-      }
-      if (dropped) {
+  const std::size_t retried_before = messages_retried_;
+  const std::size_t late_before = late_accepted_;
+
+  // Reserve a sequence band for this transmit round: attempt k carries
+  // round_base + k, and the next transmit() starts above this band, so its
+  // reports always outrank ours (last-write-wins across calls, exactly the
+  // pre-sequence plane's behaviour).
+  const std::uint32_t round_base = round_;
+  round_ += static_cast<std::uint32_t>(retransmit_.max_retries) + 1;
+
+  // Reorder channel: deliveries deferred on the logical slot clock, drained
+  // in (due slot, enqueue order) so the replay is deterministic.
+  struct Pending {
+    SlotIndex due;
+    std::uint64_t order;
+    ReadingReport report;
+  };
+  const auto later = [](const Pending& a, const Pending& b) {
+    return a.due != b.due ? a.due > b.due : a.order > b.order;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> delayed(
+      later);
+  std::uint64_t enqueue_order = 0;
+
+  const auto deliver = [&](const ReadingReport& report, bool late) {
+    const ReceiveOutcome outcome = head_end.receive(report);
+    if (late && outcome == ReceiveOutcome::kAccepted) ++late_accepted_;
+  };
+  const auto drain_due = [&](SlotIndex now) {
+    while (!delayed.empty() && delayed.top().due <= now) {
+      deliver(delayed.top().report, /*late=*/true);
+      delayed.pop();
+    }
+  };
+
+  // One delivery attempt: interceptor chain (the MITM tampers with retries
+  // too), then the fault plan's channels.
+  const auto send = [&](std::size_t c, SlotIndex t, SlotIndex now,
+                        std::uint32_t attempt) {
+    ReadingReport report{c, t, actual_->consumer(c).readings[t],
+                         round_base + attempt};
+    ++messages_sent_;
+    bool tampered = false;
+    for (const auto& interceptor : interceptors_) {
+      const auto out = interceptor(report);
+      if (!out.has_value()) {
         ++messages_dropped_;
-        continue;
+        return;
       }
-      if (tampered) ++messages_tampered_;
-      head_end.receive(report);
+      if (out->kw != report.kw || out->slot != report.slot ||
+          out->consumer_index != report.consumer_index) {
+        tampered = true;
+      }
+      report = *out;
+    }
+    if (tampered) ++messages_tampered_;
+    if (fault_plan_ == nullptr) {
+      deliver(report, /*late=*/false);
+      return;
+    }
+    const DeliveryAttempt outcome = fault_plan_->apply(report, now, attempt);
+    if (outcome.dropped) {
+      ++messages_dropped_;
+      return;
+    }
+    // Each duplicate copy is another frame the mesh carried, so it counts
+    // as sent; all copies share one sequence number and the head-end
+    // suppresses the extras.
+    messages_sent_ += outcome.duplicates;
+    const std::size_t copies = 1 + outcome.duplicates;
+    if (outcome.delay_slots > 0) {
+      for (std::size_t k = 0; k < copies; ++k) {
+        delayed.push({now + outcome.delay_slots, enqueue_order++,
+                      outcome.report});
+      }
+      return;
+    }
+    for (std::size_t k = 0; k < copies; ++k) {
+      deliver(outcome.report, /*late=*/false);
+    }
+  };
+
+  // Initial pass, slot-major on the logical clock: deferred deliveries come
+  // due while later slots transmit, which is how a delayed original can
+  // arrive after its own retransmission.
+  for (SlotIndex t = first; t < last; ++t) {
+    drain_due(t);
+    for (std::size_t c = 0; c < actual_->consumer_count(); ++c) {
+      send(c, t, /*now=*/t, /*attempt=*/0);
     }
   }
+
+  // NACK rounds: exponential backoff on the slot clock, then ask the
+  // head-end which slots are still missing and retransmit only those.
+  SlotIndex now = last > first ? last - 1 : first;
+  for (std::size_t round = 1; round <= retransmit_.max_retries; ++round) {
+    now += static_cast<SlotIndex>(retransmit_.backoff_base_slots)
+           << (round - 1);
+    drain_due(now);
+    bool any_missing = false;
+    for (std::size_t c = 0; c < actual_->consumer_count(); ++c) {
+      for (SlotIndex t = first; t < last; ++t) {
+        if (head_end.has_reading(c, t)) continue;
+        any_missing = true;
+        ++messages_retried_;
+        send(c, t, now, static_cast<std::uint32_t>(round));
+      }
+    }
+    if (!any_missing) break;
+  }
+
+  // Final flush: everything still in flight lands now, late.
+  while (!delayed.empty()) {
+    deliver(delayed.top().report, /*late=*/true);
+    delayed.pop();
+  }
+
   deliveries_counter_->add();
   sent_counter_->add(messages_sent_ - sent_before);
   tampered_counter_->add(messages_tampered_ - tampered_before);
   dropped_counter_->add(messages_dropped_ - dropped_before);
+  retries_counter_->add(messages_retried_ - retried_before);
+  late_accepted_counter_->add(late_accepted_ - late_before);
+
+  if (events_->enabled()) {
+    events_->emit("delivery_summary",
+                  obs::EventFields{}
+                      .u64("first", first)
+                      .u64("last", last)
+                      .u64("sent", messages_sent_ - sent_before)
+                      .u64("tampered", messages_tampered_ - tampered_before)
+                      .u64("dropped", messages_dropped_ - dropped_before)
+                      .u64("retries", messages_retried_ - retried_before)
+                      .u64("late_accepted", late_accepted_ - late_before)
+                      .u64("missing_after", head_end.missing_count()));
+  }
 }
 
 void MeterNetwork::add_interceptor(Interceptor interceptor) {

@@ -8,16 +8,28 @@
 // and the head-end's collected view is exactly the reported dataset D' that
 // the detectors judge.
 //
+// The plane is NOT a perfect channel: a FaultPlan (ami/faults.h) can drop,
+// duplicate, reorder, delay, and corrupt reports on a logical slot clock.
+// The ingest path is hardened against that: every report carries a sequence
+// number, the head-end deduplicates (newest-sequence-wins, stale duplicates
+// rejected) and quarantines out-of-range values, and the network runs a
+// NACK-driven retransmit pass with a bounded retry budget and exponential
+// backoff in logical time.
+//
 // Telemetry (obs/metrics.h): per-delivery accounting of the reporting plane
 // - ami.messages_sent / ami.messages_tampered / ami.messages_dropped /
-// ami.deliveries from the network side, ami.reports_received /
-// ami.reports_overwritten and the ami.reports_missing gauge from the
+// ami.deliveries / ami.retries / ami.late_accepted from the network side,
+// ami.reports_received / ami.reports_overwritten /
+// ami.duplicates_suppressed / ami.reports_stale_rejected /
+// ami.reports_quarantined and the ami.reports_missing gauge from the
 // head-end side.  Pass a MetricsRegistry to isolate an instance; null uses
 // the process-wide default registry.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,6 +39,7 @@
 namespace fdeta {
 namespace obs {
 class Counter;
+class EventLog;
 class Gauge;
 class MetricsRegistry;
 }  // namespace obs
@@ -34,11 +47,17 @@ class MetricsRegistry;
 
 namespace fdeta::ami {
 
-/// One meter-to-head-end message.
+class FaultPlan;
+
+/// One meter-to-head-end message.  `sequence` totally orders the reports a
+/// meter emits for one slot (retransmissions and later transmit rounds carry
+/// higher numbers), so the head-end can tell a fresh retransmit from a stale
+/// duplicate that the mesh delivered late.
 struct ReadingReport {
   std::size_t consumer_index = 0;
   SlotIndex slot = 0;
   Kw kw = 0.0;
+  std::uint32_t sequence = 0;
 };
 
 /// A man-in-the-middle transformation: returns the (possibly mutated)
@@ -46,15 +65,37 @@ struct ReadingReport {
 using Interceptor =
     std::function<std::optional<ReadingReport>(const ReadingReport&)>;
 
+/// What the head-end did with one delivered report.
+enum class ReceiveOutcome : std::uint8_t {
+  kAccepted,     ///< stored (first report, or newer sequence overwrote)
+  kDuplicate,    ///< same sequence already stored; suppressed
+  kStale,        ///< older sequence than stored; rejected
+  kQuarantined,  ///< non-finite / out-of-range value; never stored
+};
+
+/// Ingest-hardening knobs for the head-end.
+struct HeadEndConfig {
+  /// Reports above this (or negative, or non-finite) are quarantined: the
+  /// slot stays missing so the retransmit pass can repair it with a clean
+  /// copy.  Legitimate demand is non-negative by construction (the
+  /// generator clamps at 0), so the default only rejects impossible values.
+  double max_plausible_kw = 1.0e6;
+};
+
 /// The utility-side collector.  Missing readings stay NaN-free: they are
 /// tracked explicitly so the balance layer can treat "no report" distinctly
 /// from "zero demand".
 class HeadEnd {
  public:
   HeadEnd(std::size_t consumers, std::size_t slots,
-          obs::MetricsRegistry* metrics = nullptr);
+          obs::MetricsRegistry* metrics = nullptr, HeadEndConfig config = {});
 
-  void receive(const ReadingReport& report);
+  /// Ingests one report.  Newest-sequence-wins: a report whose sequence is
+  /// older than the stored one is rejected (kStale), an equal sequence is a
+  /// suppressed duplicate, and a corrupt/out-of-range value is quarantined
+  /// without touching the stored reading.  ami.reports_received counts every
+  /// call regardless of outcome (delivery-side conservation).
+  ReceiveOutcome receive(const ReadingReport& report);
 
   std::size_t consumer_count() const { return received_.size(); }
   std::size_t slot_count() const { return slots_; }
@@ -76,46 +117,96 @@ class HeadEnd {
   /// Slots (over all consumers) that never received a report.  O(1).
   std::size_t missing_count() const { return missing_; }
 
+  /// Ingest-hardening tallies (also exported as ami.* counters).
+  std::size_t quarantined_count() const { return quarantined_; }
+  std::size_t duplicates_suppressed() const { return duplicates_; }
+  std::size_t stale_rejected() const { return stale_; }
+
  private:
   std::size_t slots_;
+  HeadEndConfig config_;
   std::vector<std::vector<Kw>> values_;
   std::vector<std::vector<char>> received_;
+  std::vector<std::vector<std::uint32_t>> sequences_;
   std::size_t missing_ = 0;  // slots never reported, kept current by receive()
+  std::size_t quarantined_ = 0;
+  std::size_t duplicates_ = 0;
+  std::size_t stale_ = 0;
 
   obs::Counter* reports_received_ = nullptr;
   obs::Counter* reports_overwritten_ = nullptr;
+  obs::Counter* duplicates_suppressed_ = nullptr;
+  obs::Counter* stale_rejected_ = nullptr;
+  obs::Counter* quarantined_counter_ = nullptr;
   obs::Gauge* missing_gauge_ = nullptr;
 };
 
+/// NACK-driven repair budget for transmit(): after the initial pass the
+/// network asks the head-end which slots are still missing and retransmits
+/// them, up to `max_retries` rounds, waiting `backoff_base_slots << round`
+/// logical slots between rounds (exponential backoff on the slot clock).
+struct RetransmitPolicy {
+  std::size_t max_retries = 0;  ///< 0 = fire-and-forget (legacy behaviour)
+  std::size_t backoff_base_slots = 1;
+};
+
 /// The field network: walks a ground-truth dataset, emitting one report per
-/// consumer per slot, passing each through the interceptor chain.
+/// consumer per slot, passing each through the interceptor chain and the
+/// fault plan (if any), then running the retransmit pass.
 class MeterNetwork {
  public:
   explicit MeterNetwork(const meter::Dataset& actual,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        obs::MetricsRegistry* metrics = nullptr,
+                        obs::EventLog* events = nullptr);
 
-  /// Appends an interceptor; interceptors run in insertion order.
+  /// Appends an interceptor; interceptors run in insertion order, on
+  /// retransmissions too (the MITM sits on the link, not in the meter).
   void add_interceptor(Interceptor interceptor);
 
+  /// Installs a fault plan (ami/faults.h) applied to every delivery attempt
+  /// after the interceptor chain.
+  void set_fault_plan(FaultPlan plan);
+
+  /// Configures the NACK-driven retransmit pass.
+  void set_retransmit(RetransmitPolicy policy);
+
   /// Transmits all consumers' readings for slots [first, last) to the
-  /// head-end.
+  /// head-end: initial slot-major pass on the logical clock (delayed
+  /// deliveries drain when due), then up to max_retries NACK rounds for
+  /// slots the head-end still reports missing, then a final drain of the
+  /// delay queue.  Emits one delivery_summary event per call.
   void transmit(HeadEnd& head_end, SlotIndex first, SlotIndex last);
 
   std::size_t messages_sent() const { return messages_sent_; }
   std::size_t messages_tampered() const { return messages_tampered_; }
   std::size_t messages_dropped() const { return messages_dropped_; }
+  std::size_t messages_retried() const { return messages_retried_; }
+  /// Delayed deliveries that still won the sequence race.
+  std::size_t late_accepted() const { return late_accepted_; }
 
  private:
   const meter::Dataset* actual_;
   std::vector<Interceptor> interceptors_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  RetransmitPolicy retransmit_;
+  /// Sequence-number base for the next transmit() round; each call reserves
+  /// max_retries + 1 numbers per slot so a later call's reports always
+  /// outrank an earlier call's (last-write-wins across transmits, preserved
+  /// from the pre-sequence plane).
+  std::uint32_t round_ = 0;
   std::size_t messages_sent_ = 0;
   std::size_t messages_tampered_ = 0;
   std::size_t messages_dropped_ = 0;
+  std::size_t messages_retried_ = 0;
+  std::size_t late_accepted_ = 0;
 
   obs::Counter* sent_counter_ = nullptr;
   obs::Counter* tampered_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* deliveries_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* late_accepted_counter_ = nullptr;
+  obs::EventLog* events_ = nullptr;  // never null after construction
 };
 
 /// Interceptor scaling one consumer's readings by `factor` (< 1 under-

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "common/env.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -85,7 +86,11 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& shared_pool() {
-  static ThreadPool pool;
+  // FDETA_THREADS pins the shared pool's width for the whole process
+  // (0/unset = hardware concurrency).  The chaos lane runs the same seeded
+  // scenario under FDETA_THREADS=1 and the default width and requires
+  // byte-identical event logs.
+  static ThreadPool pool(env_size("FDETA_THREADS", 0));
   return pool;
 }
 

@@ -25,6 +25,9 @@ const char* to_string(AlertDirection direction) {
 
 OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
   require(config_.stride >= 1, "OnlineMonitor: stride must be >= 1");
+  require(config_.max_missing_fraction >= 0.0 &&
+              config_.max_missing_fraction <= 1.0,
+          "OnlineMonitor: max_missing_fraction out of [0,1]");
   obs::MetricsRegistry& registry = config_.metrics != nullptr
                                        ? *config_.metrics
                                        : obs::default_registry();
@@ -34,6 +37,8 @@ OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
   readings_missing_ = &registry.counter("monitor.readings_missing");
   readings_in_cooldown_ = &registry.counter("monitor.readings_in_cooldown");
   scores_evaluated_ = &registry.counter("monitor.scores_evaluated");
+  scores_coverage_gated_ =
+      &registry.counter("monitor.scores_coverage_gated");
   alerts_raised_ = &registry.counter("monitor.alerts_raised");
   alerts_over_ = &registry.counter("monitor.alerts_over_report");
   alerts_under_ = &registry.counter("monitor.alerts_under_report");
@@ -79,6 +84,7 @@ void OnlineMonitor::fit(const meter::Dataset& history,
         // Prime with the last (trusted) training week.  Training spans start
         // at a week boundary, so the primed vector is slot-of-week aligned.
         state_[i].window.assign(train.end() - kSlotsPerWeek, train.end());
+        state_[i].missing.assign(state_[i].window.size(), 0);
         state_[i].train_mean = stats::mean(train);
       },
       config_.threads);
@@ -88,17 +94,27 @@ void OnlineMonitor::fit(const meter::Dataset& history,
 
 std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   ConsumerState& cs = state_[reading.consumer_index];
+  const std::size_t position = reading.slot % cs.window.size();
 
   if (reading.missing) {
     // A dropped report carries no information: keep the last slot-aligned
     // value (do NOT impute 0 - a zero week is exactly what an under-report
-    // attack looks like) and account for the gap.
+    // attack looks like) and account for the gap.  The slot position goes
+    // stale, which feeds the coverage gate below.
     readings_missing_->add();
+    if (!cs.missing[position]) {
+      cs.missing[position] = 1;
+      ++cs.missing_in_window;
+    }
     return std::nullopt;
   }
   readings_ingested_->add();
 
-  cs.window[reading.slot % cs.window.size()] = reading.kw;
+  cs.window[position] = reading.kw;
+  if (cs.missing[position]) {
+    cs.missing[position] = 0;
+    --cs.missing_in_window;
+  }
   if (cs.cooldown > 0) {
     --cs.cooldown;
     readings_in_cooldown_->add();
@@ -106,6 +122,14 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   }
   if (++cs.since_score < config_.stride) return std::nullopt;
   cs.since_score = 0;
+
+  if (static_cast<double>(cs.missing_in_window) >
+      config_.max_missing_fraction * static_cast<double>(cs.window.size())) {
+    // Too much of the sliding vector is a stale fill: scoring it would let
+    // delivery loss masquerade as theft.  Skip until coverage recovers.
+    scores_coverage_gated_->add();
+    return std::nullopt;
+  }
 
   scores_evaluated_->add();
   const KldDetector& detector = detectors_[reading.consumer_index];
@@ -193,12 +217,14 @@ void OnlineMonitor::save(std::ostream& out) const {
   persist::Encoder enc;
   enc.u64(config_.stride);
   enc.u64(config_.cooldown_slots);
+  enc.f64(config_.max_missing_fraction);
   enc.u64(detectors_.size());
   for (std::size_t i = 0; i < detectors_.size(); ++i) {
     detectors_[i].save(enc);
     enc.u32(ids_[i]);
     const ConsumerState& cs = state_[i];
     enc.doubles(cs.window);
+    for (const char m : cs.missing) enc.u8(m != 0 ? 1 : 0);
     enc.u64(cs.since_score);
     enc.u64(cs.cooldown);
     enc.f64(cs.train_mean);
@@ -225,7 +251,12 @@ void OnlineMonitor::restore(std::istream& in) {
   OnlineMonitorConfig config = config_;  // threads/metrics survive
   config.stride = dec.count("stride", 1u << 20);
   config.cooldown_slots = dec.count("cooldown slots", 1u << 20);
+  config.max_missing_fraction = dec.f64();
   require(config.stride >= 1, "checkpoint: monitor stride must be >= 1");
+  if (!(config.max_missing_fraction >= 0.0 &&
+        config.max_missing_fraction <= 1.0)) {
+    throw DataError("checkpoint: monitor max_missing_fraction out of [0,1]");
+  }
 
   const std::size_t count = dec.count("monitor consumers", 100u << 20);
   std::vector<KldDetector> detectors;
@@ -243,6 +274,13 @@ void OnlineMonitor::restore(std::istream& in) {
     cs.window = dec.doubles("monitor window", 1u << 20);
     if (cs.window.size() != static_cast<std::size_t>(kSlotsPerWeek)) {
       throw DataError("checkpoint: monitor window is not one week");
+    }
+    cs.missing.resize(cs.window.size());
+    for (char& m : cs.missing) {
+      const std::uint8_t flag = dec.u8();
+      if (flag > 1) throw DataError("checkpoint: bad monitor missing flag");
+      m = static_cast<char>(flag);
+      if (m) ++cs.missing_in_window;
     }
     cs.since_score = dec.count("since_score", 1u << 20);
     cs.cooldown = dec.count("cooldown", 1u << 20);

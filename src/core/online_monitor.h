@@ -72,6 +72,12 @@ struct OnlineMonitorConfig {
   /// After an alert, suppress further alerts for this consumer until this
   /// many readings have passed (default: one day).
   std::size_t cooldown_slots = 48;
+  /// Coverage gate: when more than this fraction of a consumer's sliding
+  /// week vector is marked missing, the vector is NOT scored (the stale
+  /// slot-aligned fill would otherwise be judged as if observed, and a lossy
+  /// week reads as an under-report attack).  Counted under
+  /// monitor.scores_coverage_gated.
+  double max_missing_fraction = 0.25;
   /// Parallelism cap for fit()/ingest_batch() on the shared pool
   /// (0 = full pool width, 1 = serial).
   std::size_t threads = 0;
@@ -136,6 +142,10 @@ class OnlineMonitor {
     // the order-insensitive plain KLD and breaks slot-aligned detectors
     // such as the price-conditioned KLD).
     std::vector<Kw> window;
+    /// Slot-of-week positions whose freshest value was never delivered
+    /// (parallel to `window`; cleared when a real reading arrives).
+    std::vector<char> missing;
+    std::size_t missing_in_window = 0;  ///< popcount of `missing`, O(1) gate
     std::size_t since_score = 0;
     std::size_t cooldown = 0;
     double train_mean = 0.0;  ///< training-span mean, for alert direction
@@ -165,6 +175,7 @@ class OnlineMonitor {
   obs::Counter* readings_missing_ = nullptr;
   obs::Counter* readings_in_cooldown_ = nullptr;
   obs::Counter* scores_evaluated_ = nullptr;
+  obs::Counter* scores_coverage_gated_ = nullptr;
   obs::Counter* alerts_raised_ = nullptr;
   obs::Counter* alerts_over_ = nullptr;
   obs::Counter* alerts_under_ = nullptr;

@@ -38,6 +38,7 @@ const char* to_string(VerdictStatus status) {
     case VerdictStatus::kSuspectedVictim: return "suspected victim";
     case VerdictStatus::kSuspectedAnomaly: return "suspected anomaly";
     case VerdictStatus::kExcused: return "excused";
+    case VerdictStatus::kInsufficientData: return "insufficient data";
   }
   return "?";
 }
@@ -72,6 +73,9 @@ FdetaPipeline::FdetaPipeline(PipelineConfig config) : config_(config) {
   verdict_victim_ = &registry.counter("pipeline.verdict_victim");
   verdict_anomaly_ = &registry.counter("pipeline.verdict_anomaly");
   verdict_excused_ = &registry.counter("pipeline.verdict_excused");
+  verdict_insufficient_ = &registry.counter("pipeline.verdict_insufficient");
+  coverage_missing_slots_ =
+      &registry.counter("pipeline.coverage_missing_slots");
   investigations_ = &registry.counter("pipeline.investigations");
   fit_seconds_ = &registry.histogram("pipeline.fit_seconds");
   evaluate_seconds_ = &registry.histogram("pipeline.evaluate_seconds");
@@ -160,8 +164,14 @@ void FdetaPipeline::load_model(std::istream& in) {
 PipelineReport FdetaPipeline::evaluate_week(
     const meter::Dataset& actual, const meter::Dataset& reported,
     std::size_t week, const EvidenceCalendar& calendar,
-    const grid::Topology* topology) const {
+    const grid::Topology* topology, const WeekCoverage* coverage) const {
   require(fitted_, "FdetaPipeline: fit() not called");
+  if (coverage != nullptr) {
+    require(coverage->missing_slots.size() == reported.consumer_count(),
+            "FdetaPipeline: coverage consumer count mismatch");
+    require(coverage->week_slots > 0,
+            "FdetaPipeline: coverage week_slots must be positive");
+  }
   require(reported.consumer_count() == detectors_.size(),
           "FdetaPipeline: reported dataset size mismatch");
   require(week < reported.week_count(), "FdetaPipeline: week out of range");
@@ -185,8 +195,24 @@ PipelineReport FdetaPipeline::evaluate_week(
 
         ConsumerVerdict verdict;
         verdict.id = series.id;
-        verdict.kld_score = detectors_[i].score(week_readings);       // step 2
         verdict.kld_threshold = detectors_[i].threshold();
+
+        // Coverage gate: a week this lossy would be scored on imputed
+        // values, and imputation looks exactly like under-reporting.
+        // Refuse to judge instead.
+        if (coverage != nullptr) {
+          verdict.missing_slots = coverage->missing_slots[i];
+          const double missing_fraction =
+              static_cast<double>(verdict.missing_slots) /
+              static_cast<double>(coverage->week_slots);
+          if (missing_fraction > config_.max_missing_fraction) {
+            verdict.status = VerdictStatus::kInsufficientData;
+            report.verdicts[i] = std::move(verdict);
+            return;
+          }
+        }
+
+        verdict.kld_score = detectors_[i].score(week_readings);       // step 2
 
         if (verdict.kld_score > verdict.kld_threshold) {
           // Step 3: classify the anomaly direction by the week's mean
@@ -242,7 +268,15 @@ PipelineReport FdetaPipeline::evaluate_week(
       case VerdictStatus::kSuspectedVictim: verdict_victim_->add(); break;
       case VerdictStatus::kSuspectedAnomaly: verdict_anomaly_->add(); break;
       case VerdictStatus::kExcused: verdict_excused_->add(); break;
+      case VerdictStatus::kInsufficientData:
+        verdict_insufficient_->add();
+        break;
     }
+  }
+  if (coverage != nullptr) {
+    std::uint64_t total_missing = 0;
+    for (const std::uint32_t m : coverage->missing_slots) total_missing += m;
+    coverage_missing_slots_->add(total_missing);
   }
 
   // Forensic events, emitted serially in consumer index order so a
@@ -250,6 +284,20 @@ PipelineReport FdetaPipeline::evaluate_week(
   if (events_->enabled()) {
     for (const auto& v : report.verdicts) {
       if (v.status == VerdictStatus::kNormal) continue;
+      if (v.status == VerdictStatus::kInsufficientData) {
+        // Excused for lack of evidence, not judged innocent: the forensic
+        // log records why no score exists for this consumer-week.
+        events_->emit("alert_excused",
+                      obs::EventFields{}
+                          .str("source", "pipeline")
+                          .u64("consumer", v.id)
+                          .u64("week", week)
+                          .str("reason", "insufficient_coverage")
+                          .u64("missing_slots", v.missing_slots)
+                          .u64("week_slots",
+                               coverage != nullptr ? coverage->week_slots : 0));
+        continue;
+      }
       if (v.status == VerdictStatus::kExcused) {
         obs::EventFields fields;
         fields.str("source", "pipeline")

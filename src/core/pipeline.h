@@ -36,6 +36,10 @@ enum class VerdictStatus : std::uint8_t {
   kSuspectedVictim,    ///< anomalous + abnormally high
   kSuspectedAnomaly,   ///< anomalous, direction unclear
   kExcused,            ///< anomalous but covered by external evidence
+  /// Too few readings reached the head-end to judge the week: the KLD is
+  /// never computed (a lossy week scored on imputed values looks exactly
+  /// like an under-report attack), so loss cannot masquerade as theft.
+  kInsufficientData,
 };
 
 const char* to_string(VerdictStatus status);
@@ -46,9 +50,23 @@ struct ConsumerVerdict {
   double kld_score = 0.0;
   double kld_threshold = 0.0;
   std::optional<EvidenceEvent> excuse;
+  /// Slots of this week the head-end never received (only populated when
+  /// evaluate_week is given a WeekCoverage; drives kInsufficientData).
+  std::size_t missing_slots = 0;
   /// Per-bin KLD breakdown; populated only for non-normal verdicts when
   /// PipelineConfig::explain is set.
   std::optional<KldExplanation> explanation;
+};
+
+/// Per-consumer delivery coverage for one week, as reported by the AMI
+/// head-end (see ami::CollectedReport::week_missing).  Consumers whose
+/// missing fraction exceeds PipelineConfig::max_missing_fraction are not
+/// scored and receive VerdictStatus::kInsufficientData.
+struct WeekCoverage {
+  /// missing_slots[i] = slots of the week consumer i never reported.
+  std::vector<std::uint32_t> missing_slots;
+  /// Total slots in the week (denominator of the missing fraction).
+  std::size_t week_slots = static_cast<std::size_t>(kSlotsPerWeek);
 };
 
 struct PipelineConfig {
@@ -63,6 +81,11 @@ struct PipelineConfig {
   /// classified.  Below the floor the verdict falls back to
   /// kSuspectedAnomaly instead of silently mislabeling.
   double direction_floor_kw = 1e-6;
+  /// Coverage gate: when evaluate_week is given a WeekCoverage, a consumer
+  /// whose missing-slot fraction for the week exceeds this threshold is
+  /// returned as kInsufficientData (with an alert_excused event) instead of
+  /// being scored on imputed values.
+  double max_missing_fraction = 0.25;
   /// Parallelism cap for fit()/evaluate_week() on the shared pool
   /// (0 = full pool width, 1 = serial).
   std::size_t threads = 0;
@@ -102,12 +125,15 @@ class FdetaPipeline {
   /// Step 1: fit per-consumer models on the training span of `actual`.
   void fit(const meter::Dataset& actual);
 
-  /// Steps 2-5.
+  /// Steps 2-5.  `coverage`, when provided, gates step 2: consumers whose
+  /// missing-slot fraction exceeds config().max_missing_fraction get a
+  /// kInsufficientData verdict and are never scored.
   PipelineReport evaluate_week(const meter::Dataset& actual,
                                const meter::Dataset& reported,
                                std::size_t week,
                                const EvidenceCalendar& calendar,
-                               const grid::Topology* topology = nullptr) const;
+                               const grid::Topology* topology = nullptr,
+                               const WeekCoverage* coverage = nullptr) const;
 
   /// Serializes the fitted state (split, direction parameters, every
   /// consumer's detector and training weekly stats) as a checkpoint
@@ -145,6 +171,8 @@ class FdetaPipeline {
   obs::Counter* verdict_victim_ = nullptr;
   obs::Counter* verdict_anomaly_ = nullptr;
   obs::Counter* verdict_excused_ = nullptr;
+  obs::Counter* verdict_insufficient_ = nullptr;
+  obs::Counter* coverage_missing_slots_ = nullptr;
   obs::Counter* investigations_ = nullptr;
   obs::Histogram* fit_seconds_ = nullptr;
   obs::Histogram* evaluate_seconds_ = nullptr;

@@ -35,7 +35,9 @@
 namespace fdeta::persist {
 
 inline constexpr std::string_view kMagic = "FDETAMDL";
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: OnlineMonitor payload gained the per-consumer missing mask and the
+// coverage-gate threshold.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// What fitted model a checkpoint holds. A reader asks for the section it
 /// expects; a pipeline checkpoint can never be restored into a monitor.

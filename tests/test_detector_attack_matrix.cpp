@@ -12,10 +12,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "ami/faults.h"
 #include "attack/integrated_arima_attack.h"
 #include "attack/optimal_swap.h"
 #include "core/arima_detector.h"
@@ -101,21 +104,49 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
 // ---------------------------------------------------------------------------
 // Golden-file matrix: the exact flagged counts, not just the qualitative
 // relations.  Each cell aggregates flag_week() over the same 8 fixture seeds
-// the sweep above uses; `denominator` is the number of seeds that produced a
-// vector for that attack (the swap attack skips seeds with no profitable
-// swaps).  Comparison allows +-1 on `flagged` - one borderline consumer is
-// platform noise, two is a detector change - and is exact on `denominator`.
+// the sweep above uses, with the reported week additionally degraded by a
+// seeded drop-only FaultPlan at 0% / 5% / 15% loss (the `loss` column);
+// dropped slots are filled with the last training week's value at the same
+// slot position, mirroring ami::collect_reported's carry-forward.  15% stays
+// under the pipeline's 25% coverage gate on purpose: these are the loss
+// levels at which the detectors are still ASKED for a verdict, and the
+// golden counts pin how much loss erodes each one.  `denominator` is the
+// number of seeds that produced a vector for that attack (the swap attack
+// skips seeds with no profitable swaps).  Comparison allows +-1 on `flagged`
+// - one borderline consumer is platform noise, two is a detector change -
+// and is exact on `denominator`.
 
 constexpr std::uint64_t kGoldenSeeds[] = {101, 202, 303, 404, 505,
                                           606, 707, 808};
+constexpr double kLossRates[] = {0.0, 0.05, 0.15};
 
 std::string golden_path() {
   return std::string(FDETA_SOURCE_DIR) +
          "/tests/golden/detector_attack_matrix.csv";
 }
 
-// (detector, attack) -> {flagged, denominator}, keyed for stable CSV order.
-using MatrixCells = std::map<std::pair<std::string, std::string>,
+// Drops each slot by the plan's deterministic per-slot decision and fills it
+// with the slot-aligned value from the last training week - what a
+// coverage-unaware consumer of the head-end's collected view would score.
+std::vector<Kw> degrade_week(const std::vector<Kw>& week,
+                             std::span<const Kw> train, double loss,
+                             std::uint64_t seed) {
+  std::vector<Kw> out = week;
+  if (loss <= 0.0) return out;
+  ami::FaultPlanConfig fc;
+  fc.drop_rate = loss;
+  fc.seed = seed;
+  const ami::FaultPlan plan(fc);
+  const auto fill = train.subspan(train.size() - kSlotsPerWeek);
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    if (plan.apply({0, t, out[t]}, t, 0).dropped) out[t] = fill[t];
+  }
+  return out;
+}
+
+// (detector, attack, loss%) -> {flagged, denominator}, keyed for stable CSV
+// order.
+using MatrixCells = std::map<std::tuple<std::string, std::string, int>,
                              std::pair<int, int>>;
 
 MatrixCells compute_matrix() {
@@ -153,15 +184,19 @@ MatrixCells compute_matrix() {
     if (!swap.swaps.empty()) attacks["swap"] = swap.reported;
 
     for (const auto& [attack_name, vector] : attacks) {
-      const auto tally = [&](const std::string& detector, bool flagged) {
-        auto& cell = cells[{detector, attack_name}];
-        cell.first += flagged ? 1 : 0;
-        cell.second += 1;
-      };
-      tally("arima", arima.flag_week(vector));
-      tally("integrated", integrated.flag_week(vector));
-      tally("kld", kld.flag_week(vector));
-      tally("ckld", ckld.flag_week(vector));
+      for (const double loss : kLossRates) {
+        const auto degraded = degrade_week(vector, f.train(), loss, seed);
+        const int pct = static_cast<int>(loss * 100.0 + 0.5);
+        const auto tally = [&](const std::string& detector, bool flagged) {
+          auto& cell = cells[{detector, attack_name, pct}];
+          cell.first += flagged ? 1 : 0;
+          cell.second += 1;
+        };
+        tally("arima", arima.flag_week(degraded));
+        tally("integrated", integrated.flag_week(degraded));
+        tally("kld", kld.flag_week(degraded));
+        tally("ckld", ckld.flag_week(degraded));
+      }
     }
   }
   return cells;
@@ -169,10 +204,11 @@ MatrixCells compute_matrix() {
 
 std::string to_csv(const MatrixCells& cells) {
   std::ostringstream out;
-  out << "detector,attack,flagged,denominator\n";
+  out << "detector,attack,loss,flagged,denominator\n";
   for (const auto& [key, cell] : cells) {
-    out << key.first << ',' << key.second << ',' << cell.first << ','
-        << cell.second << '\n';
+    out << std::get<0>(key) << ',' << std::get<1>(key) << ','
+        << std::get<2>(key) << ',' << cell.first << ',' << cell.second
+        << '\n';
   }
   return out.str();
 }
@@ -184,12 +220,14 @@ MatrixCells parse_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream row(line);
-    std::string detector, attack, flagged, denominator;
+    std::string detector, attack, loss, flagged, denominator;
     std::getline(row, detector, ',');
     std::getline(row, attack, ',');
+    std::getline(row, loss, ',');
     std::getline(row, flagged, ',');
     std::getline(row, denominator, ',');
-    cells[{detector, attack}] = {std::stoi(flagged), std::stoi(denominator)};
+    cells[{detector, attack, std::stoi(loss)}] = {std::stoi(flagged),
+                                                  std::stoi(denominator)};
   }
   return cells;
 }
@@ -214,14 +252,15 @@ TEST(GoldenMatrix, FlaggedCountsMatchGoldenFile) {
   ASSERT_EQ(actual.size(), golden.size()) << "matrix shape changed:\n"
                                           << to_csv(actual);
   for (const auto& [key, cell] : golden) {
+    const std::string name = std::get<0>(key) + ", " + std::get<1>(key) +
+                             ", loss=" + std::to_string(std::get<2>(key)) +
+                             "%";
     const auto it = actual.find(key);
-    ASSERT_NE(it, actual.end())
-        << "cell (" << key.first << ", " << key.second << ") disappeared";
+    ASSERT_NE(it, actual.end()) << "cell (" << name << ") disappeared";
     EXPECT_EQ(it->second.second, cell.second)
-        << "denominator moved for (" << key.first << ", " << key.second
-        << ")";
+        << "denominator moved for (" << name << ")";
     EXPECT_NEAR(it->second.first, cell.first, 1)
-        << "flagged count moved for (" << key.first << ", " << key.second
+        << "flagged count moved for (" << name
         << ") - if intentional, regenerate the golden file";
   }
 }

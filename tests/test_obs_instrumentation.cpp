@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "ami/faults.h"
 #include "ami/network.h"
 #include "attack/integrated_arima_attack.h"
 #include "common/thread_pool.h"
@@ -271,6 +272,98 @@ TEST(ObsInstrumentation, AmiPlaneAccountingIdentities) {
             2 * slots + slots - slots / 2);  // consumers 0,1 fully, 2 evens
   EXPECT_EQ(snap.gauge("ami.reports_missing"),
             static_cast<std::int64_t>(slots / 2));
+}
+
+TEST(ObsInstrumentation, ChaosPlaneCountersReportToLocalRegistry) {
+  const auto actual = datagen::small_dataset(2, 1, 31);
+  obs::MetricsRegistry reg;
+  ami::MeterNetwork network(actual, &reg);
+  ami::HeadEnd head_end(actual.consumer_count(), actual.slot_count(), &reg);
+
+  ami::FaultPlanConfig fc;
+  fc.drop_rate = 0.2;
+  fc.duplicate_rate = 0.1;
+  fc.reorder_rate = 0.1;
+  fc.corrupt_rate = 0.05;
+  fc.seed = 7;
+  network.set_fault_plan(ami::FaultPlan(fc));
+  network.set_retransmit({.max_retries = 3, .backoff_base_slots = 1});
+  network.transmit(head_end, 0, actual.slot_count());
+
+  // The registry mirrors the plane's own tallies exactly, in a registry that
+  // is NOT the process default - no counter silently bound elsewhere.
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("ami.retries"), network.messages_retried());
+  EXPECT_EQ(snap.counter("ami.late_accepted"), network.late_accepted());
+  EXPECT_EQ(snap.counter("ami.duplicates_suppressed"),
+            head_end.duplicates_suppressed());
+  EXPECT_EQ(snap.counter("ami.reports_stale_rejected"),
+            head_end.stale_rejected());
+  EXPECT_EQ(snap.counter("ami.reports_quarantined"),
+            head_end.quarantined_count());
+  // The plan's channels all fired under this seed, so the mirrored values
+  // are non-trivial.
+  EXPECT_GT(network.messages_retried(), 0u);
+  EXPECT_GT(head_end.duplicates_suppressed(), 0u);
+  EXPECT_GT(head_end.quarantined_count(), 0u);
+  // Conservation survives chaos: duplicates count as sent frames, delayed
+  // frames all land by the final drain, quarantined ones count as received.
+  EXPECT_EQ(snap.counter("ami.reports_received"),
+            snap.counter("ami.messages_sent") -
+                snap.counter("ami.messages_dropped"));
+}
+
+TEST(ObsInstrumentation, CoverageGateCountersReportToLocalRegistry) {
+  const auto actual = datagen::small_dataset(3, 10, 7);
+
+  // Pipeline gate: consumer 0's week is 200/336 missing, the others are
+  // complete - exactly one insufficient-data verdict.
+  obs::MetricsRegistry pipe_reg;
+  PipelineConfig pc;
+  pc.split = meter::TrainTestSplit{.train_weeks = 8, .test_weeks = 2};
+  pc.metrics = &pipe_reg;
+  FdetaPipeline pipeline(pc);
+  pipeline.fit(actual);
+  WeekCoverage coverage{{200, 0, 0}, static_cast<std::size_t>(kSlotsPerWeek)};
+  const auto report =
+      pipeline.evaluate_week(actual, actual, 8, EvidenceCalendar{}, nullptr,
+                             &coverage);
+  EXPECT_EQ(report.verdicts[0].status, VerdictStatus::kInsufficientData);
+  EXPECT_EQ(report.verdicts[0].missing_slots, 200u);
+  const auto pipe_snap = pipe_reg.snapshot();
+  EXPECT_EQ(pipe_snap.counter("pipeline.verdict_insufficient"), 1u);
+  EXPECT_EQ(pipe_snap.counter("pipeline.coverage_missing_slots"), 200u);
+  EXPECT_EQ(pipe_snap.counter("pipeline.verdicts"), 3u);
+
+  // Monitor gate: after a mostly-missing day-and-a-half the next real
+  // reading is NOT scored (the window would be judged on stale fill).
+  obs::MetricsRegistry mon_reg;
+  OnlineMonitor monitor(monitor_config(&mon_reg));
+  monitor.fit(actual, meter::TrainTestSplit{.train_weeks = 8, .test_weeks = 2});
+  const SlotIndex base = 8 * kSlotsPerWeek;
+  const std::size_t lost = static_cast<std::size_t>(0.3 * kSlotsPerWeek);
+  for (std::size_t i = 0; i < lost; ++i) {
+    Reading r;
+    r.consumer_index = 0;
+    r.slot = base + i;
+    r.missing = true;
+    monitor.ingest(r);
+  }
+  Reading present;
+  present.consumer_index = 0;
+  present.slot = base + lost;
+  present.kw = actual.consumer(0).readings[base + lost];
+  EXPECT_FALSE(monitor.ingest(present).has_value());
+  const auto mon_snap = mon_reg.snapshot();
+  EXPECT_EQ(mon_snap.counter("monitor.scores_coverage_gated"), 1u);
+  EXPECT_EQ(mon_snap.counter("monitor.readings_missing"), lost);
+  EXPECT_EQ(mon_snap.counter("monitor.scores_evaluated"), 0u);
+  // The gate identity at stride 1: every ingested reading is either scored,
+  // swallowed by cooldown, or gated on coverage.
+  EXPECT_EQ(mon_snap.counter("monitor.scores_evaluated") +
+                mon_snap.counter("monitor.readings_in_cooldown") +
+                mon_snap.counter("monitor.scores_coverage_gated"),
+            mon_snap.counter("monitor.readings_ingested"));
 }
 
 TEST(ObsInstrumentation, ThreadPoolReportsToLocalRegistry) {

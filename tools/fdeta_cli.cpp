@@ -40,6 +40,8 @@
 #include <algorithm>
 #include <string>
 
+#include "ami/faults.h"
+#include "ami/network.h"
 #include "attack/arima_attack.h"
 #include "attack/integrated_arima_attack.h"
 #include "attack/optimal_swap.h"
@@ -288,6 +290,11 @@ int cmd_detect(const Args& args) {
   const bool explain = args.has("explain");
   core::PipelineConfig config;
   config.explain = explain;
+  config.max_missing_fraction =
+      args.get_double("coverage-gate", config.max_missing_fraction);
+  require(config.max_missing_fraction >= 0.0 &&
+              config.max_missing_fraction <= 1.0,
+          "detect: --coverage-gate out of [0,1]");
   core::FdetaPipeline pipeline(config);
   if (!model_path.empty()) {
     // Warm start: restore the fitted state saved by `fdeta fit`; the
@@ -319,11 +326,53 @@ int cmd_detect(const Args& args) {
           "detect: model training span exceeds the dataset horizon");
   const core::EvidenceCalendar calendar;  // no external evidence from CSV
 
+  // Chaos harness: --fault-plan / --loss-rate replay the reported dataset
+  // through a faulty AMI plane (ami/faults.h) and the pipeline judges what
+  // the head-end actually collected, coverage gate and all.  --retries
+  // enables the NACK retransmit pass; --seed pins the fault decisions.
+  const std::string plan_spec = args.get("fault-plan", "");
+  const double loss_rate = args.get_double("loss-rate", 0.0);
+  std::optional<ami::CollectedReport> collected;
+  if (!plan_spec.empty() || loss_rate > 0.0) {
+    ami::FaultPlanConfig plan_config;
+    if (!plan_spec.empty()) plan_config = ami::parse_fault_plan(plan_spec);
+    if (loss_rate > 0.0) {
+      require(loss_rate <= 1.0, "detect: --loss-rate out of [0,1]");
+      plan_config.drop_rate = loss_rate;
+    }
+    plan_config.seed = static_cast<std::uint64_t>(
+        args.get_long("seed", static_cast<long>(plan_config.seed)));
+
+    ami::HeadEnd head_end(reported.consumer_count(), reported.slot_count());
+    ami::MeterNetwork network(reported);
+    network.set_fault_plan(ami::FaultPlan(plan_config));
+    const auto retries =
+        static_cast<std::size_t>(args.get_long("retries", 0));
+    network.set_retransmit(
+        {retries, static_cast<std::size_t>(args.get_long("backoff", 1))});
+    // One delivery window per week, so each week gets its own NACK rounds.
+    for (std::size_t w = 0; w < reported.week_count(); ++w) {
+      network.transmit(head_end, w * kSlotsPerWeek, (w + 1) * kSlotsPerWeek);
+    }
+    collected = ami::collect_reported(head_end, reported);
+    std::printf("chaos: sent=%zu dropped=%zu retries=%zu late=%zu "
+                "quarantined=%zu duplicates=%zu stale=%zu missing=%zu\n",
+                network.messages_sent(), network.messages_dropped(),
+                network.messages_retried(), network.late_accepted(),
+                head_end.quarantined_count(), head_end.duplicates_suppressed(),
+                head_end.stale_rejected(), head_end.missing_count());
+  }
+  // What the detectors judge: the head-end's collected view when the chaos
+  // harness ran, the reported CSV verbatim otherwise.
+  const meter::Dataset& judged =
+      collected.has_value() ? collected->dataset : reported;
+
   const auto status_tag = [](core::VerdictStatus status) {
     switch (status) {
       case core::VerdictStatus::kSuspectedAttacker: return "under";
       case core::VerdictStatus::kSuspectedVictim: return "over";
       case core::VerdictStatus::kExcused: return "excused";
+      case core::VerdictStatus::kInsufficientData: return "insuf";
       default: return "anom";
     }
   };
@@ -336,13 +385,30 @@ int cmd_detect(const Args& args) {
   // JSON, whose counters come from the pipeline's own instrumentation.
   std::size_t weeks_scored = 0;
   std::size_t flagged_total = 0;
+  std::size_t insufficient_total = 0;
   for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
-    const auto report = pipeline.evaluate_week(baseline, reported, w, calendar);
+    std::optional<core::WeekCoverage> coverage;
+    if (collected.has_value()) {
+      coverage.emplace();
+      coverage->missing_slots = collected->week_missing(w);
+    }
+    const auto report =
+        pipeline.evaluate_week(baseline, judged, w, calendar,
+                               /*topology=*/nullptr,
+                               coverage.has_value() ? &*coverage : nullptr);
     ++weeks_scored;
     std::printf("%-8zu", w);
     bool any = false;
     for (const auto& v : report.verdicts) {
       if (v.status == core::VerdictStatus::kNormal) continue;
+      if (v.status == core::VerdictStatus::kInsufficientData) {
+        // Not a theft flag: the week was too lossy to judge at all.
+        std::printf(" %u(%s miss=%zu)", v.id, status_tag(v.status),
+                    v.missing_slots);
+        ++insufficient_total;
+        any = true;
+        continue;
+      }
       std::printf(" %u(%s K=%.2f)", v.id, status_tag(v.status),
                   finite_or_throw(v.kld_score, "detect: KLD score"));
       ++flagged_total;
@@ -369,6 +435,10 @@ int cmd_detect(const Args& args) {
   std::printf("weeks_scored=%zu consumer_weeks=%zu flagged_total=%zu\n",
               weeks_scored, weeks_scored * reported.consumer_count(),
               flagged_total);
+  if (collected.has_value()) {
+    std::printf("coverage: insufficient=%zu gate=%.2f\n", insufficient_total,
+                pipeline.config().max_missing_fraction);
+  }
 
   // Streaming replay (disable with --stream 0): feed the same test span
   // through an OnlineMonitor reading by reading, as the control-center loop
@@ -378,6 +448,7 @@ int cmd_detect(const Args& args) {
   if (args.get_long("stream", 1) != 0) {
     core::OnlineMonitorConfig mconfig;
     mconfig.kld = pipeline.config().kld;
+    mconfig.max_missing_fraction = pipeline.config().max_missing_fraction;
     core::OnlineMonitor monitor(mconfig);
     monitor.fit(baseline, pipeline.config().split);
 
@@ -388,12 +459,16 @@ int cmd_detect(const Args& args) {
       std::vector<core::Reading> batch;
       batch.reserve(reported.consumer_count() * kSlotsPerWeek);
       // Slot-major: all consumers' slot-t readings arrive before any
-      // slot-t+1 reading, as one head-end delivery per slot would.
+      // slot-t+1 reading, as one head-end delivery per slot would.  Under
+      // the chaos harness, slots the head-end never accepted arrive as
+      // missing markers (counted, never applied).
       for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
         const auto slot = static_cast<SlotIndex>(w * kSlotsPerWeek + s);
         for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
+          const bool miss =
+              collected.has_value() && collected->missing[c][slot] != 0;
           batch.push_back(core::Reading{
-              c, slot, reported.consumer(c).readings[slot], false});
+              c, slot, judged.consumer(c).readings[slot], miss});
         }
       }
       const auto alerts = monitor.ingest_batch(batch);
@@ -527,6 +602,9 @@ int usage() {
       "  detect    --in F [--model F] [--baseline F] [--train-weeks T]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "            [--explain] [--stream 0|1]\n"
+      "            [--fault-plan drop=X,dup=X,reorder=X,delay=N,corrupt=X,\n"
+      "             burst-every=N,burst-len=N,seed=S] [--loss-rate X]\n"
+      "            [--seed S] [--retries N] [--backoff B] [--coverage-gate F]\n"
       "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
       "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
       "  investigate --topology F --baseline F --in F --week W\n"
