@@ -2,6 +2,10 @@
 // KLD scoring, serial vs the shared thread pool, at 1k / 10k / 50k synthetic
 // consumers, plus OnlineMonitor::ingest_batch readings/sec and the
 // cold-fit vs warm-start (save_model/load_model checkpoint) comparison.
+// Two fleet stages ride on top: a shard-contention sweep (concurrent feed
+// threads through the locked ingest() path, global lock vs the sharded
+// lock table) and a streaming mega-fleet run (fit_streaming + bulk v3
+// checkpoint warm start at a million consumers).
 // This is the ROADMAP's production-scale loop (millions of meters at a
 // control center); the numbers here anchor the perf trajectory from PR 1
 // onward.
@@ -11,10 +15,16 @@
 // default registry), so a throughput regression can be localised to a stage
 // before anyone reaches for a profiler.
 //
-// Flags: --smoke caps the population at 1000 consumers (the CI lane).
+// Flags: --smoke caps the population at 1000 consumers (the CI lane);
+// --bench-out PATH additionally writes the run as machine-readable JSON
+// (the committed BENCH_fleet.json perf trajectory; tools/bench_compare.py
+// gates CI on the derived ratios).
 // Env knobs: FDETA_FLEET_MAX caps the largest population (default 50000,
 // lower it on small machines); FDETA_FLEET_WEEKS sets the horizon (default
-// 9 = 8 training weeks + 1 scored week); FDETA_SEED as everywhere;
+// 9 = 8 training weeks + 1 scored week); FDETA_FLEET_THREADS sets the
+// feed-thread fan for the shard-contention stage (default 8);
+// FDETA_FLEET_MEGA sizes the streaming mega-fleet stage (default 1000000;
+// the smoke lane caps it at 10000); FDETA_SEED as everywhere;
 // FDETA_TRACE_BUDGET sets the relative tracing-overhead budget (default
 // 0.05 = 5%) enforced by the final stage.
 #include <algorithm>
@@ -23,10 +33,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "ami/faults.h"
 #include "ami/network.h"
+#include "bench/bench_util.h"
 #include "common/env.h"
 #include "common/thread_pool.h"
 #include "core/online_monitor.h"
@@ -146,6 +158,173 @@ FleetTimings run_scale(std::size_t consumers, std::size_t weeks,
   }
   out.batch_pooled =
       static_cast<double>(consumers * slots) / seconds_since(start);
+  return out;
+}
+
+// Shard-contention stage: the same fitted fleet driven through the locked
+// per-reading ingest() path by F concurrent feed threads (each owns a
+// contiguous consumer range, delivering slot-major like a head-end), with
+// the per-consumer state behind one global lock (shards=1) vs the sharded
+// lock table (shards=64).  Results are identical by construction (sharding
+// moves locks, never results); only the readings/sec changes.  Every point
+// restores the same checkpoint, so the comparison starts from identical
+// state and the warm-start path gets exercised under every lock layout.
+struct ShardPoint {
+  std::size_t shards = 0;   // resolved shard count
+  std::size_t threads = 0;  // feed threads
+  double readings_per_s = 0.0;
+};
+
+std::vector<ShardPoint> run_shard_scaling(std::size_t max_consumers,
+                                          std::size_t weeks,
+                                          std::uint64_t seed,
+                                          std::size_t max_threads) {
+  const std::size_t consumers = std::min<std::size_t>(10000, max_consumers);
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+
+  fdeta::obs::MetricsRegistry reg;
+  fdeta::core::OnlineMonitorConfig base_config;
+  base_config.stride = 1;  // score on every reading (worst case)
+  base_config.metrics = &reg;
+  fdeta::core::OnlineMonitor fitted(base_config);
+  fitted.fit(dataset, split);
+  std::stringstream model(std::ios::in | std::ios::out | std::ios::binary);
+  fitted.save(model);
+
+  std::vector<std::size_t> thread_counts{1, max_threads / 2, max_threads};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+  if (thread_counts.front() == 0) thread_counts.erase(thread_counts.begin());
+
+  const fdeta::SlotIndex base = split.train_weeks * kSlotsPerWeek;
+  const std::size_t slots = 4;
+
+  std::printf(
+      "\n=== shard contention @%zu consumers: ingest() readings/s, %zu "
+      "feed threads max ===\n",
+      consumers, max_threads);
+  std::printf("%7s %8s | %14s\n", "shards", "feeds", "readings/s");
+
+  std::vector<ShardPoint> points;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{64}}) {
+    for (const std::size_t threads : thread_counts) {
+      fdeta::core::OnlineMonitorConfig config = base_config;
+      config.shards = shards;
+      fdeta::core::OnlineMonitor monitor(config);
+      model.clear();
+      model.seekg(0);
+      monitor.restore(model);
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> feeds;
+      feeds.reserve(threads);
+      const std::size_t per = (consumers + threads - 1) / threads;
+      for (std::size_t f = 0; f < threads; ++f) {
+        feeds.emplace_back([&, f] {
+          const std::size_t begin = f * per;
+          const std::size_t end = std::min(consumers, begin + per);
+          for (std::size_t s = 0; s < slots; ++s) {
+            for (std::size_t c = begin; c < end; ++c) {
+              monitor.ingest(c, base + static_cast<fdeta::SlotIndex>(s),
+                             dataset.consumer(c).readings[base + s]);
+            }
+          }
+        });
+      }
+      for (std::thread& feed : feeds) feed.join();
+      const double rate =
+          static_cast<double>(consumers * slots) / seconds_since(start);
+      points.push_back({monitor.shard_count(), threads, rate});
+      std::printf("%7zu %8zu | %14.0f\n", monitor.shard_count(), threads,
+                  rate);
+    }
+  }
+  return points;
+}
+
+// Streaming mega-fleet stage: fit_streaming materialises one generated
+// series at a time (a million-consumer history would be tens of gigabytes;
+// the fitted state is ~3 GB), scores slot-major deliveries through
+// ingest_batch, then times the checkpoint save and the bulk v3 warm start.
+// Delivery values reuse each consumer's primed window (regenerating the
+// history just to read two slots per consumer would time the generator,
+// not the monitor).
+struct MegaResult {
+  std::size_t consumers = 0;
+  std::size_t shard_count = 0;
+  double fit_consumers_per_s = 0.0;
+  double ingest_readings_per_s = 0.0;
+  double fit_s = 0.0;
+  double save_s = 0.0;
+  double restore_s = 0.0;
+  std::size_t checkpoint_bytes = 0;
+};
+
+MegaResult run_mega(std::size_t count, std::size_t weeks,
+                    std::uint64_t seed) {
+  const fdeta::datagen::StreamingFleet fleet(
+      fdeta::datagen::scaled_config(count, weeks, seed));
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+
+  fdeta::obs::MetricsRegistry reg;
+  fdeta::core::OnlineMonitorConfig config;
+  config.stride = 1;
+  config.metrics = &reg;
+  fdeta::core::OnlineMonitor monitor(config);
+
+  MegaResult out;
+  out.consumers = count;
+
+  auto start = std::chrono::steady_clock::now();
+  monitor.fit_streaming(
+      count, [&](std::size_t i) { return fleet.consumer(i); }, split);
+  out.fit_s = seconds_since(start);
+  out.fit_consumers_per_s = static_cast<double>(count) / out.fit_s;
+  out.shard_count = monitor.shard_count();
+
+  const fdeta::SlotIndex base = split.train_weeks * kSlotsPerWeek;
+  const std::size_t slots = 2;
+  std::vector<fdeta::core::Reading> delivery(count);
+  double ingest_s = 0.0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const auto slot = base + static_cast<fdeta::SlotIndex>(s);
+    for (std::size_t c = 0; c < count; ++c) {
+      delivery[c] = {.consumer_index = c,
+                     .slot = slot,
+                     .kw = monitor.window(c)[slot % kSlotsPerWeek]};
+    }
+    start = std::chrono::steady_clock::now();
+    monitor.ingest_batch(delivery);
+    ingest_s += seconds_since(start);
+  }
+  out.ingest_readings_per_s =
+      static_cast<double>(count * slots) / ingest_s;
+
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  start = std::chrono::steady_clock::now();
+  monitor.save(checkpoint);
+  out.save_s = seconds_since(start);
+  out.checkpoint_bytes = static_cast<std::size_t>(checkpoint.tellp());
+
+  fdeta::core::OnlineMonitor warm(config);
+  checkpoint.seekg(0);
+  start = std::chrono::steady_clock::now();
+  warm.restore(checkpoint);
+  out.restore_s = seconds_since(start);
+  if (warm.consumer_count() != count) std::abort();
+
+  std::printf(
+      "\n=== mega fleet @%zu consumers (streaming fit): fit %.1fs "
+      "(%.0f consumers/s), ingest %.0f readings/s, checkpoint %.1f MB, "
+      "save %.2fs, warm restore %.2fs (%.1fx faster than refit) ===\n",
+      count, out.fit_s, out.fit_consumers_per_s, out.ingest_readings_per_s,
+      static_cast<double>(out.checkpoint_bytes) / (1024.0 * 1024.0),
+      out.save_s, out.restore_s, out.fit_s / out.restore_s);
   return out;
 }
 
@@ -351,14 +530,33 @@ void run_degradation(std::size_t max_consumers, std::size_t weeks,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* bench_out = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
+      bench_out = argv[++i];
+    }
   }
   std::size_t max_consumers = fdeta::env_size("FDETA_FLEET_MAX", 50000);
   if (smoke && max_consumers > 1000) max_consumers = 1000;
   const std::size_t weeks = fdeta::env_size("FDETA_FLEET_WEEKS", 9);
   const auto seed =
       static_cast<std::uint64_t>(fdeta::env_size("FDETA_SEED", 20160628));
+  const std::size_t feed_threads =
+      std::max<std::size_t>(2, fdeta::env_size("FDETA_FLEET_THREADS", 8));
+  std::size_t mega = fdeta::env_size("FDETA_FLEET_MEGA", 1000000);
+  if (smoke) mega = std::min<std::size_t>(mega, 10000);
+
+  fdeta::bench::BenchJson report;
+  report.set("bench", "micro_fleet_scale");
+  report.set("git_rev", fdeta::bench::git_revision());
+  report.set("smoke", smoke);
+  report.set("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  report.set("pool_workers", fdeta::shared_pool().thread_count());
+  report.set("weeks", weeks);
+  report.set("seed", static_cast<std::size_t>(seed));
 
   std::printf("\n=== fleet scale: consumers/sec, serial vs shared pool (%zu "
               "workers) ===\n",
@@ -366,6 +564,9 @@ int main(int argc, char** argv) {
   std::printf("%9s | %11s %11s %7s | %12s %12s %7s | %14s\n", "consumers",
               "fit ser", "fit pool", "speedup", "score ser", "score pool",
               "speedup", "ingest rdgs/s");
+  fdeta::bench::BenchJson scales;
+  FleetTimings top;  // largest completed scale feeds the derived ratios
+  std::size_t top_consumers = 0;
   for (const std::size_t consumers : {std::size_t{1000}, std::size_t{10000},
                                       std::size_t{50000}}) {
     if (consumers > max_consumers) continue;
@@ -385,8 +586,76 @@ int main(int argc, char** argv) {
         static_cast<double>(t.model_bytes) / (1024.0 * 1024.0),
         static_cast<double>(consumers) / t.warm_restore_s);
     print_breakdown(consumers, reg.snapshot(), pool_before, pool_after);
+
+    fdeta::bench::BenchJson row;
+    row.set("consumers", consumers);
+    row.set("fit_serial_consumers_per_s", t.fit_serial);
+    row.set("fit_pooled_consumers_per_s", t.fit_pooled);
+    row.set("score_serial_consumers_per_s", t.score_serial);
+    row.set("score_pooled_consumers_per_s", t.score_pooled);
+    row.set("ingest_batch_readings_per_s", t.batch_pooled);
+    row.set("cold_fit_s", t.cold_fit_s);
+    row.set("warm_restore_s", t.warm_restore_s);
+    row.set("model_bytes", t.model_bytes);
+    scales.push_back(std::move(row));
+    top = t;
+    top_consumers = consumers;
   }
+  report.set("scales", std::move(scales));
+
+  const auto points =
+      run_shard_scaling(max_consumers, weeks, seed, feed_threads);
+  fdeta::bench::BenchJson shard_json;
+  double rate_global = 0.0, rate_sharded = 0.0;
+  for (const ShardPoint& p : points) {
+    fdeta::bench::BenchJson row;
+    row.set("shards", p.shards);
+    row.set("feed_threads", p.threads);
+    row.set("readings_per_s", p.readings_per_s);
+    shard_json.push_back(std::move(row));
+    if (p.threads == feed_threads) {
+      (p.shards == 1 ? rate_global : rate_sharded) = p.readings_per_s;
+    }
+  }
+  report.set("shard_scaling", std::move(shard_json));
+
+  fdeta::bench::BenchJson mega_json;
+  MegaResult mega_result;
+  if (mega > 0) {
+    mega_result = run_mega(mega, weeks, seed);
+    mega_json.set("consumers", mega_result.consumers);
+    mega_json.set("shard_count", mega_result.shard_count);
+    mega_json.set("fit_s", mega_result.fit_s);
+    mega_json.set("fit_consumers_per_s", mega_result.fit_consumers_per_s);
+    mega_json.set("ingest_readings_per_s",
+                  mega_result.ingest_readings_per_s);
+    mega_json.set("save_s", mega_result.save_s);
+    mega_json.set("warm_restore_s", mega_result.restore_s);
+    mega_json.set("checkpoint_bytes", mega_result.checkpoint_bytes);
+    report.set("mega_fleet", std::move(mega_json));
+  }
+
+  // Derived ratios: same-run comparisons, so they transfer across machines
+  // far better than the absolute rates above - these are what
+  // tools/bench_compare.py gates on.
+  fdeta::bench::BenchJson derived;
+  if (top_consumers > 0) {
+    derived.set("fit_pool_speedup", top.fit_pooled / top.fit_serial);
+    derived.set("score_pool_speedup", top.score_pooled / top.score_serial);
+    derived.set("warm_vs_cold_speedup", top.cold_fit_s / top.warm_restore_s);
+  }
+  if (rate_global > 0.0 && rate_sharded > 0.0) {
+    derived.set("shard_contention_speedup", rate_sharded / rate_global);
+  }
+  if (mega > 0 && mega_result.restore_s > 0.0) {
+    derived.set("mega_warm_vs_cold_speedup",
+                mega_result.fit_s / mega_result.restore_s);
+  }
+  report.set("derived", std::move(derived));
+
   run_degradation(max_consumers, weeks, seed);
   run_tracing_overhead(max_consumers, weeks, seed);
+
+  if (bench_out != nullptr) report.write_file(bench_out);
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "ami/faults.h"
 #include "common/error.h"
+#include "common/sharding.h"
+#include "common/thread_pool.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -14,13 +16,19 @@ namespace fdeta::ami {
 
 HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
                  obs::MetricsRegistry* metrics, HeadEndConfig config)
-    : slots_(slots), config_(config), missing_(consumers * slots) {
+    : consumers_(consumers), slots_(slots), config_(config),
+      missing_(consumers * slots) {
   require(std::isfinite(config_.max_plausible_kw) &&
               config_.max_plausible_kw > 0.0,
           "HeadEnd: max_plausible_kw must be positive and finite");
-  values_.assign(consumers, std::vector<Kw>(slots, 0.0));
-  received_.assign(consumers, std::vector<char>(slots, 0));
-  sequences_.assign(consumers, std::vector<std::uint32_t>(slots, 0));
+  values_.assign(consumers * slots, 0.0);
+  received_.assign(consumers * slots, 0);
+  sequences_.assign(consumers * slots, 0);
+  const std::size_t hint = config_.threads != 0
+                               ? config_.threads
+                               : shared_pool().thread_count() + 1;
+  shard_count_ = resolve_shard_count(config_.shards, consumers, hint);
+  shard_locks_ = std::make_unique<std::mutex[]>(shard_count_);
   obs::MetricsRegistry& registry =
       metrics != nullptr ? *metrics : obs::default_registry();
   reports_received_ = &registry.counter("ami.reports_received");
@@ -29,13 +37,10 @@ HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
   stale_rejected_ = &registry.counter("ami.reports_stale_rejected");
   quarantined_counter_ = &registry.counter("ami.reports_quarantined");
   missing_gauge_ = &registry.gauge("ami.reports_missing");
-  missing_gauge_->set(static_cast<std::int64_t>(missing_));
+  missing_gauge_->set(static_cast<std::int64_t>(missing_count()));
 }
 
-ReceiveOutcome HeadEnd::receive(const ReadingReport& report) {
-  require(report.consumer_index < values_.size(),
-          "HeadEnd::receive: consumer out of range");
-  require(report.slot < slots_, "HeadEnd::receive: slot out of range");
+ReceiveOutcome HeadEnd::apply(const ReadingReport& report) {
   // Every delivered message is accounted here, whatever its fate, so the
   // plane-level conservation identity received == sent - dropped holds.
   reports_received_->add();
@@ -44,66 +49,116 @@ ReceiveOutcome HeadEnd::receive(const ReadingReport& report) {
       report.kw > config_.max_plausible_kw) {
     // Corrupt or impossible value: never store it.  The slot stays missing,
     // so the NACK retransmit pass will ask for a clean copy.
-    ++quarantined_;
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
     quarantined_counter_->add();
     return ReceiveOutcome::kQuarantined;
   }
 
-  char& seen = received_[report.consumer_index][report.slot];
-  std::uint32_t& stored = sequences_[report.consumer_index][report.slot];
+  const std::size_t cell = report.consumer_index * slots_ + report.slot;
+  char& seen = received_[cell];
+  std::uint32_t& stored = sequences_[cell];
   if (seen) {
     if (report.sequence == stored) {
-      ++duplicates_;
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
       duplicates_suppressed_->add();
       return ReceiveOutcome::kDuplicate;
     }
     if (report.sequence < stored) {
       // A delayed copy of an older transmission must not clobber the
       // fresher reading (the stale-duplicate bug this path fixes).
-      ++stale_;
+      stale_.fetch_add(1, std::memory_order_relaxed);
       stale_rejected_->add();
       return ReceiveOutcome::kStale;
     }
-    values_[report.consumer_index][report.slot] = report.kw;
+    values_[cell] = report.kw;
     stored = report.sequence;
     reports_overwritten_->add();
     return ReceiveOutcome::kAccepted;
   }
 
-  values_[report.consumer_index][report.slot] = report.kw;
+  values_[cell] = report.kw;
   stored = report.sequence;
   seen = 1;
-  --missing_;
-  missing_gauge_->set(static_cast<std::int64_t>(missing_));
+  const std::size_t left =
+      missing_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  missing_gauge_->set(static_cast<std::int64_t>(left));
   return ReceiveOutcome::kAccepted;
 }
 
+ReceiveOutcome HeadEnd::receive(const ReadingReport& report) {
+  require(report.consumer_index < consumers_,
+          "HeadEnd::receive: consumer out of range");
+  require(report.slot < slots_, "HeadEnd::receive: slot out of range");
+  std::lock_guard<std::mutex> lock(
+      shard_locks_[shard_of(report.consumer_index, shard_count_)]);
+  return apply(report);
+}
+
+std::vector<ReceiveOutcome> HeadEnd::receive_batch(
+    std::span<const ReadingReport> reports) {
+  for (const auto& r : reports) {  // validate before mutating any state
+    require(r.consumer_index < consumers_,
+            "HeadEnd::receive: consumer out of range");
+    require(r.slot < slots_, "HeadEnd::receive: slot out of range");
+  }
+
+  // Stable bucketing by shard keeps same-consumer reports in batch order,
+  // so outcomes and stored state match a serial receive() replay for any
+  // shard count x thread count (the sequence race is decided per consumer,
+  // never across consumers).
+  std::vector<std::vector<std::size_t>> by_shard(shard_count_);
+  for (auto& bucket : by_shard) {
+    bucket.reserve(reports.size() / shard_count_ + 1);
+  }
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    by_shard[shard_of(reports[r].consumer_index, shard_count_)].push_back(r);
+  }
+
+  std::vector<ReceiveOutcome> outcomes(reports.size(),
+                                       ReceiveOutcome::kAccepted);
+  parallel_for(
+      shard_count_,
+      [&](std::size_t s) {
+        if (by_shard[s].empty()) return;
+        std::lock_guard<std::mutex> lock(shard_locks_[s]);
+        for (const std::size_t r : by_shard[s]) {
+          outcomes[r] = apply(reports[r]);
+        }
+      },
+      config_.threads);
+  return outcomes;
+}
+
 bool HeadEnd::has_reading(std::size_t consumer, SlotIndex slot) const {
-  require(consumer < values_.size(), "HeadEnd::has_reading: out of range");
+  require(consumer < consumers_, "HeadEnd::has_reading: out of range");
   require(slot < slots_, "HeadEnd::has_reading: slot out of range");
-  return received_[consumer][slot] != 0;
+  return received_[consumer * slots_ + slot] != 0;
 }
 
 Kw HeadEnd::reading(std::size_t consumer, SlotIndex slot) const {
   require(has_reading(consumer, slot), "HeadEnd::reading: missing reading");
-  return values_[consumer][slot];
+  return values_[consumer * slots_ + slot];
 }
 
 std::vector<Kw> HeadEnd::consumer_readings(std::size_t consumer) const {
-  require(consumer < values_.size(),
+  require(consumer < consumers_,
           "HeadEnd::consumer_readings: out of range");
-  return values_[consumer];
+  const std::size_t base = consumer * slots_;
+  return {values_.begin() + static_cast<std::ptrdiff_t>(base),
+          values_.begin() + static_cast<std::ptrdiff_t>(base + slots_)};
 }
 
 std::vector<Kw> HeadEnd::consumer_readings(
     std::size_t consumer, std::vector<char>& missing_mask) const {
-  require(consumer < values_.size(),
+  require(consumer < consumers_,
           "HeadEnd::consumer_readings: out of range");
+  const std::size_t base = consumer * slots_;
   missing_mask.assign(slots_, 0);
   for (std::size_t t = 0; t < slots_; ++t) {
-    if (!received_[consumer][t]) missing_mask[t] = 1;
+    if (!received_[base + t]) missing_mask[t] = 1;
   }
-  return values_[consumer];
+  return {values_.begin() + static_cast<std::ptrdiff_t>(base),
+          values_.begin() + static_cast<std::ptrdiff_t>(base + slots_)};
 }
 
 MeterNetwork::MeterNetwork(const meter::Dataset& actual,

@@ -26,11 +26,14 @@
 // the process-wide default registry.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/units.h"
@@ -80,11 +83,27 @@ struct HeadEndConfig {
   /// copy.  Legitimate demand is non-negative by construction (the
   /// generator clamps at 0), so the default only rejects impossible values.
   double max_plausible_kw = 1.0e6;
+  /// Independent per-consumer state shards, each behind its own lock (0 =
+  /// auto-size from the parallelism; see common/sharding.h).  Purely a
+  /// concurrency knob: stored readings and tallies are identical for any
+  /// value given the same delivery order.
+  std::size_t shards = 0;
+  /// Parallelism cap for receive_batch() on the shared pool (0 = full pool
+  /// width, 1 = serial).
+  std::size_t threads = 0;
 };
 
 /// The utility-side collector.  Missing readings stay NaN-free: they are
 /// tracked explicitly so the balance layer can treat "no report" distinctly
 /// from "zero demand".
+///
+/// Thread-safety: per-consumer state is sharded (consistent hash of the
+/// consumer index) with one lock per shard, so concurrent receive() /
+/// receive_batch() calls from multiple collector feeds are safe and scale
+/// until feeds collide on a shard; tallies are atomic.  Readers
+/// (has_reading / reading / consumer_readings) are unsynchronised: quiesce
+/// the feeds before reading collected state (the transmit -> collect cycle
+/// already alternates phases).
 class HeadEnd {
  public:
   HeadEnd(std::size_t consumers, std::size_t slots,
@@ -95,10 +114,23 @@ class HeadEnd {
   /// suppressed duplicate, and a corrupt/out-of-range value is quarantined
   /// without touching the stored reading.  ami.reports_received counts every
   /// call regardless of outcome (delivery-side conservation).
+  /// Thread-safe: takes the consumer's shard lock.
   ReceiveOutcome receive(const ReadingReport& report);
 
-  std::size_t consumer_count() const { return received_.size(); }
+  /// Ingests one delivery batch, processing shards in parallel on the
+  /// shared pool.  Reports for the same consumer apply in batch order
+  /// (stable shard bucketing), so the returned outcomes (index-aligned with
+  /// `reports`) and all stored state are identical to calling receive() once
+  /// per report in batch order - for any shard count x thread count.
+  /// Validates every index up front; on failure nothing is applied.
+  std::vector<ReceiveOutcome> receive_batch(
+      std::span<const ReadingReport> reports);
+
+  std::size_t consumer_count() const { return consumers_; }
   std::size_t slot_count() const { return slots_; }
+
+  /// Resolved shard count (config.shards, or the auto-sized value).
+  std::size_t shard_count() const { return shard_count_; }
 
   bool has_reading(std::size_t consumer, SlotIndex slot) const;
   Kw reading(std::size_t consumer, SlotIndex slot) const;
@@ -115,23 +147,45 @@ class HeadEnd {
                                     std::vector<char>& missing_mask) const;
 
   /// Slots (over all consumers) that never received a report.  O(1).
-  std::size_t missing_count() const { return missing_; }
+  std::size_t missing_count() const {
+    return missing_.load(std::memory_order_relaxed);
+  }
 
   /// Ingest-hardening tallies (also exported as ami.* counters).
-  std::size_t quarantined_count() const { return quarantined_; }
-  std::size_t duplicates_suppressed() const { return duplicates_; }
-  std::size_t stale_rejected() const { return stale_; }
+  std::size_t quarantined_count() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  std::size_t duplicates_suppressed() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::size_t stale_rejected() const {
+    return stale_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// receive() body, minus locking; the caller holds the consumer's shard
+  /// lock.
+  ReceiveOutcome apply(const ReadingReport& report);
+
+  std::size_t consumers_;
   std::size_t slots_;
   HeadEndConfig config_;
-  std::vector<std::vector<Kw>> values_;
-  std::vector<std::vector<char>> received_;
-  std::vector<std::vector<std::uint32_t>> sequences_;
-  std::size_t missing_ = 0;  // slots never reported, kept current by receive()
-  std::size_t quarantined_ = 0;
-  std::size_t duplicates_ = 0;
-  std::size_t stale_ = 0;
+  // Flat consumer-major arrays ([c * slots_ + t]): one allocation per field
+  // for the whole fleet instead of three vectors per consumer.
+  std::vector<Kw> values_;
+  std::vector<char> received_;
+  std::vector<std::uint32_t> sequences_;
+
+  // Shard layer: shard_of(c, shard_count_) owns consumer c's rows above.
+  std::size_t shard_count_ = 1;
+  std::unique_ptr<std::mutex[]> shard_locks_;
+
+  // Tallies are atomic so concurrent shards keep them exact (relaxed order:
+  // they are monotone counts, never used to synchronise state).
+  std::atomic<std::size_t> missing_{0};  // kept current by receive()
+  std::atomic<std::size_t> quarantined_{0};
+  std::atomic<std::size_t> duplicates_{0};
+  std::atomic<std::size_t> stale_{0};
 
   obs::Counter* reports_received_ = nullptr;
   obs::Counter* reports_overwritten_ = nullptr;

@@ -1,0 +1,52 @@
+// Consistent consumer -> shard mapping for the fleet hot path.
+//
+// HeadEnd and OnlineMonitor split their per-consumer state into N
+// independent shards so concurrent ingest feeds never contend on one
+// mutex (ROADMAP item 1: the single-mutex ceiling).  The mapping must be
+// a pure function of the consumer index - never of shard load, insertion
+// order, or thread schedule - so that any (shard count x thread count)
+// combination touches the same per-consumer state in the same per-consumer
+// order and the determinism guarantees of the event log survive sharding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fdeta {
+
+/// Shard owning `consumer_index`.  SplitMix64 finalizer over the index:
+/// platform-independent, stable across runs, and uniform even for the
+/// sequential indices a fleet actually uses (a bare `index % shards` would
+/// stripe neighbouring meters across shards, which is fine for load but
+/// poor for the feeder-subtree sharding ROADMAP item 3 wants to move to -
+/// the hash keeps the mapping opaque so callers never grow to depend on
+/// adjacency).
+inline std::size_t shard_of(std::size_t consumer_index,
+                            std::size_t shard_count) {
+  std::uint64_t z =
+      static_cast<std::uint64_t>(consumer_index) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % static_cast<std::uint64_t>(shard_count));
+}
+
+/// Resolves a configured shard count: 0 = auto (4x the parallelism hint,
+/// capped at 64 - enough that random placement rarely collides, small
+/// enough that per-shard scratch buffers stay cache-resident), and never
+/// more shards than consumers (a shard with no consumers is pure waste).
+inline std::size_t resolve_shard_count(std::size_t requested,
+                                       std::size_t consumers,
+                                       std::size_t parallel_hint) {
+  std::size_t shards = requested;
+  if (shards == 0) {
+    const std::size_t hint = parallel_hint == 0 ? 1 : parallel_hint;
+    shards = hint * 4;
+    if (shards > 64) shards = 64;
+  }
+  if (consumers > 0 && shards > consumers) shards = consumers;
+  if (shards == 0) shards = 1;
+  return shards;
+}
+
+}  // namespace fdeta

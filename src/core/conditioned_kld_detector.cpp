@@ -125,9 +125,11 @@ std::vector<double> ConditionedKldDetector::scores(
     std::span<const Kw> week) const {
   require(fitted_, "ConditionedKldDetector: fit() not called");
   std::vector<double> out(config_.groups);
+  std::vector<double> p(config_.bins);
   for (std::size_t g = 0; g < config_.groups; ++g) {
     const auto values = group_values(week, g);
-    const auto p = histograms_[g]->probabilities(values);
+    histograms_[g]->probabilities_into(values, p,
+                                       config_.exclude_out_of_support);
     out[g] = stats::kl_divergence_bits(p, scorings_[g]);
   }
   return out;
@@ -148,7 +150,9 @@ std::vector<KldExplanation> ConditionedKldDetector::explain(
   std::vector<KldExplanation> out(config_.groups);
   for (std::size_t g = 0; g < config_.groups; ++g) {
     const auto values = group_values(week, g);
-    const auto p = histograms_[g]->probabilities(values);
+    std::vector<double> p(config_.bins);
+    histograms_[g]->probabilities_into(values, p,
+                                       config_.exclude_out_of_support);
     const std::vector<double>& edges = histograms_[g]->edges();
     const std::vector<double>& q = scorings_[g];
 
@@ -195,6 +199,7 @@ void ConditionedKldDetector::save(persist::Encoder& enc) const {
   enc.u64(config_.bins);
   enc.f64(config_.significance);
   enc.f64(config_.epsilon);
+  enc.u8(config_.exclude_out_of_support ? 1 : 0);  // v3+
   for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
     enc.u32(static_cast<std::uint32_t>(config_.slot_group(s)));
   }
@@ -205,12 +210,16 @@ void ConditionedKldDetector::save(persist::Encoder& enc) const {
   }
 }
 
-void ConditionedKldDetector::restore(persist::Decoder& dec) {
+void ConditionedKldDetector::restore(persist::Decoder& dec,
+                                     std::uint32_t format_version) {
   ConditionedKldDetectorConfig config;
   config.groups = dec.count("ckld groups", 1u << 16);
   config.bins = dec.count("ckld bins", 1u << 20);
   config.significance = dec.f64();
   config.epsilon = dec.f64();
+  // v2 payloads predate the flag; clamping keeps saved scores bit-exact.
+  config.exclude_out_of_support =
+      format_version >= 3 ? dec.u8() != 0 : false;
   require(config.groups >= 2, "checkpoint: ckld needs >= 2 groups");
   require(config.bins >= 2, "checkpoint: ckld needs >= 2 bins");
   require(config.significance > 0.0 && config.significance < 1.0,

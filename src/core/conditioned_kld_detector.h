@@ -32,6 +32,10 @@ struct ConditionedKldDetectorConfig {
   /// epsilon: keeps group scores finite when a scored week puts mass in a
   /// bin empty across that group's training readings.  0 = paper-exact.
   double epsilon = 1e-9;
+  /// As KldDetectorConfig::exclude_out_of_support, applied per price group:
+  /// scored readings outside a group's frozen training support are excluded
+  /// from that group's bin mass instead of clamped into the outer bins.
+  bool exclude_out_of_support = true;
   /// Maps a slot-of-week [0, 336) to a price-group id [0, groups).
   /// Defaults (set by the constructor) to Nightsaver peak/off-peak.
   std::function<std::size_t(std::size_t)> slot_group;
@@ -73,8 +77,10 @@ class ConditionedKldDetector final : public Detector {
   /// the table is the function's entire observable behaviour).
   void save(persist::Encoder& enc) const;
   /// Restores state saved by save(); scores bit-exactly match the saved
-  /// detector.
-  void restore(persist::Decoder& dec);
+  /// detector.  As KldDetector::restore, `format_version` is the enclosing
+  /// checkpoint version: v2 payloads restore with out-of-support clamping.
+  void restore(persist::Decoder& dec,
+               std::uint32_t format_version = persist::kFormatVersion);
 
  private:
   /// Readings of `week` falling into group `g`.

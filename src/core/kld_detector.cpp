@@ -62,14 +62,22 @@ void KldDetector::fit(std::span<const Kw> training) {
 }
 
 double KldDetector::score(std::span<const Kw> week) const {
+  KldScratch scratch;
+  return score(week, scratch);
+}
+
+double KldDetector::score(std::span<const Kw> week, KldScratch& scratch) const {
   require(histogram_.has_value(), "KldDetector: fit() not called");
-  const auto p = histogram_->probabilities(week);
-  return stats::kl_divergence_bits(p, scoring_);
+  scratch.p.resize(config_.bins);
+  histogram_->probabilities_into(week, scratch.p,
+                                 config_.exclude_out_of_support);
+  return stats::kl_divergence_bits(scratch.p, scoring_);
 }
 
 KldExplanation KldDetector::explain(std::span<const Kw> week) const {
   require(histogram_.has_value(), "KldDetector: fit() not called");
-  const auto p = histogram_->probabilities(week);
+  std::vector<double> p(config_.bins);
+  histogram_->probabilities_into(week, p, config_.exclude_out_of_support);
   const std::vector<double>& edges = histogram_->edges();
 
   KldExplanation out;
@@ -135,17 +143,23 @@ void KldDetector::save(persist::Encoder& enc) const {
   enc.u64(config_.bins);
   enc.f64(config_.significance);
   enc.f64(config_.epsilon);
+  enc.u8(config_.exclude_out_of_support ? 1 : 0);  // v3+
   histogram_->save(enc);
   enc.doubles(baseline_);
   enc.doubles(k_training_);
   enc.f64(threshold_);
 }
 
-void KldDetector::restore(persist::Decoder& dec) {
+void KldDetector::restore(persist::Decoder& dec,
+                          std::uint32_t format_version) {
   KldDetectorConfig config;
   config.bins = dec.count("kld bins", 1u << 20);
   config.significance = dec.f64();
   config.epsilon = dec.f64();
+  // v2 payloads predate the flag: restoring with clamping keeps the saved
+  // detector's scores bit-exact.
+  config.exclude_out_of_support =
+      format_version >= 3 ? dec.u8() != 0 : false;
   validate_config(config);
 
   stats::Histogram histogram = stats::Histogram::load(dec);
@@ -153,23 +167,39 @@ void KldDetector::restore(persist::Decoder& dec) {
     throw DataError("checkpoint: kld histogram bin count mismatch");
   }
   std::vector<double> baseline = dec.doubles("kld baseline", 1u << 20);
+  std::vector<double> k_training = dec.doubles("kld training K", 1u << 20);
+  const double threshold = dec.f64();
+
+  *this = from_fitted_parts(config, histogram.edges(), std::move(baseline),
+                            std::move(k_training), threshold);
+}
+
+KldDetector KldDetector::from_fitted_parts(KldDetectorConfig config,
+                                           std::vector<double> edges,
+                                           std::vector<double> baseline,
+                                           std::vector<double> k_training,
+                                           double threshold) {
+  validate_config(config);
+  stats::Histogram histogram{std::move(edges)};
+  if (histogram.bin_count() != config.bins) {
+    throw DataError("checkpoint: kld histogram bin count mismatch");
+  }
   if (baseline.size() != config.bins) {
     throw DataError("checkpoint: kld baseline size mismatch");
   }
-  std::vector<double> k_training = dec.doubles("kld training K", 1u << 20);
   if (k_training.empty()) {
     throw DataError("checkpoint: kld training divergences missing");
   }
-  const double threshold = dec.f64();
 
-  config_ = config;
-  histogram_.emplace(std::move(histogram));
-  baseline_ = std::move(baseline);
+  KldDetector out(config);
+  out.histogram_.emplace(std::move(histogram));
+  out.baseline_ = std::move(baseline);
   // The smoothed scoring copy is derived deterministically from the raw
   // baseline, so recomputing it reproduces the saved detector bit-exactly.
-  rebuild_scoring_baseline();
-  k_training_ = std::move(k_training);
-  threshold_ = threshold;
+  out.rebuild_scoring_baseline();
+  out.k_training_ = std::move(k_training);
+  out.threshold_ = threshold;
+  return out;
 }
 
 }  // namespace fdeta::core

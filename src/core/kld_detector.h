@@ -13,16 +13,13 @@
 // attack that individual-reading and mean/variance checks cannot.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/detector.h"
+#include "persist/checkpoint.h"
 #include "stats/histogram.h"
-
-namespace fdeta::persist {
-class Encoder;
-class Decoder;
-}  // namespace fdeta::persist
 
 namespace fdeta::core {
 
@@ -38,6 +35,23 @@ struct KldDetectorConfig {
   /// out-of-support bin worth ~30 bits per unit of week mass: still a strong
   /// anomaly signal, never non-finite.  Set 0 for paper-exact scores.
   double epsilon = 1e-9;
+  /// When true (default), readings of a scored week that fall outside the
+  /// frozen training support are tallied as underflow/overflow instead of
+  /// being clamped into the outer bins: a quarantine-escaped negative or
+  /// absurd reading no longer masquerades as legitimate lowest/highest-bin
+  /// consumption mass, and the week distribution is normalised over the
+  /// in-support readings only (an all-out-of-support week falls back to
+  /// clamping; see Histogram::probabilities_into).  Training weeks are in
+  /// support by construction, so thresholds are unaffected either way.  Set
+  /// false for the historical (pre-v3 checkpoint) clamping semantics.
+  bool exclude_out_of_support = true;
+};
+
+/// Reusable per-thread scoring scratch: score(week, scratch) bins into this
+/// buffer instead of allocating a fresh distribution per call, which is what
+/// keeps the fleet scoring hot path allocation-free.
+struct KldScratch {
+  std::vector<double> p;
 };
 
 /// One bin's share of a week's K_A score: the p_j * log2(p_j / q_j) term of
@@ -76,6 +90,10 @@ class KldDetector final : public Detector {
   /// puts mass where the training distribution has none.
   double score(std::span<const Kw> week) const;
 
+  /// Allocation-free score: identical result, binning into the caller's
+  /// scratch buffer (resized to B on first use).
+  double score(std::span<const Kw> week, KldScratch& scratch) const;
+
   /// Per-bin breakdown of score(week): which consumption bins drove the
   /// divergence and by how many bits.  Accumulates terms in the same order
   /// as kl_divergence_bits, so the bits sum reproduces score(week) exactly.
@@ -98,7 +116,22 @@ class KldDetector final : public Detector {
   void save(persist::Encoder& enc) const;
   /// Restores state saved by save(), replacing this detector's config and
   /// fit; scores bit-exactly match the detector that was saved.
-  void restore(persist::Decoder& dec);
+  /// `format_version` is the enclosing checkpoint's format version: v2
+  /// payloads predate the out-of-support flag and restore with it OFF, so a
+  /// detector saved by an older build keeps producing the exact scores it
+  /// was producing when saved.
+  void restore(persist::Decoder& dec,
+               std::uint32_t format_version = persist::kFormatVersion);
+
+  /// Reassembles a fitted detector from already-decoded parts (the monitor's
+  /// bulk Struct-of-Arrays checkpoint decodes whole fleets of detectors from
+  /// flat arrays; see OnlineMonitor::restore).  Validates exactly like
+  /// restore() and rebuilds the smoothed scoring baseline deterministically.
+  static KldDetector from_fitted_parts(KldDetectorConfig config,
+                                       std::vector<double> edges,
+                                       std::vector<double> baseline,
+                                       std::vector<double> k_training,
+                                       double threshold);
 
  private:
   void rebuild_scoring_baseline();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/sharding.h"
 #include "common/thread_pool.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -14,6 +15,12 @@
 #include "stats/descriptive.h"
 
 namespace fdeta::core {
+
+namespace {
+
+constexpr std::size_t kWindow = static_cast<std::size_t>(kSlotsPerWeek);
+
+}  // namespace
 
 const char* to_string(AlertDirection direction) {
   switch (direction) {
@@ -62,6 +69,34 @@ void OnlineMonitor::emit_alert(const AlertEvent& event) const {
           .str("direction", to_string(event.direction)));
 }
 
+void OnlineMonitor::init_fleet(std::size_t count) {
+  detectors_.assign(count, KldDetector(config_.kld));
+  ids_.assign(count, meter::ConsumerId{});
+  windows_.assign(count * kWindow, 0.0);
+  missing_.assign(count * kWindow, 0);
+  missing_in_window_.assign(count, 0);
+  since_score_.assign(count, 0);
+  cooldown_.assign(count, 0);
+  train_mean_.assign(count, 0.0);
+  const std::size_t hint = config_.threads != 0
+                               ? config_.threads
+                               : shared_pool().thread_count() + 1;
+  shard_count_ = resolve_shard_count(config_.shards, count, hint);
+  shard_locks_ = std::make_unique<std::mutex[]>(shard_count_);
+}
+
+void OnlineMonitor::fit_one(std::size_t i, const meter::ConsumerSeries& series,
+                            const meter::TrainTestSplit& split) {
+  const auto train = split.train(series);
+  detectors_[i].fit(train);
+  ids_[i] = series.id;
+  // Prime with the last (trusted) training week.  Training spans start at a
+  // week boundary, so the primed vector is slot-of-week aligned.
+  std::copy(train.end() - kWindow, train.end(),
+            windows_.begin() + static_cast<std::ptrdiff_t>(i * kWindow));
+  train_mean_[i] = stats::mean(train);
+}
+
 void OnlineMonitor::fit(const meter::Dataset& history,
                         const meter::TrainTestSplit& split) {
   obs::TraceSpan span("monitor.fit", "monitor");
@@ -70,22 +105,34 @@ void OnlineMonitor::fit(const meter::Dataset& history,
   alerts_.clear();
 
   const std::size_t count = history.consumer_count();
-  detectors_.assign(count, KldDetector(config_.kld));
-  ids_.assign(count, meter::ConsumerId{});
-  state_.assign(count, ConsumerState{});
+  init_fleet(count);
   // Per-consumer fits are independent; run them on the shared pool.
+  parallel_for(
+      count, [&](std::size_t i) { fit_one(i, history.consumer(i), split); },
+      config_.threads);
+  fitted_ = true;
+  consumers_fitted_->add(count);
+}
+
+void OnlineMonitor::fit_streaming(
+    std::size_t count,
+    const std::function<meter::ConsumerSeries(std::size_t)>& source,
+    const meter::TrainTestSplit& split) {
+  obs::TraceSpan span("monitor.fit_streaming", "monitor");
+  obs::ScopedTimer timer(*fit_seconds_);
+  require(static_cast<bool>(source), "OnlineMonitor: null series source");
+  fitted_ = false;
+  alerts_.clear();
+
+  init_fleet(count);
+  // Each iteration materialises exactly one consumer's series, fits, and
+  // drops it: peak memory is the fitted state plus `threads` series, never
+  // the fleet's full history.
   parallel_for(
       count,
       [&](std::size_t i) {
-        const auto& series = history.consumer(i);
-        const auto train = split.train(series);
-        detectors_[i].fit(train);
-        ids_[i] = series.id;
-        // Prime with the last (trusted) training week.  Training spans start
-        // at a week boundary, so the primed vector is slot-of-week aligned.
-        state_[i].window.assign(train.end() - kSlotsPerWeek, train.end());
-        state_[i].missing.assign(state_[i].window.size(), 0);
-        state_[i].train_mean = stats::mean(train);
+        const meter::ConsumerSeries series = source(i);
+        fit_one(i, series, split);
       },
       config_.threads);
   fitted_ = true;
@@ -93,38 +140,41 @@ void OnlineMonitor::fit(const meter::Dataset& history,
 }
 
 std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
-  ConsumerState& cs = state_[reading.consumer_index];
-  const std::size_t position = reading.slot % cs.window.size();
+  const std::size_t i = reading.consumer_index;
+  const std::size_t base = i * kWindow;
+  const std::size_t position = static_cast<std::size_t>(reading.slot) % kWindow;
 
   if (reading.missing) {
     // A dropped report carries no information: keep the last slot-aligned
     // value (do NOT impute 0 - a zero week is exactly what an under-report
     // attack looks like) and account for the gap.  The slot position goes
-    // stale, which feeds the coverage gate below.
+    // stale, which feeds the coverage gate below.  The stride and cooldown
+    // clocks advance on OBSERVED readings only - an outage must not eat a
+    // consumer's cooldown or stride budget while nothing is being measured.
     readings_missing_->add();
-    if (!cs.missing[position]) {
-      cs.missing[position] = 1;
-      ++cs.missing_in_window;
+    if (!missing_[base + position]) {
+      missing_[base + position] = 1;
+      ++missing_in_window_[i];
     }
     return std::nullopt;
   }
   readings_ingested_->add();
 
-  cs.window[position] = reading.kw;
-  if (cs.missing[position]) {
-    cs.missing[position] = 0;
-    --cs.missing_in_window;
+  windows_[base + position] = reading.kw;
+  if (missing_[base + position]) {
+    missing_[base + position] = 0;
+    --missing_in_window_[i];
   }
-  if (cs.cooldown > 0) {
-    --cs.cooldown;
+  if (cooldown_[i] > 0) {
+    --cooldown_[i];
     readings_in_cooldown_->add();
     return std::nullopt;
   }
-  if (++cs.since_score < config_.stride) return std::nullopt;
-  cs.since_score = 0;
+  if (++since_score_[i] < config_.stride) return std::nullopt;
+  since_score_[i] = 0;
 
-  if (static_cast<double>(cs.missing_in_window) >
-      config_.max_missing_fraction * static_cast<double>(cs.window.size())) {
+  if (static_cast<double>(missing_in_window_[i]) >
+      config_.max_missing_fraction * static_cast<double>(kWindow)) {
     // Too much of the sliding vector is a stale fill: scoring it would let
     // delivery loss masquerade as theft.  Skip until coverage recovers.
     scores_coverage_gated_->add();
@@ -132,19 +182,21 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   }
 
   scores_evaluated_->add();
-  const KldDetector& detector = detectors_[reading.consumer_index];
-  const double score = detector.score(cs.window);
+  const std::span<const Kw> window{windows_.data() + base, kWindow};
+  const KldDetector& detector = detectors_[i];
+  thread_local KldScratch scratch;  // keeps the hot path allocation-free
+  const double score = detector.score(window, scratch);
   if (score <= detector.threshold()) return std::nullopt;
 
-  cs.cooldown = config_.cooldown_slots;
-  const AlertDirection direction = stats::mean(cs.window) > cs.train_mean
+  cooldown_[i] = static_cast<std::uint32_t>(config_.cooldown_slots);
+  const AlertDirection direction = stats::mean(window) > train_mean_[i]
                                        ? AlertDirection::kOverReport
                                        : AlertDirection::kUnderReport;
   alerts_raised_->add();
   (direction == AlertDirection::kOverReport ? alerts_over_ : alerts_under_)
       ->add();
-  return AlertEvent{reading.consumer_index, ids_[reading.consumer_index],
-                    reading.slot, score, detector.threshold(), direction};
+  return AlertEvent{i, ids_[i], reading.slot, score, detector.threshold(),
+                    direction};
 }
 
 std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
@@ -155,10 +207,16 @@ std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
 std::optional<AlertEvent> OnlineMonitor::ingest(const Reading& reading) {
   obs::TraceSpan span("monitor.ingest", "monitor");
   require(fitted_, "OnlineMonitor: fit() not called");
-  require(reading.consumer_index < state_.size(),
+  require(reading.consumer_index < consumer_count(),
           "OnlineMonitor: consumer index out of range");
-  auto event = apply(reading);
+  std::optional<AlertEvent> event;
+  {
+    std::lock_guard<std::mutex> lock(
+        shard_locks_[shard_of(reading.consumer_index, shard_count_)]);
+    event = apply(reading);
+  }
   if (event) {
+    std::lock_guard<std::mutex> lock(alerts_mutex_);
     alerts_.push_back(*event);
     emit_alert(*event);
   }
@@ -170,29 +228,33 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
   obs::TraceSpan span("monitor.ingest_batch", "monitor");
   require(fitted_, "OnlineMonitor: fit() not called");
   for (const auto& r : readings) {  // validate before mutating any state
-    require(r.consumer_index < state_.size(),
+    require(r.consumer_index < consumer_count(),
             "OnlineMonitor: consumer index out of range");
   }
   obs::ScopedTimer timer(*batch_seconds_);
 
-  // Group the batch by consumer, preserving each consumer's arrival order.
-  // Distinct consumers have disjoint state, so they score in parallel; the
-  // (batch position, alert) pairs are then merged back into arrival order
-  // to match repeated ingest() exactly.
-  std::vector<std::vector<std::size_t>> by_consumer(state_.size());
-  for (std::size_t r = 0; r < readings.size(); ++r) {
-    by_consumer[readings[r].consumer_index].push_back(r);
+  // Bucket the batch by shard, preserving arrival order inside each bucket
+  // (stable bucketing, so per-consumer order == batch order).  Shards own
+  // disjoint consumer state and proceed in parallel under their own lock;
+  // the (batch position -> alert) results are then merged back into arrival
+  // order, so the returned alerts, alerts(), the counters and the emitted
+  // events are byte-identical to a reading-by-reading ingest() replay for
+  // ANY shard count x thread count.
+  std::vector<std::vector<std::size_t>> by_shard(shard_count_);
+  for (auto& bucket : by_shard) {
+    bucket.reserve(readings.size() / shard_count_ + 1);
   }
-  std::vector<std::size_t> touched;
-  for (std::size_t c = 0; c < by_consumer.size(); ++c) {
-    if (!by_consumer[c].empty()) touched.push_back(c);
+  for (std::size_t r = 0; r < readings.size(); ++r) {
+    by_shard[shard_of(readings[r].consumer_index, shard_count_)].push_back(r);
   }
 
   std::vector<std::optional<AlertEvent>> raised(readings.size());
   parallel_for(
-      touched.size(),
-      [&](std::size_t t) {
-        for (const std::size_t r : by_consumer[touched[t]]) {
+      shard_count_,
+      [&](std::size_t s) {
+        if (by_shard[s].empty()) return;
+        std::lock_guard<std::mutex> lock(shard_locks_[s]);
+        for (const std::size_t r : by_shard[s]) {
           raised[r] = apply(readings[r]);
         }
       },
@@ -200,35 +262,74 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
 
   std::vector<AlertEvent> events;
   for (auto& event : raised) {
-    if (event) {
-      events.push_back(*event);
-      // Serial emission in merged arrival order: the event log matches a
-      // reading-by-reading ingest() replay byte for byte.
-      emit_alert(*event);
-    }
+    if (event) events.push_back(*event);
   }
-  alerts_.insert(alerts_.end(), events.begin(), events.end());
+  {
+    std::lock_guard<std::mutex> lock(alerts_mutex_);
+    // Serial emission in merged arrival order: the event log matches a
+    // reading-by-reading ingest() replay byte for byte.
+    for (const AlertEvent& event : events) emit_alert(event);
+    alerts_.insert(alerts_.end(), events.begin(), events.end());
+  }
   return events;
 }
 
 void OnlineMonitor::save(std::ostream& out) const {
   obs::TraceSpan span("monitor.save", "monitor");
   require(fitted_, "OnlineMonitor::save: fit() not called");
+  const std::size_t count = detectors_.size();
   persist::Encoder enc;
   enc.u64(config_.stride);
   enc.u64(config_.cooldown_slots);
   enc.f64(config_.max_missing_fraction);
-  enc.u64(detectors_.size());
-  for (std::size_t i = 0; i < detectors_.size(); ++i) {
-    detectors_[i].save(enc);
-    enc.u32(ids_[i]);
-    const ConsumerState& cs = state_[i];
-    enc.doubles(cs.window);
-    for (const char m : cs.missing) enc.u8(m != 0 ? 1 : 0);
-    enc.u64(cs.since_score);
-    enc.u64(cs.cooldown);
-    enc.f64(cs.train_mean);
+  enc.u64(count);
+
+  if (count > 0) {
+    // Uniform detector block: one fit gives every consumer the same config
+    // and training-week count, so the per-field arrays below need no
+    // per-consumer framing and restore as bulk reads.
+    const KldDetectorConfig& kld = detectors_.front().config();
+    const std::size_t train_weeks =
+        detectors_.front().training_divergences().size();
+    for (const KldDetector& d : detectors_) {
+      require(d.config().bins == kld.bins &&
+                  d.config().significance == kld.significance &&
+                  d.config().epsilon == kld.epsilon &&
+                  d.config().exclude_out_of_support ==
+                      kld.exclude_out_of_support &&
+                  d.training_divergences().size() == train_weeks,
+              "OnlineMonitor::save: detector fleet is not uniform");
+    }
+    enc.u64(kld.bins);
+    enc.f64(kld.significance);
+    enc.f64(kld.epsilon);
+    enc.u8(kld.exclude_out_of_support ? 1 : 0);
+    enc.u64(train_weeks);
+    // Consecutive per-consumer appends produce the same bytes as one flat
+    // count x width array; the decoder reads each block in one memcpy.
+    for (const KldDetector& d : detectors_) enc.f64_array(d.histogram().edges());
+    for (const KldDetector& d : detectors_) {
+      enc.f64_array(d.baseline_distribution());
+    }
+    for (const KldDetector& d : detectors_) {
+      enc.f64_array(d.training_divergences());
+    }
+    std::vector<double> thresholds(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      thresholds[i] = detectors_[i].threshold();
+    }
+    enc.f64_array(thresholds);
+
+    // Fleet sliding-window state, one bulk array per field
+    // (missing_in_window_ is a derived popcount, recomputed on restore).
+    enc.u32_array(ids_);
+    enc.f64_array(windows_);
+    enc.u8_array(missing_);
+    enc.u32_array(since_score_);
+    enc.u32_array(cooldown_);
+    enc.f64_array(train_mean_);
   }
+
   enc.u64(alerts_.size());
   for (const AlertEvent& a : alerts_) {
     enc.u64(a.consumer_index);
@@ -244,11 +345,12 @@ void OnlineMonitor::save(std::ostream& out) const {
 
 void OnlineMonitor::restore(std::istream& in) {
   obs::TraceSpan span("monitor.restore", "monitor");
+  std::uint32_t version = persist::kFormatVersion;
   const std::string payload =
-      persist::read_checkpoint(in, persist::Section::kOnlineMonitor);
+      persist::read_checkpoint(in, persist::Section::kOnlineMonitor, &version);
   persist::Decoder dec(payload);
 
-  OnlineMonitorConfig config = config_;  // threads/metrics survive
+  OnlineMonitorConfig config = config_;  // threads/metrics/shards survive
   config.stride = dec.count("stride", 1u << 20);
   config.cooldown_slots = dec.count("cooldown slots", 1u << 20);
   config.max_missing_fraction = dec.f64();
@@ -261,31 +363,116 @@ void OnlineMonitor::restore(std::istream& in) {
   const std::size_t count = dec.count("monitor consumers", 100u << 20);
   std::vector<KldDetector> detectors;
   std::vector<meter::ConsumerId> ids;
-  std::vector<ConsumerState> state;
-  detectors.reserve(count);
-  ids.reserve(count);
-  state.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    KldDetector detector;
-    detector.restore(dec);
-    detectors.push_back(std::move(detector));
-    ids.push_back(dec.u32());
-    ConsumerState cs;
-    cs.window = dec.doubles("monitor window", 1u << 20);
-    if (cs.window.size() != static_cast<std::size_t>(kSlotsPerWeek)) {
-      throw DataError("checkpoint: monitor window is not one week");
+  std::vector<Kw> windows;
+  std::vector<unsigned char> missing;
+  std::vector<std::uint32_t> missing_in_window;
+  std::vector<std::uint32_t> since_score;
+  std::vector<std::uint32_t> cooldown;
+  std::vector<double> train_mean;
+
+  if (version >= 3 && count > 0) {
+    // v3 Struct-of-Arrays: a uniform detector block followed by bulk
+    // per-field fleet arrays.  The byte-level decode is a handful of
+    // bounds-checked memcpys; only the per-consumer detector objects need
+    // rebuilding, and those rebuild in parallel.
+    KldDetectorConfig kld;
+    kld.bins = dec.count("kld bins", 1u << 20);
+    kld.significance = dec.f64();
+    kld.epsilon = dec.f64();
+    kld.exclude_out_of_support = dec.u8() != 0;
+    const std::size_t train_weeks = dec.count("train weeks", 1u << 20);
+    if (train_weeks == 0) {
+      throw DataError("checkpoint: kld training divergences missing");
     }
-    cs.missing.resize(cs.window.size());
-    for (char& m : cs.missing) {
-      const std::uint8_t flag = dec.u8();
-      if (flag > 1) throw DataError("checkpoint: bad monitor missing flag");
-      m = static_cast<char>(flag);
-      if (m) ++cs.missing_in_window;
+    const std::size_t edge_n = kld.bins + 1;
+    std::vector<double> edges_flat(count * edge_n);
+    dec.f64_array(edges_flat);
+    std::vector<double> baselines_flat(count * kld.bins);
+    dec.f64_array(baselines_flat);
+    std::vector<double> k_flat(count * train_weeks);
+    dec.f64_array(k_flat);
+    std::vector<double> thresholds(count);
+    dec.f64_array(thresholds);
+
+    detectors.assign(count, KldDetector(config_.kld));
+    parallel_for(
+        count,
+        [&](std::size_t i) {
+          detectors[i] = KldDetector::from_fitted_parts(
+              kld,
+              {edges_flat.begin() + static_cast<std::ptrdiff_t>(i * edge_n),
+               edges_flat.begin() +
+                   static_cast<std::ptrdiff_t>((i + 1) * edge_n)},
+              {baselines_flat.begin() +
+                   static_cast<std::ptrdiff_t>(i * kld.bins),
+               baselines_flat.begin() +
+                   static_cast<std::ptrdiff_t>((i + 1) * kld.bins)},
+              {k_flat.begin() + static_cast<std::ptrdiff_t>(i * train_weeks),
+               k_flat.begin() +
+                   static_cast<std::ptrdiff_t>((i + 1) * train_weeks)},
+              thresholds[i]);
+        },
+        config_.threads);
+
+    ids.resize(count);
+    dec.u32_array(ids);
+    windows.resize(count * kWindow);
+    dec.f64_array(windows);
+    missing.resize(count * kWindow);
+    dec.u8_array(missing);
+    since_score.resize(count);
+    dec.u32_array(since_score);
+    cooldown.resize(count);
+    dec.u32_array(cooldown);
+    train_mean.resize(count);
+    dec.f64_array(train_mean);
+
+    missing_in_window.assign(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint32_t gaps = 0;
+      for (std::size_t s = 0; s < kWindow; ++s) {
+        const unsigned char flag = missing[i * kWindow + s];
+        if (flag > 1) {
+          throw DataError("checkpoint: bad monitor missing flag");
+        }
+        gaps += flag;
+      }
+      missing_in_window[i] = gaps;
     }
-    cs.since_score = dec.count("since_score", 1u << 20);
-    cs.cooldown = dec.count("cooldown", 1u << 20);
-    cs.train_mean = dec.f64();
-    state.push_back(std::move(cs));
+  } else if (count > 0) {
+    // v2: per-consumer interleaved layout written by older builds.
+    detectors.reserve(count);
+    ids.reserve(count);
+    windows.resize(count * kWindow);
+    missing.resize(count * kWindow);
+    missing_in_window.assign(count, 0);
+    since_score.resize(count);
+    cooldown.resize(count);
+    train_mean.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      KldDetector detector;
+      detector.restore(dec, version);
+      detectors.push_back(std::move(detector));
+      ids.push_back(dec.u32());
+      const std::vector<double> window =
+          dec.doubles("monitor window", 1u << 20);
+      if (window.size() != kWindow) {
+        throw DataError("checkpoint: monitor window is not one week");
+      }
+      std::copy(window.begin(), window.end(),
+                windows.begin() + static_cast<std::ptrdiff_t>(i * kWindow));
+      for (std::size_t s = 0; s < kWindow; ++s) {
+        const std::uint8_t flag = dec.u8();
+        if (flag > 1) throw DataError("checkpoint: bad monitor missing flag");
+        missing[i * kWindow + s] = flag;
+        missing_in_window[i] += flag;
+      }
+      since_score[i] =
+          static_cast<std::uint32_t>(dec.count("since_score", 1u << 20));
+      cooldown[i] =
+          static_cast<std::uint32_t>(dec.count("cooldown", 1u << 20));
+      train_mean[i] = dec.f64();
+    }
   }
 
   const std::size_t alert_count = dec.count("alerts", 100u << 20);
@@ -310,10 +497,22 @@ void OnlineMonitor::restore(std::istream& in) {
   }
   dec.require_exhausted("monitor model");
 
+  // Everything decoded cleanly; commit the restore atomically.
+  if (count > 0) config.kld = detectors.front().config();
   config_ = config;
   detectors_ = std::move(detectors);
   ids_ = std::move(ids);
-  state_ = std::move(state);
+  windows_ = std::move(windows);
+  missing_ = std::move(missing);
+  missing_in_window_ = std::move(missing_in_window);
+  since_score_ = std::move(since_score);
+  cooldown_ = std::move(cooldown);
+  train_mean_ = std::move(train_mean);
+  const std::size_t hint = config_.threads != 0
+                               ? config_.threads
+                               : shared_pool().thread_count() + 1;
+  shard_count_ = resolve_shard_count(config_.shards, count, hint);
+  shard_locks_ = std::make_unique<std::mutex[]>(shard_count_);
   alerts_ = std::move(alerts);
   fitted_ = true;
   consumers_restored_->add(count);
@@ -326,9 +525,9 @@ void OnlineMonitor::restore(std::istream& in) {
 
 std::span<const Kw> OnlineMonitor::window(std::size_t consumer_index) const {
   require(fitted_, "OnlineMonitor: fit() not called");
-  require(consumer_index < state_.size(),
+  require(consumer_index < consumer_count(),
           "OnlineMonitor: consumer index out of range");
-  return state_[consumer_index].window;
+  return {windows_.data() + consumer_index * kWindow, kWindow};
 }
 
 }  // namespace fdeta::core

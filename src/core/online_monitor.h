@@ -8,8 +8,14 @@
 // so a single anomaly does not flood the operator queue.
 //
 // Thread-safety: fit() and ingest_batch() parallelise internally on the
-// shared pool; external calls into one OnlineMonitor must still be
-// serialised by the caller (single head-end feed).
+// shared pool.  Per-consumer state is split into N independent shards
+// (consistent hash of the consumer index; common/sharding.h), each behind
+// its own mutex, so concurrent ingest()/ingest_batch() calls from multiple
+// head-end feeds are safe and scale until feeds collide on a shard.
+// Determinism: for a fixed reading order, scores / alerts / counters /
+// checkpoint bytes are identical for ANY shard count and thread count -
+// sharding moves locks around, never results.  alerts()/window()/save()
+// still require no concurrent writer (quiesce feeds first).
 //
 // Telemetry (obs/metrics.h, "monitor." prefix): readings ingested / missing
 // / in-cooldown, scores evaluated, alerts raised split by direction, fit and
@@ -17,7 +23,10 @@
 // fixed seed and identical between the ingest() and ingest_batch() paths.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -81,6 +90,10 @@ struct OnlineMonitorConfig {
   /// Parallelism cap for fit()/ingest_batch() on the shared pool
   /// (0 = full pool width, 1 = serial).
   std::size_t threads = 0;
+  /// Independent per-consumer state shards, each behind its own lock (0 =
+  /// auto-size from the parallelism; see common/sharding.h).  Purely a
+  /// concurrency knob: results are bit-identical for any value.
+  std::size_t shards = 0;
   /// Telemetry sink; null = the process-wide obs::default_registry().
   obs::MetricsRegistry* metrics = nullptr;
   /// Domain-event sink; null = the process-wide obs::default_event_log().
@@ -97,18 +110,32 @@ class OnlineMonitor {
   /// `history` and primes each sliding vector with the last training week.
   void fit(const meter::Dataset& history, const meter::TrainTestSplit& split);
 
+  /// As fit(), but materialises one consumer series at a time via `source`
+  /// instead of requiring the whole fleet's history in memory at once (a
+  /// million-consumer horizon is tens of gigabytes of readings; the fitted
+  /// state is a fraction of that).  `source(i)` must return consumer i's
+  /// series and be safe to call concurrently for distinct i.  Produces state
+  /// bit-identical to fit() on a dataset holding the same series.
+  void fit_streaming(
+      std::size_t count,
+      const std::function<meter::ConsumerSeries(std::size_t)>& source,
+      const meter::TrainTestSplit& split);
+
   /// Ingests one reported reading; returns an alert when the consumer's
   /// sliding week vector crosses its threshold (subject to stride/cooldown).
+  /// Thread-safe: takes the consumer's shard lock.
   std::optional<AlertEvent> ingest(std::size_t consumer_index, SlotIndex slot,
                                    Kw reading);
 
   /// As above, honouring `reading.missing` (counted, never applied).
   std::optional<AlertEvent> ingest(const Reading& reading);
 
-  /// Ingests a batch of readings (one head-end delivery), scoring consumers
+  /// Ingests a batch of readings (one head-end delivery), processing shards
   /// in parallel on the shared pool.  Per-consumer readings are applied in
-  /// batch order, so the returned alerts (also appended to alerts()) are
-  /// identical to calling ingest() once per reading, in the same order.
+  /// batch order and the raised alerts are merged back into batch arrival
+  /// order, so the returned alerts (also appended to alerts()) and the
+  /// emitted events are identical to calling ingest() once per reading, in
+  /// the same order - for any shard count x thread count.
   /// Validates every consumer index up front; on failure nothing is applied.
   std::vector<AlertEvent> ingest_batch(std::span<const Reading> readings);
 
@@ -122,9 +149,14 @@ class OnlineMonitor {
 
   /// Restores a save() checkpoint, replacing this monitor's fit, window
   /// state, and the fit-related config (kld, stride, cooldown_slots;
-  /// `threads` and `metrics` keep their constructed values).  Subsequent
-  /// ingest calls behave bit-identically to the monitor that was saved.
-  /// Throws DataError on a corrupted/truncated/version-mismatched file.
+  /// `threads`, `metrics` and `shards` keep their constructed values).
+  /// Subsequent ingest calls behave bit-identically to the monitor that was
+  /// saved.  Reads both the v3 Struct-of-Arrays layout (bulk array blocks;
+  /// the large-fleet warm start is a handful of memcpys plus a parallel
+  /// detector rebuild) and the v2 per-consumer interleaved layout written by
+  /// older builds (restored with out-of-support clamping, preserving the
+  /// saved scores bit-exactly).  Throws DataError on a corrupted/truncated/
+  /// version-mismatched file.
   void restore(std::istream& in);
 
   /// The consumer's sliding week vector, indexed by slot-of-week (exposed
@@ -133,28 +165,23 @@ class OnlineMonitor {
 
   std::size_t consumer_count() const { return detectors_.size(); }
 
+  /// Resolved shard count (config.shards, or the auto-sized value).
+  std::size_t shard_count() const { return shard_count_; }
+
  private:
-  struct ConsumerState {
-    // Sliding week vector, indexed by slot-of-week: window[s % kSlotsPerWeek]
-    // always holds the freshest reading for that slot position, so the
-    // vector handed to the detector is slot-aligned by construction (a ring
-    // buffer rotated by its write cursor is only accidentally correct for
-    // the order-insensitive plain KLD and breaks slot-aligned detectors
-    // such as the price-conditioned KLD).
-    std::vector<Kw> window;
-    /// Slot-of-week positions whose freshest value was never delivered
-    /// (parallel to `window`; cleared when a real reading arrives).
-    std::vector<char> missing;
-    std::size_t missing_in_window = 0;  ///< popcount of `missing`, O(1) gate
-    std::size_t since_score = 0;
-    std::size_t cooldown = 0;
-    double train_mean = 0.0;  ///< training-span mean, for alert direction
-  };
+  /// Sizes the Struct-of-Arrays fleet state and shard locks for `count`
+  /// consumers (everything zeroed; detectors default-constructed).
+  void init_fleet(std::size_t count);
+
+  /// Fits consumer i's detector and primes its sliding window from `series`
+  /// (shared by fit() and fit_streaming(); safe concurrently for distinct i).
+  void fit_one(std::size_t i, const meter::ConsumerSeries& series,
+               const meter::TrainTestSplit& split);
 
   /// Applies one reading to its consumer's state; does NOT touch alerts_
   /// (callers append, preserving ingestion order across a parallel batch).
-  /// Counter updates are atomic, so concurrent calls for distinct consumers
-  /// keep the totals exact.
+  /// The caller must hold the consumer's shard lock.  Counter updates are
+  /// atomic, so concurrent calls for distinct shards keep the totals exact.
   std::optional<AlertEvent> apply(const Reading& reading);
 
   /// Emits an alert_raised event for `event` (no-op while the sink is
@@ -164,7 +191,30 @@ class OnlineMonitor {
   OnlineMonitorConfig config_;
   std::vector<KldDetector> detectors_;
   std::vector<meter::ConsumerId> ids_;
-  std::vector<ConsumerState> state_;
+
+  // Per-consumer sliding-window state, Struct-of-Arrays: one flat array per
+  // field, indexed consumer-major, so the binning / KLD hot loops stream
+  // contiguous memory instead of chasing per-consumer vectors.
+  //
+  // windows_[i*336 + s] is consumer i's freshest reading for slot-of-week s:
+  // the vector handed to the detector is slot-aligned by construction (a
+  // ring buffer rotated by its write cursor is only accidentally correct
+  // for the order-insensitive plain KLD and breaks slot-aligned detectors
+  // such as the price-conditioned KLD).
+  std::vector<Kw> windows_;            // count x kSlotsPerWeek
+  /// Slot-of-week positions whose freshest value was never delivered
+  /// (parallel to windows_; cleared when a real reading arrives).
+  std::vector<unsigned char> missing_; // count x kSlotsPerWeek
+  std::vector<std::uint32_t> missing_in_window_;  ///< popcount, O(1) gate
+  std::vector<std::uint32_t> since_score_;
+  std::vector<std::uint32_t> cooldown_;
+  std::vector<double> train_mean_;  ///< training-span mean, alert direction
+
+  // Shard layer: shard_of(i, shard_count_) owns consumer i's state above.
+  std::size_t shard_count_ = 1;
+  std::unique_ptr<std::mutex[]> shard_locks_;
+  mutable std::mutex alerts_mutex_;  // guards alerts_ + serialised emission
+
   std::vector<AlertEvent> alerts_;
   bool fitted_ = false;
 

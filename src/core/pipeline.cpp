@@ -123,8 +123,9 @@ void FdetaPipeline::save_model(std::ostream& out) const {
 
 void FdetaPipeline::load_model(std::istream& in) {
   obs::TraceSpan span("pipeline.load_model", "pipeline");
+  std::uint32_t version = persist::kFormatVersion;
   const std::string payload =
-      persist::read_checkpoint(in, persist::Section::kPipeline);
+      persist::read_checkpoint(in, persist::Section::kPipeline, &version);
   persist::Decoder dec(payload);
 
   PipelineConfig config = config_;  // threads/metrics survive the restore
@@ -140,7 +141,7 @@ void FdetaPipeline::load_model(std::istream& in) {
   train_stats.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     KldDetector detector;
-    detector.restore(dec);
+    detector.restore(dec, version);
     detectors.push_back(std::move(detector));
     train_stats.push_back(meter::load_weekly_stats(dec));
   }

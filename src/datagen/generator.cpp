@@ -61,10 +61,13 @@ std::vector<Kw> generate_series(const LoadProfile& profile, std::size_t weeks,
   return out;
 }
 
-meter::Dataset generate_dataset(const GeneratorConfig& config) {
-  require(config.consumer_count() >= 1, "generate_dataset: no consumers");
-  Rng root(config.seed);
+namespace {
 
+// The deterministically shuffled type table shared by generate_dataset and
+// StreamingFleet: draws only from root.spawn(0), so per-consumer streams
+// (spawn(i + 1)) are untouched regardless of who builds it.
+std::vector<meter::ConsumerType> shuffled_types(const GeneratorConfig& config,
+                                                const Rng& root) {
   std::vector<meter::ConsumerType> types;
   types.reserve(config.consumer_count());
   for (std::size_t i = 0; i < config.residential; ++i) {
@@ -81,25 +84,51 @@ meter::Dataset generate_dataset(const GeneratorConfig& config) {
   for (std::size_t i = types.size(); i > 1; --i) {
     std::swap(types[i - 1], types[shuffle_rng.below(i)]);
   }
+  return types;
+}
+
+meter::ConsumerSeries consumer_at(const GeneratorConfig& config,
+                                  const Rng& root, meter::ConsumerType type,
+                                  std::size_t i) {
+  Rng rng = root.spawn(i + 1);
+  const LoadProfile profile = make_profile(type, rng);
+  meter::ConsumerSeries s;
+  s.id = static_cast<meter::ConsumerId>(1000 + i);
+  s.type = type;
+  s.readings = generate_series(profile, config.weeks, rng,
+                               config.vacation_probability,
+                               config.party_days);
+  return s;
+}
+
+}  // namespace
+
+meter::Dataset generate_dataset(const GeneratorConfig& config) {
+  require(config.consumer_count() >= 1, "generate_dataset: no consumers");
+  Rng root(config.seed);
+  const std::vector<meter::ConsumerType> types = shuffled_types(config, root);
 
   std::vector<meter::ConsumerSeries> all;
   all.reserve(types.size());
   for (std::size_t i = 0; i < types.size(); ++i) {
-    Rng rng = root.spawn(i + 1);
-    const LoadProfile profile = make_profile(types[i], rng);
-    meter::ConsumerSeries s;
-    s.id = static_cast<meter::ConsumerId>(1000 + i);
-    s.type = types[i];
-    s.readings = generate_series(profile, config.weeks, rng,
-                                 config.vacation_probability,
-                                 config.party_days);
-    all.push_back(std::move(s));
+    all.push_back(consumer_at(config, root, types[i], i));
   }
   return meter::Dataset(std::move(all));
 }
 
-meter::Dataset small_dataset(std::size_t consumers, std::size_t weeks,
-                             std::uint64_t seed) {
+StreamingFleet::StreamingFleet(GeneratorConfig config)
+    : config_(config), root_(config.seed) {
+  require(config_.consumer_count() >= 1, "StreamingFleet: no consumers");
+  types_ = shuffled_types(config_, root_);
+}
+
+meter::ConsumerSeries StreamingFleet::consumer(std::size_t i) const {
+  require(i < types_.size(), "StreamingFleet::consumer: index out of range");
+  return consumer_at(config_, root_, types_[i], i);
+}
+
+GeneratorConfig scaled_config(std::size_t consumers, std::size_t weeks,
+                              std::uint64_t seed) {
   GeneratorConfig config;
   config.weeks = weeks;
   config.seed = seed;
@@ -111,7 +140,12 @@ meter::Dataset small_dataset(std::size_t consumers, std::size_t weeks,
     config.unclassified = consumers > 1 ? 1 : 0;
   }
   config.residential = consumers - config.sme - config.unclassified;
-  return generate_dataset(config);
+  return config;
+}
+
+meter::Dataset small_dataset(std::size_t consumers, std::size_t weeks,
+                             std::uint64_t seed) {
+  return generate_dataset(scaled_config(consumers, weeks, seed));
 }
 
 }  // namespace fdeta::datagen

@@ -44,8 +44,36 @@ std::vector<Kw> generate_series(const LoadProfile& profile, std::size_t weeks,
 /// four-digit ids); types are interleaved deterministically.
 meter::Dataset generate_dataset(const GeneratorConfig& config);
 
+/// The CER type mix scaled to `consumers` total (what small_dataset uses);
+/// also the config to hand a StreamingFleet for an arbitrary-scale fleet.
+GeneratorConfig scaled_config(std::size_t consumers, std::size_t weeks,
+                              std::uint64_t seed);
+
 /// Convenience: a scaled-down dataset for tests (n consumers, `weeks` weeks).
 meter::Dataset small_dataset(std::size_t consumers, std::size_t weeks,
                              std::uint64_t seed);
+
+/// A per-consumer view of generate_dataset(config): consumer(i) materialises
+/// exactly the series that generate_dataset would place at index i, without
+/// holding the rest of the fleet in memory.  The generator's RNG streams are
+/// per-consumer by construction (root.spawn(i + 1)), so a million-consumer
+/// horizon - tens of gigabytes of readings - can be walked one series at a
+/// time (e.g. through OnlineMonitor::fit_streaming) with only the type table
+/// resident.  consumer() is safe to call concurrently for any indices.
+class StreamingFleet {
+ public:
+  explicit StreamingFleet(GeneratorConfig config);
+
+  std::size_t consumer_count() const { return types_.size(); }
+
+  /// Consumer i's series, bit-identical to generate_dataset(config)
+  /// .consumer(i).  Throws DataError if i is out of range.
+  meter::ConsumerSeries consumer(std::size_t i) const;
+
+ private:
+  GeneratorConfig config_;
+  Rng root_;
+  std::vector<meter::ConsumerType> types_;  ///< post-shuffle type per index
+};
 
 }  // namespace fdeta::datagen

@@ -1,5 +1,7 @@
 #include "persist/binary_io.h"
 
+#include <cstring>
+
 #include "common/error.h"
 
 namespace fdeta::persist {
@@ -19,6 +21,28 @@ void Encoder::u64(std::uint64_t v) {
 void Encoder::doubles(std::span<const double> values) {
   u64(values.size());
   for (double v : values) f64(v);
+}
+
+void Encoder::f64_array(std::span<const double> values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    buf_.append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(double));
+  } else {
+    for (double v : values) f64(v);
+  }
+}
+
+void Encoder::u32_array(std::span<const std::uint32_t> values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    buf_.append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(std::uint32_t));
+  } else {
+    for (std::uint32_t v : values) u32(v);
+  }
+}
+
+void Encoder::u8_array(std::span<const unsigned char> values) {
+  buf_.append(reinterpret_cast<const char*>(values.data()), values.size());
 }
 
 void Decoder::need(std::size_t n) const {
@@ -70,6 +94,34 @@ std::vector<double> Decoder::doubles(std::string_view what,
   std::vector<double> out(n);
   for (auto& v : out) v = f64();
   return out;
+}
+
+void Decoder::f64_array(std::span<double> out) {
+  need(out.size() * sizeof(double));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), bytes_.data() + pos_,
+                out.size() * sizeof(double));
+    pos_ += out.size() * sizeof(double);
+  } else {
+    for (auto& v : out) v = f64();
+  }
+}
+
+void Decoder::u32_array(std::span<std::uint32_t> out) {
+  need(out.size() * sizeof(std::uint32_t));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), bytes_.data() + pos_,
+                out.size() * sizeof(std::uint32_t));
+    pos_ += out.size() * sizeof(std::uint32_t);
+  } else {
+    for (auto& v : out) v = u32();
+  }
+}
+
+void Decoder::u8_array(std::span<unsigned char> out) {
+  need(out.size());
+  std::memcpy(out.data(), bytes_.data() + pos_, out.size());
+  pos_ += out.size();
 }
 
 void Decoder::require_exhausted(std::string_view what) const {

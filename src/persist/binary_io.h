@@ -32,6 +32,16 @@ class Encoder {
   /// Element count (u64) followed by each element as f64.
   void doubles(std::span<const double> values);
 
+  /// Bulk raw arrays WITHOUT a leading count: the caller's schema fixes the
+  /// element count (e.g. consumers x slots-per-week), so the decoder can
+  /// read the whole block in one bounds-checked memcpy instead of a
+  /// per-element loop - the difference between a multi-second and a
+  /// sub-second million-consumer warm start.  On a little-endian host the
+  /// append IS a memcpy; the big-endian fallback keeps the format stable.
+  void f64_array(std::span<const double> values);
+  void u32_array(std::span<const std::uint32_t> values);
+  void u8_array(std::span<const unsigned char> values);
+
   const std::string& bytes() const { return buf_; }
 
  private:
@@ -54,6 +64,13 @@ class Decoder {
   std::size_t count(std::string_view what, std::size_t max_count);
   /// Reads a doubles() sequence.
   std::vector<double> doubles(std::string_view what, std::size_t max_count);
+
+  /// Bulk reads of the countless Encoder::*_array blocks; `out.size()`
+  /// elements are consumed (bounds-checked up front, single memcpy on
+  /// little-endian hosts).
+  void f64_array(std::span<double> out);
+  void u32_array(std::span<std::uint32_t> out);
+  void u8_array(std::span<unsigned char> out);
 
   std::size_t remaining() const { return bytes_.size() - pos_; }
   /// Throws DataError if any payload bytes were left unread (a section that

@@ -33,7 +33,8 @@ void write_checkpoint(std::ostream& out, Section section,
   if (!out) throw DataError("checkpoint: write failed");
 }
 
-std::string read_checkpoint(std::istream& in, Section expected_section) {
+std::string read_checkpoint(std::istream& in, Section expected_section,
+                            std::uint32_t* version_out) {
   obs::TraceSpan span("persist.read_checkpoint", "persist");
   std::string magic(kMagic.size(), '\0');
   in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
@@ -47,11 +48,13 @@ std::string read_checkpoint(std::istream& in, Section expected_section) {
   if (!in) throw DataError("checkpoint: truncated header");
   Decoder header(fixed);
   const std::uint32_t version = header.u32();
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     throw DataError("checkpoint: format version " + std::to_string(version) +
-                    " unsupported (this build reads version " +
+                    " unsupported (this build reads versions " +
+                    std::to_string(kMinReadVersion) + ".." +
                     std::to_string(kFormatVersion) + "); refit the model");
   }
+  if (version_out != nullptr) *version_out = version;
   const std::uint32_t section = header.u32();
   if (section != static_cast<std::uint32_t>(expected_section)) {
     throw DataError("checkpoint: holds section " + std::to_string(section) +

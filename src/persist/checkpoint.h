@@ -16,13 +16,17 @@
 //       24     8  FNV-1a 64 checksum of the payload bytes
 //       32     -  payload (section-specific; encoded via persist::Encoder)
 //
-// Compatibility policy: the version is bumped on ANY payload layout change
-// and readers reject mismatches outright (a fit is cheap relative to the
-// cost of silently misinterpreting thresholds); there is no in-place
-// migration. Readers validate magic -> version -> section -> size ->
-// checksum in that order, then require the section decoder to consume the
-// payload exactly. Conventions follow src/grid/serialize.*: free
-// save/load functions, DataError on every structural violation.
+// Compatibility policy: the version is bumped on ANY payload layout change.
+// Writers always emit kFormatVersion; readers accept the window
+// [kMinReadVersion, kFormatVersion] and surface the actual version so each
+// section decoder can pick the matching layout (v2 checkpoints written by
+// older builds restore bit-exactly - a refit is cheap, but a fleet refit of
+// a million consumers is not). Anything outside the window is rejected
+// outright; there is no in-place migration of the bytes themselves. Readers
+// validate magic -> version -> section -> size -> checksum in that order,
+// then require the section decoder to consume the payload exactly.
+// Conventions follow src/grid/serialize.*: free save/load functions,
+// DataError on every structural violation.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +41,13 @@ namespace fdeta::persist {
 inline constexpr std::string_view kMagic = "FDETAMDL";
 // v2: OnlineMonitor payload gained the per-consumer missing mask and the
 // coverage-gate threshold.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: KLD detector payloads carry the out-of-support binning flag, and the
+// OnlineMonitor payload switched to the Struct-of-Arrays fleet layout
+// (uniform detector config + bulk per-field arrays) so a large-fleet warm
+// start is bulk reads instead of a per-consumer decode pass.
+inline constexpr std::uint32_t kFormatVersion = 3;
+/// Oldest version this build still reads (see the per-section decoders).
+inline constexpr std::uint32_t kMinReadVersion = 2;
 
 /// What fitted model a checkpoint holds. A reader asks for the section it
 /// expects; a pipeline checkpoint can never be restored into a monitor.
@@ -53,9 +63,13 @@ void write_checkpoint(std::ostream& out, Section section,
                       std::string_view payload);
 
 /// Reads and validates a checkpoint written by write_checkpoint, returning
-/// the payload bytes. Throws DataError on bad magic, version or section
-/// mismatch, truncation, or checksum failure.
-std::string read_checkpoint(std::istream& in, Section expected_section);
+/// the payload bytes. Accepts format versions in
+/// [kMinReadVersion, kFormatVersion] and stores the file's actual version
+/// through `version` (when non-null) so the caller can decode the matching
+/// payload layout. Throws DataError on bad magic, an out-of-window version,
+/// section mismatch, truncation, or checksum failure.
+std::string read_checkpoint(std::istream& in, Section expected_section,
+                            std::uint32_t* version = nullptr);
 
 /// Convenience file wrappers (binary mode; DataError on open failure).
 void save_checkpoint_file(const std::string& path, Section section,

@@ -42,9 +42,45 @@ class Histogram {
   /// probability mass of out-of-range readings (attack vectors often sit
   /// outside the training range), but the clamp is silent - bin_of(v) == 0
   /// cannot tell "v was in the lowest training bin" from "v was below the
-  /// training support entirely".  Callers that need the distinction count
-  /// out-of-support values with underflow_count()/overflow_count().
+  /// training support entirely".  Callers that need the distinction use
+  /// counts_into()/probabilities_into() with exclude_out_of_support, which
+  /// route out-of-support values to the underflow/overflow tallies instead
+  /// of inflating the outer bins' probability mass.
+  ///
+  /// O(1): an arithmetic index guess from the (uniform-width) edge grid,
+  /// corrected by a short fixup walk, replaces the upper_bound binary
+  /// search; the result is identical for every input, non-uniform explicit
+  /// edges and NaN included.
   std::size_t bin_of(double value) const;
+
+  /// Out-of-support accounting for one binning pass.
+  struct BinningStats {
+    std::size_t underflow = 0;   ///< values strictly below edges().front()
+    std::size_t overflow = 0;    ///< values strictly above edges().back()
+    std::size_t in_support = 0;  ///< values counted into the bins
+  };
+
+  /// Bins `sample` into `out` (size bin_count(), zeroed here) without
+  /// allocating - the fleet hot path.  With exclude_out_of_support, values
+  /// outside [edges().front(), edges().back()] are tallied in the returned
+  /// BinningStats and NOT counted into the outer bins (a negative or absurd
+  /// reading no longer masquerades as lowest-bin consumption mass, which
+  /// previously skewed KLD toward under-report alerts); with it false the
+  /// historical clamping semantics apply and in_support == sample.size().
+  BinningStats counts_into(std::span<const double> sample,
+                           std::span<std::size_t> out,
+                           bool exclude_out_of_support) const;
+
+  /// Relative frequencies into `out` (size bin_count()), normalised over
+  /// the in-support count when excluding so the distribution still sums to
+  /// 1.  Degenerate guard: when every value is out of support there is no
+  /// in-support mass to normalise, so the pass falls back to the clamping
+  /// semantics (the outer bins are then the only honest place for the mass,
+  /// and a detector still sees a maximally anomalous week rather than a
+  /// divide-by-zero).  Requires a non-empty sample.
+  BinningStats probabilities_into(std::span<const double> sample,
+                                  std::span<double> out,
+                                  bool exclude_out_of_support) const;
 
   /// Number of values in `sample` strictly below edges().front() - readings
   /// outside the training support that bin_of() clamps into bin 0.
@@ -66,7 +102,12 @@ class Histogram {
   static Histogram load(persist::Decoder& dec);
 
  private:
+  void init_grid();
+
   std::vector<double> edges_;  // ascending, size = bins + 1
+  // Arithmetic guess grid for bin_of (derived from edges_, not serialized).
+  double lo_ = 0.0;
+  double inv_width_ = 0.0;
 };
 
 }  // namespace fdeta::stats

@@ -26,6 +26,7 @@
 #include "ami/network.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/online_monitor.h"
 #include "core/pipeline.h"
 #include "datagen/generator.h"
 #include "obs/event_log.h"
@@ -431,6 +432,101 @@ TEST(DetectionChaos, CoverageGatedWeeksAreNeverReportedAsTheft) {
   }
   // At 50% loss essentially everything gates (336 slots, gate at 25%).
   EXPECT_EQ(gated, outcomes.size() * actual.consumer_count());
+}
+
+// The monitor's stride and cooldown clocks advance on OBSERVED readings
+// only: an AMI outage delivering `missing` markers must not eat a
+// consumer's stride budget (scoring early) or its cooldown (re-alerting
+// early) while nothing is being measured.  This pins the invariant against
+// regression - a counter that ticks on every delivery would pass every
+// clean-feed test and fail only under exactly this kind of chaos.
+TEST(MonitorChaos, StrideAndCooldownClocksIgnoreOutageReadings) {
+  const auto data = datagen::small_dataset(4, 12, 31);
+  const meter::TrainTestSplit split{.train_weeks = 10, .test_weeks = 2};
+  obs::MetricsRegistry reg;
+  core::OnlineMonitorConfig config;
+  config.kld = {.bins = 10, .significance = 0.10};
+  config.stride = 4;
+  config.cooldown_slots = 8;
+  config.metrics = &reg;
+  core::OnlineMonitor monitor(config);
+  monitor.fit(data, split);
+
+  const SlotIndex base = split.train_weeks * kSlotsPerWeek;
+  const std::size_t consumer = 0;
+  std::size_t offset = 0;
+  auto observed = [&](double scale) {
+    const SlotIndex slot = base + offset;
+    const Kw kw = data.consumer(consumer).readings[slot] * scale;
+    ++offset;
+    return core::Reading{consumer, slot, kw, false};
+  };
+  auto outage = [&] {
+    return core::Reading{consumer, base + offset++, 0.0, true};
+  };
+  // A theft signature that stays INSIDE the training support: pin every
+  // reading at the consumer's training mean.  (Scaling readings down pushes
+  // them below the support floor, where the out-of-support exclusion drops
+  // them from the scored mass instead of piling them into bin 0.)
+  const Kw pin = [&] {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < base; ++t) {
+      sum += data.consumer(consumer).readings[t];
+    }
+    return sum / static_cast<double>(base);
+  }();
+  auto pinned = [&] {
+    return core::Reading{consumer, base + offset++, pin, false};
+  };
+  auto scores = [&] {
+    return reg.snapshot().counter("monitor.scores_evaluated");
+  };
+
+  // Stride clock: 3 observed readings, then an outage burst.  If missing
+  // readings advanced the clock, the burst would trigger the 4th tick and
+  // score a window nobody measured.
+  for (int i = 0; i < 3; ++i) monitor.ingest(observed(1.0));
+  ASSERT_EQ(scores(), 0u);
+  for (int i = 0; i < 10; ++i) monitor.ingest(outage());
+  EXPECT_EQ(scores(), 0u) << "outage readings advanced the stride clock";
+  monitor.ingest(observed(1.0));
+  EXPECT_EQ(scores(), 1u);
+
+  // Raise an alert: keep feeding mean-pinned readings until the sliding
+  // week's mass has collapsed into one bin and the score crosses the
+  // threshold.
+  std::size_t guard = 0;
+  while (monitor.alerts().empty() &&
+         guard++ < static_cast<std::size_t>(kSlotsPerWeek)) {
+    monitor.ingest(pinned());
+  }
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+
+  // Cooldown clock: interleave outage markers with observed readings.  The
+  // 7 observed readings leave one cooldown slot outstanding no matter how
+  // many outage markers arrive; nothing may score and no alert may fire.
+  const auto scored_at_alert = scores();
+  for (int i = 0; i < 7; ++i) {
+    monitor.ingest(outage());
+    monitor.ingest(outage());
+    monitor.ingest(pinned());
+  }
+  EXPECT_EQ(reg.snapshot().counter("monitor.readings_in_cooldown"), 7u);
+  EXPECT_EQ(scores(), scored_at_alert)
+      << "outage readings burned through the cooldown";
+  EXPECT_EQ(monitor.alerts().size(), 1u);
+
+  // The 8th observed reading retires the cooldown; the stride clock then
+  // needs 4 more observed readings (outages still don't count) before the
+  // pinned week scores again and re-alerts.
+  monitor.ingest(pinned());
+  EXPECT_EQ(reg.snapshot().counter("monitor.readings_in_cooldown"), 8u);
+  for (int i = 0; i < 3; ++i) monitor.ingest(outage());
+  for (int i = 0; i < 3; ++i) monitor.ingest(pinned());
+  EXPECT_EQ(scores(), scored_at_alert);
+  monitor.ingest(pinned());
+  EXPECT_EQ(scores(), scored_at_alert + 1);
+  EXPECT_EQ(monitor.alerts().size(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// Sharding moves locks around, never results: for any shard count x thread
+// count, the head-end and the online monitor must produce byte-identical
+// state - scores, alerts, tallies, emitted events, and checkpoint bytes -
+// for the same reading order.  These tests pin that invariant by replaying
+// one fixed delivery sequence through every lock layout and comparing
+// against the unsharded serial reference.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ami/network.h"
+#include "common/error.h"
+#include "core/online_monitor.h"
+#include "datagen/generator.h"
+#include "meter/dataset.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace fdeta {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+meter::TrainTestSplit split() {
+  return {.train_weeks = 10, .test_weeks = 2};
+}
+
+// One week of slot-major deliveries: consumers 0 and 3 under-report through
+// a 0.25 MITM scale (raising alerts), every 17th reading is marked missing
+// (exercising the clocks-only-on-observed path), and the rest stream clean.
+std::vector<core::Reading> delivery_sequence(const meter::Dataset& data) {
+  const SlotIndex base = split().train_weeks * kSlotsPerWeek;
+  std::vector<core::Reading> readings;
+  readings.reserve(data.consumer_count() * kSlotsPerWeek);
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(kSlotsPerWeek); ++s) {
+    for (std::size_t c = 0; c < data.consumer_count(); ++c, ++n) {
+      core::Reading r;
+      r.consumer_index = c;
+      r.slot = base + s;
+      r.kw = data.consumer(c).readings[base + s];
+      if (c == 0 || c == 3) r.kw *= 0.25;
+      r.missing = (n % 17) == 0;
+      readings.push_back(r);
+    }
+  }
+  return readings;
+}
+
+std::string checkpoint_bytes(const core::OnlineMonitor& monitor) {
+  std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+  monitor.save(out);
+  return out.str();
+}
+
+void expect_same_alerts(const std::vector<core::AlertEvent>& want,
+                        const std::vector<core::AlertEvent>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].consumer_index, got[i].consumer_index) << i;
+    EXPECT_EQ(want[i].consumer_id, got[i].consumer_id) << i;
+    EXPECT_EQ(want[i].slot, got[i].slot) << i;
+    EXPECT_EQ(want[i].score, got[i].score) << i;
+    EXPECT_EQ(want[i].threshold, got[i].threshold) << i;
+    EXPECT_EQ(want[i].direction, got[i].direction) << i;
+  }
+}
+
+class ShardEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { data_ = datagen::small_dataset(12, 12, kSeed); }
+
+  std::unique_ptr<core::OnlineMonitor> make_monitor(
+      std::size_t shards, std::size_t threads, obs::MetricsRegistry* reg,
+      obs::EventLog* events = nullptr) {
+    core::OnlineMonitorConfig config;
+    config.kld = {.bins = 10, .significance = 0.10};
+    config.stride = 1;
+    config.cooldown_slots = 12;
+    config.shards = shards;
+    config.threads = threads;
+    config.metrics = reg;
+    config.events = events;
+    auto monitor = std::make_unique<core::OnlineMonitor>(config);
+    monitor->fit(data_, split());
+    return monitor;
+  }
+
+  meter::Dataset data_;
+};
+
+// The serial per-reading path at shards=1 is the semantic reference; every
+// shard count and batch parallelism must reproduce it byte-for-byte.
+TEST_F(ShardEquivalenceTest, MonitorAnyShardCountMatchesSerialReference) {
+  const auto readings = delivery_sequence(data_);
+
+  obs::MetricsRegistry ref_reg;
+  auto reference = make_monitor(1, 1, &ref_reg);
+  for (const auto& r : readings) reference->ingest(r);
+  ASSERT_FALSE(reference->alerts().empty())
+      << "sequence raised no alerts; the equivalence check would be vacuous";
+  const std::string ref_bytes = checkpoint_bytes(*reference);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      obs::MetricsRegistry reg;
+      auto monitor = make_monitor(shards, threads, &reg);
+      const auto raised = monitor->ingest_batch(readings);
+      expect_same_alerts(reference->alerts(), monitor->alerts());
+      expect_same_alerts(reference->alerts(), raised);
+      EXPECT_EQ(ref_bytes, checkpoint_bytes(*monitor));
+      const auto ref_snap = ref_reg.snapshot();
+      const auto snap = reg.snapshot();
+      for (const char* counter :
+           {"monitor.readings_ingested", "monitor.readings_missing",
+            "monitor.readings_in_cooldown", "monitor.scores_evaluated",
+            "monitor.alerts_raised", "monitor.alerts_over_report",
+            "monitor.alerts_under_report"}) {
+        EXPECT_EQ(ref_snap.counter(counter), snap.counter(counter))
+            << counter;
+      }
+    }
+  }
+}
+
+// PR 5's determinism contract survives sharding: the forensic event log is
+// byte-identical for any shard count x thread count (alerts are merged back
+// into batch order and emitted serially).
+TEST_F(ShardEquivalenceTest, MonitorEventLogBytesInvariantAcrossSharding) {
+  const auto readings = delivery_sequence(data_);
+
+  std::string reference;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{5},
+                                   std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      obs::MetricsRegistry reg;
+      obs::EventLog log;
+      log.enable();
+      auto monitor = make_monitor(shards, threads, &reg, &log);
+      monitor->ingest_batch(readings);
+      const std::string got = log.to_jsonl();
+      ASSERT_FALSE(got.empty());
+      if (reference.empty()) {
+        reference = got;
+      } else {
+        EXPECT_EQ(reference, got);
+      }
+    }
+  }
+}
+
+// fit_streaming materialises one series at a time but must land on state
+// bit-identical to fit() over the same fleet.
+TEST_F(ShardEquivalenceTest, FitStreamingMatchesFitBitExactly) {
+  obs::MetricsRegistry reg_fit;
+  auto fitted = make_monitor(4, 2, &reg_fit);
+
+  datagen::StreamingFleet fleet(datagen::scaled_config(12, 12, kSeed));
+  core::OnlineMonitorConfig config;
+  config.kld = {.bins = 10, .significance = 0.10};
+  config.stride = 1;
+  config.cooldown_slots = 12;
+  config.shards = 4;
+  config.threads = 2;
+  obs::MetricsRegistry reg_stream;
+  config.metrics = &reg_stream;
+  core::OnlineMonitor streamed(config);
+  streamed.fit_streaming(
+      data_.consumer_count(),
+      [&](std::size_t i) { return fleet.consumer(i); }, split());
+
+  EXPECT_EQ(checkpoint_bytes(*fitted), checkpoint_bytes(streamed));
+}
+
+// StreamingFleet::consumer(i) is the per-consumer view of the same RNG
+// streams generate_dataset draws from.
+TEST(StreamingFleet, MatchesBatchGeneration) {
+  const auto config = datagen::scaled_config(9, 6, 123);
+  const auto batch = datagen::generate_dataset(config);
+  const datagen::StreamingFleet fleet(config);
+  ASSERT_EQ(batch.consumer_count(), fleet.consumer_count());
+  for (std::size_t i = 0; i < fleet.consumer_count(); ++i) {
+    const auto series = fleet.consumer(i);
+    EXPECT_EQ(batch.consumer(i).id, series.id);
+    EXPECT_EQ(batch.consumer(i).type, series.type);
+    EXPECT_EQ(batch.consumer(i).readings, series.readings);
+  }
+}
+
+// Head-end equivalence: one delivery tape with duplicates, stale replays,
+// and quarantine-worthy garbage must land on identical stored state and
+// tallies for every shard count x thread count, and receive_batch outcomes
+// must match a serial receive() replay index-for-index.
+class HeadEndShardTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kConsumers = 10;
+  static constexpr std::size_t kSlots = 64;
+
+  std::vector<ami::ReadingReport> tape() const {
+    std::vector<ami::ReadingReport> reports;
+    for (std::size_t t = 0; t < kSlots; ++t) {
+      for (std::size_t c = 0; c < kConsumers; ++c) {
+        const double kw = 0.5 + static_cast<double>((c * 31 + t * 7) % 13);
+        reports.push_back({c, static_cast<SlotIndex>(t), kw, 1});
+        if ((c + t) % 5 == 0) {  // duplicate: same sequence again
+          reports.push_back({c, static_cast<SlotIndex>(t), kw, 1});
+        }
+        if ((c + t) % 7 == 0) {  // fresher retransmit, then a stale replay
+          reports.push_back({c, static_cast<SlotIndex>(t), kw * 2.0, 2});
+          reports.push_back({c, static_cast<SlotIndex>(t), kw, 0});
+        }
+        if ((c * 3 + t) % 11 == 0) {  // corrupt value -> quarantine
+          reports.push_back({c, static_cast<SlotIndex>(t), -4.0, 3});
+        }
+      }
+    }
+    return reports;
+  }
+
+  struct Collected {
+    std::vector<ami::ReceiveOutcome> outcomes;
+    std::vector<std::vector<Kw>> readings;
+    std::vector<std::vector<char>> masks;
+    std::size_t missing = 0, quarantined = 0, duplicates = 0, stale = 0;
+  };
+
+  static Collected collect(ami::HeadEnd& head_end,
+                           std::vector<ami::ReceiveOutcome> outcomes) {
+    Collected out;
+    out.outcomes = std::move(outcomes);
+    for (std::size_t c = 0; c < kConsumers; ++c) {
+      std::vector<char> mask;
+      out.readings.push_back(head_end.consumer_readings(c, mask));
+      out.masks.push_back(std::move(mask));
+    }
+    out.missing = head_end.missing_count();
+    out.quarantined = head_end.quarantined_count();
+    out.duplicates = head_end.duplicates_suppressed();
+    out.stale = head_end.stale_rejected();
+    return out;
+  }
+};
+
+TEST_F(HeadEndShardTest, ReceiveBatchMatchesSerialForAnyShardCount) {
+  const auto reports = tape();
+
+  obs::MetricsRegistry ref_reg;
+  ami::HeadEnd reference(kConsumers, kSlots, &ref_reg, {.shards = 1});
+  std::vector<ami::ReceiveOutcome> ref_outcomes;
+  ref_outcomes.reserve(reports.size());
+  for (const auto& report : reports) {
+    ref_outcomes.push_back(reference.receive(report));
+  }
+  const Collected want = collect(reference, std::move(ref_outcomes));
+  ASSERT_GT(want.quarantined, 0u);
+  ASSERT_GT(want.duplicates, 0u);
+  ASSERT_GT(want.stale, 0u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      obs::MetricsRegistry reg;
+      ami::HeadEnd head_end(kConsumers, kSlots, &reg,
+                            {.shards = shards, .threads = threads});
+      const Collected got =
+          collect(head_end, head_end.receive_batch(reports));
+      EXPECT_EQ(want.outcomes, got.outcomes);
+      EXPECT_EQ(want.readings, got.readings);
+      EXPECT_EQ(want.masks, got.masks);
+      EXPECT_EQ(want.missing, got.missing);
+      EXPECT_EQ(want.quarantined, got.quarantined);
+      EXPECT_EQ(want.duplicates, got.duplicates);
+      EXPECT_EQ(want.stale, got.stale);
+    }
+  }
+}
+
+TEST_F(HeadEndShardTest, ReceiveBatchValidatesIndexesUpFront) {
+  ami::HeadEnd head_end(kConsumers, kSlots, nullptr, {.shards = 4});
+  std::vector<ami::ReadingReport> reports = {
+      {0, 0, 1.0, 1},
+      {kConsumers, 0, 1.0, 1},  // out of range
+  };
+  EXPECT_THROW(head_end.receive_batch(reports), InvalidArgument);
+  // Nothing applied: the valid first report must not have landed.
+  EXPECT_FALSE(head_end.has_reading(0, 0));
+}
+
+TEST_F(HeadEndShardTest, ShardCountResolvesAndReports) {
+  ami::HeadEnd one(kConsumers, kSlots, nullptr, {.shards = 1});
+  EXPECT_EQ(one.shard_count(), 1u);
+  ami::HeadEnd many(kConsumers, kSlots, nullptr, {.shards = 64});
+  // Never more shards than consumers.
+  EXPECT_LE(many.shard_count(), kConsumers);
+  ami::HeadEnd auto_sized(kConsumers, kSlots, nullptr, {});
+  EXPECT_GE(auto_sized.shard_count(), 1u);
+  EXPECT_LE(auto_sized.shard_count(), kConsumers);
+}
+
+}  // namespace
+}  // namespace fdeta

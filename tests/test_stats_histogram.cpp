@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -143,6 +146,138 @@ TEST(Histogram, LoadRejectsCorruptEdges) {
   enc.doubles(std::vector<double>{1.0, 0.0});  // descending
   persist::Decoder dec(enc.bytes());
   EXPECT_THROW(Histogram::load(dec), InvalidArgument);
+}
+
+// The documented bin_of contract, spelled out as code: index of the last
+// edge <= value (upper_bound minus one), clamped into [0, bins).  The O(1)
+// guess-grid implementation must agree with this reference for EVERY input,
+// non-uniform edges and specials included.
+std::size_t reference_bin(const std::vector<double>& edges, double value) {
+  const auto it = std::upper_bound(edges.begin(), edges.end(), value);
+  std::ptrdiff_t j = (it - edges.begin()) - 1;
+  const auto last = static_cast<std::ptrdiff_t>(edges.size()) - 2;
+  if (j < 0) j = 0;
+  if (j > last) j = last;
+  return static_cast<std::size_t>(j);
+}
+
+TEST(Histogram, BinOfMatchesUpperBoundReference) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> edge_sets{
+      // Uniform edges (the fit() path).
+      {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0},
+      // Wildly non-uniform explicit edges: the guess grid is wrong by many
+      // bins here and the fixup walk must recover the exact index.
+      {0.0, 0.1, 0.5, 0.7, 3.0, 100.0},
+      // A duplicated edge: bin 1 is zero-width, values at exactly 1.0 must
+      // land in bin 2 (first edge strictly greater than 1.0 is edges[3]).
+      {0.0, 1.0, 1.0, 2.0},
+      // A zero-width histogram (inv_width_ is infinite).
+      {2.0, 2.0}};
+  for (const auto& edges : edge_sets) {
+    const Histogram h(edges);
+    std::vector<double> probes{-inf, inf, nan, -1e300, 1e300};
+    for (double e : edges) {
+      probes.push_back(e);
+      probes.push_back(std::nextafter(e, -inf));
+      probes.push_back(std::nextafter(e, inf));
+    }
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      probes.push_back(edges.front() - 1.0 +
+                       rng.uniform() * (edges.back() - edges.front() + 2.0));
+    }
+    for (double v : probes) {
+      EXPECT_EQ(h.bin_of(v), reference_bin(edges, v))
+          << "edges[0]=" << edges.front() << " bins=" << h.bin_count()
+          << " v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, BinOfSpecialValues) {
+  const Histogram h(std::vector<double>{0.0, 10.0}, 10);
+  // NaN compares false against every edge, so it stays in the last bin -
+  // the same place upper_bound semantics put it.
+  EXPECT_EQ(h.bin_of(std::numeric_limits<double>::quiet_NaN()), 9u);
+  EXPECT_EQ(h.bin_of(-std::numeric_limits<double>::infinity()), 0u);
+  EXPECT_EQ(h.bin_of(std::numeric_limits<double>::infinity()), 9u);
+  EXPECT_EQ(h.bin_of(10.0), 9u);  // max closed on the right
+}
+
+TEST(Histogram, CountsIntoExcludesOutOfSupportMass) {
+  const Histogram h(std::vector<double>{0.0, 10.0}, 10);
+  const std::vector<double> sample{-3.0, -0.5, 0.5, 0.5, 5.5, 10.0, 12.0};
+  std::vector<std::size_t> bins(10);
+
+  const auto excl = h.counts_into(sample, bins, true);
+  EXPECT_EQ(excl.underflow, 2u);
+  EXPECT_EQ(excl.overflow, 1u);
+  EXPECT_EQ(excl.in_support, 4u);
+  // The out-of-support values must NOT surface as outer-bin counts: bin 0
+  // holds only the two genuine 0.5 readings, the last bin only the 10.0.
+  EXPECT_EQ(bins[0], 2u);
+  EXPECT_EQ(bins[9], 1u);
+  EXPECT_EQ(std::accumulate(bins.begin(), bins.end(), 0u), excl.in_support);
+
+  // With exclusion off the pass must reproduce the legacy counts() clamping
+  // bit for bit, while still reporting the tallies.
+  const auto clamp = h.counts_into(sample, bins, false);
+  EXPECT_EQ(clamp.underflow, 2u);
+  EXPECT_EQ(clamp.overflow, 1u);
+  EXPECT_EQ(clamp.in_support, sample.size());
+  const auto legacy = h.counts(sample);
+  ASSERT_EQ(legacy.size(), bins.size());
+  for (std::size_t j = 0; j < bins.size(); ++j) EXPECT_EQ(bins[j], legacy[j]);
+  EXPECT_EQ(bins[0], 4u);  // the clamp piles the underflow into bin 0
+}
+
+TEST(Histogram, ProbabilitiesIntoNormalisesOverInSupportMass) {
+  const Histogram h(std::vector<double>{0.0, 10.0}, 10);
+  const std::vector<double> sample{-3.0, 0.5, 0.5, 5.5, 99.0};
+  std::vector<double> p(10);
+
+  const auto stats = h.probabilities_into(sample, p, true);
+  EXPECT_EQ(stats.in_support, 3u);
+  // Normalised over the 3 in-support values, not the 5-element sample.
+  EXPECT_DOUBLE_EQ(p[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[5], 1.0 / 3.0);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+
+  // exclude=false must be bit-identical to the legacy probabilities().
+  h.probabilities_into(sample, p, false);
+  const auto legacy = h.probabilities(sample);
+  for (std::size_t j = 0; j < p.size(); ++j) EXPECT_EQ(p[j], legacy[j]);
+}
+
+TEST(Histogram, AllOutOfSupportFallsBackToClamping) {
+  const Histogram h(std::vector<double>{0.0, 10.0}, 10);
+  // Every value outside the support: there is no in-support mass to
+  // normalise over, so the pass falls back to clamping - the detector sees
+  // a maximally anomalous week instead of a divide-by-zero - while the
+  // stats still show that the fallback fired (in_support == 0).
+  const std::vector<double> sample{-5.0, -1.0, 11.0, 40.0};
+  std::vector<double> p(10);
+  const auto stats = h.probabilities_into(sample, p, true);
+  EXPECT_EQ(stats.in_support, 0u);
+  EXPECT_EQ(stats.underflow, 2u);
+  EXPECT_EQ(stats.overflow, 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[9], 0.5);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, CountsIntoValidatesOutputSpan) {
+  const Histogram h(std::vector<double>{0.0, 1.0}, 4);
+  std::vector<std::size_t> wrong(3);
+  std::vector<double> wrongp(3);
+  const std::vector<double> sample{0.5};
+  EXPECT_THROW(h.counts_into(sample, wrong, true), InvalidArgument);
+  EXPECT_THROW(h.probabilities_into(sample, wrongp, true), InvalidArgument);
+  const std::vector<double> empty;
+  std::vector<double> right(4);
+  EXPECT_THROW(h.probabilities_into(empty, right, true), InvalidArgument);
 }
 
 class HistogramBinSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json perf report against a committed baseline.
+
+Compares the machine-portable ratios under "derived" (same-run comparisons:
+pool speedups, warm-start vs cold-fit, shard-contention) and exits non-zero
+when the candidate regresses more than --tolerance below the baseline.
+Absolute rates (consumers/sec, readings/sec) are recorded in the reports for
+the trajectory but never gated: they measure the machine as much as the
+code.  Improvements never fail the gate.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.20]
+                     [--keys fit_pool_speedup,warm_vs_cold_speedup]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_derived(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    derived = doc.get("derived")
+    if not isinstance(derived, dict) or not derived:
+        sys.exit(f"{path}: no 'derived' metrics to compare")
+    return {
+        key: value
+        for key, value in derived.items()
+        if isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--keys",
+        default="",
+        help="comma-separated derived keys to gate (default: all shared)",
+    )
+    args = parser.parse_args()
+
+    base = load_derived(args.baseline)
+    cand = load_derived(args.candidate)
+    keys = [k for k in args.keys.split(",") if k] or sorted(
+        set(base) & set(cand)
+    )
+    if not keys:
+        sys.exit("no shared derived metrics between baseline and candidate")
+
+    failures = []
+    print(f"{'metric':<32} {'baseline':>12} {'candidate':>12} {'delta':>8}")
+    for key in keys:
+        if key not in base or key not in cand:
+            # A metric added (or retired) by this PR is trajectory, not a
+            # regression; it starts gating once both sides carry it.
+            print(f"{key:<32} {'-':>12} {'-':>12}   (unshared, skipped)")
+            continue
+        b, c = float(base[key]), float(cand[key])
+        delta = (c - b) / b if b != 0 else 0.0
+        verdict = ""
+        if b > 0 and c < b * (1.0 - args.tolerance):
+            verdict = "  REGRESSION"
+            failures.append(key)
+        print(f"{key:<32} {b:>12.4g} {c:>12.4g} {delta:>+7.1%}{verdict}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} derived metric(s) regressed more than "
+            f"{args.tolerance:.0%} vs {args.baseline}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nOK: no derived metric regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
