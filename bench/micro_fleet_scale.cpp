@@ -33,6 +33,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "bench/bench_util.h"
 #include "common/env.h"
 #include "common/thread_pool.h"
+#include "core/detector_registry.h"
 #include "core/online_monitor.h"
 #include "core/pipeline.h"
 #include "datagen/generator.h"
@@ -328,6 +331,93 @@ MegaResult run_mega(std::size_t count, std::size_t weeks,
   return out;
 }
 
+// Detector-family stage: pooled fit and weekly-score throughput for every
+// registered detector over one mid-size fleet.  The derived section pins
+// each family's rate as a ratio to the "kld" row from the same run, so a
+// detector registration that slows fit or scoring by more than the gate's
+// tolerance fails CI even though absolute rates vary per machine.
+struct DetectorPoint {
+  std::string name;
+  double fit_per_s = 0.0;
+  double score_per_s = 0.0;
+};
+
+std::vector<DetectorPoint> run_detector_families(std::size_t max_consumers,
+                                                 std::size_t weeks,
+                                                 std::uint64_t seed) {
+  const std::size_t consumers = std::min<std::size_t>(2000, max_consumers);
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+  const fdeta::core::EvidenceCalendar calendar;
+
+  std::printf(
+      "\n=== detector families @%zu consumers: fit / weekly-score "
+      "consumers/s (serial) ===\n",
+      consumers);
+  std::printf("%10s | %12s %12s\n", "detector", "fit", "score");
+
+  const auto names = fdeta::core::registered_detector_names();
+  fdeta::obs::MetricsRegistry reg;
+  std::vector<fdeta::core::FdetaPipeline> pipelines;
+  pipelines.reserve(names.size());
+  for (const std::string_view name : names) {
+    fdeta::core::PipelineConfig config;
+    config.split = split;
+    config.detector = std::string(name);
+    config.threads = 1;  // serial: ratios must measure the detector, not
+                         // the pool scheduler's run-to-run mood
+    config.metrics = &reg;
+    pipelines.emplace_back(config);
+  }
+
+  // Best-of-N on both phases, with the rounds interleaved round-robin
+  // across families: the derived ratios divide one family's rate by
+  // another's, so slow machine drift (frequency scaling, a noisy
+  // neighbour) must hit every family in every round, not whichever family
+  // happened to be measured last.  The minimum is the right estimator for
+  // the deterministic cost, as in the tracing stage.
+  const std::size_t rounds = 3;
+  std::vector<double> fit_s(names.size(), 1e300);
+  std::vector<double> score_s(names.size(), 1e300);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t d = 0; d < names.size(); ++d) {
+      const auto start = std::chrono::steady_clock::now();
+      pipelines[d].fit(dataset);
+      fit_s[d] = std::min(fit_s[d], seconds_since(start));
+    }
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t d = 0; d < names.size(); ++d) {
+      // One weekly sweep of a fast family is ~a millisecond here, below
+      // timer/scheduler noise; batch sweeps until the sample spans >=30ms.
+      std::size_t sweeps = 0;
+      double elapsed = 0.0;
+      const auto start = std::chrono::steady_clock::now();
+      do {
+        const auto report =
+            pipelines[d].evaluate_week(dataset, dataset, weeks - 1, calendar);
+        if (report.verdicts.size() != consumers) std::abort();
+        ++sweeps;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.03);
+      score_s[d] = std::min(score_s[d], elapsed / static_cast<double>(sweeps));
+    }
+  }
+
+  std::vector<DetectorPoint> points;
+  for (std::size_t d = 0; d < names.size(); ++d) {
+    DetectorPoint p;
+    p.name = std::string(names[d]);
+    p.fit_per_s = static_cast<double>(consumers) / fit_s[d];
+    p.score_per_s = static_cast<double>(consumers) / score_s[d];
+    std::printf("%10s | %12.0f %12.0f\n", p.name.c_str(), p.fit_per_s,
+                p.score_per_s);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
 double hist_sum(const fdeta::obs::MetricsSnapshot& snap, const char* name) {
   const auto it = snap.histograms.find(name);
   return it == snap.histograms.end() ? 0.0 : it->second.sum;
@@ -603,6 +693,22 @@ int main(int argc, char** argv) {
   }
   report.set("scales", std::move(scales));
 
+  const auto families = run_detector_families(max_consumers, weeks, seed);
+  fdeta::bench::BenchJson detectors_json;
+  double kld_fit = 0.0, kld_score = 0.0;
+  for (const DetectorPoint& p : families) {
+    fdeta::bench::BenchJson row;
+    row.set("detector", p.name);
+    row.set("fit_consumers_per_s", p.fit_per_s);
+    row.set("score_consumers_per_s", p.score_per_s);
+    detectors_json.push_back(std::move(row));
+    if (p.name == "kld") {
+      kld_fit = p.fit_per_s;
+      kld_score = p.score_per_s;
+    }
+  }
+  report.set("detectors", std::move(detectors_json));
+
   const auto points =
       run_shard_scaling(max_consumers, weeks, seed, feed_threads);
   fdeta::bench::BenchJson shard_json;
@@ -650,6 +756,18 @@ int main(int argc, char** argv) {
   if (mega > 0 && mega_result.restore_s > 0.0) {
     derived.set("mega_warm_vs_cold_speedup",
                 mega_result.fit_s / mega_result.restore_s);
+  }
+  // Per-family throughput relative to the kld row from the same run: a
+  // newly registered (or regressed) detector that fits or scores more than
+  // the tolerance slower than its committed ratio fails the gate.
+  if (kld_fit > 0.0 && kld_score > 0.0) {
+    for (const DetectorPoint& p : families) {
+      if (p.name == "kld") continue;
+      std::string key = p.name;
+      std::replace(key.begin(), key.end(), '-', '_');
+      derived.set("detector_fit_ratio_" + key, p.fit_per_s / kld_fit);
+      derived.set("detector_score_ratio_" + key, p.score_per_s / kld_score);
+    }
   }
   report.set("derived", std::move(derived));
 

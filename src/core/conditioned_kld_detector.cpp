@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.h"
@@ -142,6 +143,50 @@ bool ConditionedKldDetector::flag_week(std::span<const Kw> week,
     if (s[g] > thresholds_[g]) return true;
   }
   return false;
+}
+
+double ConditionedKldDetector::score_week(std::span<const Kw> week,
+                                          SlotIndex /*first_slot*/) const {
+  const auto s = scores(week);
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < s.size(); ++g) {
+    worst = std::max(worst, s[g] - thresholds_[g]);
+  }
+  return worst;
+}
+
+KldExplanation ConditionedKldDetector::explain_week(
+    std::span<const Kw> week, SlotIndex /*first_slot*/) const {
+  const auto s = scores(week);
+  std::size_t worst = 0;
+  for (std::size_t g = 1; g < s.size(); ++g) {
+    if (s[g] - thresholds_[g] > s[worst] - thresholds_[worst]) worst = g;
+  }
+  KldExplanation out = explain(week)[worst];
+  // Rebase the header to the scalar margin scale so it matches
+  // score_week/decision_threshold exactly (the bins stay on the raw scale).
+  out.score = s[worst] - thresholds_[worst];
+  out.threshold = 0.0;
+  return out;
+}
+
+std::string ConditionedKldDetector::config_fingerprint() const {
+  // The slot->group table is part of the scoring behaviour; fold it into the
+  // fingerprint so two detectors conditioned on different calendars never
+  // pass a uniformity check.
+  std::uint64_t table_hash = 0xcbf29ce484222325ULL;
+  for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
+    table_hash ^= static_cast<std::uint64_t>(config_.slot_group(s));
+    table_hash *= 0x100000001b3ULL;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "ckld(groups=%zu,bins=%zu,sig=%.17g,eps=%.17g,oos=%d,"
+                "slots=%016llx)",
+                config_.groups, config_.bins, config_.significance,
+                config_.epsilon, config_.exclude_out_of_support ? 1 : 0,
+                static_cast<unsigned long long>(table_hash));
+  return buf;
 }
 
 std::vector<KldExplanation> ConditionedKldDetector::explain(

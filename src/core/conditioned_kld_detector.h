@@ -10,10 +10,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "core/detector.h"
+#include "core/detector_plugin.h"
 #include "core/kld_detector.h"
 #include "pricing/tariff.h"
 #include "stats/histogram.h"
@@ -52,14 +54,42 @@ std::function<std::size_t(std::size_t)> tou_slot_groups(
 std::function<std::size_t(std::size_t)> rtp_slot_groups(
     const pricing::RealTimePricing& rtp, std::size_t slots, std::size_t bands);
 
-class ConditionedKldDetector final : public Detector {
+class ConditionedKldDetector final : public ScoringDetector {
  public:
   explicit ConditionedKldDetector(ConditionedKldDetectorConfig config = {});
 
   std::string_view name() const override { return "Conditioned KLD"; }
+  std::string_view id() const override { return "ckld"; }
   void fit(std::span<const Kw> training) override;
   bool flag_week(std::span<const Kw> week,
                  SlotIndex first_slot = 0) const override;
+
+  // --- ScoringDetector plugin surface ------------------------------------
+  /// The scalar score is the worst per-group threshold margin,
+  /// max_g(scores(week)[g] - thresholds()[g]), so decision_threshold() is 0
+  /// and the uniform score > threshold decision reproduces flag_week's
+  /// "any group over its own threshold" rule exactly (for IEEE doubles,
+  /// a - b > 0 iff a > b).
+  double score_week(std::span<const Kw> week,
+                    SlotIndex first_slot = 0) const override;
+  double decision_threshold() const override { return 0.0; }
+  /// The explanation of the worst-margin group (the one driving the score).
+  /// The header is rebased to the scalar margin scale (score ==
+  /// score_week(week), threshold == decision_threshold() == 0) per the
+  /// plugin contract; the bins keep the worst group's raw eq.-(12)
+  /// decomposition, so their bits sum to that group's raw divergence, score
+  /// + its threshold.  explain() exposes the raw per-group headers.
+  KldExplanation explain_week(std::span<const Kw> week,
+                              SlotIndex first_slot = 0) const override;
+  void save_state(persist::Encoder& enc) const override { save(enc); }
+  void restore_state(persist::Decoder& dec,
+                     std::uint32_t format_version) override {
+    restore(dec, format_version);
+  }
+  std::string config_fingerprint() const override;
+  std::unique_ptr<ScoringDetector> clone() const override {
+    return std::make_unique<ConditionedKldDetector>(*this);
+  }
 
   /// Per-group divergence scores for a week.
   std::vector<double> scores(std::span<const Kw> week) const;

@@ -1,0 +1,13 @@
+#include "core/detector_plugin.h"
+
+namespace fdeta::core {
+
+KldExplanation ScoringDetector::explain_week(std::span<const Kw> week,
+                                             SlotIndex first_slot) const {
+  KldExplanation out;
+  out.score = score_week(week, first_slot);
+  out.threshold = decision_threshold();
+  return out;
+}
+
+}  // namespace fdeta::core

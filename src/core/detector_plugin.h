@@ -1,0 +1,110 @@
+// The first-class detector plugin interface (ROADMAP item 2).
+//
+// Detector (detector.h) is the minimal fit/flag contract the evaluation
+// harness consumes.  ScoringDetector is the full plugin contract the serving
+// layers (FdetaPipeline, OnlineMonitor, the model checkpoints, the CLI's
+// --detector flag) thread through:
+//
+//   - a scalar anomaly score per week plus a decision threshold (the flag
+//     decision is score > threshold, uniformly, so alerts/verdicts carry a
+//     comparable score regardless of family),
+//   - a per-bin explanation (families without a bin decomposition return the
+//     score/threshold header with no bins),
+//   - symmetric save_state/restore_state for checkpoints,
+//   - a registry id + config fingerprint, so a checkpoint names the family
+//     that wrote it and a fleet's uniformity is checkable in O(consumers).
+//
+// Implementations must be usable concurrently from multiple threads after
+// fit() returns: every scoring entry point is const and may not mutate
+// observable state (the property suite in tests/test_property_invariants.cpp
+// enforces this for every registered family).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace fdeta::persist {
+class Decoder;
+class Encoder;
+}  // namespace fdeta::persist
+
+namespace fdeta::core {
+
+/// One bin's share of a week's K_A score: the p_j * log2(p_j / q_j) term of
+/// eq. (12), where p is the scored week's distribution and q the (smoothed)
+/// training baseline.
+struct KldBinContribution {
+  std::size_t bin = 0;  ///< bin index in [0, B)
+  double lower = 0.0;   ///< bin lower edge (kW)
+  double upper = 0.0;   ///< bin upper edge (kW)
+  double p = 0.0;       ///< week mass in the bin
+  double q = 0.0;       ///< baseline (scoring) mass in the bin
+  double bits = 0.0;    ///< contribution to K_A; 0 when p == 0
+};
+
+/// A full per-bin breakdown of one scored week.  Invariant for the KLD
+/// families: the sum of bins[*].bits equals score up to the same clamp
+/// kl_divergence_bits applies (tiny negative totals snap to 0).  Families
+/// without a bin decomposition leave `bins` empty.
+struct KldExplanation {
+  double score = 0.0;      ///< identical to score_week(week)
+  double threshold = 0.0;  ///< the detector's decision threshold
+  std::vector<KldBinContribution> bins;
+};
+
+class ScoringDetector : public Detector {
+ public:
+  /// Registry id ("kld", "ckld", "kld-lite", "iforest"; see
+  /// detector_registry.h).  Stable across processes: checkpoints persist it.
+  virtual std::string_view id() const = 0;
+
+  /// The scalar anomaly score of a week.  `first_slot` is the week's
+  /// absolute slot index (weeks are slot-aligned), needed by slot-of-week
+  /// aware families.  Finite for any input under the default configs.
+  virtual double score_week(std::span<const Kw> week,
+                            SlotIndex first_slot = 0) const = 0;
+
+  /// The decision threshold: a week is anomalous iff
+  /// score_week(week) > decision_threshold().
+  virtual double decision_threshold() const = 0;
+
+  bool flag_week(std::span<const Kw> week,
+                 SlotIndex first_slot = 0) const override {
+    return score_week(week, first_slot) > decision_threshold();
+  }
+
+  /// Per-bin breakdown of score_week.  The default carries the score and
+  /// threshold with no bins; histogram families override with the full
+  /// eq.-(12) decomposition.
+  virtual KldExplanation explain_week(std::span<const Kw> week,
+                                      SlotIndex first_slot = 0) const;
+
+  /// Serializes the fitted state; requires fit() to have run.  Symmetric
+  /// with restore_state: the byte stream carries its own framing, so
+  /// consecutive per-consumer payloads need no length prefixes.
+  virtual void save_state(persist::Encoder& enc) const = 0;
+
+  /// Restores state saved by save_state, replacing this detector's config
+  /// and fit; scores bit-exactly match the detector that was saved.
+  /// `format_version` is the enclosing checkpoint's format version (families
+  /// that existed before v4 decode their historical layouts).
+  virtual void restore_state(persist::Decoder& dec,
+                             std::uint32_t format_version) = 0;
+
+  /// Deterministic one-line config summary (id + every scoring-relevant
+  /// parameter).  Two fitted detectors with equal fingerprints are
+  /// interchangeable members of one uniform fleet; checkpoints persist it
+  /// as a cross-check.
+  virtual std::string config_fingerprint() const = 0;
+
+  /// Deep copy, fitted state included (the fleet layers clone a configured
+  /// prototype per consumer before fit).
+  virtual std::unique_ptr<ScoringDetector> clone() const = 0;
+};
+
+}  // namespace fdeta::core

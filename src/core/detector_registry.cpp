@@ -1,0 +1,62 @@
+#include "core/detector_registry.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "core/conditioned_kld_detector.h"
+#include "pricing/tariff.h"
+
+namespace fdeta::core {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kNames = {"kld", "ckld", "kld-lite",
+                                                    "iforest"};
+
+}  // namespace
+
+std::span<const std::string_view> registered_detector_names() {
+  return kNames;
+}
+
+bool is_registered_detector(std::string_view name) {
+  for (const std::string_view known : kNames) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<ScoringDetector> make_detector(std::string_view name,
+                                               const DetectorOptions& options) {
+  if (name == "kld") {
+    return std::make_unique<KldDetector>(options.kld);
+  }
+  if (name == "ckld") {
+    ConditionedKldDetectorConfig config;
+    config.bins = options.kld.bins;
+    config.significance = options.kld.significance;
+    config.epsilon = options.kld.epsilon;
+    config.exclude_out_of_support = options.kld.exclude_out_of_support;
+    config.slot_group = tou_slot_groups(pricing::nightsaver());
+    config.groups = 2;
+    return std::make_unique<ConditionedKldDetector>(std::move(config));
+  }
+  if (name == "kld-lite") {
+    ReducedKldDetectorConfig config;
+    config.selected_slots = options.reduced_slots;
+    config.kld = options.kld;
+    return std::make_unique<ReducedKldDetector>(config);
+  }
+  if (name == "iforest") {
+    IsolationForestDetectorConfig config;
+    config.trees = options.iforest_trees;
+    config.sample_size = options.iforest_samples;
+    config.significance = options.kld.significance;
+    config.seed = options.iforest_seed;
+    return std::make_unique<IsolationForestDetector>(config);
+  }
+  throw std::invalid_argument("make_detector: unknown detector \"" +
+                              std::string(name) + "\"");
+}
+
+}  // namespace fdeta::core

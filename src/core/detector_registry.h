@@ -1,0 +1,54 @@
+// The detector registry: string name -> ScoringDetector factory.
+//
+// Everything that owns a fleet of detectors (FdetaPipeline, OnlineMonitor,
+// the CLI's --detector flag, the benches) builds them through this one
+// factory, so adding a detector family means registering it here and it
+// shows up everywhere: the golden detector x attack matrix, the generic
+// contract suite in test_property_invariants, the shard-equivalence
+// differential tests, and the per-detector bench throughput gates.
+//
+// Kept separate from detector_plugin.h: the registry must include every
+// concrete family's config, and the families include detector_plugin.h.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/detector_plugin.h"
+#include "core/isolation_forest_detector.h"
+#include "core/kld_detector.h"
+#include "core/reduced_kld_detector.h"
+
+namespace fdeta::core {
+
+/// Knobs for every registered family, bundled so pipeline/monitor configs
+/// can carry one value whatever detector they run.  `kld` feeds "kld",
+/// "ckld" (bins/significance/epsilon/out-of-support carry over; grouping is
+/// the Nightsaver peak/off-peak calendar) and the histogram half of
+/// "kld-lite".
+struct DetectorOptions {
+  KldDetectorConfig kld{};
+  /// "kld-lite": slot-of-week positions kept per week.
+  std::size_t reduced_slots = 48;
+  /// "iforest" knobs (significance comes from `kld.significance` so the
+  /// operating point stays uniform across the registry).
+  std::size_t iforest_trees = 64;
+  std::size_t iforest_samples = 32;
+  std::uint64_t iforest_seed = 0x150F07357ULL;
+};
+
+/// The registered detector ids, in canonical order.
+std::span<const std::string_view> registered_detector_names();
+
+/// True if `name` is a registered detector id.
+bool is_registered_detector(std::string_view name);
+
+/// Builds an unfitted detector of the named family.  Throws std::invalid_
+/// argument on an unknown name (the CLI surfaces the registry in its usage
+/// text before this is reached).
+std::unique_ptr<ScoringDetector> make_detector(std::string_view name,
+                                               const DetectorOptions& options);
+
+}  // namespace fdeta::core

@@ -12,7 +12,9 @@
 #include "core/arima_detector.h"
 #include "core/conditioned_kld_detector.h"
 #include "core/integrated_arima_detector.h"
+#include "core/isolation_forest_detector.h"
 #include "core/kld_detector.h"
+#include "core/reduced_kld_detector.h"
 #include "pricing/billing.h"
 
 namespace fdeta::core {
@@ -23,6 +25,8 @@ const char* to_string(DetectorKind kind) {
     case DetectorKind::kIntegratedArima: return "Integrated ARIMA detector";
     case DetectorKind::kKld5: return "KLD detector (5% significance)";
     case DetectorKind::kKld10: return "KLD detector (10% significance)";
+    case DetectorKind::kIsolationForest: return "Isolation forest detector";
+    case DetectorKind::kKldLite: return "Reduced-input KLD detector";
   }
   return "?";
 }
@@ -129,6 +133,15 @@ ConsumerEvaluation evaluate_consumer(const meter::ConsumerSeries& series,
     ckld5.fit(train);
     ckld10.fit(train);
 
+    IsolationForestDetector iforest;
+    iforest.fit(train);
+
+    ReducedKldDetectorConfig lite_cfg;
+    lite_cfg.selected_slots = config.reduced_slots;
+    lite_cfg.kld = KldDetectorConfig{config.kld_bins, 0.05};
+    ReducedKldDetector kld_lite(lite_cfg);
+    kld_lite.fit(train);
+
     // --- Attacker state (replicated models, Section VIII-B1) -------------
     const ts::ArimaModel& model = arima.model();
     const std::span<const Kw> history =
@@ -229,6 +242,12 @@ ConsumerEvaluation evaluate_consumer(const meter::ConsumerSeries& series,
           swap_column ? static_cast<const Detector*>(&ckld5) : &kld5;
       table[a].rows[static_cast<std::size_t>(DetectorKind::kKld10)] =
           swap_column ? static_cast<const Detector*>(&ckld10) : &kld10;
+      // The plugin families run as-is in every column: their 3A/3B rows
+      // measure how the unconditioned variants fare against the swap.
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kIsolationForest)] =
+          &iforest;
+      table[a].rows[static_cast<std::size_t>(DetectorKind::kKldLite)] =
+          &kld_lite;
     }
 
     for (std::size_t d = 0; d < kDetectorCount; ++d) {

@@ -1,5 +1,6 @@
 // The Section-VIII evaluation harness: false-data injection against every
-// consumer, four detectors x three attack realizations, Metric 1 (detection
+// consumer, six detector rows x three attack realizations (the paper's four
+// plus the plugin families of core/detector_registry.h), Metric 1 (detection
 // percentage) and Metric 2 (worst-case weekly theft while circumventing each
 // detector).
 //
@@ -37,8 +38,10 @@ enum class DetectorKind : std::size_t {
   kIntegratedArima = 1,
   kKld5 = 2,   ///< KLD detector at 5% significance
   kKld10 = 3,  ///< KLD detector at 10% significance
+  kIsolationForest = 4,  ///< isolation forest over weekly features (5%)
+  kKldLite = 5,          ///< reduced-input KLD, k selected slots (5%)
 };
-inline constexpr std::size_t kDetectorCount = 4;
+inline constexpr std::size_t kDetectorCount = 6;
 
 enum class AttackKind : std::size_t {
   k1B = 0,    ///< Integrated ARIMA attack on a victim (over-report)
@@ -56,6 +59,7 @@ struct EvaluationConfig {
   double z = 1.96;
   ts::ArimaOrder order{};
   std::size_t kld_bins = 10;
+  std::size_t reduced_slots = 48;      // kKldLite: selected slots per week
   std::size_t attack_test_week = 0;    // which test week is attacked
   std::uint64_t seed = 7;
   std::size_t threads = 0;             // 0 = hardware concurrency

@@ -1,0 +1,376 @@
+#include "core/isolation_forest_detector.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "persist/binary_io.h"
+#include "stats/quantile.h"
+
+namespace fdeta::core {
+
+namespace {
+
+constexpr std::size_t kF = IsolationForestDetector::kFeatureCount;
+constexpr std::size_t kSlotsPerDay = 48;
+
+void validate_config(const IsolationForestDetectorConfig& config) {
+  require(config.trees >= 1, "IsolationForestDetector: need >= 1 tree");
+  require(config.sample_size >= 2,
+          "IsolationForestDetector: need sample_size >= 2");
+  require(config.significance > 0.0 && config.significance < 1.0,
+          "IsolationForestDetector: significance must be in (0,1)");
+}
+
+// Engineered weekly feature vector (SNIPPETS.md Snippet 1's feature set,
+// expressed as differences rather than ratios so every feature is finite on
+// all-zero weeks).  `offset` is the week's first absolute slot mod 336, so
+// calendar-position features survive unaligned windows.
+void weekly_features(std::span<const Kw> week, std::size_t offset,
+                     double* out) {
+  const std::size_t n = week.size();
+  double sum = 0.0;
+  double peak_sum = 0.0, off_sum = 0.0;
+  double wend_sum = 0.0, wday_sum = 0.0;
+  std::size_t peak_n = 0, off_n = 0, wend_n = 0, wday_n = 0;
+  double hi = week[0], lo = week[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = week[i];
+    sum += v;
+    hi = std::max(hi, v);
+    lo = std::min(lo, v);
+    const std::size_t s =
+        (offset + i) % static_cast<std::size_t>(kSlotsPerWeek);
+    const std::size_t hour = (s % kSlotsPerDay) / 2;
+    if (hour >= 7 && hour < 22) {
+      peak_sum += v;
+      ++peak_n;
+    } else {
+      off_sum += v;
+      ++off_n;
+    }
+    if (s / kSlotsPerDay >= 5) {
+      wend_sum += v;
+      ++wend_n;
+    } else {
+      wday_sum += v;
+      ++wday_n;
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = week[i] - mean;
+    ss += d * d;
+  }
+  double lag1 = 0.0;
+  for (std::size_t i = 1; i < n; ++i) lag1 += std::abs(week[i] - week[i - 1]);
+  double lag_day = 0.0;
+  for (std::size_t i = kSlotsPerDay; i < n; ++i) {
+    lag_day += std::abs(week[i] - week[i - kSlotsPerDay]);
+  }
+
+  out[0] = mean;
+  out[1] = std::sqrt(ss / static_cast<double>(n));
+  out[2] = (peak_n ? peak_sum / static_cast<double>(peak_n) : 0.0) -
+           (off_n ? off_sum / static_cast<double>(off_n) : 0.0);
+  out[3] = (wend_n ? wend_sum / static_cast<double>(wend_n) : 0.0) -
+           (wday_n ? wday_sum / static_cast<double>(wday_n) : 0.0);
+  out[4] = lag1 / static_cast<double>(n - 1);
+  out[5] = lag_day / static_cast<double>(n - kSlotsPerDay);
+  out[6] = hi;
+  out[7] = lo;
+}
+
+// Expected unsuccessful-search path length of an n-point isolation subtree
+// (Liu et al.'s c(n)); 0 for n <= 1.
+double c_factor(std::size_t n) {
+  if (n <= 1) return 0.0;
+  constexpr double kEulerGamma = 0.57721566490153286;
+  const double m = static_cast<double>(n);
+  return 2.0 * (std::log(m - 1.0) + kEulerGamma) - 2.0 * (m - 1.0) / m;
+}
+
+}  // namespace
+
+IsolationForestDetector::IsolationForestDetector(
+    IsolationForestDetectorConfig config)
+    : config_(config) {
+  validate_config(config_);
+}
+
+void IsolationForestDetector::standardize(const double* raw,
+                                          double* out) const {
+  for (std::size_t f = 0; f < kF; ++f) {
+    out[f] = (raw[f] - feature_mean_[f]) / feature_std_[f];
+  }
+}
+
+void IsolationForestDetector::fit(std::span<const Kw> training) {
+  require(training.size() % kSlotsPerWeek == 0,
+          "IsolationForestDetector: training must be whole weeks");
+  const std::size_t weeks = training.size() / kSlotsPerWeek;
+  require(weeks >= 4,
+          "IsolationForestDetector: need at least four training weeks");
+
+  // Feature matrix (weeks x kF), then per-feature standardization so random
+  // split values treat all features on a comparable scale.
+  std::vector<double> features(weeks * kF);
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const std::span<const Kw> week{training.data() + w * kSlotsPerWeek,
+                                   static_cast<std::size_t>(kSlotsPerWeek)};
+    weekly_features(week, 0, features.data() + w * kF);
+  }
+  feature_mean_.assign(kF, 0.0);
+  feature_std_.assign(kF, 0.0);
+  for (std::size_t f = 0; f < kF; ++f) {
+    double mean = 0.0;
+    for (std::size_t w = 0; w < weeks; ++w) mean += features[w * kF + f];
+    mean /= static_cast<double>(weeks);
+    double ss = 0.0;
+    for (std::size_t w = 0; w < weeks; ++w) {
+      const double d = features[w * kF + f] - mean;
+      ss += d * d;
+    }
+    feature_mean_[f] = mean;
+    const double sd = std::sqrt(ss / static_cast<double>(weeks));
+    feature_std_[f] = sd < 1e-12 ? 1.0 : sd;  // constant feature: identity
+  }
+  for (std::size_t w = 0; w < weeks; ++w) {
+    double* row = features.data() + w * kF;
+    standardize(row, row);
+  }
+
+  sample_size_ = std::min(config_.sample_size, weeks);
+  depth_limit_ = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(sample_size_))));
+
+  trees_.clear();
+  trees_.resize(config_.trees);
+  const Rng root_rng(config_.seed);
+  std::vector<std::size_t> indices(weeks);
+  std::vector<std::size_t> scratch;
+  for (std::size_t t = 0; t < config_.trees; ++t) {
+    Rng rng = root_rng.spawn(t);
+    // Subsample without replacement: partial Fisher-Yates over week indices.
+    std::iota(indices.begin(), indices.end(), 0);
+    for (std::size_t i = 0; i < sample_size_; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    rng.below(weeks - i));
+      std::swap(indices[i], indices[j]);
+    }
+    scratch.assign(indices.begin(),
+                   indices.begin() + static_cast<std::ptrdiff_t>(sample_size_));
+
+    // Recursive build over [begin, end) of `scratch`; preorder node layout
+    // (node, left subtree, right subtree) keeps serialization canonical.
+    Tree& tree = trees_[t];
+    tree.nodes.clear();
+    const auto build = [&](auto&& self, std::size_t begin, std::size_t end,
+                           std::size_t depth) -> std::uint32_t {
+      const std::uint32_t node_index =
+          static_cast<std::uint32_t>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      const std::size_t count = end - begin;
+      if (count <= 1 || depth >= depth_limit_) {
+        tree.nodes[node_index].feature = kLeaf;
+        tree.nodes[node_index].size = static_cast<std::uint32_t>(count);
+        return node_index;
+      }
+      // Features with spread among the node's points are splittable.
+      std::array<std::uint32_t, kF> splittable{};
+      std::array<double, kF> f_lo{}, f_hi{};
+      std::size_t n_splittable = 0;
+      for (std::size_t f = 0; f < kF; ++f) {
+        double lo = features[scratch[begin] * kF + f];
+        double hi = lo;
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          const double v = features[scratch[i] * kF + f];
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        if (hi > lo) {
+          splittable[n_splittable] = static_cast<std::uint32_t>(f);
+          f_lo[n_splittable] = lo;
+          f_hi[n_splittable] = hi;
+          ++n_splittable;
+        }
+      }
+      if (n_splittable == 0) {  // duplicate points: cannot isolate further
+        tree.nodes[node_index].feature = kLeaf;
+        tree.nodes[node_index].size = static_cast<std::uint32_t>(count);
+        return node_index;
+      }
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(n_splittable));
+      const std::uint32_t feature = splittable[pick];
+      const double split = rng.uniform(f_lo[pick], f_hi[pick]);
+      const auto mid = std::stable_partition(
+          scratch.begin() + static_cast<std::ptrdiff_t>(begin),
+          scratch.begin() + static_cast<std::ptrdiff_t>(end),
+          [&](std::size_t w) { return features[w * kF + feature] < split; });
+      const std::size_t split_at =
+          static_cast<std::size_t>(mid - scratch.begin());
+      const std::uint32_t left = self(self, begin, split_at, depth + 1);
+      const std::uint32_t right = self(self, split_at, end, depth + 1);
+      Node& node = tree.nodes[node_index];  // emplace_backs may reallocate
+      node.feature = feature;
+      node.split = split;
+      node.left = left;
+      node.right = right;
+      node.size = static_cast<std::uint32_t>(count);
+      return node_index;
+    };
+    build(build, 0, sample_size_, 0);
+  }
+  fitted_ = true;
+
+  training_scores_.clear();
+  training_scores_.reserve(weeks);
+  for (std::size_t w = 0; w < weeks; ++w) {
+    training_scores_.push_back(
+        std::exp2(-average_path_length(features.data() + w * kF) /
+                  c_factor(sample_size_)));
+  }
+  threshold_ =
+      stats::quantile(training_scores_, 1.0 - config_.significance);
+}
+
+double IsolationForestDetector::average_path_length(
+    const double* features) const {
+  double total = 0.0;
+  for (const Tree& tree : trees_) {
+    std::size_t node = 0;
+    double depth = 0.0;
+    while (tree.nodes[node].feature != kLeaf) {
+      const Node& n = tree.nodes[node];
+      node = features[n.feature] < n.split ? n.left : n.right;
+      depth += 1.0;
+    }
+    total += depth + c_factor(tree.nodes[node].size);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+double IsolationForestDetector::score_week(std::span<const Kw> week,
+                                           SlotIndex first_slot) const {
+  require(fitted_, "IsolationForestDetector: fit() not called");
+  require(week.size() == static_cast<std::size_t>(kSlotsPerWeek),
+          "IsolationForestDetector: week must be kSlotsPerWeek readings");
+  double raw[kF];
+  double z[kF];
+  weekly_features(week,
+                  static_cast<std::size_t>(first_slot) %
+                      static_cast<std::size_t>(kSlotsPerWeek),
+                  raw);
+  standardize(raw, z);
+  return std::exp2(-average_path_length(z) / c_factor(sample_size_));
+}
+
+double IsolationForestDetector::decision_threshold() const {
+  require(fitted_, "IsolationForestDetector: fit() not called");
+  return threshold_;
+}
+
+const std::vector<double>& IsolationForestDetector::training_scores() const {
+  require(fitted_, "IsolationForestDetector: fit() not called");
+  return training_scores_;
+}
+
+std::string IsolationForestDetector::config_fingerprint() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "iforest(trees=%zu,sample=%zu,sig=%.17g,seed=%016llx)",
+                config_.trees, config_.sample_size, config_.significance,
+                static_cast<unsigned long long>(config_.seed));
+  return buf;
+}
+
+void IsolationForestDetector::save_state(persist::Encoder& enc) const {
+  require(fitted_, "IsolationForestDetector::save_state: fit() not called");
+  enc.u64(config_.trees);
+  enc.u64(config_.sample_size);
+  enc.f64(config_.significance);
+  enc.u64(config_.seed);
+  enc.u64(sample_size_);
+  enc.u64(depth_limit_);
+  enc.doubles(feature_mean_);
+  enc.doubles(feature_std_);
+  for (const Tree& tree : trees_) {
+    enc.u64(tree.nodes.size());
+    for (const Node& node : tree.nodes) {
+      enc.u32(node.feature);
+      enc.f64(node.split);
+      enc.u32(node.left);
+      enc.u32(node.right);
+      enc.u32(node.size);
+    }
+  }
+  enc.doubles(training_scores_);
+  enc.f64(threshold_);
+}
+
+void IsolationForestDetector::restore_state(persist::Decoder& dec,
+                                            std::uint32_t /*format_version*/) {
+  IsolationForestDetectorConfig config;
+  config.trees = dec.count("iforest trees", 1u << 16);
+  config.sample_size = dec.count("iforest sample size", 1u << 20);
+  config.significance = dec.f64();
+  config.seed = dec.u64();
+  validate_config(config);
+  const std::size_t sample_size = dec.count("iforest sample", 1u << 20);
+  const std::size_t depth_limit = dec.count("iforest depth", 64);
+  if (sample_size < 2 || sample_size > config.sample_size) {
+    throw DataError("checkpoint: iforest effective sample out of range");
+  }
+  std::vector<double> feature_mean =
+      dec.doubles("iforest feature means", kF);
+  std::vector<double> feature_std = dec.doubles("iforest feature stds", kF);
+  if (feature_mean.size() != kF || feature_std.size() != kF) {
+    throw DataError("checkpoint: iforest feature stats have wrong width");
+  }
+  for (const double sd : feature_std) {
+    if (!(sd > 0.0)) {
+      throw DataError("checkpoint: iforest feature std not positive");
+    }
+  }
+  std::vector<Tree> trees(config.trees);
+  for (Tree& tree : trees) {
+    const std::size_t count = dec.count("iforest tree nodes", 1u << 22);
+    if (count == 0) throw DataError("checkpoint: iforest tree is empty");
+    tree.nodes.resize(count);
+    for (Node& node : tree.nodes) {
+      node.feature = dec.u32();
+      node.split = dec.f64();
+      node.left = dec.u32();
+      node.right = dec.u32();
+      node.size = dec.u32();
+      if (node.feature == kLeaf) continue;
+      if (node.feature >= kF || node.left >= count || node.right >= count) {
+        throw DataError("checkpoint: iforest node out of range");
+      }
+    }
+  }
+  std::vector<double> training_scores =
+      dec.doubles("iforest training scores", 1u << 20);
+  if (training_scores.empty()) {
+    throw DataError("checkpoint: iforest training scores missing");
+  }
+  const double threshold = dec.f64();
+
+  config_ = config;
+  sample_size_ = sample_size;
+  depth_limit_ = depth_limit;
+  feature_mean_ = std::move(feature_mean);
+  feature_std_ = std::move(feature_std);
+  trees_ = std::move(trees);
+  training_scores_ = std::move(training_scores);
+  threshold_ = threshold;
+  fitted_ = true;
+}
+
+}  // namespace fdeta::core

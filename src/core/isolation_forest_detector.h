@@ -1,0 +1,96 @@
+// An unsupervised isolation-forest scorer over engineered weekly features.
+//
+// The spatio-temporal line of related work (*Towards Intelligent Energy
+// Security*, PAPERS.md) motivates an unsupervised feature-space detector
+// alongside the distributional KLD families: each week is summarised by a
+// small engineered feature vector (level, spread, peak/off-peak and
+// weekend/weekday structure, lag-1 and daily-lag roughness - the feature set
+// of SNIPPETS.md Snippet 1), the training weeks are standardised in that
+// space, and a forest of random isolation trees estimates how few random
+// axis-aligned splits isolate a week from its own history.  Anomalous weeks
+// isolate early: the score 2^(-E[path]/c(n)) approaches 1 for outliers and
+// stays near 0.5 and below for inliers.  Thresholding follows the paper's
+// convention: the (1 - significance) quantile of the training-week scores.
+//
+// Everything is deterministic under the config seed (fit draws from a
+// seeded xoshiro stream, scoring draws nothing), so fleet results are
+// reproducible and checkpoints restore bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector_plugin.h"
+
+namespace fdeta::core {
+
+struct IsolationForestDetectorConfig {
+  std::size_t trees = 64;
+  /// Training weeks subsampled per tree (capped at the fitted week count).
+  std::size_t sample_size = 32;
+  /// Alpha of the training-score quantile threshold, as the KLD families.
+  double significance = 0.05;
+  /// Seed of the tree-building stream; fixed default keeps fit() a pure
+  /// function of the training data.
+  std::uint64_t seed = 0x150F07357ULL;
+};
+
+class IsolationForestDetector final : public ScoringDetector {
+ public:
+  /// Weekly feature vector width (see weekly_features in the .cpp).
+  static constexpr std::size_t kFeatureCount = 8;
+
+  explicit IsolationForestDetector(IsolationForestDetectorConfig config = {});
+
+  std::string_view name() const override { return "Isolation forest"; }
+  std::string_view id() const override { return "iforest"; }
+  const IsolationForestDetectorConfig& config() const { return config_; }
+  void fit(std::span<const Kw> training) override;
+
+  double score_week(std::span<const Kw> week,
+                    SlotIndex first_slot = 0) const override;
+  double decision_threshold() const override;
+  void save_state(persist::Encoder& enc) const override;
+  void restore_state(persist::Decoder& dec,
+                     std::uint32_t format_version) override;
+  std::string config_fingerprint() const override;
+  std::unique_ptr<ScoringDetector> clone() const override {
+    return std::make_unique<IsolationForestDetector>(*this);
+  }
+
+  /// Training-week scores (the threshold's quantile base).
+  const std::vector<double>& training_scores() const;
+
+ private:
+  // One tree node; nodes of a tree live in a flat vector, children by index.
+  // A leaf has feature == kLeaf and carries the point count it absorbed.
+  struct Node {
+    std::uint32_t feature = 0;
+    double split = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t size = 0;
+  };
+  static constexpr std::uint32_t kLeaf = 0xFFFFFFFFu;
+
+  struct Tree {
+    std::vector<Node> nodes;  // nodes[0] is the root
+  };
+
+  void standardize(const double* raw, double* out) const;
+  double average_path_length(const double* features) const;
+
+  IsolationForestDetectorConfig config_;
+  bool fitted_ = false;
+  std::vector<double> feature_mean_;  // kFeatureCount
+  std::vector<double> feature_std_;   // kFeatureCount, floored at 1
+  std::vector<Tree> trees_;
+  std::size_t sample_size_ = 0;   // effective (capped) subsample
+  std::size_t depth_limit_ = 0;   // ceil(log2(sample_size_))
+  std::vector<double> training_scores_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace fdeta::core

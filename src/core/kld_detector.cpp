@@ -1,6 +1,7 @@
 #include "core/kld_detector.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.h"
@@ -64,6 +65,20 @@ void KldDetector::fit(std::span<const Kw> training) {
 double KldDetector::score(std::span<const Kw> week) const {
   KldScratch scratch;
   return score(week, scratch);
+}
+
+double KldDetector::score_week(std::span<const Kw> week,
+                               SlotIndex /*first_slot*/) const {
+  thread_local KldScratch scratch;  // keeps fleet hot paths allocation-free
+  return score(week, scratch);
+}
+
+std::string KldDetector::config_fingerprint() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "kld(bins=%zu,sig=%.17g,eps=%.17g,oos=%d)",
+                config_.bins, config_.significance, config_.epsilon,
+                config_.exclude_out_of_support ? 1 : 0);
+  return buf;
 }
 
 double KldDetector::score(std::span<const Kw> week, KldScratch& scratch) const {

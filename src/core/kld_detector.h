@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "core/detector.h"
+#include "core/detector_plugin.h"
 #include "persist/checkpoint.h"
 #include "stats/histogram.h"
 
@@ -54,36 +56,40 @@ struct KldScratch {
   std::vector<double> p;
 };
 
-/// One bin's share of a week's K_A score: the p_j * log2(p_j / q_j) term of
-/// eq. (12), where p is the scored week's distribution and q the (smoothed)
-/// training baseline.
-struct KldBinContribution {
-  std::size_t bin = 0;  ///< bin index in [0, B)
-  double lower = 0.0;   ///< bin lower edge (kW)
-  double upper = 0.0;   ///< bin upper edge (kW)
-  double p = 0.0;       ///< week mass in the bin
-  double q = 0.0;       ///< baseline (scoring) mass in the bin
-  double bits = 0.0;    ///< contribution to K_A; 0 when p == 0
-};
+// KldBinContribution / KldExplanation live in detector_plugin.h (the plugin
+// interface's explanation vocabulary is the KLD families' bin breakdown).
 
-/// A full per-bin breakdown of one scored week.  Invariant: the sum of
-/// bins[*].bits equals score up to the same clamp kl_divergence_bits
-/// applies (tiny negative totals snap to 0).
-struct KldExplanation {
-  double score = 0.0;      ///< K_A, identical to score(week)
-  double threshold = 0.0;  ///< the detector's decision threshold
-  std::vector<KldBinContribution> bins;
-};
-
-class KldDetector final : public Detector {
+class KldDetector final : public ScoringDetector {
  public:
   explicit KldDetector(KldDetectorConfig config = {});
 
   std::string_view name() const override { return "KLD"; }
+  std::string_view id() const override { return "kld"; }
   const KldDetectorConfig& config() const { return config_; }
   void fit(std::span<const Kw> training) override;
   bool flag_week(std::span<const Kw> week,
                  SlotIndex first_slot = 0) const override;
+
+  // --- ScoringDetector plugin surface ------------------------------------
+  /// score(week) through the plugin interface; keeps the fleet hot path
+  /// allocation-free via an internal thread-local scratch.
+  double score_week(std::span<const Kw> week,
+                    SlotIndex first_slot = 0) const override;
+  double decision_threshold() const override { return threshold(); }
+  KldExplanation explain_week(std::span<const Kw> week,
+                              SlotIndex first_slot = 0) const override {
+    (void)first_slot;
+    return explain(week);
+  }
+  void save_state(persist::Encoder& enc) const override { save(enc); }
+  void restore_state(persist::Decoder& dec,
+                     std::uint32_t format_version) override {
+    restore(dec, format_version);
+  }
+  std::string config_fingerprint() const override;
+  std::unique_ptr<ScoringDetector> clone() const override {
+    return std::make_unique<KldDetector>(*this);
+  }
 
   /// K_A: the divergence score of a week.  Finite for any input when
   /// config.epsilon > 0; with epsilon = 0 it is +infinity whenever the week

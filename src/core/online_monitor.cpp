@@ -70,7 +70,13 @@ void OnlineMonitor::emit_alert(const AlertEvent& event) const {
 }
 
 void OnlineMonitor::init_fleet(std::size_t count) {
-  detectors_.assign(count, KldDetector(config_.kld));
+  DetectorOptions options = config_.detector_options;
+  options.kld = config_.kld;
+  const std::unique_ptr<ScoringDetector> prototype =
+      make_detector(config_.detector, options);
+  detectors_.clear();
+  detectors_.resize(count);
+  for (auto& detector : detectors_) detector = prototype->clone();
   ids_.assign(count, meter::ConsumerId{});
   windows_.assign(count * kWindow, 0.0);
   missing_.assign(count * kWindow, 0);
@@ -88,7 +94,7 @@ void OnlineMonitor::init_fleet(std::size_t count) {
 void OnlineMonitor::fit_one(std::size_t i, const meter::ConsumerSeries& series,
                             const meter::TrainTestSplit& split) {
   const auto train = split.train(series);
-  detectors_[i].fit(train);
+  detectors_[i]->fit(train);
   ids_[i] = series.id;
   // Prime with the last (trusted) training week.  Training spans start at a
   // week boundary, so the primed vector is slot-of-week aligned.
@@ -182,11 +188,14 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   }
 
   scores_evaluated_->add();
+  // windows_ is slot-of-week aligned (index s = slot-of-week s), so the
+  // vector scores as a week starting at slot-of-week 0.  Detectors keep the
+  // hot path allocation-free internally (thread-local scratch).
   const std::span<const Kw> window{windows_.data() + base, kWindow};
-  const KldDetector& detector = detectors_[i];
-  thread_local KldScratch scratch;  // keeps the hot path allocation-free
-  const double score = detector.score(window, scratch);
-  if (score <= detector.threshold()) return std::nullopt;
+  const ScoringDetector& detector = *detectors_[i];
+  const double score = detector.score_week(window, 0);
+  const double threshold = detector.decision_threshold();
+  if (score <= threshold) return std::nullopt;
 
   cooldown_[i] = static_cast<std::uint32_t>(config_.cooldown_slots);
   const AlertDirection direction = stats::mean(window) > train_mean_[i]
@@ -195,8 +204,7 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   alerts_raised_->add();
   (direction == AlertDirection::kOverReport ? alerts_over_ : alerts_under_)
       ->add();
-  return AlertEvent{i, ids_[i], reading.slot, score, detector.threshold(),
-                    direction};
+  return AlertEvent{i, ids_[i], reading.slot, score, threshold, direction};
 }
 
 std::optional<AlertEvent> OnlineMonitor::ingest(std::size_t consumer_index,
@@ -283,15 +291,20 @@ void OnlineMonitor::save(std::ostream& out) const {
   enc.u64(config_.cooldown_slots);
   enc.f64(config_.max_missing_fraction);
   enc.u64(count);
+  // v4 detector block: the registry id of the (uniform) fleet.  "kld" keeps
+  // the v3 bulk Struct-of-Arrays encoding below; other families store one
+  // shared config fingerprint plus per-consumer save_state payloads.
+  enc.str(config_.detector);
 
-  if (count > 0) {
+  if (count > 0 && config_.detector == "kld") {
     // Uniform detector block: one fit gives every consumer the same config
     // and training-week count, so the per-field arrays below need no
     // per-consumer framing and restore as bulk reads.
-    const KldDetectorConfig& kld = detectors_.front().config();
-    const std::size_t train_weeks =
-        detectors_.front().training_divergences().size();
-    for (const KldDetector& d : detectors_) {
+    const auto& front = static_cast<const KldDetector&>(*detectors_.front());
+    const KldDetectorConfig& kld = front.config();
+    const std::size_t train_weeks = front.training_divergences().size();
+    for (const auto& dp : detectors_) {
+      const auto& d = static_cast<const KldDetector&>(*dp);
       require(d.config().bins == kld.bins &&
                   d.config().significance == kld.significance &&
                   d.config().epsilon == kld.epsilon &&
@@ -307,19 +320,35 @@ void OnlineMonitor::save(std::ostream& out) const {
     enc.u64(train_weeks);
     // Consecutive per-consumer appends produce the same bytes as one flat
     // count x width array; the decoder reads each block in one memcpy.
-    for (const KldDetector& d : detectors_) enc.f64_array(d.histogram().edges());
-    for (const KldDetector& d : detectors_) {
-      enc.f64_array(d.baseline_distribution());
+    for (const auto& dp : detectors_) {
+      enc.f64_array(static_cast<const KldDetector&>(*dp).histogram().edges());
     }
-    for (const KldDetector& d : detectors_) {
-      enc.f64_array(d.training_divergences());
+    for (const auto& dp : detectors_) {
+      enc.f64_array(
+          static_cast<const KldDetector&>(*dp).baseline_distribution());
+    }
+    for (const auto& dp : detectors_) {
+      enc.f64_array(
+          static_cast<const KldDetector&>(*dp).training_divergences());
     }
     std::vector<double> thresholds(count);
     for (std::size_t i = 0; i < count; ++i) {
-      thresholds[i] = detectors_[i].threshold();
+      thresholds[i] =
+          static_cast<const KldDetector&>(*detectors_[i]).threshold();
     }
     enc.f64_array(thresholds);
+  } else if (count > 0) {
+    const std::string fingerprint = detectors_.front()->config_fingerprint();
+    for (const auto& d : detectors_) {
+      require(d->id() == config_.detector &&
+                  d->config_fingerprint() == fingerprint,
+              "OnlineMonitor::save: detector fleet is not uniform");
+    }
+    enc.str(fingerprint);
+    for (const auto& d : detectors_) d->save_state(enc);
+  }
 
+  if (count > 0) {
     // Fleet sliding-window state, one bulk array per field
     // (missing_in_window_ is a derived popcount, recomputed on restore).
     enc.u32_array(ids_);
@@ -361,7 +390,13 @@ void OnlineMonitor::restore(std::istream& in) {
   }
 
   const std::size_t count = dec.count("monitor consumers", 100u << 20);
-  std::vector<KldDetector> detectors;
+  // v2/v3 checkpoints predate the detector-id block and are always "kld".
+  const std::string detector_id =
+      version >= 4 ? dec.str("detector id", 256) : std::string("kld");
+  if (!is_registered_detector(detector_id)) {
+    throw DataError("checkpoint: unknown detector id \"" + detector_id + "\"");
+  }
+  std::vector<std::unique_ptr<ScoringDetector>> detectors;
   std::vector<meter::ConsumerId> ids;
   std::vector<Kw> windows;
   std::vector<unsigned char> missing;
@@ -370,8 +405,11 @@ void OnlineMonitor::restore(std::istream& in) {
   std::vector<std::uint32_t> cooldown;
   std::vector<double> train_mean;
 
-  if (version >= 3 && count > 0) {
-    // v3 Struct-of-Arrays: a uniform detector block followed by bulk
+  // Everything except the v2 interleaved layout reads a detector block
+  // first, then the bulk per-field fleet arrays.
+  const bool v2_interleaved = detector_id == "kld" && version < 3;
+  if (count > 0 && !v2_interleaved && detector_id == "kld") {
+    // v3+ Struct-of-Arrays: a uniform detector block followed by bulk
     // per-field fleet arrays.  The byte-level decode is a handful of
     // bounds-checked memcpys; only the per-consumer detector objects need
     // rebuilding, and those rebuild in parallel.
@@ -394,26 +432,45 @@ void OnlineMonitor::restore(std::istream& in) {
     std::vector<double> thresholds(count);
     dec.f64_array(thresholds);
 
-    detectors.assign(count, KldDetector(config_.kld));
+    detectors.resize(count);
     parallel_for(
         count,
         [&](std::size_t i) {
-          detectors[i] = KldDetector::from_fitted_parts(
-              kld,
-              {edges_flat.begin() + static_cast<std::ptrdiff_t>(i * edge_n),
-               edges_flat.begin() +
-                   static_cast<std::ptrdiff_t>((i + 1) * edge_n)},
-              {baselines_flat.begin() +
-                   static_cast<std::ptrdiff_t>(i * kld.bins),
-               baselines_flat.begin() +
-                   static_cast<std::ptrdiff_t>((i + 1) * kld.bins)},
-              {k_flat.begin() + static_cast<std::ptrdiff_t>(i * train_weeks),
-               k_flat.begin() +
-                   static_cast<std::ptrdiff_t>((i + 1) * train_weeks)},
-              thresholds[i]);
+          detectors[i] = std::make_unique<KldDetector>(
+              KldDetector::from_fitted_parts(
+                  kld,
+                  {edges_flat.begin() +
+                       static_cast<std::ptrdiff_t>(i * edge_n),
+                   edges_flat.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * edge_n)},
+                  {baselines_flat.begin() +
+                       static_cast<std::ptrdiff_t>(i * kld.bins),
+                   baselines_flat.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * kld.bins)},
+                  {k_flat.begin() +
+                       static_cast<std::ptrdiff_t>(i * train_weeks),
+                   k_flat.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * train_weeks)},
+                  thresholds[i]));
         },
         config_.threads);
+  } else if (count > 0 && !v2_interleaved) {
+    // v4 generic detector block: one shared config fingerprint, then each
+    // consumer's self-describing save_state payload.
+    const std::string fingerprint = dec.str("detector fingerprint", 1024);
+    detectors.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::unique_ptr<ScoringDetector> detector =
+          make_detector(detector_id, config.detector_options);
+      detector->restore_state(dec, version);
+      if (detector->config_fingerprint() != fingerprint) {
+        throw DataError("checkpoint: detector fingerprint mismatch");
+      }
+      detectors.push_back(std::move(detector));
+    }
+  }
 
+  if (count > 0 && !v2_interleaved) {
     ids.resize(count);
     dec.u32_array(ids);
     windows.resize(count * kWindow);
@@ -450,8 +507,8 @@ void OnlineMonitor::restore(std::istream& in) {
     cooldown.resize(count);
     train_mean.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
-      KldDetector detector;
-      detector.restore(dec, version);
+      auto detector = std::make_unique<KldDetector>();
+      detector->restore(dec, version);
       detectors.push_back(std::move(detector));
       ids.push_back(dec.u32());
       const std::vector<double> window =
@@ -498,8 +555,11 @@ void OnlineMonitor::restore(std::istream& in) {
   dec.require_exhausted("monitor model");
 
   // Everything decoded cleanly; commit the restore atomically.
-  if (count > 0) config.kld = detectors.front().config();
-  config_ = config;
+  config.detector = detector_id;
+  if (detector_id == "kld" && count > 0) {
+    config.kld = static_cast<const KldDetector&>(*detectors.front()).config();
+  }
+  config_ = std::move(config);
   detectors_ = std::move(detectors);
   ids_ = std::move(ids);
   windows_ = std::move(windows);

@@ -29,8 +29,10 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/detector_registry.h"
 #include "core/kld_detector.h"
 #include "core/time_to_detection.h"
 #include "meter/dataset.h"
@@ -74,7 +76,13 @@ struct Reading {
 };
 
 struct OnlineMonitorConfig {
+  /// Registered detector family run per consumer (core/detector_registry.h).
+  std::string detector = "kld";
   KldDetectorConfig kld{};
+  /// Knobs for the non-default families; `kld` above stays authoritative
+  /// for the KLD histogram knobs (copied into detector_options.kld before
+  /// detectors are built).
+  DetectorOptions detector_options{};
   /// Rescore the sliding vector every `stride` readings (1 = every reading;
   /// 4 = every two hours) - an operator-tunable cost/latency trade.
   std::size_t stride = 4;
@@ -148,15 +156,18 @@ class OnlineMonitor {
   void save(std::ostream& out) const;
 
   /// Restores a save() checkpoint, replacing this monitor's fit, window
-  /// state, and the fit-related config (kld, stride, cooldown_slots;
-  /// `threads`, `metrics` and `shards` keep their constructed values).
-  /// Subsequent ingest calls behave bit-identically to the monitor that was
-  /// saved.  Reads both the v3 Struct-of-Arrays layout (bulk array blocks;
-  /// the large-fleet warm start is a handful of memcpys plus a parallel
-  /// detector rebuild) and the v2 per-consumer interleaved layout written by
-  /// older builds (restored with out-of-support clamping, preserving the
-  /// saved scores bit-exactly).  Throws DataError on a corrupted/truncated/
-  /// version-mismatched file.
+  /// state, and the fit-related config (detector family, kld, stride,
+  /// cooldown_slots; `threads`, `metrics` and `shards` keep their
+  /// constructed values).  Subsequent ingest calls behave bit-identically to
+  /// the monitor that was saved.  Reads the v4 layout (a detector-id block;
+  /// "kld" fleets keep the v3 bulk Struct-of-Arrays detector encoding, other
+  /// families store a shared config fingerprint plus per-consumer
+  /// save_state payloads), the v3 Struct-of-Arrays layout (bulk array
+  /// blocks; the large-fleet warm start is a handful of memcpys plus a
+  /// parallel detector rebuild) and the v2 per-consumer interleaved layout
+  /// written by older builds (restored with out-of-support clamping,
+  /// preserving the saved scores bit-exactly).  Throws DataError on a
+  /// corrupted/truncated/version-mismatched file.
   void restore(std::istream& in);
 
   /// The consumer's sliding week vector, indexed by slot-of-week (exposed
@@ -170,7 +181,8 @@ class OnlineMonitor {
 
  private:
   /// Sizes the Struct-of-Arrays fleet state and shard locks for `count`
-  /// consumers (everything zeroed; detectors default-constructed).
+  /// consumers (everything zeroed; unfitted detectors cloned from a
+  /// registry-built prototype).
   void init_fleet(std::size_t count);
 
   /// Fits consumer i's detector and primes its sliding window from `series`
@@ -189,7 +201,7 @@ class OnlineMonitor {
   void emit_alert(const AlertEvent& event) const;
 
   OnlineMonitorConfig config_;
-  std::vector<KldDetector> detectors_;
+  std::vector<std::unique_ptr<ScoringDetector>> detectors_;
   std::vector<meter::ConsumerId> ids_;
 
   // Per-consumer sliding-window state, Struct-of-Arrays: one flat array per

@@ -88,20 +88,28 @@ void FdetaPipeline::fit(const meter::Dataset& actual) {
   obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   const std::size_t count = actual.consumer_count();
-  detectors_.assign(count, KldDetector(config_.kld));
+  // One unfitted prototype through the registry, cloned per consumer; the
+  // `kld` config block stays authoritative for the KLD histogram knobs.
+  DetectorOptions options = config_.detector_options;
+  options.kld = config_.kld;
+  const std::unique_ptr<ScoringDetector> prototype =
+      make_detector(config_.detector, options);
+  detectors_.clear();
+  detectors_.resize(count);
   train_stats_.assign(count, meter::WeeklyStats{});
   // Per-consumer fits are independent; run them on the shared pool.
   parallel_for(
       count,
       [&](std::size_t i) {
         const auto train = config_.split.train(actual.consumer(i));
-        detectors_[i].fit(train);
+        detectors_[i] = prototype->clone();
+        detectors_[i]->fit(train);
         train_stats_[i] = meter::weekly_stats(train);
       },
       config_.threads);
   fitted_ = true;
   consumers_fitted_->add(count);
-  // Each KldDetector::fit recomputes its (1-alpha) quantile threshold.
+  // Each detector fit recomputes its (1-alpha) quantile threshold.
   thresholds_recomputed_->add(count);
 }
 
@@ -113,9 +121,22 @@ void FdetaPipeline::save_model(std::ostream& out) const {
   enc.u64(config_.split.test_weeks);
   enc.f64(config_.direction_margin);
   enc.f64(config_.direction_floor_kw);
+  // v4 detector block: registry id, consumer count, one shared config
+  // fingerprint (the fleet must be uniform), then each consumer's
+  // self-describing save_state payload.  For "kld" the per-consumer bytes
+  // are the v3 KldDetector::save layout unchanged.
+  enc.str(config_.detector);
   enc.u64(detectors_.size());
+  if (!detectors_.empty()) {
+    const std::string fingerprint = detectors_.front()->config_fingerprint();
+    for (const auto& detector : detectors_) {
+      require(detector->config_fingerprint() == fingerprint,
+              "FdetaPipeline::save_model: detector fleet is not uniform");
+    }
+    enc.str(fingerprint);
+  }
   for (std::size_t i = 0; i < detectors_.size(); ++i) {
-    detectors_[i].save(enc);
+    detectors_[i]->save_state(enc);
     meter::save_weekly_stats(train_stats_[i], enc);
   }
   persist::write_checkpoint(out, persist::Section::kPipeline, enc.bytes());
@@ -134,21 +155,40 @@ void FdetaPipeline::load_model(std::istream& in) {
   config.direction_margin = dec.f64();
   config.direction_floor_kw = dec.f64();
 
+  // v2/v3 checkpoints predate the detector block and are always "kld".
+  const std::string detector_id =
+      version >= 4 ? dec.str("detector id", 256) : std::string("kld");
+  if (!is_registered_detector(detector_id)) {
+    throw DataError("checkpoint: unknown detector id \"" + detector_id + "\"");
+  }
   const std::size_t count = dec.count("consumers", 100u << 20);
-  std::vector<KldDetector> detectors;
+  std::string fingerprint;
+  if (version >= 4 && count > 0) {
+    fingerprint = dec.str("detector fingerprint", 1024);
+  }
+  std::vector<std::unique_ptr<ScoringDetector>> detectors;
   std::vector<meter::WeeklyStats> train_stats;
   detectors.reserve(count);
   train_stats.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    KldDetector detector;
-    detector.restore(dec, version);
+    // restore_state payloads are self-describing, so the options only seed
+    // the factory; every field is overwritten from the checkpoint.
+    std::unique_ptr<ScoringDetector> detector =
+        make_detector(detector_id, config.detector_options);
+    detector->restore_state(dec, version);
+    if (version >= 4 && detector->config_fingerprint() != fingerprint) {
+      throw DataError("checkpoint: detector fingerprint mismatch");
+    }
     detectors.push_back(std::move(detector));
     train_stats.push_back(meter::load_weekly_stats(dec));
   }
   dec.require_exhausted("pipeline model");
 
   // All consumers decoded cleanly; commit the restore atomically.
-  if (count > 0) config.kld = detectors.front().config();
+  config.detector = detector_id;
+  if (detector_id == "kld" && count > 0) {
+    config.kld = static_cast<const KldDetector&>(*detectors.front()).config();
+  }
   config_ = std::move(config);
   detectors_ = std::move(detectors);
   train_stats_ = std::move(train_stats);
@@ -193,10 +233,12 @@ PipelineReport FdetaPipeline::evaluate_week(
       [&](std::size_t i) {
         const auto& series = reported.consumer(i);
         const auto week_readings = series.week(week);
+        const SlotIndex first_slot =
+            week * static_cast<std::size_t>(kSlotsPerWeek);
 
         ConsumerVerdict verdict;
         verdict.id = series.id;
-        verdict.kld_threshold = detectors_[i].threshold();
+        verdict.kld_threshold = detectors_[i]->decision_threshold();
 
         // Coverage gate: a week this lossy would be scored on imputed
         // values, and imputation looks exactly like under-reporting.
@@ -213,7 +255,8 @@ PipelineReport FdetaPipeline::evaluate_week(
           }
         }
 
-        verdict.kld_score = detectors_[i].score(week_readings);       // step 2
+        verdict.kld_score =
+            detectors_[i]->score_week(week_readings, first_slot);  // step 2
 
         if (verdict.kld_score > verdict.kld_threshold) {
           // Step 3: classify the anomaly direction by the week's mean
@@ -251,7 +294,8 @@ PipelineReport FdetaPipeline::evaluate_week(
           }
 
           if (config_.explain) {
-            verdict.explanation = detectors_[i].explain(week_readings);
+            verdict.explanation =
+                detectors_[i]->explain_week(week_readings, first_slot);
           }
         }
         report.verdicts[i] = std::move(verdict);

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "core/detector_registry.h"
 #include "core/evidence.h"
 #include "core/kld_detector.h"
 #include "grid/investigate.h"
@@ -47,6 +50,9 @@ const char* to_string(VerdictStatus status);
 struct ConsumerVerdict {
   meter::ConsumerId id = 0;
   VerdictStatus status = VerdictStatus::kNormal;
+  /// Scalar score / decision threshold of the configured detector family
+  /// (the eq.-(12) divergence in bits for "kld"; other families report
+  /// their own scalar, see core/detector_plugin.h).
   double kld_score = 0.0;
   double kld_threshold = 0.0;
   std::optional<EvidenceEvent> excuse;
@@ -71,7 +77,14 @@ struct WeekCoverage {
 
 struct PipelineConfig {
   meter::TrainTestSplit split{};
+  /// Registered detector family run per consumer (core/detector_registry.h);
+  /// "kld" is the paper's eq.-(12) detector.
+  std::string detector = "kld";
   KldDetectorConfig kld{};
+  /// Knobs for the non-default families.  `kld` above stays authoritative
+  /// for the KLD histogram knobs: fit() copies it into
+  /// detector_options.kld before building detectors.
+  DetectorOptions detector_options{};
   /// Relative margin applied to the training weekly-mean quartiles when
   /// classifying the anomaly direction (step 3).
   double direction_margin = 0.0;
@@ -142,8 +155,8 @@ class FdetaPipeline {
   void save_model(std::ostream& out) const;
 
   /// Restores a save_model() checkpoint, replacing this pipeline's fit and
-  /// the fit-related config (split, kld, direction margins; `threads` and
-  /// `metrics` keep their constructed values).  evaluate_week() then yields
+  /// the fit-related config (split, detector family, kld, direction margins;
+  /// `threads` and `metrics` keep their constructed values).  evaluate_week() then yields
   /// verdicts bit-identical to the pipeline that was saved.  Throws
   /// DataError on a corrupted, truncated, or version-mismatched checkpoint.
   void load_model(std::istream& in);
@@ -155,8 +168,8 @@ class FdetaPipeline {
 
  private:
   PipelineConfig config_;
-  std::vector<KldDetector> detectors_;          // one per consumer
-  std::vector<meter::WeeklyStats> train_stats_; // one per consumer
+  std::vector<std::unique_ptr<ScoringDetector>> detectors_;  // per consumer
+  std::vector<meter::WeeklyStats> train_stats_;              // per consumer
   bool fitted_ = false;
 
   // Cached at construction; updates are lock-free (see obs/metrics.h) and

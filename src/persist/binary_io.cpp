@@ -23,6 +23,11 @@ void Encoder::doubles(std::span<const double> values) {
   for (double v : values) f64(v);
 }
 
+void Encoder::str(std::string_view value) {
+  u64(value.size());
+  buf_.append(value.data(), value.size());
+}
+
 void Encoder::f64_array(std::span<const double> values) {
   if constexpr (std::endian::native == std::endian::little) {
     buf_.append(reinterpret_cast<const char*>(values.data()),
@@ -93,6 +98,14 @@ std::vector<double> Decoder::doubles(std::string_view what,
   need(n * sizeof(double));
   std::vector<double> out(n);
   for (auto& v : out) v = f64();
+  return out;
+}
+
+std::string Decoder::str(std::string_view what, std::size_t max_len) {
+  const std::size_t n = count(what, max_len);
+  need(n);
+  std::string out(bytes_.substr(pos_, n));
+  pos_ += n;
   return out;
 }
 

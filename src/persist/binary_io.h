@@ -31,6 +31,9 @@ class Encoder {
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
   /// Element count (u64) followed by each element as f64.
   void doubles(std::span<const double> values);
+  /// Byte length (u64) followed by the raw bytes (detector ids and config
+  /// fingerprints in v4 checkpoints).
+  void str(std::string_view value);
 
   /// Bulk raw arrays WITHOUT a leading count: the caller's schema fixes the
   /// element count (e.g. consumers x slots-per-week), so the decoder can
@@ -64,6 +67,8 @@ class Decoder {
   std::size_t count(std::string_view what, std::size_t max_count);
   /// Reads a doubles() sequence.
   std::vector<double> doubles(std::string_view what, std::size_t max_count);
+  /// Reads a str() sequence; `max_len` bounds the byte length.
+  std::string str(std::string_view what, std::size_t max_len);
 
   /// Bulk reads of the countless Encoder::*_array blocks; `out.size()`
   /// elements are consumed (bounds-checked up front, single memcpy on

@@ -45,7 +45,13 @@ inline constexpr std::string_view kMagic = "FDETAMDL";
 // OnlineMonitor payload switched to the Struct-of-Arrays fleet layout
 // (uniform detector config + bulk per-field arrays) so a large-fleet warm
 // start is bulk reads instead of a per-consumer decode pass.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// v4: pipeline and monitor payloads lead their detector block with the
+// registry id of the detector family (core/detector_registry.h), so a
+// checkpoint can hold any registered ScoringDetector; "kld" fleets keep the
+// v3 bulk Struct-of-Arrays layout, other families add a uniform config
+// fingerprint followed by consecutive per-consumer save_state payloads.
+// v2/v3 payloads carry no id and decode as "kld".
+inline constexpr std::uint32_t kFormatVersion = 4;
 /// Oldest version this build still reads (see the per-section decoders).
 inline constexpr std::uint32_t kMinReadVersion = 2;
 

@@ -24,7 +24,9 @@
 #include "core/arima_detector.h"
 #include "core/conditioned_kld_detector.h"
 #include "core/integrated_arima_detector.h"
+#include "core/isolation_forest_detector.h"
 #include "core/kld_detector.h"
+#include "core/reduced_kld_detector.h"
 #include "tests/attack_test_helpers.h"
 
 namespace fdeta::core {
@@ -165,6 +167,13 @@ MatrixCells compute_matrix() {
     cc.slot_group = tou_slot_groups(pricing::nightsaver());
     ConditionedKldDetector ckld(cc);
     ckld.fit(f.train());
+    IsolationForestDetector iforest;
+    iforest.fit(f.train());
+    ReducedKldDetectorConfig lite_cfg;
+    lite_cfg.selected_slots = 48;
+    lite_cfg.kld = KldDetectorConfig{.bins = 10, .significance = 0.05};
+    ReducedKldDetector kld_lite(lite_cfg);
+    kld_lite.fit(f.train());
 
     std::map<std::string, std::vector<Kw>> attacks;
     attacks["clean"].assign(f.clean_week().begin(), f.clean_week().end());
@@ -196,6 +205,8 @@ MatrixCells compute_matrix() {
         tally("integrated", integrated.flag_week(degraded));
         tally("kld", kld.flag_week(degraded));
         tally("ckld", ckld.flag_week(degraded));
+        tally("iforest", iforest.flag_week(degraded));
+        tally("kld-lite", kld_lite.flag_week(degraded));
       }
     }
   }

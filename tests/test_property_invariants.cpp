@@ -1,15 +1,22 @@
 // Cross-module property tests: the paper's structural invariants checked
-// over randomised topologies, injections and tariffs.
+// over randomised topologies, injections and tariffs, plus the generic
+// detector-plugin contract every registered family must honour.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "attack/propositions.h"
 #include "common/rng.h"
+#include "core/detector_registry.h"
 #include "grid/balance.h"
 #include "grid/investigate.h"
+#include "persist/binary_io.h"
+#include "persist/checkpoint.h"
 #include "pricing/billing.h"
+#include "tests/attack_test_helpers.h"
 
 namespace fdeta {
 namespace {
@@ -132,6 +139,131 @@ TEST_P(RandomGridSweep, BillingLinearity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGridSweep, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------------
+// Detector plugin contract: the promises detector_plugin.h makes, checked
+// against every family the registry can build.  A new detector that
+// registers itself is automatically held to the same bar.
+
+class DetectorContract : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  std::unique_ptr<core::ScoringDetector> make() const {
+    return core::make_detector(GetParam(), {});
+  }
+
+  static std::string save_bytes(const core::ScoringDetector& d) {
+    persist::Encoder enc;
+    d.save_state(enc);
+    return enc.bytes();
+  }
+};
+
+// Two independently built + fitted instances of the same family agree on
+// everything observable: fingerprint, threshold, and scores (the registry
+// seeds any internal randomness deterministically).
+TEST_P(DetectorContract, FitAndScoreAreDeterministic) {
+  const auto f = testutil::make_fixture(4242);
+  auto a = make();
+  auto b = make();
+  a->fit(f.train());
+  b->fit(f.train());
+  EXPECT_EQ(a->config_fingerprint(), b->config_fingerprint());
+  EXPECT_EQ(a->decision_threshold(), b->decision_threshold());
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto week = f.split.test_week(f.series, w);
+    const SlotIndex first = (12 + w) * static_cast<std::size_t>(kSlotsPerWeek);
+    EXPECT_EQ(a->score_week(week, first), b->score_week(week, first))
+        << "test week " << w;
+  }
+}
+
+// Scoring entry points are pure: repeated and interleaved const calls return
+// identical values and leave the serialized state byte-identical (no hidden
+// state mutation on the hot path).
+TEST_P(DetectorContract, ScoringIsPure) {
+  const auto f = testutil::make_fixture(999);
+  auto d = make();
+  d->fit(f.train());
+  const std::string before = save_bytes(*d);
+  const auto week = f.clean_week();
+  const double first = d->score_week(week, 0);
+  const auto explanation = d->explain_week(week, 0);
+  const bool flagged = d->flag_week(week, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(d->score_week(week, 0), first) << "call " << i;
+  }
+  EXPECT_EQ(explanation.score, first);
+  EXPECT_EQ(explanation.threshold, d->decision_threshold());
+  EXPECT_EQ(flagged, first > d->decision_threshold());
+  EXPECT_EQ(save_bytes(*d), before)
+      << "scoring mutated serialized detector state";
+}
+
+// Degenerate baselines must not produce NaN/inf scores: a consumer whose
+// whole training span is a constant (vacant premises report flat zeros) still
+// gets finite verdicts for constant, positive, and spiky weeks.
+TEST_P(DetectorContract, FiniteScoresOnDegenerateBaseline) {
+  const std::vector<Kw> train(12 * static_cast<std::size_t>(kSlotsPerWeek),
+                              0.0);
+  auto d = make();
+  d->fit(train);
+  EXPECT_TRUE(std::isfinite(d->decision_threshold()));
+
+  std::vector<Kw> week(kSlotsPerWeek, 0.0);
+  EXPECT_TRUE(std::isfinite(d->score_week(week, 0))) << "constant week";
+  std::fill(week.begin(), week.end(), 1.5);
+  EXPECT_TRUE(std::isfinite(d->score_week(week, 0))) << "positive week";
+  week.assign(kSlotsPerWeek, 0.0);
+  week[100] = 40.0;
+  EXPECT_TRUE(std::isfinite(d->score_week(week, 0))) << "spiky week";
+}
+
+// save -> restore -> save is byte-stable and the restored detector scores
+// bit-exactly like the original (the checkpoint layer depends on both).
+TEST_P(DetectorContract, SaveRestoreSaveIsByteStable) {
+  const auto f = testutil::make_fixture(31337);
+  auto original = make();
+  original->fit(f.train());
+  const std::string bytes = save_bytes(*original);
+
+  auto restored = make();
+  persist::Decoder dec(bytes);
+  restored->restore_state(dec, persist::kFormatVersion);
+  dec.require_exhausted("detector contract payload");
+
+  EXPECT_EQ(save_bytes(*restored), bytes) << "save/restore/save not stable";
+  EXPECT_EQ(restored->config_fingerprint(), original->config_fingerprint());
+  EXPECT_EQ(restored->decision_threshold(), original->decision_threshold());
+  const auto week = f.clean_week();
+  EXPECT_EQ(restored->score_week(week, 0), original->score_week(week, 0));
+}
+
+// clone() carries the fitted state: a clone is indistinguishable from its
+// prototype, and cloning an unfitted prototype then fitting matches a direct
+// fit (the fleet layers rely on exactly this).
+TEST_P(DetectorContract, CloneCarriesFittedState) {
+  const auto f = testutil::make_fixture(777);
+  auto fitted = make();
+  fitted->fit(f.train());
+  const auto fitted_clone = fitted->clone();
+  EXPECT_EQ(save_bytes(*fitted_clone), save_bytes(*fitted));
+
+  auto prototype = make();
+  auto cloned_then_fit = prototype->clone();
+  cloned_then_fit->fit(f.train());
+  EXPECT_EQ(save_bytes(*cloned_then_fit), save_bytes(*fitted));
+}
+
+std::string contract_name(
+    const ::testing::TestParamInfo<std::string_view>& info) {
+  std::string name(info.param);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, DetectorContract,
+                         ::testing::ValuesIn(core::registered_detector_names()),
+                         contract_name);
 
 }  // namespace
 }  // namespace fdeta

@@ -49,6 +49,7 @@
 #include "common/csv.h"
 #include "common/error.h"
 #include "core/arima_detector.h"
+#include "core/detector_registry.h"
 #include "core/integrated_arima_detector.h"
 #include "core/evaluation.h"
 #include "core/kld_detector.h"
@@ -231,6 +232,25 @@ core::KldDetectorConfig kld_config_from(const Args& args) {
   return kld;
 }
 
+std::string registered_detectors_joined() {
+  std::string out;
+  for (const std::string_view name : core::registered_detector_names()) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
+/// Resolves --detector against the registry (default "kld").
+std::string detector_from(const Args& args) {
+  const std::string name = args.get("detector", "kld");
+  if (!core::is_registered_detector(name)) {
+    throw InvalidArgument("unknown --detector '" + name + "' (" +
+                          registered_detectors_joined() + ")");
+  }
+  return name;
+}
+
 /// Guards every score/threshold the CLI emits: a non-finite value would
 /// print as a bare "inf"/"nan" token and poison any downstream parser, so
 /// serving refuses to emit it (enable epsilon smoothing, the default, to
@@ -257,6 +277,7 @@ int cmd_fit(const Args& args) {
   config.split =
       meter::TrainTestSplit{.train_weeks = train_weeks,
                             .test_weeks = actual.week_count() - train_weeks};
+  config.detector = detector_from(args);
   config.kld = kld_config_from(args);
   core::FdetaPipeline pipeline(config);
   pipeline.fit(actual);
@@ -265,9 +286,10 @@ int cmd_fit(const Args& args) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw DataError("fit: cannot open " + path + " for writing");
   pipeline.save_model(out);
-  std::printf("fitted %zu consumers on %zu training weeks (B=%zu, "
-              "alpha=%.0f%%), model -> %s\n",
-              pipeline.consumer_count(), train_weeks, config.kld.bins,
+  std::printf("fitted %zu consumers on %zu training weeks (detector=%s, "
+              "B=%zu, alpha=%.0f%%), model -> %s\n",
+              pipeline.consumer_count(), train_weeks,
+              config.detector.c_str(), config.kld.bins,
               100.0 * config.kld.significance, path.c_str());
   return 0;
 }
@@ -298,12 +320,16 @@ int cmd_detect(const Args& args) {
   core::FdetaPipeline pipeline(config);
   if (!model_path.empty()) {
     // Warm start: restore the fitted state saved by `fdeta fit`; the
-    // checkpoint carries the split and KLD parameters it was fitted with.
+    // checkpoint carries the detector family, split and KLD parameters it
+    // was fitted with.
     std::ifstream in(model_path, std::ios::binary);
     if (!in) throw DataError("detect: cannot open model " + model_path);
     pipeline.load_model(in);
     require(pipeline.consumer_count() == reported.consumer_count(),
             "detect: model consumer count does not match the dataset");
+    const std::string requested = args.get("detector", "");
+    require(requested.empty() || requested == pipeline.config().detector,
+            "detect: --detector disagrees with the model checkpoint");
   } else {
     // Cold path: fit in-process on the baseline dataset.
     config.split = meter::TrainTestSplit{
@@ -314,6 +340,7 @@ int cmd_detect(const Args& args) {
             "detect: train-weeks exceeds the horizon");
     config.split.test_weeks =
         reported.week_count() - config.split.train_weeks;
+    config.detector = detector_from(args);
     config.kld = kld_config_from(args);
     config.explain = explain;
     pipeline = core::FdetaPipeline(config);
@@ -378,8 +405,9 @@ int cmd_detect(const Args& args) {
   };
 
   std::printf("%-8s", "week");
-  std::printf("  flagged consumers (KLD alpha=%.0f%%, B=%zu)\n",
-              100.0 * significance, bins);
+  std::printf("  flagged consumers (detector=%s, alpha=%.0f%%, B=%zu)\n",
+              pipeline.config().detector.c_str(), 100.0 * significance,
+              bins);
   // These tallies are computed from the printed report itself; the
   // cli_metrics_check test cross-checks them against the --metrics-out
   // JSON, whose counters come from the pipeline's own instrumentation.
@@ -447,7 +475,9 @@ int cmd_detect(const Args& args) {
   // batch + online forensic surface.
   if (args.get_long("stream", 1) != 0) {
     core::OnlineMonitorConfig mconfig;
+    mconfig.detector = pipeline.config().detector;
     mconfig.kld = pipeline.config().kld;
+    mconfig.detector_options = pipeline.config().detector_options;
     mconfig.max_missing_fraction = pipeline.config().max_missing_fraction;
     core::OnlineMonitor monitor(mconfig);
     monitor.fit(baseline, pipeline.config().split);
@@ -598,8 +628,10 @@ int usage() {
       "            [--attack integrated-over|integrated-under|arima-over|\n"
       "             arima-under|swap] [--train-weeks T] [--seed S]\n"
       "  fit       --in F --save-model F [--train-weeks T]\n"
+      "            [--detector kld|ckld|kld-lite|iforest]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "  detect    --in F [--model F] [--baseline F] [--train-weeks T]\n"
+      "            [--detector kld|ckld|kld-lite|iforest]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "            [--explain] [--stream 0|1]\n"
       "            [--fault-plan drop=X,dup=X,reorder=X,delay=N,corrupt=X,\n"
