@@ -14,12 +14,22 @@ CliArgs::CliArgs(int argc, const char* const* argv, int first) {
     }
     if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
       values_[argv[i] + 2] = "";  // bare boolean flag
+      ordered_.emplace_back(argv[i] + 2, "");
       i += 1;
     } else {
       values_[argv[i] + 2] = argv[i + 1];
+      ordered_.emplace_back(argv[i] + 2, argv[i + 1]);
       i += 2;
     }
   }
+}
+
+std::vector<std::string> CliArgs::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
 }
 
 std::string CliArgs::get(const std::string& key,

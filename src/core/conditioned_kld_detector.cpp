@@ -99,6 +99,7 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
   scorings_.assign(config_.groups, {});
   thresholds_.assign(config_.groups, 0.0);
 
+  std::vector<std::vector<double>> k_per_group(config_.groups);
   for (std::size_t g = 0; g < config_.groups; ++g) {
     // All training readings in this price group (across all weeks).
     const std::vector<double> all = group_values(training, g);
@@ -108,7 +109,7 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
     baselines_[g] = histograms_[g]->probabilities(all);
     scorings_[g] = scoring_baseline(g);
 
-    std::vector<double> k;
+    std::vector<double>& k = k_per_group[g];
     k.reserve(weeks);
     for (std::size_t w = 0; w < weeks; ++w) {
       const std::span<const Kw> week{training.data() + w * kSlotsPerWeek,
@@ -119,6 +120,19 @@ void ConditionedKldDetector::fit(std::span<const Kw> training) {
     }
     thresholds_[g] = stats::quantile(k, 1.0 - config_.significance);
   }
+
+  // Each training week's scalar margin on the plugin scale: the calibration
+  // reference, exactly what raw_score_week would report for that week.
+  training_margins_.assign(weeks, 0.0);
+  for (std::size_t w = 0; w < weeks; ++w) {
+    double worst = -std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < config_.groups; ++g) {
+      worst = std::max(worst, k_per_group[g][w] - thresholds_[g]);
+    }
+    training_margins_[w] = worst;
+  }
+  calibration_ = ScoreCalibration::from_reference(training_margins_, 0.0,
+                                                  config_.significance);
   fitted_ = true;
 }
 
@@ -145,8 +159,8 @@ bool ConditionedKldDetector::flag_week(std::span<const Kw> week,
   return false;
 }
 
-double ConditionedKldDetector::score_week(std::span<const Kw> week,
-                                          SlotIndex /*first_slot*/) const {
+double ConditionedKldDetector::raw_score_week(std::span<const Kw> week,
+                                              SlotIndex /*first_slot*/) const {
   const auto s = scores(week);
   double worst = -std::numeric_limits<double>::infinity();
   for (std::size_t g = 0; g < s.size(); ++g) {
@@ -155,7 +169,7 @@ double ConditionedKldDetector::score_week(std::span<const Kw> week,
   return worst;
 }
 
-KldExplanation ConditionedKldDetector::explain_week(
+KldExplanation ConditionedKldDetector::raw_explain_week(
     std::span<const Kw> week, SlotIndex /*first_slot*/) const {
   const auto s = scores(week);
   std::size_t worst = 0;
@@ -164,7 +178,8 @@ KldExplanation ConditionedKldDetector::explain_week(
   }
   KldExplanation out = explain(week)[worst];
   // Rebase the header to the scalar margin scale so it matches
-  // score_week/decision_threshold exactly (the bins stay on the raw scale).
+  // raw_score_week/raw_decision_threshold exactly (the bins stay on the
+  // per-group divergence scale).
   out.score = s[worst] - thresholds_[worst];
   out.threshold = 0.0;
   return out;
@@ -238,6 +253,11 @@ const std::vector<double>& ConditionedKldDetector::thresholds() const {
   return thresholds_;
 }
 
+const std::vector<double>& ConditionedKldDetector::training_margins() const {
+  require(fitted_, "ConditionedKldDetector: fit() not called");
+  return training_margins_;
+}
+
 void ConditionedKldDetector::save(persist::Encoder& enc) const {
   require(fitted_, "ConditionedKldDetector::save: fit() not called");
   enc.u64(config_.groups);
@@ -253,6 +273,8 @@ void ConditionedKldDetector::save(persist::Encoder& enc) const {
     enc.doubles(baselines_[g]);
     enc.f64(thresholds_[g]);
   }
+  // v5+: the training weeks' scalar margins, the calibration reference.
+  enc.doubles(training_margins_);
 }
 
 void ConditionedKldDetector::restore(persist::Decoder& dec,
@@ -298,6 +320,15 @@ void ConditionedKldDetector::restore(persist::Decoder& dec,
     thresholds.push_back(dec.f64());
   }
 
+  // v5 payloads carry the training margins (the calibration reference);
+  // older checkpoints never persisted them, so those calibrate anchored at
+  // the margin threshold alone - the flag decisions are identical either
+  // way, only the sub-threshold score resolution differs.
+  std::vector<double> training_margins;
+  if (format_version >= 5) {
+    training_margins = dec.doubles("ckld training margins", 1u << 20);
+  }
+
   config_ = std::move(config);
   histograms_ = std::move(histograms);
   baselines_ = std::move(baselines);
@@ -307,6 +338,12 @@ void ConditionedKldDetector::restore(persist::Decoder& dec,
     scorings_.push_back(scoring_baseline(g));
   }
   thresholds_ = std::move(thresholds);
+  training_margins_ = std::move(training_margins);
+  calibration_ =
+      training_margins_.empty()
+          ? ScoreCalibration::threshold_anchored(0.0, config_.significance)
+          : ScoreCalibration::from_reference(training_margins_, 0.0,
+                                             config_.significance);
   fitted_ = true;
 }
 

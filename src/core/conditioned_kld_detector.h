@@ -65,22 +65,23 @@ class ConditionedKldDetector final : public ScoringDetector {
                  SlotIndex first_slot = 0) const override;
 
   // --- ScoringDetector plugin surface ------------------------------------
-  /// The scalar score is the worst per-group threshold margin,
-  /// max_g(scores(week)[g] - thresholds()[g]), so decision_threshold() is 0
-  /// and the uniform score > threshold decision reproduces flag_week's
+  /// The family-native scalar score is the worst per-group threshold margin,
+  /// max_g(scores(week)[g] - thresholds()[g]), so raw_decision_threshold()
+  /// is 0 and the raw score > threshold decision reproduces flag_week's
   /// "any group over its own threshold" rule exactly (for IEEE doubles,
-  /// a - b > 0 iff a > b).
-  double score_week(std::span<const Kw> week,
-                    SlotIndex first_slot = 0) const override;
-  double decision_threshold() const override { return 0.0; }
+  /// a - b > 0 iff a > b).  The calibration reference is the training weeks'
+  /// margins on that same scale (persisted since checkpoint format v5).
+  double raw_score_week(std::span<const Kw> week,
+                        SlotIndex first_slot = 0) const override;
+  double raw_decision_threshold() const override { return 0.0; }
   /// The explanation of the worst-margin group (the one driving the score).
   /// The header is rebased to the scalar margin scale (score ==
-  /// score_week(week), threshold == decision_threshold() == 0) per the
-  /// plugin contract; the bins keep the worst group's raw eq.-(12)
+  /// raw_score_week(week), threshold == raw_decision_threshold() == 0) per
+  /// the plugin contract; the bins keep the worst group's raw eq.-(12)
   /// decomposition, so their bits sum to that group's raw divergence, score
   /// + its threshold.  explain() exposes the raw per-group headers.
-  KldExplanation explain_week(std::span<const Kw> week,
-                              SlotIndex first_slot = 0) const override;
+  KldExplanation raw_explain_week(std::span<const Kw> week,
+                                  SlotIndex first_slot = 0) const override;
   void save_state(persist::Encoder& enc) const override { save(enc); }
   void restore_state(persist::Decoder& dec,
                      std::uint32_t format_version) override {
@@ -96,6 +97,11 @@ class ConditionedKldDetector final : public ScoringDetector {
 
   /// Per-group thresholds.
   const std::vector<double>& thresholds() const;
+
+  /// The training weeks' scalar margins (the calibration reference): one
+  /// max_g(K_i[g] - thresholds()[g]) per training week.  Empty when restored
+  /// from a pre-v5 checkpoint (those calibrate threshold-anchored).
+  const std::vector<double>& training_margins() const;
 
   /// Per-group per-bin breakdowns: explanations[g].score equals
   /// scores(week)[g] and explanations[g].threshold equals thresholds()[g].
@@ -126,6 +132,7 @@ class ConditionedKldDetector final : public ScoringDetector {
   std::vector<std::vector<double>> baselines_;               // per group, raw
   std::vector<std::vector<double>> scorings_;  // per group, smoothed
   std::vector<double> thresholds_;             // per group
+  std::vector<double> training_margins_;       // per training week (v5+)
   bool fitted_ = false;
 };
 

@@ -7,7 +7,11 @@
 //
 //   - a scalar anomaly score per week plus a decision threshold (the flag
 //     decision is score > threshold, uniformly, so alerts/verdicts carry a
-//     comparable score regardless of family),
+//     comparable score regardless of family).  Since the calibration layer
+//     landed, score_week is the CALIBRATED anomaly quantile in [0, 1] (see
+//     ScoreCalibration below) and decision_threshold() is uniformly
+//     1 - significance; each family's native score scale stays reachable
+//     through raw_score_week / raw_decision_threshold,
 //   - a per-bin explanation (families without a bin decomposition return the
 //     score/threshold header with no bins),
 //   - symmetric save_state/restore_state for checkpoints,
@@ -48,13 +52,74 @@ struct KldBinContribution {
 };
 
 /// A full per-bin breakdown of one scored week.  Invariant for the KLD
-/// families: the sum of bins[*].bits equals score up to the same clamp
+/// families: the sum of bins[*].bits equals raw_score up to the same clamp
 /// kl_divergence_bits applies (tiny negative totals snap to 0).  Families
 /// without a bin decomposition leave `bins` empty.
 struct KldExplanation {
-  double score = 0.0;      ///< identical to score_week(week)
-  double threshold = 0.0;  ///< the detector's decision threshold
+  double score = 0.0;          ///< identical to score_week(week) (calibrated)
+  double threshold = 0.0;      ///< identical to decision_threshold()
+  double raw_score = 0.0;      ///< the family-native score (bins sum to this)
+  double raw_threshold = 0.0;  ///< the family-native decision threshold
   std::vector<KldBinContribution> bins;
+};
+
+/// Maps a family's native score scale onto a registry-uniform calibrated
+/// scale: the empirical anomaly quantile in [0, 1] of the family's training
+/// reference scores, anchored at the family's raw decision threshold.
+///
+/// The map is monotone non-decreasing and FLAG-PRESERVING by construction:
+///
+///   calibrate(raw) > 1 - significance   iff   raw > raw_threshold()
+///
+/// which is what lets decision_threshold() be the uniform 1 - significance
+/// across every family without moving a single flag decision.  Raw scores at
+/// or below the raw threshold land in [0, 1 - significance] by their position
+/// in the reference distribution (linear between sorted reference points, the
+/// left inverse of the Hyndman-Fan-7 quantile); raw scores above it land in
+/// (1 - significance, 1].  Calibration is a pure function of (reference,
+/// raw_threshold, significance), so restored checkpoints and sharded fleets
+/// reproduce calibrated scores bit-exactly.
+class ScoreCalibration {
+ public:
+  ScoreCalibration() = default;
+
+  /// Calibration over a reference sample of raw scores (the family's
+  /// training scores on the same scale raw_score_week reports).  The
+  /// reference is sorted internally; it may be empty, which degrades to
+  /// threshold_anchored().  `significance` must be in (0, 1).
+  static ScoreCalibration from_reference(std::vector<double> reference,
+                                         double raw_threshold,
+                                         double significance);
+
+  /// Fallback for legacy checkpoints that persisted a threshold but no
+  /// training reference: anchors the flag boundary exactly and squashes raw
+  /// margins monotonically into the two segments.
+  static ScoreCalibration threshold_anchored(double raw_threshold,
+                                             double significance);
+
+  bool fitted() const { return fitted_; }
+  double significance() const { return significance_; }
+  double raw_threshold() const { return raw_threshold_; }
+  /// The uniform calibrated decision threshold: 1 - significance.
+  double decision_threshold() const { return 1.0 - significance_; }
+  /// The sorted reference sample (empty for threshold_anchored).
+  const std::vector<double>& reference() const { return reference_; }
+
+  /// The calibrated anomaly quantile of a raw score, in [0, 1].  NaN inputs
+  /// propagate; +-infinity map to the segment extremes.
+  double calibrate(double raw) const;
+
+ private:
+  /// Position of x in the sorted reference, in [0, 1]: the left inverse of
+  /// quantile_sorted (x below the min is 0, above the max is 1, linear
+  /// between adjacent order statistics).
+  double position(double x) const;
+
+  std::vector<double> reference_;  // sorted ascending; empty = legacy anchor
+  double raw_threshold_ = 0.0;
+  double significance_ = 0.05;
+  double threshold_position_ = 0.0;  // cached position(raw_threshold_)
+  bool fitted_ = false;
 };
 
 class ScoringDetector : public Detector {
@@ -63,26 +128,56 @@ class ScoringDetector : public Detector {
   /// detector_registry.h).  Stable across processes: checkpoints persist it.
   virtual std::string_view id() const = 0;
 
-  /// The scalar anomaly score of a week.  `first_slot` is the week's
-  /// absolute slot index (weeks are slot-aligned), needed by slot-of-week
-  /// aware families.  Finite for any input under the default configs.
-  virtual double score_week(std::span<const Kw> week,
-                            SlotIndex first_slot = 0) const = 0;
+  /// The family-native anomaly score of a week (divergence bits, a group
+  /// margin, a forest score...).  `first_slot` is the week's absolute slot
+  /// index (weeks are slot-aligned), needed by slot-of-week aware families.
+  /// Finite for any input under the default configs.
+  virtual double raw_score_week(std::span<const Kw> week,
+                                SlotIndex first_slot = 0) const = 0;
 
-  /// The decision threshold: a week is anomalous iff
-  /// score_week(week) > decision_threshold().
-  virtual double decision_threshold() const = 0;
+  /// The family-native decision threshold: a week is anomalous iff
+  /// raw_score_week(week) > raw_decision_threshold().
+  virtual double raw_decision_threshold() const = 0;
+
+  /// The CALIBRATED anomaly score of a week: the raw score mapped through
+  /// the family's ScoreCalibration into [0, 1], comparable across families
+  /// (0.97 means "further out than the 1 - significance training quantile"
+  /// whatever the family).  The flag decision is unchanged from the raw
+  /// rule: score_week(week) > decision_threshold() iff
+  /// raw_score_week(week) > raw_decision_threshold().
+  double score_week(std::span<const Kw> week, SlotIndex first_slot = 0) const {
+    return calibration_.calibrate(raw_score_week(week, first_slot));
+  }
+
+  /// The uniform calibrated decision threshold: 1 - significance, for every
+  /// family.
+  double decision_threshold() const {
+    return calibration_.decision_threshold();
+  }
 
   bool flag_week(std::span<const Kw> week,
                  SlotIndex first_slot = 0) const override {
-    return score_week(week, first_slot) > decision_threshold();
+    // Decided on the raw scale; identical to the calibrated comparison by
+    // ScoreCalibration's flag-preservation invariant.
+    return raw_score_week(week, first_slot) > raw_decision_threshold();
   }
 
-  /// Per-bin breakdown of score_week.  The default carries the score and
-  /// threshold with no bins; histogram families override with the full
+  /// The family's score calibration; fitted once fit() (or a restore) has
+  /// run.
+  const ScoreCalibration& calibration() const { return calibration_; }
+
+  /// Per-bin breakdown of a week.  The header carries the calibrated score
+  /// and threshold (matching score_week/decision_threshold exactly) plus the
+  /// family-native raw_score/raw_threshold the bins decompose.
+  KldExplanation explain_week(std::span<const Kw> week,
+                              SlotIndex first_slot = 0) const;
+
+  /// Family hook behind explain_week: score and threshold on the RAW scale
+  /// (explain_week rebases the header).  The default carries the raw score
+  /// and threshold with no bins; histogram families override with the full
   /// eq.-(12) decomposition.
-  virtual KldExplanation explain_week(std::span<const Kw> week,
-                                      SlotIndex first_slot = 0) const;
+  virtual KldExplanation raw_explain_week(std::span<const Kw> week,
+                                          SlotIndex first_slot = 0) const;
 
   /// Serializes the fitted state; requires fit() to have run.  Symmetric
   /// with restore_state: the byte stream carries its own framing, so
@@ -105,6 +200,12 @@ class ScoringDetector : public Detector {
   /// Deep copy, fitted state included (the fleet layers clone a configured
   /// prototype per consumer before fit).
   virtual std::unique_ptr<ScoringDetector> clone() const = 0;
+
+ protected:
+  /// Every family assigns this at the end of fit() and of a state restore
+  /// (copies and clones carry it along).  Until then score_week /
+  /// decision_threshold throw via ScoreCalibration's fitted check.
+  ScoreCalibration calibration_;
 };
 
 }  // namespace fdeta::core

@@ -1,6 +1,7 @@
 #include "core/detector_registry.h"
 
 #include <array>
+#include <charconv>
 #include <stdexcept>
 
 #include "core/conditioned_kld_detector.h"
@@ -13,6 +14,55 @@ namespace {
 constexpr std::array<std::string_view, 4> kNames = {"kld", "ckld", "kld-lite",
                                                     "iforest"};
 
+constexpr std::string_view kOptionHelp =
+    "  kld.bins=<n>                    histogram bins (default 10)\n"
+    "  kld.significance=<a>            alpha in (0,1) for every family's\n"
+    "                                  threshold (default 0.05)\n"
+    "  kld.epsilon=<e>                 baseline smoothing mass (default 1e-9)\n"
+    "  kld.exclude_out_of_support=0|1  out-of-support reading handling\n"
+    "                                  (default 1)\n"
+    "  kld-lite.slots=<k>              slot-of-week positions kept (default "
+    "48)\n"
+    "  iforest.trees=<n>               trees per forest (default 64)\n"
+    "  iforest.samples=<n>             subsample size per tree (default 32)\n"
+    "  iforest.contamination=<c>       assumed anomalous training fraction\n"
+    "                                  in [0,1) (default 0.20)\n"
+    "  iforest.seed=<u64>              tree-building RNG seed";
+
+[[noreturn]] void bad_option(const std::string& message) {
+  throw std::invalid_argument("--detector-opt: " + message +
+                              "\nknown keys:\n" + std::string(kOptionHelp));
+}
+
+double parse_f64(std::string_view key, std::string_view text) {
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    bad_option(std::string(key) + ": not a number: \"" + std::string(text) +
+               "\"");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    bad_option(std::string(key) + ": not a non-negative integer: \"" +
+               std::string(text) + "\"");
+  }
+  return value;
+}
+
+bool parse_bool(std::string_view key, std::string_view text) {
+  if (text == "1" || text == "true") return true;
+  if (text == "0" || text == "false") return false;
+  bad_option(std::string(key) + ": expected 0/1/true/false, got \"" +
+             std::string(text) + "\"");
+}
+
 }  // namespace
 
 std::span<const std::string_view> registered_detector_names() {
@@ -24,6 +74,68 @@ bool is_registered_detector(std::string_view name) {
     if (known == name) return true;
   }
   return false;
+}
+
+std::string registered_detector_names_joined() {
+  std::string out;
+  for (const std::string_view name : kNames) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::string detector_option_help() { return std::string(kOptionHelp); }
+
+void apply_detector_option(DetectorOptions& options, std::string_view spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    bad_option("expected key=value, got \"" + std::string(spec) + "\"");
+  }
+  const std::string_view key = spec.substr(0, eq);
+  const std::string_view value = spec.substr(eq + 1);
+
+  if (key == "kld.bins") {
+    const std::uint64_t bins = parse_u64(key, value);
+    if (bins < 2) bad_option("kld.bins: need at least two bins");
+    options.kld.bins = static_cast<std::size_t>(bins);
+  } else if (key == "kld.significance") {
+    const double sig = parse_f64(key, value);
+    if (!(sig > 0.0 && sig < 1.0)) {
+      bad_option("kld.significance: must be in (0,1)");
+    }
+    options.kld.significance = sig;
+  } else if (key == "kld.epsilon") {
+    const double eps = parse_f64(key, value);
+    if (!(eps >= 0.0)) bad_option("kld.epsilon: must be >= 0");
+    options.kld.epsilon = eps;
+  } else if (key == "kld.exclude_out_of_support") {
+    options.kld.exclude_out_of_support = parse_bool(key, value);
+  } else if (key == "kld-lite.slots") {
+    const std::uint64_t slots = parse_u64(key, value);
+    if (slots < 1 || slots > static_cast<std::uint64_t>(kSlotsPerWeek)) {
+      bad_option("kld-lite.slots: must be in [1, 336]");
+    }
+    options.reduced_slots = static_cast<std::size_t>(slots);
+  } else if (key == "iforest.trees") {
+    const std::uint64_t trees = parse_u64(key, value);
+    if (trees < 1) bad_option("iforest.trees: need at least one tree");
+    options.iforest_trees = static_cast<std::size_t>(trees);
+  } else if (key == "iforest.samples") {
+    const std::uint64_t samples = parse_u64(key, value);
+    if (samples < 2) bad_option("iforest.samples: need at least two");
+    options.iforest_samples = static_cast<std::size_t>(samples);
+  } else if (key == "iforest.contamination") {
+    const double contamination = parse_f64(key, value);
+    if (!(contamination >= 0.0 && contamination < 1.0)) {
+      bad_option("iforest.contamination: must be in [0,1)");
+    }
+    options.iforest_contamination = contamination;
+  } else if (key == "iforest.seed") {
+    options.iforest_seed = parse_u64(key, value);
+  } else {
+    bad_option("unknown key \"" + std::string(key) + "\"");
+  }
 }
 
 std::unique_ptr<ScoringDetector> make_detector(std::string_view name,
@@ -52,11 +164,13 @@ std::unique_ptr<ScoringDetector> make_detector(std::string_view name,
     config.trees = options.iforest_trees;
     config.sample_size = options.iforest_samples;
     config.significance = options.kld.significance;
+    config.contamination = options.iforest_contamination;
     config.seed = options.iforest_seed;
     return std::make_unique<IsolationForestDetector>(config);
   }
   throw std::invalid_argument("make_detector: unknown detector \"" +
-                              std::string(name) + "\"");
+                              std::string(name) + "\" (registered: " +
+                              registered_detector_names_joined() + ")");
 }
 
 }  // namespace fdeta::core

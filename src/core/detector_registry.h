@@ -36,6 +36,9 @@ struct DetectorOptions {
   /// operating point stays uniform across the registry).
   std::size_t iforest_trees = 64;
   std::size_t iforest_samples = 32;
+  /// Assumed anomalous fraction of the training weeks; see
+  /// IsolationForestDetectorConfig::contamination.
+  double iforest_contamination = 0.20;
   std::uint64_t iforest_seed = 0x150F07357ULL;
 };
 
@@ -45,9 +48,24 @@ std::span<const std::string_view> registered_detector_names();
 /// True if `name` is a registered detector id.
 bool is_registered_detector(std::string_view name);
 
+/// The registered ids joined for error/usage text: "kld, ckld, ...".
+std::string registered_detector_names_joined();
+
+/// Applies one `--detector-opt key=value` pair to `options`.  Keys are
+/// namespaced per family (`kld.bins`, `kld.significance`, `kld.epsilon`,
+/// `kld.exclude_out_of_support`, `kld-lite.slots`, `iforest.trees`,
+/// `iforest.samples`, `iforest.contamination`, `iforest.seed`); the kld.*
+/// keys also feed "ckld" and the histogram half of "kld-lite", mirroring
+/// how DetectorOptions fans out.  Throws std::invalid_argument naming the
+/// known keys on an unknown key, and on an unparsable or out-of-range value.
+void apply_detector_option(DetectorOptions& options, std::string_view spec);
+
+/// The keys apply_detector_option understands, one per line with the
+/// default, for CLI usage text.
+std::string detector_option_help();
+
 /// Builds an unfitted detector of the named family.  Throws std::invalid_
-/// argument on an unknown name (the CLI surfaces the registry in its usage
-/// text before this is reached).
+/// argument listing registered_detector_names() on an unknown name.
 std::unique_ptr<ScoringDetector> make_detector(std::string_view name,
                                                const DetectorOptions& options);
 

@@ -24,6 +24,8 @@ void validate_config(const IsolationForestDetectorConfig& config) {
           "IsolationForestDetector: need sample_size >= 2");
   require(config.significance > 0.0 && config.significance < 1.0,
           "IsolationForestDetector: significance must be in (0,1)");
+  require(config.contamination >= 0.0 && config.contamination < 1.0,
+          "IsolationForestDetector: contamination must be in [0,1)");
 }
 
 // Engineered weekly feature vector (SNIPPETS.md Snippet 1's feature set,
@@ -145,7 +147,15 @@ void IsolationForestDetector::fit(std::span<const Kw> training) {
     standardize(row, row);
   }
 
-  sample_size_ = std::min(config_.sample_size, weeks);
+  // Cap the subsample strictly below the week count so every week has
+  // out-of-bag trees (trees whose subsample excludes it).  The original
+  // min(sample_size, weeks) put every training week in every tree on short
+  // histories, making the training scores fully in-sample and the
+  // (1 - significance) quantile land on the in-sample maximum — a threshold
+  // no out-of-sample test week could reach (the zero-recall bug).
+  sample_size_ =
+      std::min(config_.sample_size,
+               std::max<std::size_t>(2, (3 * weeks) / 4));
   depth_limit_ = static_cast<std::size_t>(
       std::ceil(std::log2(static_cast<double>(sample_size_))));
 
@@ -154,6 +164,10 @@ void IsolationForestDetector::fit(std::span<const Kw> training) {
   const Rng root_rng(config_.seed);
   std::vector<std::size_t> indices(weeks);
   std::vector<std::size_t> scratch;
+  // Per-tree subsample membership, kept only through fit: training weeks are
+  // scored over their out-of-bag trees so the reference scores live on the
+  // same scale as test weeks (which are in no tree's subsample).
+  std::vector<char> in_sample(config_.trees * weeks, 0);
   for (std::size_t t = 0; t < config_.trees; ++t) {
     Rng rng = root_rng.spawn(t);
     // Subsample without replacement: partial Fisher-Yates over week indices.
@@ -165,6 +179,9 @@ void IsolationForestDetector::fit(std::span<const Kw> training) {
     }
     scratch.assign(indices.begin(),
                    indices.begin() + static_cast<std::ptrdiff_t>(sample_size_));
+    for (std::size_t i = 0; i < sample_size_; ++i) {
+      in_sample[t * weeks + indices[i]] = 1;
+    }
 
     // Recursive build over [begin, end) of `scratch`; preorder node layout
     // (node, left subtree, right subtree) keeps serialization canonical.
@@ -229,35 +246,64 @@ void IsolationForestDetector::fit(std::span<const Kw> training) {
   }
   fitted_ = true;
 
+  // Out-of-bag training scores: each week is averaged over the trees whose
+  // subsample excluded it, so reference and test-time scores are drawn from
+  // the same distribution.  (A week sampled into every tree — impossible
+  // under the 3/4 cap unless trees are few — falls back to all trees.)
   training_scores_.clear();
   training_scores_.reserve(weeks);
   for (std::size_t w = 0; w < weeks; ++w) {
-    training_scores_.push_back(
-        std::exp2(-average_path_length(features.data() + w * kF) /
-                  c_factor(sample_size_)));
+    double total = 0.0;
+    std::size_t oob = 0;
+    for (std::size_t t = 0; t < config_.trees; ++t) {
+      if (in_sample[t * weeks + w]) continue;
+      total += tree_path_length(trees_[t], features.data() + w * kF);
+      ++oob;
+    }
+    const double avg =
+        oob > 0 ? total / static_cast<double>(oob)
+                : average_path_length(features.data() + w * kF);
+    training_scores_.push_back(std::exp2(-avg / c_factor(sample_size_)));
   }
-  threshold_ =
-      stats::quantile(training_scores_, 1.0 - config_.significance);
+
+  // Contamination-adjusted threshold quantile.  The naive (1 - significance)
+  // quantile of the training scores lands next to the sample maximum — the
+  // score of the most anomalous (vacation/outlier) training week, which no
+  // attack week reliably exceeds (the zero-recall bug).  Unlike the KLD
+  // families, whose training divergences are a clean null sample, the
+  // forest's reference is contaminated by the very anomalies it exists to
+  // find, so the uncontaminated weeks occupy only the lower (1 - c) of the
+  // order statistics: the honest (1 - significance) tail of the *inlier*
+  // score distribution is the (1 - c) * (1 - significance) empirical
+  // quantile of the full reference.
+  threshold_ = stats::threshold_quantile(
+      training_scores_,
+      (1.0 - config_.contamination) * (1.0 - config_.significance));
+  calibration_ = ScoreCalibration::from_reference(training_scores_, threshold_,
+                                                  config_.significance);
+}
+
+double IsolationForestDetector::tree_path_length(const Tree& tree,
+                                                 const double* features) {
+  std::size_t node = 0;
+  double depth = 0.0;
+  while (tree.nodes[node].feature != kLeaf) {
+    const Node& n = tree.nodes[node];
+    node = features[n.feature] < n.split ? n.left : n.right;
+    depth += 1.0;
+  }
+  return depth + c_factor(tree.nodes[node].size);
 }
 
 double IsolationForestDetector::average_path_length(
     const double* features) const {
   double total = 0.0;
-  for (const Tree& tree : trees_) {
-    std::size_t node = 0;
-    double depth = 0.0;
-    while (tree.nodes[node].feature != kLeaf) {
-      const Node& n = tree.nodes[node];
-      node = features[n.feature] < n.split ? n.left : n.right;
-      depth += 1.0;
-    }
-    total += depth + c_factor(tree.nodes[node].size);
-  }
+  for (const Tree& tree : trees_) total += tree_path_length(tree, features);
   return total / static_cast<double>(trees_.size());
 }
 
-double IsolationForestDetector::score_week(std::span<const Kw> week,
-                                           SlotIndex first_slot) const {
+double IsolationForestDetector::raw_score_week(std::span<const Kw> week,
+                                               SlotIndex first_slot) const {
   require(fitted_, "IsolationForestDetector: fit() not called");
   require(week.size() == static_cast<std::size_t>(kSlotsPerWeek),
           "IsolationForestDetector: week must be kSlotsPerWeek readings");
@@ -271,7 +317,7 @@ double IsolationForestDetector::score_week(std::span<const Kw> week,
   return std::exp2(-average_path_length(z) / c_factor(sample_size_));
 }
 
-double IsolationForestDetector::decision_threshold() const {
+double IsolationForestDetector::raw_decision_threshold() const {
   require(fitted_, "IsolationForestDetector: fit() not called");
   return threshold_;
 }
@@ -282,10 +328,12 @@ const std::vector<double>& IsolationForestDetector::training_scores() const {
 }
 
 std::string IsolationForestDetector::config_fingerprint() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "iforest(trees=%zu,sample=%zu,sig=%.17g,seed=%016llx)",
+                "iforest(trees=%zu,sample=%zu,sig=%.17g,contam=%.17g,"
+                "seed=%016llx)",
                 config_.trees, config_.sample_size, config_.significance,
+                config_.contamination,
                 static_cast<unsigned long long>(config_.seed));
   return buf;
 }
@@ -295,6 +343,7 @@ void IsolationForestDetector::save_state(persist::Encoder& enc) const {
   enc.u64(config_.trees);
   enc.u64(config_.sample_size);
   enc.f64(config_.significance);
+  enc.f64(config_.contamination);  // added in checkpoint format v5
   enc.u64(config_.seed);
   enc.u64(sample_size_);
   enc.u64(depth_limit_);
@@ -315,11 +364,14 @@ void IsolationForestDetector::save_state(persist::Encoder& enc) const {
 }
 
 void IsolationForestDetector::restore_state(persist::Decoder& dec,
-                                            std::uint32_t /*format_version*/) {
+                                            std::uint32_t format_version) {
   IsolationForestDetectorConfig config;
   config.trees = dec.count("iforest trees", 1u << 16);
   config.sample_size = dec.count("iforest sample size", 1u << 20);
   config.significance = dec.f64();
+  // v4 payloads predate the contamination knob; the restored value only
+  // matters for a refit, so old files pick up the current default.
+  config.contamination = format_version >= 5 ? dec.f64() : 0.20;
   config.seed = dec.u64();
   validate_config(config);
   const std::size_t sample_size = dec.count("iforest sample", 1u << 20);
@@ -370,6 +422,9 @@ void IsolationForestDetector::restore_state(persist::Decoder& dec,
   trees_ = std::move(trees);
   training_scores_ = std::move(training_scores);
   threshold_ = threshold;
+  // Pure function of the persisted parts: restored calibration is bit-exact.
+  calibration_ = ScoreCalibration::from_reference(
+      training_scores_, threshold_, config_.significance);
   fitted_ = true;
 }
 

@@ -9,8 +9,11 @@
 // space, and a forest of random isolation trees estimates how few random
 // axis-aligned splits isolate a week from its own history.  Anomalous weeks
 // isolate early: the score 2^(-E[path]/c(n)) approaches 1 for outliers and
-// stays near 0.5 and below for inliers.  Thresholding follows the paper's
-// convention: the (1 - significance) quantile of the training-week scores.
+// stays near 0.5 and below for inliers.  Training weeks are scored
+// out-of-bag (over the trees whose subsample excluded them) so the
+// reference distribution is comparable to test-time scores, and the
+// threshold is the (1 - contamination) * (1 - significance) quantile of
+// that reference (see IsolationForestDetectorConfig::contamination).
 //
 // Everything is deterministic under the config seed (fit draws from a
 // seeded xoshiro stream, scoring draws nothing), so fleet results are
@@ -32,6 +35,12 @@ struct IsolationForestDetectorConfig {
   std::size_t sample_size = 32;
   /// Alpha of the training-score quantile threshold, as the KLD families.
   double significance = 0.05;
+  /// Assumed anomalous fraction of the training weeks themselves.  The
+  /// decision threshold is the (1 - contamination) * (1 - significance)
+  /// quantile of the out-of-bag training scores: the (1 - significance)
+  /// tail of the *uncontaminated* order statistics, not of a reference the
+  /// forest itself considers partly anomalous.
+  double contamination = 0.20;
   /// Seed of the tree-building stream; fixed default keeps fit() a pure
   /// function of the training data.
   std::uint64_t seed = 0x150F07357ULL;
@@ -49,9 +58,9 @@ class IsolationForestDetector final : public ScoringDetector {
   const IsolationForestDetectorConfig& config() const { return config_; }
   void fit(std::span<const Kw> training) override;
 
-  double score_week(std::span<const Kw> week,
-                    SlotIndex first_slot = 0) const override;
-  double decision_threshold() const override;
+  double raw_score_week(std::span<const Kw> week,
+                        SlotIndex first_slot = 0) const override;
+  double raw_decision_threshold() const override;
   void save_state(persist::Encoder& enc) const override;
   void restore_state(persist::Decoder& dec,
                      std::uint32_t format_version) override;
@@ -80,6 +89,7 @@ class IsolationForestDetector final : public ScoringDetector {
   };
 
   void standardize(const double* raw, double* out) const;
+  static double tree_path_length(const Tree& tree, const double* features);
   double average_path_length(const double* features) const;
 
   IsolationForestDetectorConfig config_;

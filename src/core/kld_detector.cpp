@@ -60,6 +60,8 @@ void KldDetector::fit(std::span<const Kw> training) {
     k_training_.push_back(stats::kl_divergence_bits(p, scoring_));
   }
   threshold_ = stats::quantile(k_training_, 1.0 - config_.significance);
+  calibration_ = ScoreCalibration::from_reference(k_training_, threshold_,
+                                                  config_.significance);
 }
 
 double KldDetector::score(std::span<const Kw> week) const {
@@ -67,8 +69,8 @@ double KldDetector::score(std::span<const Kw> week) const {
   return score(week, scratch);
 }
 
-double KldDetector::score_week(std::span<const Kw> week,
-                               SlotIndex /*first_slot*/) const {
+double KldDetector::raw_score_week(std::span<const Kw> week,
+                                   SlotIndex /*first_slot*/) const {
   thread_local KldScratch scratch;  // keeps fleet hot paths allocation-free
   return score(week, scratch);
 }
@@ -214,6 +216,10 @@ KldDetector KldDetector::from_fitted_parts(KldDetectorConfig config,
   out.rebuild_scoring_baseline();
   out.k_training_ = std::move(k_training);
   out.threshold_ = threshold;
+  // The calibration is a pure function of the persisted parts, so restored
+  // detectors calibrate bit-exactly like the detector that was saved.
+  out.calibration_ = ScoreCalibration::from_reference(
+      out.k_training_, out.threshold_, config.significance);
   return out;
 }
 

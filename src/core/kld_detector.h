@@ -72,12 +72,14 @@ class KldDetector final : public ScoringDetector {
 
   // --- ScoringDetector plugin surface ------------------------------------
   /// score(week) through the plugin interface; keeps the fleet hot path
-  /// allocation-free via an internal thread-local scratch.
-  double score_week(std::span<const Kw> week,
-                    SlotIndex first_slot = 0) const override;
-  double decision_threshold() const override { return threshold(); }
-  KldExplanation explain_week(std::span<const Kw> week,
-                              SlotIndex first_slot = 0) const override {
+  /// allocation-free via an internal thread-local scratch.  The calibration
+  /// reference is the training K_i distribution, so the base class's
+  /// score_week reports the week's anomaly quantile among them.
+  double raw_score_week(std::span<const Kw> week,
+                        SlotIndex first_slot = 0) const override;
+  double raw_decision_threshold() const override { return threshold(); }
+  KldExplanation raw_explain_week(std::span<const Kw> week,
+                                  SlotIndex first_slot = 0) const override {
     (void)first_slot;
     return explain(week);
   }

@@ -104,6 +104,8 @@ void ReducedKldDetector::fit(std::span<const Kw> training) {
     k_training_.push_back(stats::kl_divergence_bits(p, scoring_));
   }
   threshold_ = stats::quantile(k_training_, 1.0 - config_.kld.significance);
+  calibration_ = ScoreCalibration::from_reference(k_training_, threshold_,
+                                                  config_.kld.significance);
 }
 
 void ReducedKldDetector::gather(std::span<const Kw> week, SlotIndex first_slot,
@@ -120,8 +122,8 @@ void ReducedKldDetector::gather(std::span<const Kw> week, SlotIndex first_slot,
   }
 }
 
-double ReducedKldDetector::score_week(std::span<const Kw> week,
-                                      SlotIndex first_slot) const {
+double ReducedKldDetector::raw_score_week(std::span<const Kw> week,
+                                          SlotIndex first_slot) const {
   require(histogram_.has_value(), "ReducedKldDetector: fit() not called");
   thread_local std::vector<double> values;
   thread_local std::vector<double> p;
@@ -133,13 +135,13 @@ double ReducedKldDetector::score_week(std::span<const Kw> week,
   return stats::kl_divergence_bits(p, scoring_);
 }
 
-double ReducedKldDetector::decision_threshold() const {
+double ReducedKldDetector::raw_decision_threshold() const {
   require(histogram_.has_value(), "ReducedKldDetector: fit() not called");
   return threshold_;
 }
 
-KldExplanation ReducedKldDetector::explain_week(std::span<const Kw> week,
-                                                SlotIndex first_slot) const {
+KldExplanation ReducedKldDetector::raw_explain_week(std::span<const Kw> week,
+                                                    SlotIndex first_slot) const {
   require(histogram_.has_value(), "ReducedKldDetector: fit() not called");
   std::vector<double> values(selected_.size());
   gather(week, first_slot, values);
@@ -263,6 +265,9 @@ void ReducedKldDetector::restore_state(persist::Decoder& dec,
   rebuild_scoring_baseline();
   k_training_ = std::move(k_training);
   threshold_ = threshold;
+  // Pure function of the persisted parts: restored calibration is bit-exact.
+  calibration_ = ScoreCalibration::from_reference(k_training_, threshold_,
+                                                  config_.kld.significance);
 }
 
 }  // namespace fdeta::core

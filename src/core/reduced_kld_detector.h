@@ -43,13 +43,13 @@ class ReducedKldDetector final : public ScoringDetector {
   const ReducedKldDetectorConfig& config() const { return config_; }
   void fit(std::span<const Kw> training) override;
 
-  double score_week(std::span<const Kw> week,
-                    SlotIndex first_slot = 0) const override;
-  double decision_threshold() const override;
+  double raw_score_week(std::span<const Kw> week,
+                        SlotIndex first_slot = 0) const override;
+  double raw_decision_threshold() const override;
   /// Full eq.-(12) bin breakdown over the reduced histogram: the bits sum
-  /// reproduces score_week exactly.
-  KldExplanation explain_week(std::span<const Kw> week,
-                              SlotIndex first_slot = 0) const override;
+  /// reproduces raw_score_week exactly.
+  KldExplanation raw_explain_week(std::span<const Kw> week,
+                                  SlotIndex first_slot = 0) const override;
   void save_state(persist::Encoder& enc) const override;
   void restore_state(persist::Decoder& dec,
                      std::uint32_t format_version) override;

@@ -51,7 +51,13 @@ inline constexpr std::string_view kMagic = "FDETAMDL";
 // v3 bulk Struct-of-Arrays layout, other families add a uniform config
 // fingerprint followed by consecutive per-consumer save_state payloads.
 // v2/v3 payloads carry no id and decode as "kld".
-inline constexpr std::uint32_t kFormatVersion = 4;
+// v5: score-calibration state.  "ckld" payloads append the training weeks'
+// scalar margins (the calibration reference); "iforest" payloads carry the
+// contamination knob after the significance.  The other families rebuild
+// their calibration from state persisted since v2 (training divergences +
+// threshold + significance).  Pre-v5 ckld payloads calibrate anchored at
+// the margin threshold alone - same flags, coarser sub-threshold scores.
+inline constexpr std::uint32_t kFormatVersion = 5;
 /// Oldest version this build still reads (see the per-section decoders).
 inline constexpr std::uint32_t kMinReadVersion = 2;
 

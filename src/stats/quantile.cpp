@@ -24,6 +24,21 @@ double quantile(std::span<const double> sample, double p) {
   return quantile_sorted(sorted, p);
 }
 
+double threshold_quantile_sorted(std::span<const double> sorted, double p) {
+  const double q = quantile_sorted(sorted, p);
+  if (sorted.size() > 2 && sorted.front() < sorted.back()) return q;
+  // Degenerate reference: nudge strictly above the interpolated value so the
+  // threshold is never exactly a sample point (1e-9 is relative: far above
+  // float noise on any realistic score scale, far below a real deviation).
+  return q + 1e-9 * std::max(1.0, std::abs(q));
+}
+
+double threshold_quantile(std::span<const double> sample, double p) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return threshold_quantile_sorted(sorted, p);
+}
+
 std::vector<double> quantiles(std::span<const double> sample,
                               std::span<const double> probabilities) {
   std::vector<double> sorted(sample.begin(), sample.end());

@@ -23,4 +23,16 @@ inline double percentile(std::span<const double> sample, double pct) {
 std::vector<double> quantiles(std::span<const double> sample,
                               std::span<const double> probabilities);
 
+/// Quantile intended for use as a strict `score > threshold` decision
+/// threshold.  Identical to quantile() on any sample with spread and more
+/// than two points.  On degenerate samples (n <= 2, or all values equal) the
+/// empirical quantile collapses onto the sample min/max, where a strict
+/// comparison degenerates (threshold == max never fires on ties; threshold
+/// == min always fires): the result is widened upward by a relative epsilon
+/// so a score equal to the reference never flags but a real deviation does.
+double threshold_quantile(std::span<const double> sample, double p);
+
+/// threshold_quantile over an already-sorted (ascending) sample; no copy.
+double threshold_quantile_sorted(std::span<const double> sorted, double p);
+
 }  // namespace fdeta::stats

@@ -1,0 +1,302 @@
+// The score-calibration contract: every registered family reports
+// score_week() as a calibrated anomaly quantile in [0,1] with the uniform
+// decision threshold 1 - significance, while flag decisions remain exactly
+// the family-native raw comparison.  Covers the ScoreCalibration map itself
+// (monotonicity, flag equivalence, degenerate references) and the
+// persistence story (v5 round trips, pre-v5 payload fallbacks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conditioned_kld_detector.h"
+#include "core/detector_plugin.h"
+#include "core/detector_registry.h"
+#include "core/isolation_forest_detector.h"
+#include "persist/binary_io.h"
+#include "persist/checkpoint.h"
+#include "tests/attack_test_helpers.h"
+
+namespace fdeta::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ScoreCalibration in isolation.
+
+TEST(ScoreCalibration, ThresholdMapsToBaseAndReferenceSpansUnitInterval) {
+  const std::vector<double> reference{0.1, 0.2, 0.3, 0.4, 0.5,
+                                      0.6, 0.7, 0.8, 0.9, 1.0};
+  const auto cal = ScoreCalibration::from_reference(reference, 0.9, 0.05);
+  EXPECT_DOUBLE_EQ(cal.decision_threshold(), 0.95);
+  // At or below the raw threshold the calibrated score stays at or below
+  // the decision threshold; strictly above it lands strictly above.
+  EXPECT_LE(cal.calibrate(0.9), 0.95);
+  EXPECT_GT(cal.calibrate(0.91), 0.95);
+  EXPECT_LE(cal.calibrate(0.91), 1.0);
+  // The reference minimum maps to the bottom of the scale.
+  EXPECT_DOUBLE_EQ(cal.calibrate(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(cal.calibrate(-5.0), 0.0);
+  // Far beyond the reference maximum saturates at 1.
+  EXPECT_DOUBLE_EQ(cal.calibrate(100.0), 1.0);
+}
+
+TEST(ScoreCalibration, MonotoneInRawScore) {
+  const std::vector<double> reference{0.3, 1.1, 1.2, 2.0, 2.4,
+                                      3.3, 3.4, 4.1, 5.0, 7.5};
+  const auto cal = ScoreCalibration::from_reference(reference, 4.5, 0.05);
+  double prev = -std::numeric_limits<double>::infinity();
+  double prev_cal = 0.0;
+  for (double raw = -1.0; raw <= 9.0; raw += 0.01) {
+    const double c = cal.calibrate(raw);
+    EXPECT_GE(c, 0.0) << "raw " << raw;
+    EXPECT_LE(c, 1.0) << "raw " << raw;
+    if (prev > -std::numeric_limits<double>::infinity()) {
+      EXPECT_GE(c, prev_cal) << "calibrate not monotone at raw " << raw;
+    }
+    prev = raw;
+    prev_cal = c;
+  }
+}
+
+TEST(ScoreCalibration, FlagEquivalenceIsExactAtTheThreshold) {
+  const std::vector<double> reference{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto cal = ScoreCalibration::from_reference(reference, 3.5, 0.10);
+  const double decision = cal.decision_threshold();
+  // raw > raw_threshold  <=>  calibrated > decision threshold, including
+  // exactly-at-threshold and the smallest representable step above it.
+  EXPECT_LE(cal.calibrate(3.5), decision);
+  const double just_above = std::nextafter(3.5, 4.0);
+  EXPECT_GT(cal.calibrate(just_above), decision);
+  for (double raw : {-2.0, 0.0, 1.0, 3.0, 3.49999, 3.5, 3.6, 5.0, 50.0}) {
+    EXPECT_EQ(raw > 3.5, cal.calibrate(raw) > decision) << "raw " << raw;
+  }
+}
+
+TEST(ScoreCalibration, ThresholdAnchoredFallbackIsUsableWithoutReference) {
+  const auto cal = ScoreCalibration::threshold_anchored(0.0, 0.05);
+  EXPECT_DOUBLE_EQ(cal.decision_threshold(), 0.95);
+  // Still a monotone map onto [0,1] with the exact flag equivalence.
+  double prev = 0.0;
+  for (double raw = -10.0; raw <= 10.0; raw += 0.25) {
+    const double c = cal.calibrate(raw);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev) << "raw " << raw;
+    EXPECT_EQ(raw > 0.0, c > cal.decision_threshold()) << "raw " << raw;
+    prev = c;
+  }
+  // Infinite margins must not produce NaN.
+  EXPECT_DOUBLE_EQ(
+      cal.calibrate(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(
+      cal.calibrate(-std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(ScoreCalibration, NanRawScorePropagates) {
+  const auto cal = ScoreCalibration::from_reference({1.0, 2.0, 3.0}, 2.5,
+                                                    0.05);
+  EXPECT_TRUE(std::isnan(cal.calibrate(std::nan(""))));
+}
+
+// ---------------------------------------------------------------------------
+// The calibrated contract, held against every registered family.
+
+class CalibrationContract : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  std::unique_ptr<ScoringDetector> make() const {
+    return make_detector(GetParam(), {});
+  }
+
+  static std::string save_bytes(const ScoringDetector& d) {
+    persist::Encoder enc;
+    d.save_state(enc);
+    return enc.bytes();
+  }
+};
+
+// score_week lands on the quantile scale and decision_threshold is the
+// uniform 1 - significance regardless of the family's native scale.
+TEST_P(CalibrationContract, ScoresAreQuantilesWithUniformThreshold) {
+  const auto f = testutil::make_fixture(2026);
+  auto d = make();
+  d->fit(f.train());
+  EXPECT_DOUBLE_EQ(d->decision_threshold(), 0.95);  // default significance
+
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto week = f.split.test_week(f.series, w);
+    const double score = d->score_week(week);
+    EXPECT_GE(score, 0.0) << "week " << w;
+    EXPECT_LE(score, 1.0) << "week " << w;
+  }
+}
+
+// flag_week is the raw-domain comparison, and the calibrated comparison
+// agrees with it bit-for-bit on clean AND attacked weeks.
+TEST_P(CalibrationContract, CalibratedFlagMatchesRawFlag) {
+  const auto f = testutil::make_fixture(555);
+  auto d = make();
+  d->fit(f.train());
+
+  std::vector<std::vector<Kw>> weeks;
+  weeks.emplace_back(f.clean_week().begin(), f.clean_week().end());
+  for (const double factor : {0.25, 0.5, 2.0}) {
+    auto attacked = weeks.front();
+    for (auto& v : attacked) v *= factor;
+    weeks.push_back(std::move(attacked));
+  }
+  for (std::size_t i = 0; i < weeks.size(); ++i) {
+    const bool flagged = d->flag_week(weeks[i]);
+    EXPECT_EQ(flagged, d->score_week(weeks[i]) > d->decision_threshold())
+        << "week variant " << i;
+    EXPECT_EQ(flagged,
+              d->raw_score_week(weeks[i]) > d->raw_decision_threshold())
+        << "week variant " << i;
+  }
+}
+
+// The family's calibration map itself is monotone over the raw score axis -
+// a higher family-native score can never read as a lower anomaly quantile.
+TEST_P(CalibrationContract, CalibrationMonotoneOverRawAxis) {
+  const auto f = testutil::make_fixture(808);
+  auto d = make();
+  d->fit(f.train());
+  const ScoreCalibration& cal = d->calibration();
+  ASSERT_TRUE(cal.fitted());
+
+  const double lo = cal.raw_threshold() - 2.0;
+  const double hi = cal.raw_threshold() + 2.0;
+  double prev = cal.calibrate(lo);
+  for (double raw = lo; raw <= hi; raw += 1e-3) {
+    const double c = cal.calibrate(raw);
+    EXPECT_GE(c, prev) << "raw " << raw;
+    prev = c;
+  }
+}
+
+// explain_week carries both scales coherently: the calibrated header equals
+// score_week/decision_threshold and the raw header feeds the calibration.
+TEST_P(CalibrationContract, ExplanationCarriesBothScales) {
+  const auto f = testutil::make_fixture(321);
+  auto d = make();
+  d->fit(f.train());
+  std::vector<Kw> attacked(f.clean_week().begin(), f.clean_week().end());
+  for (auto& v : attacked) v *= 0.25;
+
+  const auto explanation = d->explain_week(attacked);
+  EXPECT_EQ(explanation.score, d->score_week(attacked));
+  EXPECT_EQ(explanation.threshold, d->decision_threshold());
+  EXPECT_EQ(explanation.raw_score, d->raw_score_week(attacked));
+  EXPECT_EQ(explanation.raw_threshold, d->raw_decision_threshold());
+  EXPECT_EQ(explanation.score, d->calibration().calibrate(
+                                   explanation.raw_score));
+}
+
+// Calibration state survives the checkpoint round trip: save -> restore ->
+// save is byte-stable and the restored detector's CALIBRATED scores (not
+// just the raw ones) are bit-identical.
+TEST_P(CalibrationContract, SaveRestoreSavePreservesCalibratedScores) {
+  const auto f = testutil::make_fixture(90210);
+  auto original = make();
+  original->fit(f.train());
+  const std::string bytes = save_bytes(*original);
+
+  auto restored = make();
+  persist::Decoder dec(bytes);
+  restored->restore_state(dec, persist::kFormatVersion);
+  dec.require_exhausted("calibration contract payload");
+
+  EXPECT_EQ(save_bytes(*restored), bytes);
+  EXPECT_EQ(restored->decision_threshold(), original->decision_threshold());
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto week = f.split.test_week(f.series, w);
+    EXPECT_EQ(restored->score_week(week), original->score_week(week))
+        << "week " << w;
+  }
+}
+
+std::string calibration_name(
+    const ::testing::TestParamInfo<std::string_view>& info) {
+  std::string name(info.param);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, CalibrationContract,
+                         ::testing::ValuesIn(registered_detector_names()),
+                         calibration_name);
+
+// ---------------------------------------------------------------------------
+// Pre-v5 payload compatibility.  v5 appended the ckld training margins as
+// the final doubles() block and inserted the iforest contamination knob
+// after its significance; older payloads are reconstructed here byte-for-
+// byte from a current save and must still restore.
+
+TEST(CalibrationCompat, CkldV4PayloadRestoresWithAnchoredCalibration) {
+  const auto f = testutil::make_fixture(1337);
+  ConditionedKldDetector fitted;
+  fitted.fit(f.train());
+
+  persist::Encoder enc;
+  fitted.save(enc);
+  std::string v5 = enc.bytes();
+  // A v4 payload is the v5 payload without the trailing margins block
+  // (u64 count + one f64 per training week).
+  const std::size_t margins_bytes =
+      8 + 8 * fitted.training_margins().size();
+  ASSERT_GT(v5.size(), margins_bytes);
+  const std::string v4 = v5.substr(0, v5.size() - margins_bytes);
+
+  ConditionedKldDetector restored;
+  persist::Decoder dec(v4);
+  restored.restore(dec, 4);
+  dec.require_exhausted("ckld v4 payload");
+
+  // Anchored calibration: same uniform threshold, same flag decisions -
+  // only the sub-threshold score resolution differs from the v5 restore.
+  EXPECT_EQ(restored.decision_threshold(), fitted.decision_threshold());
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto week = f.split.test_week(f.series, w);
+    EXPECT_EQ(restored.flag_week(week), fitted.flag_week(week)) << w;
+    const double score = restored.score_week(week);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  std::vector<Kw> attacked(f.clean_week().begin(), f.clean_week().end());
+  for (auto& v : attacked) v *= 0.25;
+  EXPECT_EQ(restored.flag_week(attacked), fitted.flag_week(attacked));
+}
+
+TEST(CalibrationCompat, IforestV4PayloadRestoresWithDefaultContamination) {
+  const auto f = testutil::make_fixture(4242);
+  IsolationForestDetector fitted;  // default contamination == the v4 fallback
+  fitted.fit(f.train());
+
+  persist::Encoder enc;
+  fitted.save_state(enc);
+  std::string v5 = enc.bytes();
+  // Layout: trees u64 | sample_size u64 | significance f64 | contamination
+  // f64 (v5+) | ... - drop the 8 contamination bytes at offset 24.
+  ASSERT_GT(v5.size(), 32u);
+  const std::string v4 = v5.substr(0, 24) + v5.substr(32);
+
+  IsolationForestDetector restored;
+  persist::Decoder dec(v4);
+  restored.restore_state(dec, 4);
+  dec.require_exhausted("iforest v4 payload");
+
+  // The v4 reader falls back to the default contamination, which is what
+  // the fitted instance used - so everything restores bit-identically.
+  EXPECT_EQ(restored.decision_threshold(), fitted.decision_threshold());
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto week = f.split.test_week(f.series, w);
+    EXPECT_EQ(restored.score_week(week), fitted.score_week(week)) << w;
+    EXPECT_EQ(restored.flag_week(week), fitted.flag_week(week)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace fdeta::core

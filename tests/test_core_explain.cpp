@@ -146,7 +146,12 @@ TEST(PipelineExplain, AttachedOnlyWhenConfiguredAndFlagged) {
   ASSERT_TRUE(flagged.explanation.has_value());
   EXPECT_EQ(flagged.explanation->score, flagged.kld_score);
   EXPECT_EQ(flagged.explanation->threshold, flagged.kld_threshold);
-  EXPECT_NEAR(bits_sum(*flagged.explanation), flagged.kld_score, 1e-12);
+  // The pipeline's verdict score is calibrated; the bins decompose the
+  // family-native raw score the explanation header also carries.
+  EXPECT_NEAR(bits_sum(*flagged.explanation), flagged.explanation->raw_score,
+              1e-12);
+  EXPECT_GT(flagged.explanation->raw_score,
+            flagged.explanation->raw_threshold);
   for (const auto& v : report.verdicts) {
     if (v.status == VerdictStatus::kNormal) {
       EXPECT_FALSE(v.explanation.has_value());

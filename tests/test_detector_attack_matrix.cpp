@@ -243,15 +243,48 @@ MatrixCells parse_csv(std::istream& in) {
   return cells;
 }
 
+// One line per cell whose (flagged, denominator) pair moved between the
+// committed golden and the freshly computed matrix, so a regeneration run
+// shows exactly what it is about to rewrite.
+std::string diff_summary(const MatrixCells& golden, const MatrixCells& actual) {
+  std::ostringstream out;
+  for (const auto& [key, cell] : actual) {
+    const auto it = golden.find(key);
+    if (it != golden.end() && it->second == cell) continue;
+    out << "  " << std::get<0>(key) << '/' << std::get<1>(key) << " @ "
+        << std::get<2>(key) << "% loss: ";
+    if (it == golden.end()) {
+      out << "(new cell)";
+    } else {
+      out << it->second.first << '/' << it->second.second;
+    }
+    out << " -> " << cell.first << '/' << cell.second << '\n';
+  }
+  for (const auto& [key, cell] : golden) {
+    if (actual.contains(key)) continue;
+    out << "  " << std::get<0>(key) << '/' << std::get<1>(key) << " @ "
+        << std::get<2>(key) << "% loss: " << cell.first << '/' << cell.second
+        << " -> (cell removed)\n";
+  }
+  return out.str();
+}
+
 TEST(GoldenMatrix, FlaggedCountsMatchGoldenFile) {
   const MatrixCells actual = compute_matrix();
   ASSERT_FALSE(actual.empty());
 
   if (std::getenv("FDETA_REGEN_GOLDEN") != nullptr) {
+    MatrixCells previous;
+    if (std::ifstream existing(golden_path()); existing.good()) {
+      previous = parse_csv(existing);
+    }
+    const std::string changed = diff_summary(previous, actual);
     std::ofstream out(golden_path());
     ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
     out << to_csv(actual);
-    GTEST_SKIP() << "regenerated " << golden_path();
+    GTEST_SKIP() << "regenerated " << golden_path() << '\n'
+                 << (changed.empty() ? std::string("  (no cells changed)\n")
+                                     : changed);
   }
 
   std::ifstream in(golden_path());
@@ -274,6 +307,35 @@ TEST(GoldenMatrix, FlaggedCountsMatchGoldenFile) {
         << "flagged count moved for (" << name
         << ") - if intentional, regenerate the golden file";
   }
+}
+
+// The calibration fix's acceptance floor, read from the committed golden so
+// it can never silently regress through a casual regeneration: at 0% loss the
+// isolation forest must catch a majority of attacked weeks under at least two
+// attack classes while staying quiet-ish on clean ones.
+TEST(GoldenMatrix, IsolationForestHasTeethAtZeroLoss) {
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << " - regenerate with FDETA_REGEN_GOLDEN=1 ctest -R GoldenMatrix";
+  const MatrixCells golden = parse_csv(in);
+
+  int majority_classes = 0;
+  for (const std::string attack :
+       {"integrated-over", "integrated-under", "swap"}) {
+    const auto it = golden.find({"iforest", attack, 0});
+    ASSERT_NE(it, golden.end()) << attack;
+    ASSERT_GT(it->second.second, 0) << attack;
+    if (it->second.first * 2 > it->second.second) ++majority_classes;
+  }
+  EXPECT_GE(majority_classes, 2)
+      << "iforest no longer catches a majority of weeks under two attack "
+         "classes - the calibrated threshold regressed";
+
+  const auto clean = golden.find({"iforest", "clean", 0});
+  ASSERT_NE(clean, golden.end());
+  EXPECT_LE(clean->second.first * 4, clean->second.second)
+      << "iforest false-positive rate on clean weeks exceeded 25%";
 }
 
 }  // namespace

@@ -230,14 +230,10 @@ TEST_P(DetectorShardSweep, BatchedShardedIngestMatchesSerialReference) {
   reference.fit(data_, split());
   for (const auto& r : readings) reference.ingest(r);
   const std::string ref_bytes = checkpoint_bytes(reference);
-  // The KLD families must fire on the 0.25 MITM scale; the isolation forest
-  // calibrates its threshold near the max of few training scores, so its
-  // silence here is allowed (the equality checks below still bite: windows,
-  // counters and checkpoint bytes all moved).
-  if (GetParam() != "iforest") {
-    ASSERT_FALSE(reference.alerts().empty())
-        << "sequence raised no alerts; alert equivalence would be vacuous";
-  }
+  // Every family - the isolation forest included, since its out-of-bag
+  // threshold fix - must fire on the 0.25 MITM scale.
+  ASSERT_FALSE(reference.alerts().empty())
+      << "sequence raised no alerts; alert equivalence would be vacuous";
 
   for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
                                    std::size_t{64}}) {
@@ -250,6 +246,47 @@ TEST_P(DetectorShardSweep, BatchedShardedIngestMatchesSerialReference) {
       expect_same_alerts(reference.alerts(), monitor.alerts());
       expect_same_alerts(reference.alerts(), raised);
       EXPECT_EQ(ref_bytes, checkpoint_bytes(monitor));
+    }
+  }
+}
+
+// Alert scores are calibrated anomaly quantiles: for every family, every
+// shard x thread layout must reproduce the serial reference's score and
+// threshold BIT-identically (EXPECT_EQ on doubles, no tolerance), and the
+// values themselves must sit on the calibrated scale - threshold exactly
+// 1 - significance, scores strictly above it in (threshold, 1].  The CI
+// shard and calibrate lanes additionally replay this whole binary under
+// FDETA_THREADS=1, pinning the same bytes when the shared pool is clamped
+// to a single worker.
+TEST_P(DetectorShardSweep, CalibratedAlertScoresInvariantAcrossLayouts) {
+  const auto readings = delivery_sequence(data_);
+
+  core::OnlineMonitor reference(monitor_config(1, 1));
+  reference.fit(data_, split());
+  for (const auto& r : readings) reference.ingest(r);
+  ASSERT_FALSE(reference.alerts().empty());
+
+  constexpr double kSignificance = 0.10;  // monitor_config's setting
+  for (const auto& alert : reference.alerts()) {
+    EXPECT_EQ(alert.threshold, 1.0 - kSignificance);
+    EXPECT_GT(alert.score, alert.threshold);
+    EXPECT_LE(alert.score, 1.0);
+  }
+
+  for (const std::size_t shards : {std::size_t{3}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      core::OnlineMonitor monitor(monitor_config(shards, threads));
+      monitor.fit(data_, split());
+      monitor.ingest_batch(readings);
+      const auto& want = reference.alerts();
+      const auto& got = monitor.alerts();
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].score, got[i].score) << i;
+        EXPECT_EQ(want[i].threshold, got[i].threshold) << i;
+      }
     }
   }
 }

@@ -77,6 +77,52 @@ TEST(Quantile, BatchQuantilesMatchSingles) {
   }
 }
 
+// threshold_quantile: same interpolation as quantile() on a healthy sample,
+// but a degenerate reference (n <= 2, or every value equal) must yield a
+// threshold strictly above the sample so a `score > threshold` rule cannot
+// flag every in-distribution point (the bug that zeroed iforest recall).
+TEST(ThresholdQuantile, MatchesQuantileOnSpreadSamples) {
+  const std::vector<double> s{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  for (double p : {0.05, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(threshold_quantile(s, p), quantile(s, p));
+  }
+}
+
+TEST(ThresholdQuantile, SingleElementIsStrictlyAbove) {
+  const std::vector<double> s{0.62};
+  EXPECT_GT(threshold_quantile(s, 0.95), 0.62);
+  EXPECT_NEAR(threshold_quantile(s, 0.95), 0.62, 1e-8);
+}
+
+TEST(ThresholdQuantile, TwoElementsAreStrictlyAboveTheInterpolant) {
+  const std::vector<double> s{1.0, 3.0};
+  const double q = quantile(s, 0.75);
+  EXPECT_GT(threshold_quantile(s, 0.75), q);
+  EXPECT_GT(threshold_quantile(s, 1.0), 3.0);
+}
+
+TEST(ThresholdQuantile, AllEqualSampleIsStrictlyAbove) {
+  const std::vector<double> s{2.5, 2.5, 2.5, 2.5, 2.5};
+  for (double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_GT(threshold_quantile(s, p), 2.5) << "p=" << p;
+  }
+}
+
+TEST(ThresholdQuantile, NudgeScalesWithMagnitude) {
+  const std::vector<double> big{1e12, 1e12};
+  // A fixed absolute epsilon would vanish under the ulp at this scale; the
+  // relative nudge must still land strictly above.
+  EXPECT_GT(threshold_quantile(big, 0.95), 1e12);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_GT(threshold_quantile(zero, 0.95), 0.0);
+}
+
+TEST(ThresholdQuantile, SortedVariantAgrees) {
+  const std::vector<double> sorted{7.0, 7.0};
+  EXPECT_DOUBLE_EQ(threshold_quantile(sorted, 0.9),
+                   threshold_quantile_sorted(sorted, 0.9));
+}
+
 // Parameterized: the empirical quantile of a large uniform sample converges
 // to p.
 class QuantileSweep : public ::testing::TestWithParam<double> {};

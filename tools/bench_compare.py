@@ -65,17 +65,25 @@ def main():
             print(f"{key:<32} {'-':>12} {'-':>12}   (unshared, skipped)")
             continue
         b, c = float(base[key]), float(cand[key])
-        delta = (c - b) / b if b != 0 else 0.0
         verdict = ""
-        if b > 0 and c < b * (1.0 - args.tolerance):
-            verdict = "  REGRESSION"
-            failures.append(key)
+        if b == 0:
+            # A zero baseline ratio carries no regression information: equal
+            # is equal and anything positive is an improvement, so neither
+            # can fail the gate.
+            delta = 0.0
+            verdict = "  (zero baseline)" if c == 0 else "  improvement"
+        else:
+            delta = (c - b) / b
+            if b > 0 and c < b * (1.0 - args.tolerance):
+                verdict = "  REGRESSION"
+                failures.append(f"{key} ({b:.4g} -> {c:.4g}, {delta:+.1%})")
         print(f"{key:<32} {b:>12.4g} {c:>12.4g} {delta:>+7.1%}{verdict}")
 
     if failures:
+        detail = "\n".join(f"  {f}" for f in failures)
         print(
             f"\nFAIL: {len(failures)} derived metric(s) regressed more than "
-            f"{args.tolerance:.0%} vs {args.baseline}: {', '.join(failures)}"
+            f"{args.tolerance:.0%} vs {args.baseline}:\n{detail}"
         )
         return 1
     print(f"\nOK: no derived metric regressed more than {args.tolerance:.0%}")

@@ -224,29 +224,30 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
-core::KldDetectorConfig kld_config_from(const Args& args) {
-  core::KldDetectorConfig kld;
-  kld.bins = static_cast<std::size_t>(args.get_long("bins", 10));
-  kld.significance = args.get_double("significance", 0.05);
-  kld.epsilon = args.get_double("epsilon", kld.epsilon);
-  return kld;
-}
-
-std::string registered_detectors_joined() {
-  std::string out;
-  for (const std::string_view name : core::registered_detector_names()) {
-    if (!out.empty()) out += '|';
-    out += name;
+/// Builds the per-family detector options: the dedicated --bins /
+/// --significance / --epsilon flags seed the shared kld block, then every
+/// --detector-opt key=value (repeatable) applies on top, so e.g.
+/// `--detector-opt iforest.contamination=0.1 --detector-opt kld.bins=12`
+/// tunes two families in one invocation.
+core::DetectorOptions detector_options_from(const Args& args) {
+  core::DetectorOptions options;
+  options.kld.bins = static_cast<std::size_t>(args.get_long("bins", 10));
+  options.kld.significance = args.get_double("significance", 0.05);
+  options.kld.epsilon = args.get_double("epsilon", options.kld.epsilon);
+  for (const std::string& spec : args.get_all("detector-opt")) {
+    core::apply_detector_option(options, spec);
   }
-  return out;
+  return options;
 }
 
-/// Resolves --detector against the registry (default "kld").
+/// Resolves --detector against the registry (default "kld").  Fails fast
+/// here, before any dataset loads or pipeline construction, naming the
+/// registered families.
 std::string detector_from(const Args& args) {
   const std::string name = args.get("detector", "kld");
   if (!core::is_registered_detector(name)) {
-    throw InvalidArgument("unknown --detector '" + name + "' (" +
-                          registered_detectors_joined() + ")");
+    throw InvalidArgument("unknown --detector '" + name + "' (registered: " +
+                          core::registered_detector_names_joined() + ")");
   }
   return name;
 }
@@ -266,7 +267,11 @@ double finite_or_throw(double value, const char* what) {
 
 int cmd_fit(const Args& args) {
   // Fits the pipeline on a trusted dataset and checkpoints the fitted state
-  // (the offline half of the warm-start serving split).
+  // (the offline half of the warm-start serving split).  Flag validation
+  // runs before any dataset IO so a typo fails in milliseconds.
+  const std::string detector = detector_from(args);
+  const core::DetectorOptions detector_options = detector_options_from(args);
+
   const auto actual = load(args.require_value("in"));
   const auto train_weeks =
       static_cast<std::size_t>(args.get_long("train-weeks", 24));
@@ -277,8 +282,9 @@ int cmd_fit(const Args& args) {
   config.split =
       meter::TrainTestSplit{.train_weeks = train_weeks,
                             .test_weeks = actual.week_count() - train_weeks};
-  config.detector = detector_from(args);
-  config.kld = kld_config_from(args);
+  config.detector = detector;
+  config.kld = detector_options.kld;
+  config.detector_options = detector_options;
   core::FdetaPipeline pipeline(config);
   pipeline.fit(actual);
 
@@ -298,6 +304,11 @@ int cmd_detect(const Args& args) {
   // Runs the five-step F-DETA pipeline (minus step 5: no topology here)
   // over every test week, so the run is fully accounted in the "pipeline."
   // metrics exposed via --metrics-out.
+  // Flag validation first: an unknown --detector or --detector-opt fails
+  // fast with the registered names/keys, before any CSV loads.
+  if (args.has("detector")) detector_from(args);
+  const core::DetectorOptions detector_options = detector_options_from(args);
+
   const auto reported = load(args.require_value("in"));
   const std::string baseline_path = args.get("baseline", "");
   const auto baseline =
@@ -341,7 +352,8 @@ int cmd_detect(const Args& args) {
     config.split.test_weeks =
         reported.week_count() - config.split.train_weeks;
     config.detector = detector_from(args);
-    config.kld = kld_config_from(args);
+    config.kld = detector_options.kld;
+    config.detector_options = detector_options;
     config.explain = explain;
     pipeline = core::FdetaPipeline(config);
     pipeline.fit(baseline);
@@ -445,12 +457,15 @@ int cmd_detect(const Args& args) {
     if (!any) std::printf(" -");
     std::printf("\n");
     if (explain) {
-      // Per-bin contributions: which consumption bins pushed K_A over the
-      // threshold.  Bins with zero week mass contribute nothing and are
-      // elided.
+      // Per-bin contributions: which consumption bins pushed the raw K_A
+      // over the family threshold (the bins decompose the RAW score; the
+      // verdict line above carries the calibrated quantile).  Bins with zero
+      // week mass contribute nothing and are elided.
       for (const auto& v : report.verdicts) {
         if (!v.explanation) continue;
-        std::printf("    consumer %u per-bin bits:", v.id);
+        std::printf("    consumer %u raw=%.3f raw_thr=%.3f per-bin bits:",
+                    v.id, v.explanation->raw_score,
+                    v.explanation->raw_threshold);
         for (const auto& c : v.explanation->bins) {
           if (c.bits == 0.0) continue;
           std::printf(" %zu:%+.3f", c.bin,
@@ -630,9 +645,11 @@ int usage() {
       "  fit       --in F --save-model F [--train-weeks T]\n"
       "            [--detector kld|ckld|kld-lite|iforest]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
+      "            [--detector-opt key=value ...]\n"
       "  detect    --in F [--model F] [--baseline F] [--train-weeks T]\n"
       "            [--detector kld|ckld|kld-lite|iforest]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
+      "            [--detector-opt key=value ...]\n"
       "            [--explain] [--stream 0|1]\n"
       "            [--fault-plan drop=X,dup=X,reorder=X,delay=N,corrupt=X,\n"
       "             burst-every=N,burst-len=N,seed=S] [--loss-rate X]\n"
@@ -647,7 +664,9 @@ int usage() {
       "  --trace-out F    record spans; write Chrome trace-event JSON to F\n"
       "                   (loads in Perfetto / chrome://tracing)\n"
       "  --events-out F   record domain events (alerts, investigation\n"
-      "                   steps, model restores) as JSONL to F\n");
+      "                   steps, model restores) as JSONL to F\n\n"
+      "--detector-opt is repeatable; per-family keys:\n%s\n",
+      core::detector_option_help().c_str());
   return 2;
 }
 
