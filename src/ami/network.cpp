@@ -1,6 +1,8 @@
 #include "ami/network.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <queue>
 #include <utility>
 
@@ -13,6 +15,20 @@
 #include "obs/trace.h"
 
 namespace fdeta::ami {
+
+namespace {
+
+// Per-shard metric-name cardinality budget (matches the monitor's): at most
+// 64 "ami.shardNN" series; wider fleets alias onto s % 64.
+constexpr std::size_t kMaxShardSeries = 64;
+
+std::string shard_metric_name(std::size_t slot, const char* what) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ami.shard%02zu.%s", slot, what);
+  return buf;
+}
+
+}  // namespace
 
 HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
                  obs::MetricsRegistry* metrics, HeadEndConfig config)
@@ -38,6 +54,20 @@ HeadEnd::HeadEnd(std::size_t consumers, std::size_t slots,
   quarantined_counter_ = &registry.counter("ami.reports_quarantined");
   missing_gauge_ = &registry.gauge("ami.reports_missing");
   missing_gauge_->set(static_cast<std::int64_t>(missing_count()));
+  shard_imbalance_ = &registry.gauge("ami.shard_imbalance_milli");
+  const std::size_t instrumented = std::min(shard_count_, kMaxShardSeries);
+  shard_pending_.resize(instrumented);
+  shard_highwater_.resize(instrumented);
+  shard_lock_wait_.resize(instrumented);
+  for (std::size_t s = 0; s < instrumented; ++s) {
+    shard_pending_[s] =
+        &registry.gauge(shard_metric_name(s, "pending_depth"));
+    shard_highwater_[s] =
+        &registry.gauge(shard_metric_name(s, "pending_highwater"));
+    shard_lock_wait_[s] =
+        &registry.histogram(shard_metric_name(s, "lock_wait_seconds"));
+  }
+  shard_received_counts_.assign(shard_count_, 0);
 }
 
 ReceiveOutcome HeadEnd::apply(const ReadingReport& report) {
@@ -120,12 +150,39 @@ std::vector<ReceiveOutcome> HeadEnd::receive_batch(
       shard_count_,
       [&](std::size_t s) {
         if (by_shard[s].empty()) return;
+        // Per-shard health: time the lock acquisition (contention only) and
+        // record the depth this delivery parked on the shard.  Constant work
+        // per shard per batch; the per-report loop is untouched.
+        const std::size_t m = s % shard_pending_.size();
+        const std::int64_t depth =
+            static_cast<std::int64_t>(by_shard[s].size());
+        shard_pending_[m]->set(depth);
+        shard_highwater_[m]->update_max(depth);
+        obs::ScopedTimer wait(*shard_lock_wait_[m]);
         std::lock_guard<std::mutex> lock(shard_locks_[s]);
+        wait.stop();
         for (const std::size_t r : by_shard[s]) {
           outcomes[r] = apply(reports[r]);
         }
+        shard_received_counts_[s] += by_shard[s].size();
+        shard_pending_[m]->set(0);
       },
       config_.threads);
+
+  // Shard-imbalance gauge (max/mean cumulative load, x1000; 1000 =
+  // perfectly balanced).  The accumulators are quiescent after the barrier.
+  std::uint64_t total = 0;
+  std::uint64_t max_load = 0;
+  for (const std::uint64_t n : shard_received_counts_) {
+    total += n;
+    max_load = std::max(max_load, n);
+  }
+  if (total > 0) {
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(shard_count_);
+    shard_imbalance_->set(
+        std::llround(1000.0 * static_cast<double>(max_load) / mean));
+  }
   return outcomes;
 }
 

@@ -44,6 +44,7 @@ namespace obs {
 class Counter;
 class EventLog;
 class Gauge;
+class Histogram;
 class MetricsRegistry;
 }  // namespace obs
 }  // namespace fdeta
@@ -193,6 +194,18 @@ class HeadEnd {
   obs::Counter* stale_rejected_ = nullptr;
   obs::Counter* quarantined_counter_ = nullptr;
   obs::Gauge* missing_gauge_ = nullptr;
+
+  // Per-shard health series ("ami.shardNN.*"): lock-wait latency, batch
+  // depth and high-water per shard, plus a max/mean load-imbalance gauge.
+  // Bounded cardinality (at most 64 instrumented slots; wider fleets alias
+  // via s % 64); updated only on the batched receive path, one histogram
+  // observation and three gauge stores per shard per batch.
+  std::vector<obs::Gauge*> shard_pending_;
+  std::vector<obs::Gauge*> shard_highwater_;
+  std::vector<obs::Histogram*> shard_lock_wait_;
+  obs::Gauge* shard_imbalance_ = nullptr;
+  /// Cumulative reports applied per shard (guarded by that shard's lock).
+  std::vector<std::uint64_t> shard_received_counts_;
 };
 
 /// NACK-driven repair budget for transmit(): after the initial pass the

@@ -1,6 +1,8 @@
 #include "core/online_monitor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -19,6 +21,41 @@ namespace fdeta::core {
 namespace {
 
 constexpr std::size_t kWindow = static_cast<std::size_t>(kSlotsPerWeek);
+
+// Population-health histogram: linear reading-magnitude bins over the fleet's
+// primed sliding windows.  32 bins keeps the KLD estimate stable at modest
+// window sizes while staying cheap to drain per refresh.
+constexpr std::size_t kHealthBins = 32;
+
+// Per-shard metric-name cardinality budget: at most this many "shardNN"
+// series per component; fleets sharded wider alias onto s % kMaxShardSeries.
+constexpr std::size_t kMaxShardSeries = 64;
+
+std::string shard_metric_name(const char* component, std::size_t slot,
+                              const char* what) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s.shard%02zu.%s", component, slot, what);
+  return buf;
+}
+
+// KL divergence, in bits, of the `recent` counts against the `baseline`
+// counts with +0.5 additive smoothing per bin (both sides), so empty bins
+// never produce infinities.
+double smoothed_kld_bits(const std::uint64_t* recent,
+                         std::uint64_t recent_total,
+                         const std::uint64_t* baseline,
+                         std::uint64_t baseline_total, std::size_t bins) {
+  const double half_bins = 0.5 * static_cast<double>(bins);
+  const double p_norm = static_cast<double>(recent_total) + half_bins;
+  const double q_norm = static_cast<double>(baseline_total) + half_bins;
+  double kld = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double p = (static_cast<double>(recent[b]) + 0.5) / p_norm;
+    const double q = (static_cast<double>(baseline[b]) + 0.5) / q_norm;
+    kld += p * std::log2(p / q);
+  }
+  return kld < 0.0 ? 0.0 : kld;  // numerically clamp; KLD >= 0
+}
 
 }  // namespace
 
@@ -51,8 +88,133 @@ OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config) : config_(config) {
   alerts_under_ = &registry.counter("monitor.alerts_under_report");
   fit_seconds_ = &registry.histogram("monitor.fit_seconds");
   batch_seconds_ = &registry.histogram("monitor.ingest_batch_seconds");
+  shard_imbalance_ = &registry.gauge("monitor.shard_imbalance_milli");
+  drift_gauge_ = &registry.gauge("monitor.population_drift_milli_bits");
+  burst_gauge_ = &registry.gauge("monitor.alert_burst_milli");
+  registry_ = &registry;
   events_ = config_.events != nullptr ? config_.events
                                       : &obs::default_event_log();
+}
+
+void OnlineMonitor::init_shard_metrics() {
+  const std::size_t instrumented = std::min(shard_count_, kMaxShardSeries);
+  shard_pending_.resize(instrumented);
+  shard_highwater_.resize(instrumented);
+  shard_lock_wait_.resize(instrumented);
+  for (std::size_t s = 0; s < instrumented; ++s) {
+    shard_pending_[s] =
+        &registry_->gauge(shard_metric_name("monitor", s, "pending_depth"));
+    shard_highwater_[s] = &registry_->gauge(
+        shard_metric_name("monitor", s, "pending_highwater"));
+    shard_lock_wait_[s] = &registry_->histogram(
+        shard_metric_name("monitor", s, "lock_wait_seconds"));
+  }
+  shard_applied_.assign(shard_count_, 0);
+}
+
+std::size_t OnlineMonitor::health_bin(double v) const {
+  // Linear bins over [0, max_kw], upper-inclusive edges at max_kw * b / bins,
+  // everything past max_kw merged into the top bin.  Arithmetic instead of a
+  // binary search over an edge table: this runs per reading in apply() and
+  // per stored window in rebuild_health_baseline(), where the extra ~5
+  // branches of a lower_bound measurably slowed the warm-restore path.
+  if (!(v > 0.0)) return 0;
+  const double scaled = std::ceil(v * health_bin_scale_);
+  if (scaled >= static_cast<double>(kHealthBins)) return kHealthBins - 1;
+  return static_cast<std::size_t>(scaled) - 1;
+}
+
+void OnlineMonitor::rebuild_health_baseline() {
+  // Two passes over count x 336 windows (max, then bin counts).  At mega
+  // fleet scale this sits on the warm-restore path, so both passes run
+  // chunked on the shared pool; per-chunk partials keep the reduction
+  // order-independent (max and sums commute), preserving determinism.
+  const std::size_t total = windows_.size();
+  const std::size_t per_chunk = 1 << 16;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(64, (total + per_chunk - 1) / per_chunk));
+  const std::size_t stride = (total + chunks - 1) / chunks;
+  std::vector<double> chunk_max(chunks, 0.0);
+  parallel_for(
+      chunks,
+      [&](std::size_t k) {
+        double m = 0.0;
+        const std::size_t hi = std::min(total, (k + 1) * stride);
+        for (std::size_t i = k * stride; i < hi; ++i) {
+          m = std::max(m, windows_[i]);
+        }
+        chunk_max[k] = m;
+      },
+      config_.threads);
+  double max_kw = 0.0;
+  for (const double m : chunk_max) max_kw = std::max(max_kw, m);
+  if (max_kw <= 0.0) max_kw = 1.0;
+  health_bin_scale_ = static_cast<double>(kHealthBins) / max_kw;
+
+  std::vector<std::vector<std::uint64_t>> chunk_counts(
+      chunks, std::vector<std::uint64_t>(kHealthBins, 0));
+  parallel_for(
+      chunks,
+      [&](std::size_t k) {
+        auto& counts = chunk_counts[k];
+        const std::size_t hi = std::min(total, (k + 1) * stride);
+        for (std::size_t i = k * stride; i < hi; ++i) {
+          ++counts[health_bin(windows_[i])];
+        }
+      },
+      config_.threads);
+  health_baseline_counts_.assign(kHealthBins, 0);
+  for (const auto& counts : chunk_counts) {
+    for (std::size_t b = 0; b < kHealthBins; ++b) {
+      health_baseline_counts_[b] += counts[b];
+    }
+  }
+  health_baseline_total_ = total;
+  health_recent_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kHealthBins);
+  for (std::size_t b = 0; b < kHealthBins; ++b) {
+    health_recent_[b].store(0, std::memory_order_relaxed);
+  }
+  health_readings_.store(0, std::memory_order_relaxed);
+  health_alerts_.store(0, std::memory_order_relaxed);
+  last_health_readings_ = 0;
+  last_health_alerts_ = 0;
+  drift_gauge_->set(0);
+  burst_gauge_->set(0);
+}
+
+void OnlineMonitor::refresh_health_gauges() {
+  if (!fitted_ || health_bin_scale_ <= 0.0) return;
+  const std::uint64_t readings_total =
+      health_readings_.load(std::memory_order_relaxed);
+  const std::uint64_t alerts_total =
+      health_alerts_.load(std::memory_order_relaxed);
+  const std::uint64_t readings_delta = readings_total - last_health_readings_;
+  const std::uint64_t alerts_delta = alerts_total - last_health_alerts_;
+  if (readings_delta == 0) return;  // nothing new: gauges keep their values
+
+  std::uint64_t recent[kHealthBins];
+  for (std::size_t b = 0; b < kHealthBins; ++b) {
+    recent[b] = health_recent_[b].exchange(0, std::memory_order_relaxed);
+  }
+  const double kld = smoothed_kld_bits(
+      recent, readings_delta, health_baseline_counts_.data(),
+      health_baseline_total_, kHealthBins);
+  drift_gauge_->set(std::llround(1000.0 * kld));
+
+  // Burst factor: the recent window's alert rate over the lifetime alert
+  // rate (1000 = steady state).  Zero until any alert has ever been raised.
+  if (alerts_total > 0 && readings_total > 0) {
+    const double recent_rate = static_cast<double>(alerts_delta) /
+                               static_cast<double>(readings_delta);
+    const double lifetime_rate = static_cast<double>(alerts_total) /
+                                 static_cast<double>(readings_total);
+    burst_gauge_->set(std::llround(1000.0 * recent_rate / lifetime_rate));
+  } else {
+    burst_gauge_->set(0);
+  }
+  last_health_readings_ = readings_total;
+  last_health_alerts_ = alerts_total;
 }
 
 void OnlineMonitor::emit_alert(const AlertEvent& event) const {
@@ -89,6 +251,7 @@ void OnlineMonitor::init_fleet(std::size_t count) {
                                : shared_pool().thread_count() + 1;
   shard_count_ = resolve_shard_count(config_.shards, count, hint);
   shard_locks_ = std::make_unique<std::mutex[]>(shard_count_);
+  init_shard_metrics();
 }
 
 void OnlineMonitor::fit_one(std::size_t i, const meter::ConsumerSeries& series,
@@ -116,6 +279,7 @@ void OnlineMonitor::fit(const meter::Dataset& history,
   parallel_for(
       count, [&](std::size_t i) { fit_one(i, history.consumer(i), split); },
       config_.threads);
+  rebuild_health_baseline();
   fitted_ = true;
   consumers_fitted_->add(count);
 }
@@ -141,6 +305,7 @@ void OnlineMonitor::fit_streaming(
         fit_one(i, series, split);
       },
       config_.threads);
+  rebuild_health_baseline();
   fitted_ = true;
   consumers_fitted_->add(count);
 }
@@ -165,6 +330,11 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
     return std::nullopt;
   }
   readings_ingested_->add();
+  // Population-health accounting: one relaxed increment per observed
+  // reading (bins shared across shards, so the counts are layout-invariant).
+  health_recent_[health_bin(reading.kw)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  health_readings_.fetch_add(1, std::memory_order_relaxed);
 
   windows_[base + position] = reading.kw;
   if (missing_[base + position]) {
@@ -204,6 +374,7 @@ std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
   alerts_raised_->add();
   (direction == AlertDirection::kOverReport ? alerts_over_ : alerts_under_)
       ->add();
+  health_alerts_.fetch_add(1, std::memory_order_relaxed);
   return AlertEvent{i, ids_[i], reading.slot, score, threshold, direction};
 }
 
@@ -261,12 +432,42 @@ std::vector<AlertEvent> OnlineMonitor::ingest_batch(
       shard_count_,
       [&](std::size_t s) {
         if (by_shard[s].empty()) return;
+        // Per-shard health: the lock-wait histogram times only the
+        // acquisition (contention, not work); the depth gauges cover the
+        // bucket this delivery parked on the shard.  One histogram
+        // observation and three gauge stores per shard per batch - the
+        // per-reading loop below stays untouched.
+        const std::size_t m = s % shard_pending_.size();
+        const std::int64_t depth =
+            static_cast<std::int64_t>(by_shard[s].size());
+        shard_pending_[m]->set(depth);
+        shard_highwater_[m]->update_max(depth);
+        obs::ScopedTimer wait(*shard_lock_wait_[m]);
         std::lock_guard<std::mutex> lock(shard_locks_[s]);
+        wait.stop();
         for (const std::size_t r : by_shard[s]) {
           raised[r] = apply(readings[r]);
         }
+        shard_applied_[s] += by_shard[s].size();
+        shard_pending_[m]->set(0);
       },
       config_.threads);
+
+  // Shard-imbalance gauge: max over mean cumulative per-shard load, x1000
+  // (1000 = perfectly balanced).  Reads happen after the parallel_for
+  // barrier, so the plain-vector accumulators are quiescent here.
+  std::uint64_t total_applied = 0;
+  std::uint64_t max_applied = 0;
+  for (const std::uint64_t a : shard_applied_) {
+    total_applied += a;
+    max_applied = std::max(max_applied, a);
+  }
+  if (total_applied > 0) {
+    const double mean = static_cast<double>(total_applied) /
+                        static_cast<double>(shard_count_);
+    shard_imbalance_->set(
+        std::llround(1000.0 * static_cast<double>(max_applied) / mean));
+  }
 
   std::vector<AlertEvent> events;
   for (auto& event : raised) {
@@ -573,6 +774,11 @@ void OnlineMonitor::restore(std::istream& in) {
                                : shared_pool().thread_count() + 1;
   shard_count_ = resolve_shard_count(config_.shards, count, hint);
   shard_locks_ = std::make_unique<std::mutex[]>(shard_count_);
+  init_shard_metrics();
+  // Drift is measured against the population distribution at service start:
+  // a restored monitor baselines on its restored sliding windows, exactly as
+  // a freshly fitted one baselines on the primed training windows.
+  rebuild_health_baseline();
   alerts_ = std::move(alerts);
   fitted_ = true;
   consumers_restored_->add(count);

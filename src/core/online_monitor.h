@@ -23,6 +23,8 @@
 // fixed seed and identical between the ingest() and ingest_batch() paths.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -41,6 +43,7 @@ namespace fdeta {
 namespace obs {
 class Counter;
 class EventLog;
+class Gauge;
 class Histogram;
 class MetricsRegistry;
 }  // namespace obs
@@ -179,11 +182,36 @@ class OnlineMonitor {
   /// Resolved shard count (config.shards, or the auto-sized value).
   std::size_t shard_count() const { return shard_count_; }
 
+  /// Recomputes the two fleet-health gauges from the readings ingested since
+  /// the previous refresh: `monitor.population_drift_milli_bits` (KL
+  /// divergence, in milli-bits, of the recent reading-magnitude distribution
+  /// against the population baseline captured at fit/restore time) and
+  /// `monitor.alert_burst_milli` (recent alert rate over the lifetime alert
+  /// rate, x1000).  Deterministic for a fixed reading order when called at
+  /// fixed points in that order (e.g. every N slots); call quiesced - it
+  /// reads and resets the recent-window accumulators.  No-op before fit().
+  void refresh_health_gauges();
+
  private:
   /// Sizes the Struct-of-Arrays fleet state and shard locks for `count`
   /// consumers (everything zeroed; unfitted detectors cloned from a
   /// registry-built prototype).
   void init_fleet(std::size_t count);
+
+  /// Resolves the per-shard health metric pointers for the current
+  /// shard_count_ (bounded cardinality: at most 64 instrumented slots;
+  /// larger fleets alias shard s onto slot s % 64).
+  void init_shard_metrics();
+
+  /// Rebuilds the population-health baseline (linear reading-magnitude bins
+  /// over the primed sliding windows) and zeroes the recent-window
+  /// accumulators.  Called at the end of fit/fit_streaming/restore, so drift
+  /// is always measured against the population distribution at service
+  /// start.
+  void rebuild_health_baseline();
+
+  /// Bin index into the health histogram for one reading value.
+  std::size_t health_bin(double v) const;
 
   /// Fits consumer i's detector and primes its sliding window from `series`
   /// (shared by fit() and fit_streaming(); safe concurrently for distinct i).
@@ -243,7 +271,34 @@ class OnlineMonitor {
   obs::Counter* alerts_under_ = nullptr;
   obs::Histogram* fit_seconds_ = nullptr;
   obs::Histogram* batch_seconds_ = nullptr;
-  obs::EventLog* events_ = nullptr;  // never null after construction
+  obs::MetricsRegistry* registry_ = nullptr;  // never null after construction
+  obs::EventLog* events_ = nullptr;           // never null after construction
+
+  // Per-shard health series ("monitor.shardNN.*"), resolved by
+  // init_shard_metrics(); at most 64 instrumented slots (shards alias via
+  // s % 64 past that - a fixed cardinality budget, never per-shard names
+  // without bound).  Updated only on the batched ingest path.
+  std::vector<obs::Gauge*> shard_pending_;
+  std::vector<obs::Gauge*> shard_highwater_;
+  std::vector<obs::Histogram*> shard_lock_wait_;
+  obs::Gauge* shard_imbalance_ = nullptr;
+  /// Cumulative readings applied per shard (guarded by that shard's lock;
+  /// summed after the batch barrier for the imbalance gauge).
+  std::vector<std::uint64_t> shard_applied_;
+
+  // Population-health state (ROADMAP item 5 seed).  The baseline is frozen
+  // at fit/restore; the recent window accumulates in relaxed atomics on the
+  // hot path and is drained by refresh_health_gauges().
+  double health_bin_scale_ = 0.0;  ///< bins / max_kw (0 = not yet baselined)
+  std::vector<std::uint64_t> health_baseline_counts_;
+  std::uint64_t health_baseline_total_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> health_recent_;
+  std::atomic<std::uint64_t> health_readings_{0};
+  std::atomic<std::uint64_t> health_alerts_{0};
+  std::uint64_t last_health_readings_ = 0;
+  std::uint64_t last_health_alerts_ = 0;
+  obs::Gauge* drift_gauge_ = nullptr;
+  obs::Gauge* burst_gauge_ = nullptr;
 };
 
 }  // namespace fdeta::core

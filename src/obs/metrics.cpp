@@ -126,8 +126,35 @@ std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
   return it == gauges.end() ? 0 : it->second;
 }
 
+bool is_layout_scoped_metric(std::string_view name) {
+  return name.substr(0, 5) == "pool." ||
+         name.find("shard") != std::string_view::npos;
+}
+
+namespace {
+
+// Map equality over the determinism-scoped entries only.
+template <typename Map>
+bool same_det_entries(const Map& a, const Map& b) {
+  auto it = a.begin();
+  auto jt = b.begin();
+  while (true) {
+    while (it != a.end() && is_layout_scoped_metric(it->first)) ++it;
+    while (jt != b.end() && is_layout_scoped_metric(jt->first)) ++jt;
+    if (it == a.end() || jt == b.end()) {
+      return it == a.end() && jt == b.end();
+    }
+    if (it->first != jt->first || it->second != jt->second) return false;
+    ++it;
+    ++jt;
+  }
+}
+
+}  // namespace
+
 bool MetricsSnapshot::same_counts(const MetricsSnapshot& other) const {
-  return counters == other.counters && gauges == other.gauges;
+  return same_det_entries(counters, other.counters) &&
+         same_det_entries(gauges, other.gauges);
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -236,6 +263,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(upper_edges)))
              .first;
+  } else {
+    require(upper_edges.empty() || upper_edges == it->second->upper_edges(),
+            "MetricsRegistry::histogram: '" + std::string(name) +
+                "' already exists with different upper_edges");
   }
   return *it->second;
 }

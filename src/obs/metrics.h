@@ -145,6 +145,14 @@ struct HistogramSnapshot {
   double quantile(double q) const;
 };
 
+/// True for metric names whose values depend on the shard x thread layout
+/// rather than on the ingested data: the shared pool's "pool." series and
+/// anything carrying "shard" in its name (per-shard health series, the
+/// shard-imbalance gauges).  Layout-scoped metrics are outside the
+/// determinism contract: same_counts() skips them and the time-series layer
+/// exports them in a frame's `env` block.
+bool is_layout_scoped_metric(std::string_view name);
+
 /// A point-in-time copy of every metric in a registry.  Plain data: safe to
 /// compare, serialize, and diff long after the producers moved on.
 struct MetricsSnapshot {
@@ -161,7 +169,9 @@ struct MetricsSnapshot {
 
   /// True when every counter and gauge (names and values) agree.  Latency
   /// histograms are deliberately excluded: they carry wall-clock time and
-  /// can never be deterministic across runs.
+  /// can never be deterministic across runs.  Layout-scoped metrics
+  /// (is_layout_scoped_metric) are excluded too: per-shard depths and pool
+  /// counters legitimately differ between layouts and entry points.
   bool same_counts(const MetricsSnapshot& other) const;
 
   /// Stable machine-readable exposition (keys sorted by name).
@@ -184,8 +194,11 @@ class MetricsRegistry {
   /// same object.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  /// `upper_edges` applies only on first creation (empty = the default
-  /// latency edges); later lookups return the existing histogram.
+  /// `upper_edges` applies on first creation (empty = the default latency
+  /// edges).  A later lookup with empty or identical edges returns the
+  /// existing histogram; a lookup with *different* non-empty edges throws -
+  /// two call sites silently sharing one histogram under conflicting bucket
+  /// layouts is a bug, never an intent.
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_edges = {});
 

@@ -81,9 +81,26 @@ TEST(Registry, SameNameYieldsSameObject) {
   a.add(3);
   EXPECT_EQ(b.value(), 3u);
   Histogram& h1 = reg.histogram("test.lat", {1.0, 2.0});
-  Histogram& h2 = reg.histogram("test.lat", {7.0});  // edges ignored on lookup
+  Histogram& h2 = reg.histogram("test.lat");  // empty edges = plain lookup
   EXPECT_EQ(&h1, &h2);
+  Histogram& h3 = reg.histogram("test.lat", {1.0, 2.0});  // same edges: fine
+  EXPECT_EQ(&h1, &h3);
   EXPECT_EQ(h2.upper_edges(), (std::vector<double>{1.0, 2.0}));
+}
+
+// Regression: a later lookup with *conflicting* edges used to silently
+// return the existing histogram under the wrong bucket layout; it must
+// fail fast instead.
+TEST(Registry, HistogramEdgeConflictThrows) {
+  MetricsRegistry reg;
+  reg.histogram("test.lat", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("test.lat", {7.0}), InvalidArgument);
+  EXPECT_THROW(reg.histogram("test.lat", {1.0}), InvalidArgument);
+  // The default-edge histogram conflicts with explicit different edges too.
+  reg.histogram("test.default_edges");
+  EXPECT_THROW(reg.histogram("test.default_edges", {1.0}), InvalidArgument);
+  EXPECT_NO_THROW(
+      reg.histogram("test.default_edges", default_latency_edges_seconds()));
 }
 
 TEST(Registry, RejectsInvalidNames) {
@@ -155,6 +172,25 @@ TEST(Snapshot, SameCountsComparesCountersAndGaugesOnly) {
   c.counter("x.events").add(3);
   EXPECT_FALSE(a.snapshot().same_counts(c.snapshot()))
       << "a missing gauge is a difference";
+}
+
+TEST(Snapshot, SameCountsSkipsLayoutScopedMetrics) {
+  // Per-shard depths and pool counters depend on the shard x thread layout
+  // and the entry point (ingest vs ingest_batch), never on the data - they
+  // must not break the determinism contract.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("monitor.readings_ingested").add(10);
+  b.counter("monitor.readings_ingested").add(10);
+  a.gauge("monitor.shard01.pending_highwater").set(49);
+  b.gauge("monitor.shard_imbalance_milli").set(2000);
+  a.counter("pool.tasks_submitted").add(12);
+  EXPECT_TRUE(a.snapshot().same_counts(b.snapshot()));
+  EXPECT_TRUE(b.snapshot().same_counts(a.snapshot()));
+
+  // The deterministic half still gates.
+  b.counter("monitor.readings_ingested").add(1);
+  EXPECT_FALSE(a.snapshot().same_counts(b.snapshot()));
 }
 
 // Pins the quantile interpolation rule: rank = q * count, linear within the

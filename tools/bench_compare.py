@@ -8,13 +8,20 @@ Absolute rates (consumers/sec, readings/sec) are recorded in the reports for
 the trajectory but never gated: they measure the machine as much as the
 code.  Improvements never fail the gate.
 
+With --append-history, the candidate report is additionally archived under
+bench/history/ keyed by the git revision recorded inside it, seeding the
+long-run perf trajectory (one JSON per revision; re-runs of the same
+revision overwrite, so the history holds the latest numbers per rev).
+
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.20]
                      [--keys fit_pool_speedup,warm_vs_cold_speedup]
+                     [--append-history [DIR]]
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -29,6 +36,24 @@ def load_derived(path):
         for key, value in derived.items()
         if isinstance(value, (int, float))
     }
+
+
+def append_history(candidate_path, history_dir):
+    """Archive the candidate report under history_dir keyed by its git rev."""
+    with open(candidate_path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rev = doc.get("git_rev")
+    if not isinstance(rev, str) or not rev or rev == "unknown":
+        sys.exit(
+            f"{candidate_path}: no usable 'git_rev' to key the history entry"
+        )
+    bench = doc.get("bench", "bench")
+    os.makedirs(history_dir, exist_ok=True)
+    out_path = os.path.join(history_dir, f"{bench}_{rev}.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    print(f"history: archived {candidate_path} -> {out_path}")
 
 
 def main():
@@ -46,7 +71,20 @@ def main():
         default="",
         help="comma-separated derived keys to gate (default: all shared)",
     )
+    parser.add_argument(
+        "--append-history",
+        nargs="?",
+        const=os.path.join(os.path.dirname(__file__), "..", "bench",
+                           "history"),
+        default=None,
+        metavar="DIR",
+        help="archive the candidate under DIR (default bench/history/) "
+        "keyed by its git_rev",
+    )
     args = parser.parse_args()
+
+    if args.append_history is not None:
+        append_history(args.candidate, args.append_history)
 
     base = load_derived(args.baseline)
     cand = load_derived(args.candidate)

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file written by --metrics-format prom.
+
+Checks the structural rules a scraper relies on, beyond what the in-repo
+golden test pins:
+
+  * every sample name matches the metric charset [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every metric family is preceded by matching # HELP and # TYPE lines
+  * histogram bucket counts are cumulative and monotonically non-decreasing
+  * the final bucket is le="+Inf" and equals the family's _count sample
+  * every histogram family carries exactly one _sum and one _count
+  * no duplicate samples for the same (name, labels)
+
+Exits non-zero on the first file with violations, printing each one with
+its line number.  Stdlib only; runs in CI after the telemetry detect pass.
+
+Usage:
+    check_prometheus.py METRICS.prom [MORE.prom ...]
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# A sample line: name, optional {labels}, a value, optional timestamp.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[^\s{]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+
+
+def base_family(name):
+    """Family name owning a sample: strips histogram/summary suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+
+    errors = []
+    helped = {}  # family -> line no of # HELP
+    typed = {}  # family -> declared type
+    seen_samples = {}  # (name, labels) -> line no
+    # family -> list of (lineno, le_value, count) in file order
+    buckets = {}
+    sums = {}  # family -> line no count
+    counts = {}  # family -> (lineno, value)
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"{lineno}: HELP line without text: {line}")
+            elif len(parts) >= 3:
+                helped[parts[2]] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"{lineno}: malformed TYPE line: {line}")
+                continue
+            if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                errors.append(f"{lineno}: unknown metric type: {line}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{lineno}: unparseable sample line: {line}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        if not NAME_RE.match(name):
+            errors.append(f"{lineno}: invalid metric name '{name}'")
+            continue
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"{lineno}: invalid sample value '{match.group('value')}'"
+            )
+            continue
+
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(
+                f"{lineno}: duplicate sample {name}{{{labels}}} "
+                f"(first at line {seen_samples[key]})"
+            )
+        seen_samples[key] = lineno
+
+        family = base_family(name)
+        if family not in helped:
+            errors.append(f"{lineno}: sample '{name}' has no # HELP {family}")
+        if family not in typed:
+            errors.append(f"{lineno}: sample '{name}' has no # TYPE {family}")
+
+        if name.endswith("_bucket"):
+            le_match = re.search(r'le="([^"]*)"', "{" + labels + "}")
+            if not le_match:
+                errors.append(f"{lineno}: _bucket sample without le label")
+                continue
+            try:
+                le = parse_value(le_match.group(1))
+            except ValueError:
+                errors.append(
+                    f"{lineno}: invalid le value '{le_match.group(1)}'"
+                )
+                continue
+            buckets.setdefault(family, []).append((lineno, le, value))
+        elif name.endswith("_sum") and typed.get(family) == "histogram":
+            sums[family] = sums.get(family, 0) + 1
+        elif name.endswith("_count") and typed.get(family) == "histogram":
+            if family in counts:
+                errors.append(f"{lineno}: duplicate _count for {family}")
+            counts[family] = (lineno, value)
+
+    for family, rows in sorted(buckets.items()):
+        prev_le = float("-inf")
+        prev_count = -1.0
+        for lineno, le, count in rows:
+            if le <= prev_le:
+                errors.append(
+                    f"{lineno}: {family} bucket le={le} not increasing"
+                )
+            if count < prev_count:
+                errors.append(
+                    f"{lineno}: {family} buckets not cumulative "
+                    f"({count} after {prev_count})"
+                )
+            prev_le, prev_count = le, count
+        last_lineno, last_le, last_count = rows[-1]
+        if last_le != float("inf"):
+            errors.append(
+                f"{last_lineno}: {family} buckets do not end with le=\"+Inf\""
+            )
+        if family not in counts:
+            errors.append(f"{family}: histogram has buckets but no _count")
+        elif counts[family][1] != last_count:
+            errors.append(
+                f"{counts[family][0]}: {family}_count {counts[family][1]} "
+                f"!= +Inf bucket {last_count}"
+            )
+        if sums.get(family, 0) != 1:
+            errors.append(
+                f"{family}: expected exactly one _sum, found "
+                f"{sums.get(family, 0)}"
+            )
+
+    sample_count = len(seen_samples)
+    if sample_count == 0:
+        errors.append("no samples found")
+    return errors, sample_count
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    failed = False
+    for path in argv[1:]:
+        errors, samples = check_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: {len(errors)} violation(s)")
+            for err in errors:
+                print(f"  {path}:{err}")
+        else:
+            print(f"{path}: OK ({samples} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -62,6 +62,7 @@
 #include "meter/weekly_stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "pricing/billing.h"
 
@@ -497,34 +498,119 @@ int cmd_detect(const Args& args) {
     core::OnlineMonitor monitor(mconfig);
     monitor.fit(baseline, pipeline.config().split);
 
+    // Telemetry time series: --stats-interval N scrapes the registry every
+    // N logical slots and prints one live scoreboard line per frame;
+    // --series-out F writes every frame as JSONL.  Scrapes happen at chunk
+    // boundaries of the slot clock, so under a fixed seed the deterministic
+    // half of every frame is identical for any shard x thread layout.
+    const long stats_interval_raw = args.get_long("stats-interval", 0);
+    require(stats_interval_raw >= 0, "detect: --stats-interval must be >= 0");
+    const std::string series_path = args.get("series-out", "");
+    const bool scraping = stats_interval_raw > 0 || !series_path.empty();
+    obs::MetricsScraperConfig scfg;
+    scfg.interval_slots = stats_interval_raw > 0
+                              ? static_cast<std::uint64_t>(stats_interval_raw)
+                              : static_cast<std::uint64_t>(kSlotsPerWeek);
+    obs::MetricsScraper scraper(scfg);
+    scraper.start(train_weeks * kSlotsPerWeek);
+    const bool live_board = stats_interval_raw > 0;
+    if (live_board) std::printf("%s\n", obs::scoreboard_header().c_str());
+    const auto scrape_at = [&](std::uint64_t slot, bool force) {
+      if (!force && !scraper.due(slot)) return;
+      // Refresh the drift/burst gauges right before the snapshot - a fixed
+      // point of the reading order, so the gauge values are deterministic.
+      monitor.refresh_health_gauges();
+      const obs::SeriesFrame& frame = scraper.scrape(slot);
+      if (live_board) {
+        std::printf("%s\n", obs::scoreboard_line(frame).c_str());
+      }
+    };
+    // Deliver in chunks of at most one scrape interval, so a sub-week
+    // --stats-interval still observes every frame boundary.
+    const std::size_t chunk_slots = static_cast<std::size_t>(std::min<
+        std::uint64_t>(scfg.interval_slots, kSlotsPerWeek));
+
     std::size_t readings = 0;
     std::size_t over = 0;
     std::size_t under = 0;
     for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
-      std::vector<core::Reading> batch;
-      batch.reserve(reported.consumer_count() * kSlotsPerWeek);
-      // Slot-major: all consumers' slot-t readings arrive before any
-      // slot-t+1 reading, as one head-end delivery per slot would.  Under
-      // the chaos harness, slots the head-end never accepted arrive as
-      // missing markers (counted, never applied).
-      for (std::size_t s = 0; s < kSlotsPerWeek; ++s) {
-        const auto slot = static_cast<SlotIndex>(w * kSlotsPerWeek + s);
-        for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
-          const bool miss =
-              collected.has_value() && collected->missing[c][slot] != 0;
-          batch.push_back(core::Reading{
-              c, slot, judged.consumer(c).readings[slot], miss});
+      for (std::size_t chunk = 0; chunk < kSlotsPerWeek;
+           chunk += chunk_slots) {
+        const std::size_t chunk_end =
+            std::min(chunk + chunk_slots, static_cast<std::size_t>(
+                                              kSlotsPerWeek));
+        std::vector<core::Reading> batch;
+        batch.reserve(reported.consumer_count() * (chunk_end - chunk));
+        // Slot-major: all consumers' slot-t readings arrive before any
+        // slot-t+1 reading, as one head-end delivery per slot would.  Under
+        // the chaos harness, slots the head-end never accepted arrive as
+        // missing markers (counted, never applied).
+        for (std::size_t s = chunk; s < chunk_end; ++s) {
+          const auto slot = static_cast<SlotIndex>(w * kSlotsPerWeek + s);
+          for (std::size_t c = 0; c < reported.consumer_count(); ++c) {
+            const bool miss =
+                collected.has_value() && collected->missing[c][slot] != 0;
+            batch.push_back(core::Reading{
+                c, slot, judged.consumer(c).readings[slot], miss});
+          }
+        }
+        const auto alerts = monitor.ingest_batch(batch);
+        readings += batch.size();
+        for (const auto& a : alerts) {
+          ++(a.direction == core::AlertDirection::kOverReport ? over
+                                                              : under);
+        }
+        if (scraping) {
+          scrape_at(w * kSlotsPerWeek + chunk_end, /*force=*/false);
         }
       }
-      const auto alerts = monitor.ingest_batch(batch);
-      readings += batch.size();
-      for (const auto& a : alerts) {
-        ++(a.direction == core::AlertDirection::kOverReport ? over : under);
+    }
+    if (scraping) {
+      // Final partial window, so the series always covers the whole span.
+      const std::uint64_t final_slot = reported.week_count() * kSlotsPerWeek;
+      const auto& frames = scraper.store().frames();
+      if (frames.empty() || frames.back().slot < final_slot) {
+        scrape_at(final_slot, /*force=*/true);
+      }
+      if (!series_path.empty()) {
+        std::ofstream out(series_path);
+        if (!out) {
+          throw DataError("detect: cannot open " + series_path +
+                          " for writing");
+        }
+        out << scraper.store().to_jsonl();
       }
     }
     std::printf("stream: readings=%zu alerts=%zu over=%zu under=%zu\n",
                 readings, monitor.alerts().size(), over, under);
   }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  // Post-hoc triage: renders a --series-out JSONL file as the same
+  // scoreboard table `detect --stats-interval` prints live.
+  std::ifstream in(args.require_value("in"));
+  if (!in) throw DataError("stats: cannot open input file");
+  std::printf("%s\n", obs::scoreboard_header().c_str());
+  std::size_t frames = 0;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto frame = obs::parse_series_frame(line);
+    if (!frame) {
+      ++skipped;
+      continue;
+    }
+    std::printf("%s\n", obs::scoreboard_line(*frame).c_str());
+    ++frames;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "stats: skipped %zu non-frame lines\n", skipped);
+  }
+  std::printf("frames=%zu\n", frames);
+  require(frames > 0, "stats: no series frames in input");
   return 0;
 }
 
@@ -651,16 +737,25 @@ int usage() {
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "            [--detector-opt key=value ...]\n"
       "            [--explain] [--stream 0|1]\n"
+      "            [--stats-interval N]  print a live scoreboard line every\n"
+      "                                  N logical slots of the stream replay\n"
+      "            [--series-out F]      write the telemetry time series\n"
+      "                                  (one JSON frame per line) to F\n"
       "            [--fault-plan drop=X,dup=X,reorder=X,delay=N,corrupt=X,\n"
       "             burst-every=N,burst-len=N,seed=S] [--loss-rate X]\n"
       "            [--seed S] [--retries N] [--backoff B] [--coverage-gate F]\n"
+      "  stats     --in F   render a --series-out JSONL file as the live\n"
+      "                     scoreboard table\n"
       "  evaluate  --in F [--train-weeks T] [--vectors V] [--seed S]\n"
       "  topology  --out F [--consumers N] [--fanout K] [--loss X]\n"
       "  investigate --topology F --baseline F --in F --week W\n"
       "            [--tolerance KW] [--mode case1|case2]\n\n"
       "every command also accepts:\n"
-      "  --metrics-out F  write the run's telemetry (JSON) to F and print\n"
-      "                   a summary table on stderr\n"
+      "  --metrics-out F  write the run's telemetry to F and print a\n"
+      "                   summary table on stderr\n"
+      "  --metrics-format json|text|prom\n"
+      "                   encoding for --metrics-out: JSON exposition\n"
+      "                   (default), the human table, or Prometheus text\n"
       "  --trace-out F    record spans; write Chrome trace-event JSON to F\n"
       "                   (loads in Perfetto / chrome://tracing)\n"
       "  --events-out F   record domain events (alerts, investigation\n"
@@ -670,15 +765,33 @@ int usage() {
   return 2;
 }
 
-/// Writes the process-wide metrics registry as JSON to --metrics-out (when
-/// given) and prints the human summary table on stderr.
+/// Validates --metrics-format early (before any command work), returning
+/// the requested format ("json" default).
+std::string metrics_format_from(const Args& args) {
+  const std::string format = args.get("metrics-format", "json");
+  require(format == "json" || format == "text" || format == "prom",
+          "unknown --metrics-format '" + format + "' (json|text|prom)");
+  return format;
+}
+
+/// Writes the process-wide metrics registry to --metrics-out (when given)
+/// in the --metrics-format encoding (JSON exposition by default, "text" for
+/// the human table, "prom" for the Prometheus text exposition) and prints
+/// the human summary table on stderr.
 void emit_metrics(const Args& args) {
   const std::string path = args.get("metrics-out", "");
   if (path.empty()) return;
+  const std::string format = metrics_format_from(args);
   const auto snapshot = obs::default_registry().snapshot();
   std::ofstream out(path);
   if (!out) throw DataError("cannot open " + path + " for writing");
-  out << snapshot.to_json();
+  if (format == "prom") {
+    out << obs::to_prometheus(snapshot);
+  } else if (format == "text") {
+    out << snapshot.to_text();
+  } else {
+    out << snapshot.to_json();
+  }
   std::fputs(snapshot.to_text().c_str(), stderr);
 }
 
@@ -710,6 +823,7 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "inject") return cmd_inject(args);
   if (command == "fit") return cmd_fit(args);
   if (command == "detect") return cmd_detect(args);
+  if (command == "stats") return cmd_stats(args);
   if (command == "evaluate") return cmd_evaluate(args);
   if (command == "topology") return cmd_topology(args);
   if (command == "investigate") return cmd_investigate(args);
@@ -724,6 +838,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    metrics_format_from(args);  // fail fast on a bad --metrics-format
     if (!args.get("trace-out", "").empty()) obs::Tracer::instance().enable();
     if (!args.get("events-out", "").empty()) obs::default_event_log().enable();
     const int code = run_command(command, args);
