@@ -42,11 +42,13 @@
 #include "ami/network.h"
 #include "bench/bench_util.h"
 #include "common/env.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/detector_registry.h"
 #include "core/online_monitor.h"
 #include "core/pipeline.h"
 #include "datagen/generator.h"
+#include "grid/topology.h"
 #include "meter/dataset.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -417,6 +419,89 @@ std::vector<DetectorPoint> run_detector_families(std::size_t max_consumers,
     points.push_back(std::move(p));
   }
   return points;
+}
+
+// Feeder-aggregation stage: the same pooled weekly sweep with the feeder
+// hierarchy layer off vs on over one random radial topology.  The hierarchy
+// sweep adds step-5 balance investigation plus per-node aggregate scoring
+// and sibling-group correlation, so its rate is a fixed fraction of the
+// plain sweep's on any machine.  The derived ratio (hierarchy-on rate /
+// plain rate from the same run) is what bench_compare gates: a hierarchy
+// change that makes the weekly sweep disproportionately more expensive
+// drops the ratio and fails CI.
+struct HierarchyOverhead {
+  std::size_t consumers = 0;
+  std::size_t nodes = 0;  // internal nodes scored by the feeder layer
+  double plain_consumers_per_s = 0.0;
+  double feeder_consumers_per_s = 0.0;
+  double ratio = 0.0;  // feeder rate / plain rate (<= 1)
+};
+
+HierarchyOverhead run_hierarchy_overhead(std::size_t max_consumers,
+                                         std::size_t weeks,
+                                         std::uint64_t seed) {
+  const std::size_t consumers = std::min<std::size_t>(10000, max_consumers);
+  const auto dataset = fdeta::datagen::small_dataset(consumers, weeks, seed);
+  const fdeta::meter::TrainTestSplit split{.train_weeks = weeks - 1,
+                                           .test_weeks = 1};
+  const fdeta::core::EvidenceCalendar calendar;
+  fdeta::Rng rng(seed);
+  const auto topology =
+      fdeta::grid::Topology::random_radial(consumers, 4, rng, 0.02);
+
+  fdeta::obs::MetricsRegistry reg;
+  HierarchyOverhead out;
+  out.consumers = consumers;
+
+  for (const bool hierarchy : {false, true}) {
+    fdeta::core::PipelineConfig config;
+    config.split = split;
+    config.hierarchy = hierarchy;
+    config.metrics = &reg;
+    fdeta::core::FdetaPipeline pipeline(config);
+    pipeline.fit(dataset);
+
+    const fdeta::grid::Topology* topo = hierarchy ? &topology : nullptr;
+    // Warm once outside the clock: the first hierarchy sweep lazily fits
+    // the feeder monitor's per-node baselines and calibration.
+    {
+      const auto report =
+          pipeline.evaluate_week(dataset, dataset, weeks - 1, calendar, topo);
+      if (hierarchy) {
+        if (!report.feeder.has_value()) std::abort();
+        out.nodes = report.feeder->nodes.size();
+      }
+    }
+
+    // Best-of-N batched sweeps (>= 30ms per sample), as in the detector
+    // stage: the derived ratio divides one rate by the other, so both
+    // sides need the same noise discipline.
+    const std::size_t rounds = 3;
+    double sweep_s = 1e300;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      std::size_t sweeps = 0;
+      double elapsed = 0.0;
+      const auto start = std::chrono::steady_clock::now();
+      do {
+        const auto report = pipeline.evaluate_week(dataset, dataset,
+                                                   weeks - 1, calendar, topo);
+        if (report.verdicts.size() != consumers) std::abort();
+        ++sweeps;
+        elapsed = seconds_since(start);
+      } while (elapsed < 0.03);
+      sweep_s = std::min(sweep_s, elapsed / static_cast<double>(sweeps));
+    }
+    (hierarchy ? out.feeder_consumers_per_s : out.plain_consumers_per_s) =
+        static_cast<double>(consumers) / sweep_s;
+  }
+  out.ratio = out.feeder_consumers_per_s / out.plain_consumers_per_s;
+
+  std::printf(
+      "\n=== feeder aggregation @%zu consumers (%zu internal nodes): sweep "
+      "%.0f consumers/s plain, %.0f with --hierarchy (%.2fx of plain) ===\n",
+      out.consumers, out.nodes, out.plain_consumers_per_s,
+      out.feeder_consumers_per_s, out.ratio);
+  return out;
 }
 
 double hist_sum(const fdeta::obs::MetricsSnapshot& snap, const char* name) {
@@ -794,6 +879,17 @@ int main(int argc, char** argv) {
   }
   report.set("detectors", std::move(detectors_json));
 
+  const HierarchyOverhead hierarchy =
+      run_hierarchy_overhead(max_consumers, weeks, seed);
+  fdeta::bench::BenchJson hierarchy_json;
+  hierarchy_json.set("consumers", hierarchy.consumers);
+  hierarchy_json.set("internal_nodes", hierarchy.nodes);
+  hierarchy_json.set("plain_sweep_consumers_per_s",
+                     hierarchy.plain_consumers_per_s);
+  hierarchy_json.set("feeder_sweep_consumers_per_s",
+                     hierarchy.feeder_consumers_per_s);
+  report.set("hierarchy", std::move(hierarchy_json));
+
   const auto points =
       run_shard_scaling(max_consumers, weeks, seed, feed_threads);
   fdeta::bench::BenchJson shard_json;
@@ -837,6 +933,12 @@ int main(int argc, char** argv) {
   }
   if (rate_global > 0.0 && rate_sharded > 0.0) {
     derived.set("shard_contention_speedup", rate_sharded / rate_global);
+  }
+  // Feeder-aggregation tax as a same-run ratio (hierarchy-on sweep rate
+  // over plain sweep rate): lower means the feeder layer got
+  // disproportionately more expensive, which is what the gate catches.
+  if (hierarchy.ratio > 0.0) {
+    derived.set("hierarchy_sweep_ratio", hierarchy.ratio);
   }
   if (mega > 0 && mega_result.restore_s > 0.0) {
     derived.set("mega_warm_vs_cold_speedup",

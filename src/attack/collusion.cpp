@@ -1,0 +1,60 @@
+#include "attack/collusion.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fdeta::attack {
+
+CollusionScenario make_collusion_scenario(const grid::Topology& topology,
+                                          const meter::Dataset& actual,
+                                          std::size_t group_size,
+                                          double shave_fraction,
+                                          std::size_t week) {
+  require(group_size >= 1, "make_collusion_scenario: group_size >= 1");
+  require(shave_fraction > 0.0 && shave_fraction < 1.0,
+          "make_collusion_scenario: shave_fraction in (0, 1)");
+  require(actual.consumer_count() == topology.consumer_count(),
+          "make_collusion_scenario: dataset does not match topology");
+  require(week < actual.week_count(),
+          "make_collusion_scenario: week out of range");
+
+  // Deepest internal node with a big-enough sibling pool; ascending-id scan
+  // with strict > keeps the smallest id among ties.
+  grid::NodeId best = grid::kNoNode;
+  int best_depth = -1;
+  for (std::size_t id = 0; id < topology.node_count(); ++id) {
+    const grid::NodeId nid = static_cast<grid::NodeId>(id);
+    if (topology.node(nid).kind != grid::NodeKind::kInternal) continue;
+    if (topology.consumers_under(nid).size() < group_size) continue;
+    const int depth = topology.depth(nid);
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = nid;
+    }
+  }
+  require(best != grid::kNoNode,
+          "make_collusion_scenario: no internal node has group_size "
+          "consumer descendants");
+
+  CollusionScenario scenario;
+  scenario.node = best;
+  std::vector<std::size_t> members = topology.consumers_under(best);
+  std::sort(members.begin(), members.end());
+  members.resize(group_size);
+  scenario.consumers = std::move(members);
+
+  scenario.injections.reserve(group_size);
+  for (const std::size_t i : scenario.consumers) {
+    WeekInjection injection;
+    injection.consumer_index = i;
+    injection.week = week;
+    const std::span<const Kw> actual_week = actual.consumer(i).week(week);
+    injection.reported_week.assign(actual_week.begin(), actual_week.end());
+    for (Kw& kw : injection.reported_week) kw *= 1.0 - shave_fraction;
+    scenario.injections.push_back(std::move(injection));
+  }
+  return scenario;
+}
+
+}  // namespace fdeta::attack

@@ -1,0 +1,47 @@
+// The collusion scenario: k sibling consumers under one transformer each
+// shave a sliver small enough to stay under their per-consumer detection
+// threshold.  Individually every attacker is invisible (sub-threshold by
+// construction); jointly they shift the shared feeder's balance residual by
+// k slivers, which is exactly what the feeder-level hierarchy layer
+// (grid/hierarchy/feeder_monitor.h) exists to catch.  Extends the
+// ext_multiple_attackers study from independent attackers to coordinated
+// sibling groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/injector.h"
+#include "grid/topology.h"
+#include "meter/dataset.h"
+
+namespace fdeta::attack {
+
+struct CollusionScenario {
+  /// The deepest internal node whose subtree contains the whole group (the
+  /// transformer the colluders share).
+  grid::NodeId node = grid::kNoNode;
+  /// Dense consumer indices of the colluders, ascending.
+  std::vector<std::size_t> consumers;
+  /// One under-report injection per colluder for `week`: reported =
+  /// actual * (1 - shave_fraction), preserving the load shape (a uniform
+  /// multiplicative shave is the hardest sub-threshold case for
+  /// shape-sensitive detectors).
+  std::vector<WeekInjection> injections;
+};
+
+/// Builds a collusion scenario over `topology`: picks the DEEPEST internal
+/// node with at least `group_size` consumer descendants (ties broken toward
+/// the smallest node id), takes its first `group_size` consumers (ascending
+/// dense index) and shaves each one's `week` by `shave_fraction`.  Anchoring
+/// the group at the deepest eligible node makes the colluders dominate that
+/// node's aggregate - the regime the hierarchy layer must localize.
+/// Throws InvalidArgument when no node is deep enough, the week is out of
+/// range, or shave_fraction is outside (0, 1).
+CollusionScenario make_collusion_scenario(const grid::Topology& topology,
+                                          const meter::Dataset& actual,
+                                          std::size_t group_size,
+                                          double shave_fraction,
+                                          std::size_t week);
+
+}  // namespace fdeta::attack

@@ -266,12 +266,23 @@ void OnlineMonitor::fit_one(std::size_t i, const meter::ConsumerSeries& series,
   train_mean_[i] = stats::mean(train);
 }
 
+hierarchy::FeederConfig OnlineMonitor::resolved_feeder_config() const {
+  // The hierarchy layer shares the monitor's pool cap and telemetry/event
+  // sinks unless the caller pinned its own.
+  hierarchy::FeederConfig cfg = config_.feeder;
+  if (cfg.threads == 0) cfg.threads = config_.threads;
+  if (cfg.metrics == nullptr) cfg.metrics = config_.metrics;
+  if (cfg.events == nullptr) cfg.events = config_.events;
+  return cfg;
+}
+
 void OnlineMonitor::fit(const meter::Dataset& history,
                         const meter::TrainTestSplit& split) {
   obs::TraceSpan span("monitor.fit", "monitor");
   obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
   alerts_.clear();
+  feeder_.reset();
 
   const std::size_t count = history.consumer_count();
   init_fleet(count);
@@ -279,6 +290,11 @@ void OnlineMonitor::fit(const meter::Dataset& history,
   parallel_for(
       count, [&](std::size_t i) { fit_one(i, history.consumer(i), split); },
       config_.threads);
+  if (config_.topology != nullptr) {
+    feeder_ = std::make_unique<hierarchy::FeederMonitor>(
+        *config_.topology, resolved_feeder_config());
+    feeder_->fit(history, split);
+  }
   rebuild_health_baseline();
   fitted_ = true;
   consumers_fitted_->add(count);
@@ -293,6 +309,7 @@ void OnlineMonitor::fit_streaming(
   require(static_cast<bool>(source), "OnlineMonitor: null series source");
   fitted_ = false;
   alerts_.clear();
+  feeder_.reset();
 
   init_fleet(count);
   // Each iteration materialises exactly one consumer's series, fits, and
@@ -305,9 +322,36 @@ void OnlineMonitor::fit_streaming(
         fit_one(i, series, split);
       },
       config_.threads);
+  if (config_.topology != nullptr) {
+    // A second (serial) pass over the source: the feeder layer accumulates
+    // per-node aggregates in ascending consumer order, producing state
+    // bit-identical to the in-memory fit() path.
+    feeder_ = std::make_unique<hierarchy::FeederMonitor>(
+        *config_.topology, resolved_feeder_config());
+    feeder_->fit_streaming(count, source, split);
+  }
   rebuild_health_baseline();
   fitted_ = true;
   consumers_fitted_->add(count);
+}
+
+hierarchy::FeederReport OnlineMonitor::evaluate_feeders(SlotIndex slot) {
+  require(fitted_, "OnlineMonitor: fit() not called");
+  require(feeder_ != nullptr,
+          "OnlineMonitor: evaluate_feeders requires a configured topology");
+  // Consumers still in their alert cooldown were individually flagged
+  // recently; the hierarchy layer only localizes the sub-threshold rest.
+  // Windows and cooldowns are layout-invariant state, so this mask - and
+  // the whole report - is byte-identical for any shard x thread layout.
+  std::vector<unsigned char> flagged(detectors_.size(), 0);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    flagged[i] = cooldown_[i] > 0 ? 1 : 0;
+  }
+  return feeder_->evaluate_windows(
+      [this](std::size_t i) {
+        return std::span<const Kw>(windows_.data() + i * kWindow, kWindow);
+      },
+      slot, flagged);
 }
 
 std::optional<AlertEvent> OnlineMonitor::apply(const Reading& reading) {
@@ -569,6 +613,10 @@ void OnlineMonitor::save(std::ostream& out) const {
     enc.f64(a.threshold);
     enc.u8(static_cast<std::uint8_t>(a.direction));
   }
+  // v6 feeder-hierarchy block, behind a presence flag: a monitor fitted
+  // without a topology keeps writing (and restoring) hierarchy-free state.
+  enc.u8(feeder_ != nullptr ? 1 : 0);
+  if (feeder_ != nullptr) feeder_->save_state(enc);
   persist::write_checkpoint(out, persist::Section::kOnlineMonitor,
                             enc.bytes());
 }
@@ -753,6 +801,23 @@ void OnlineMonitor::restore(std::istream& in) {
     a.direction = static_cast<AlertDirection>(direction);
     alerts.push_back(a);
   }
+  // v6 feeder-hierarchy block; pre-v6 checkpoints carry none (restore
+  // proceeds hierarchy-free; refit to regain the feeder layer).
+  std::unique_ptr<hierarchy::FeederMonitor> feeder;
+  if (version >= 6) {
+    const std::uint8_t has_feeder = dec.u8();
+    if (has_feeder > 1) throw DataError("checkpoint: bad feeder flag");
+    if (has_feeder == 1) {
+      if (config_.topology == nullptr) {
+        throw DataError(
+            "checkpoint: feeder-hierarchy state present but the monitor has "
+            "no configured topology");
+      }
+      feeder = std::make_unique<hierarchy::FeederMonitor>(
+          *config_.topology, resolved_feeder_config());
+      feeder->restore_state(dec, version);
+    }
+  }
   dec.require_exhausted("monitor model");
 
   // Everything decoded cleanly; commit the restore atomically.
@@ -780,6 +845,7 @@ void OnlineMonitor::restore(std::istream& in) {
   // a freshly fitted one baselines on the primed training windows.
   rebuild_health_baseline();
   alerts_ = std::move(alerts);
+  feeder_ = std::move(feeder);
   fitted_ = true;
   consumers_restored_->add(count);
   events_->emit("model_restored",

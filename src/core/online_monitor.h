@@ -37,6 +37,7 @@
 #include "core/detector_registry.h"
 #include "core/kld_detector.h"
 #include "core/time_to_detection.h"
+#include "grid/hierarchy/feeder_monitor.h"
 #include "meter/dataset.h"
 
 namespace fdeta {
@@ -111,6 +112,14 @@ struct OnlineMonitorConfig {
   /// Emits alert_raised per alert (in alerts() order) and model_restored on
   /// restore().
   obs::EventLog* events = nullptr;
+  /// Optional feeder-hierarchy layer (ROADMAP item 3): when non-null, fit()
+  /// also fits a hierarchy::FeederMonitor over this radial tree and
+  /// evaluate_feeders() scores its internal nodes over the sliding windows.
+  /// Must outlive the monitor; its consumer count must match the fleet.
+  const grid::Topology* topology = nullptr;
+  /// Hierarchy knobs; `threads`/`metrics`/`events` inherit the monitor's
+  /// values when left at their defaults.
+  hierarchy::FeederConfig feeder{};
 };
 
 class OnlineMonitor {
@@ -192,7 +201,24 @@ class OnlineMonitor {
   /// reads and resets the recent-window accumulators.  No-op before fit().
   void refresh_health_gauges();
 
+  /// Scores every feeder node of config.topology over the current sliding
+  /// windows (emitting feeder_alert_raised / collusion_suspected events and
+  /// updating the hierarchy gauges).  Consumers in cooldown count as
+  /// individually flagged and are excluded from collusion groups.  Call
+  /// quiesced at deterministic points in the reading order (e.g. week
+  /// boundaries): the windows and cooldowns are layout-invariant, so the
+  /// report is byte-identical for any shard x thread layout.  Requires
+  /// fit() with a configured topology.
+  hierarchy::FeederReport evaluate_feeders(SlotIndex slot);
+
+  /// The feeder-hierarchy layer, or null when no topology is configured.
+  const hierarchy::FeederMonitor* feeder() const { return feeder_.get(); }
+
  private:
+  /// The hierarchy config with `threads`/`metrics`/`events` defaulted from
+  /// the monitor's own values.
+  hierarchy::FeederConfig resolved_feeder_config() const;
+
   /// Sizes the Struct-of-Arrays fleet state and shard locks for `count`
   /// consumers (everything zeroed; unfitted detectors cloned from a
   /// registry-built prototype).
@@ -257,6 +283,10 @@ class OnlineMonitor {
 
   std::vector<AlertEvent> alerts_;
   bool fitted_ = false;
+
+  /// Feeder-hierarchy layer; built by fit()/restore() when config_.topology
+  /// is set (and, for restore, the checkpoint carries a hierarchy block).
+  std::unique_ptr<hierarchy::FeederMonitor> feeder_;
 
   // Cached at construction; updates are lock-free (see obs/metrics.h).
   obs::Counter* consumers_fitted_ = nullptr;

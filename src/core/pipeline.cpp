@@ -87,6 +87,7 @@ void FdetaPipeline::fit(const meter::Dataset& actual) {
   obs::TraceSpan span("pipeline.fit", "pipeline");
   obs::ScopedTimer timer(*fit_seconds_);
   fitted_ = false;
+  feeder_.reset();  // refitted lazily against the new training data
   const std::size_t count = actual.consumer_count();
   // One unfitted prototype through the registry, cloned per consumer; the
   // `kld` config block stays authoritative for the KLD histogram knobs.
@@ -144,6 +145,7 @@ void FdetaPipeline::save_model(std::ostream& out) const {
 
 void FdetaPipeline::load_model(std::istream& in) {
   obs::TraceSpan span("pipeline.load_model", "pipeline");
+  feeder_.reset();  // refitted lazily against the restored split
   std::uint32_t version = persist::kFormatVersion;
   const std::string payload =
       persist::read_checkpoint(in, persist::Section::kPipeline, &version);
@@ -403,7 +405,42 @@ PipelineReport FdetaPipeline::evaluate_week(
                                 /*tolerance_kw=*/1e-6, events_);
     investigations_->add();
   }
+
+  // Feeder-hierarchy layer, strictly AFTER the per-consumer events and the
+  // investigation trail: a hierarchy-enabled run's event log is the
+  // hierarchy-free log plus appended feeder events, never a reordering.
+  if (config_.hierarchy && topology != nullptr) {
+    ensure_feeder(*topology, actual);
+    std::vector<unsigned char> flagged(report.verdicts.size(), 0);
+    for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+      const VerdictStatus status = report.verdicts[i].status;
+      // Anomalous at the per-consumer layer (excused or not): already
+      // localized individually, so excluded from collusion groups.
+      flagged[i] = (status != VerdictStatus::kNormal &&
+                    status != VerdictStatus::kInsufficientData)
+                       ? 1
+                       : 0;
+    }
+    // Balance mode: the trusted `actual` dataset stands in for the feeder
+    // balance meters, so clean fleets have exactly-zero physical residuals.
+    report.feeder = feeder_->evaluate_week(actual, reported, week, flagged);
+  }
   return report;
+}
+
+void FdetaPipeline::ensure_feeder(const grid::Topology& topology,
+                                  const meter::Dataset& actual) const {
+  if (feeder_ != nullptr) {
+    require(&topology == &feeder_->topology(),
+            "FdetaPipeline: topology changed between hierarchy evaluations");
+    return;
+  }
+  hierarchy::FeederConfig cfg = config_.feeder;
+  if (cfg.threads == 0) cfg.threads = config_.threads;
+  if (cfg.metrics == nullptr) cfg.metrics = config_.metrics;
+  if (cfg.events == nullptr) cfg.events = config_.events;
+  feeder_ = std::make_unique<hierarchy::FeederMonitor>(topology, cfg);
+  feeder_->fit(actual, config_.split);
 }
 
 }  // namespace fdeta::core

@@ -17,6 +17,7 @@
 #include "core/detector_registry.h"
 #include "core/evidence.h"
 #include "core/kld_detector.h"
+#include "grid/hierarchy/feeder_monitor.h"
 #include "grid/investigate.h"
 #include "grid/topology.h"
 #include "meter/dataset.h"
@@ -114,11 +115,24 @@ struct PipelineConfig {
   /// index order, regardless of `threads`), model_restored on load_model(),
   /// and investigation_step during step 5.
   obs::EventLog* events = nullptr;
+  /// Feeder-hierarchy layer (ROADMAP item 3): when set AND evaluate_week is
+  /// given a topology, a hierarchy::FeederMonitor is lazily fitted on the
+  /// training span and scores every internal node after step 5.  Feeder
+  /// events are appended strictly AFTER the per-consumer and investigation
+  /// events, so enabling the hierarchy never perturbs the existing log - it
+  /// only adds feeder_alert_raised / collusion_suspected lines at the end.
+  bool hierarchy = false;
+  /// Hierarchy knobs; `threads`/`metrics`/`events` inherit the pipeline's
+  /// values when left at their defaults.
+  hierarchy::FeederConfig feeder{};
 };
 
 struct PipelineReport {
   std::vector<ConsumerVerdict> verdicts;                 // step 1-4 output
   std::optional<grid::InvestigationResult> investigation;  // step 5 output
+  /// Feeder-hierarchy scores/collusion groups (PipelineConfig::hierarchy
+  /// with a topology); per-consumer verdicts above are never affected.
+  std::optional<hierarchy::FeederReport> feeder;
 
   std::vector<meter::ConsumerId> suspected_attackers() const;
   std::vector<meter::ConsumerId> suspected_victims() const;
@@ -167,10 +181,20 @@ class FdetaPipeline {
   std::size_t consumer_count() const { return detectors_.size(); }
 
  private:
+  /// Builds + fits the feeder layer on first hierarchy-enabled evaluation
+  /// (deterministic: fitted on `actual`'s training span with the pipeline's
+  /// split, so the lazy fit is a pure function of the evaluate inputs).
+  void ensure_feeder(const grid::Topology& topology,
+                     const meter::Dataset& actual) const;
+
   PipelineConfig config_;
   std::vector<std::unique_ptr<ScoringDetector>> detectors_;  // per consumer
   std::vector<meter::WeeklyStats> train_stats_;              // per consumer
   bool fitted_ = false;
+  /// Lazy feeder-hierarchy layer; scoring caches live per node, and the
+  /// rolling baselines advance week over week (mutable: evaluate_week stays
+  /// const for the per-consumer layer it reports on).
+  mutable std::unique_ptr<hierarchy::FeederMonitor> feeder_;
 
   // Cached at construction; updates are lock-free (see obs/metrics.h) and
   // happen once per fit/evaluate call, outside the per-consumer hot loops.

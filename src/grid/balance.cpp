@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "grid/hierarchy/residuals.h"
 
 namespace fdeta::grid {
 
@@ -24,12 +25,10 @@ BalanceOutcome run_balance_checks(
   require(actual.size() == reported.size(),
           "run_balance_checks: actual/reported size mismatch");
 
-  // LHS of eq. (5): physics - what actually flows through each node.
-  const std::vector<Kw> actual_nodes = topology.node_demands(actual);
-  // RHS of eq. (5): the utility's reconstruction from reported readings plus
-  // calculated losses.  node_demands over reported values computes exactly
-  // sum(reported consumers) + estimated losses for every node.
-  const std::vector<Kw> reported_nodes = topology.node_demands(reported);
+  // Eq. (5) both sides in one walk: physics (actual flows) vs the utility's
+  // reconstruction (reported readings plus calculated losses).
+  const NodeResiduals residuals =
+      NodeResiduals::compute(topology, actual, reported);
 
   BalanceOutcome outcome;
   outcome.status.assign(topology.node_count(), CheckStatus::kNotChecked);
@@ -41,9 +40,10 @@ BalanceOutcome run_balance_checks(
       outcome.status[id] = CheckStatus::kPassed;
       continue;
     }
-    const double gap = std::fabs(actual_nodes[id] - reported_nodes[id]);
     outcome.status[id] =
-        gap > tolerance_kw ? CheckStatus::kFailed : CheckStatus::kPassed;
+        residuals.check_fails(static_cast<NodeId>(id), tolerance_kw)
+            ? CheckStatus::kFailed
+            : CheckStatus::kPassed;
   }
   return outcome;
 }

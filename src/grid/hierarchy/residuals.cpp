@@ -1,0 +1,26 @@
+#include "grid/hierarchy/residuals.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fdeta::grid {
+
+NodeResiduals NodeResiduals::compute(const Topology& topology,
+                                     std::span<const Kw> actual,
+                                     std::span<const Kw> reported) {
+  require(actual.size() == reported.size(),
+          "NodeResiduals: actual/reported size mismatch");
+  require(actual.size() == topology.consumer_count(),
+          "NodeResiduals: demand vector does not match topology");
+  NodeResiduals residuals;
+  residuals.actual_nodes_ = topology.node_demands(actual);
+  residuals.reported_nodes_ = topology.node_demands(reported);
+  return residuals;
+}
+
+double NodeResiduals::imbalance_kw(NodeId id) const {
+  return std::fabs(signed_kw(id));
+}
+
+}  // namespace fdeta::grid

@@ -102,27 +102,14 @@ InvestigationResult investigate_case1(const Topology& topology,
 
 namespace {
 
-/// One portable-meter check at `node`: compare actual flow against reported
-/// reconstruction for that subtree.
-bool portable_check_fails(NodeId node, const std::vector<Kw>& actual_nodes,
-                          const std::vector<Kw>& reported_nodes,
-                          double tolerance_kw) {
-  return std::fabs(actual_nodes[node] - reported_nodes[node]) > tolerance_kw;
-}
-
-double node_imbalance(NodeId node, const std::vector<Kw>& actual_nodes,
-                      const std::vector<Kw>& reported_nodes) {
-  return std::fabs(actual_nodes[node] - reported_nodes[node]);
-}
-
 /// Recursive descent from a node whose check is known to fail.  Checks each
-/// internal child with the portable meter, recursing only into failing ones;
-/// if no internal child fails, the divergence sits among the node's directly
-/// attached consumer leaves (to within measurement tolerance).
+/// internal child with the portable meter (one residual lookup), recursing
+/// only into failing ones; if no internal child fails, the divergence sits
+/// among the node's directly attached consumer leaves (to within measurement
+/// tolerance).
 void descend(const Topology& topology, NodeId node,
-             const std::vector<Kw>& actual_nodes,
-             const std::vector<Kw>& reported_nodes, double tolerance_kw,
-             int depth, int& best_depth, InvestigationResult& result) {
+             const NodeResiduals& residuals, double tolerance_kw, int depth,
+             int& best_depth, InvestigationResult& result) {
   if (depth > best_depth) {
     best_depth = depth;
     result.localized_node = node;
@@ -134,14 +121,13 @@ void descend(const Topology& topology, NodeId node,
     InvestigationStep step;
     step.node = c;
     step.depth = depth + 1;
-    step.imbalance_kw = node_imbalance(c, actual_nodes, reported_nodes);
-    if (portable_check_fails(c, actual_nodes, reported_nodes,
-                             tolerance_kw)) {
+    step.imbalance_kw = residuals.imbalance_kw(c);
+    if (residuals.check_fails(c, tolerance_kw)) {
       any_failing_child = true;
       step.branch = InvestigationBranch::kDescend;
       result.steps.push_back(step);
-      descend(topology, c, actual_nodes, reported_nodes, tolerance_kw,
-              depth + 1, best_depth, result);
+      descend(topology, c, residuals, tolerance_kw, depth + 1, best_depth,
+              result);
     } else {
       step.branch = InvestigationBranch::kPruned;
       result.steps.push_back(step);
@@ -158,7 +144,7 @@ void descend(const Topology& topology, NodeId node,
     InvestigationStep step;
     step.node = node;
     step.depth = depth;
-    step.imbalance_kw = node_imbalance(node, actual_nodes, reported_nodes);
+    step.imbalance_kw = residuals.imbalance_kw(node);
     step.branch = InvestigationBranch::kLeafSuspects;
     step.suspects = added;
     result.steps.push_back(step);
@@ -173,9 +159,17 @@ InvestigationResult investigate_case2(const Topology& topology,
                                       double tolerance_kw,
                                       obs::EventLog* events) {
   require(actual.size() == reported.size(), "investigate_case2: size mismatch");
-  const std::vector<Kw> actual_nodes = topology.node_demands(actual);
-  const std::vector<Kw> reported_nodes = topology.node_demands(reported);
+  return investigate_case2(topology,
+                           NodeResiduals::compute(topology, actual, reported),
+                           tolerance_kw, events);
+}
 
+InvestigationResult investigate_case2(const Topology& topology,
+                                      const NodeResiduals& residuals,
+                                      double tolerance_kw,
+                                      obs::EventLog* events) {
+  require(residuals.node_count() == topology.node_count(),
+          "investigate_case2: residuals do not match topology");
   InvestigationResult result;
 
   // Root check first; if it passes there is nothing to investigate.
@@ -183,10 +177,8 @@ InvestigationResult investigate_case2(const Topology& topology,
   InvestigationStep root_step;
   root_step.node = topology.root();
   root_step.depth = 0;
-  root_step.imbalance_kw =
-      node_imbalance(topology.root(), actual_nodes, reported_nodes);
-  if (!portable_check_fails(topology.root(), actual_nodes,
-                            reported_nodes, tolerance_kw)) {
+  root_step.imbalance_kw = residuals.imbalance_kw(topology.root());
+  if (!residuals.check_fails(topology.root(), tolerance_kw)) {
     root_step.branch = InvestigationBranch::kBalanced;
     result.steps.push_back(root_step);
     emit_steps(events, "case2", result.steps);
@@ -195,14 +187,13 @@ InvestigationResult investigate_case2(const Topology& topology,
   root_step.branch = InvestigationBranch::kDescend;
   result.steps.push_back(root_step);
   int best_depth = -1;
-  descend(topology, topology.root(), actual_nodes, reported_nodes,
-          tolerance_kw, 0, best_depth, result);
+  descend(topology, topology.root(), residuals, tolerance_kw, 0, best_depth,
+          result);
   {
     InvestigationStep step;
     step.node = result.localized_node;
     step.depth = topology.depth(result.localized_node);
-    step.imbalance_kw =
-        node_imbalance(result.localized_node, actual_nodes, reported_nodes);
+    step.imbalance_kw = residuals.imbalance_kw(result.localized_node);
     step.branch = InvestigationBranch::kLocalized;
     step.suspects = result.suspects.size();
     result.steps.push_back(step);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "grid/balance.h"
+#include "grid/hierarchy/residuals.h"
 #include "grid/topology.h"
 
 namespace fdeta::obs {
@@ -80,6 +81,14 @@ InvestigationResult investigate_case1(const Topology& topology,
 InvestigationResult investigate_case2(const Topology& topology,
                                       std::span<const Kw> actual,
                                       std::span<const Kw> reported,
+                                      double tolerance_kw = 1e-6,
+                                      obs::EventLog* events = nullptr);
+
+/// Case 2 over a pre-computed residual tree.  Callers that already hold the
+/// per-node residuals (the hierarchy monitor, repeated investigations over
+/// one snapshot) skip the two node_demands walks the span overload performs.
+InvestigationResult investigate_case2(const Topology& topology,
+                                      const NodeResiduals& residuals,
                                       double tolerance_kw = 1e-6,
                                       obs::EventLog* events = nullptr);
 

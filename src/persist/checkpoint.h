@@ -57,7 +57,11 @@ inline constexpr std::string_view kMagic = "FDETAMDL";
 // their calibration from state persisted since v2 (training divergences +
 // threshold + significance).  Pre-v5 ckld payloads calibrate anchored at
 // the margin threshold alone - same flags, coarser sub-threshold scores.
-inline constexpr std::uint32_t kFormatVersion = 5;
+// v6: the OnlineMonitor payload ends with a feeder-hierarchy block behind a
+// presence flag (per-node detector fleet, rolling baselines, deviations,
+// consumer training means; see grid/hierarchy/feeder_monitor.h).  Pre-v6
+// payloads restore with no hierarchy state.
+inline constexpr std::uint32_t kFormatVersion = 6;
 /// Oldest version this build still reads (see the per-section decoders).
 inline constexpr std::uint32_t kMinReadVersion = 2;
 

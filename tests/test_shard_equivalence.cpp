@@ -17,6 +17,8 @@
 #include "core/detector_registry.h"
 #include "core/online_monitor.h"
 #include "datagen/generator.h"
+#include "grid/hierarchy/feeder_monitor.h"
+#include "grid/topology.h"
 #include "meter/dataset.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -180,6 +182,58 @@ TEST_F(ShardEquivalenceTest, FitStreamingMatchesFitBitExactly) {
       [&](std::size_t i) { return fleet.consumer(i); }, split());
 
   EXPECT_EQ(checkpoint_bytes(*fitted), checkpoint_bytes(streamed));
+}
+
+// The feeder-hierarchy layer rides the same invariant: with a configured
+// topology, the feeder report (scores, residuals, collusion groups), the
+// emitted feeder events, and the v6 checkpoint bytes (which now carry the
+// per-node feeder state) must be byte-identical for any shard x thread
+// layout after the same delivery tape.
+TEST_F(ShardEquivalenceTest, FeederReportInvariantAcrossShardThreadLayouts) {
+  Rng rng(kSeed);
+  const auto topology =
+      grid::Topology::random_radial(data_.consumer_count(), 3, rng, 0.02);
+  const auto readings = delivery_sequence(data_);
+  const SlotIndex eval_slot =
+      (split().train_weeks + 1) * static_cast<std::size_t>(kSlotsPerWeek);
+
+  std::string ref_report, ref_bytes, ref_events;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      obs::MetricsRegistry reg;
+      obs::EventLog log;
+      log.enable();
+      core::OnlineMonitorConfig config;
+      config.kld = {.bins = 10, .significance = 0.10};
+      config.stride = 1;
+      config.cooldown_slots = 12;
+      config.shards = shards;
+      config.threads = threads;
+      config.metrics = &reg;
+      config.events = &log;
+      config.topology = &topology;
+      core::OnlineMonitor monitor(config);
+      monitor.fit(data_, split());
+      monitor.ingest_batch(readings);
+      const auto report = monitor.evaluate_feeders(eval_slot);
+      const std::string report_text = hierarchy::to_text(report);
+      const std::string bytes = checkpoint_bytes(monitor);
+      const std::string events = log.to_jsonl();
+      if (ref_report.empty()) {
+        ref_report = report_text;
+        ref_bytes = bytes;
+        ref_events = events;
+      } else {
+        EXPECT_EQ(ref_report, report_text);
+        EXPECT_EQ(ref_bytes, bytes);
+        EXPECT_EQ(ref_events, events);
+      }
+    }
+  }
+  ASSERT_FALSE(ref_report.empty());
 }
 
 // StreamingFleet::consumer(i) is the per-consumer view of the same RNG

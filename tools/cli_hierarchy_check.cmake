@@ -1,0 +1,145 @@
+# Verifies the feeder-hierarchy CLI surface end to end: a seeded topology
+# plus an `inject --attack collusion` forgery must make `detect --hierarchy`
+# raise feeder alerts and localise a colluding sibling group, with the
+# corresponding feeder_alert_raised / collusion_suspected events in the
+# --events-out log.  A plain `--topology` run (no --hierarchy) over the same
+# inputs must print identical per-consumer verdicts and no feeder lines -
+# the hierarchy layer only ever appends.  Finally the identical detect under
+# FDETA_THREADS=1 (different auto-resolved shard count) pins the acceptance
+# criterion that stdout and the event log are byte-identical across
+# shard x thread layouts.
+#
+# Macros, not functions: in `cmake -P` script mode, set(... PARENT_SCOPE)
+# from a top-level function call does not reach the script scope.
+file(MAKE_DIRECTORY ${WORK_DIR})
+macro(run)
+  execute_process(COMMAND ${FDETA_CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE run_stdout
+                  ERROR_VARIABLE run_stderr)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+            "fdeta ${ARGN} failed (${code}): ${run_stdout}${run_stderr}")
+  endif()
+endmacro()
+
+# Same, but pinned to one worker thread (and therefore a different
+# auto-resolved shard count) for the cross-layout determinism check.
+macro(run_single_thread)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env FDETA_THREADS=1
+                          ${FDETA_CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE run_stdout
+                  ERROR_VARIABLE run_stderr)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "fdeta (FDETA_THREADS=1) ${ARGN} failed (${code}): "
+                        "${run_stdout}${run_stderr}")
+  endif()
+endmacro()
+
+run(generate --out actual.csv --consumers 48 --weeks 20 --seed 11)
+run(topology --out feeder.topo --consumers 48 --fanout 4 --seed 11)
+
+# Coordinated under-reporting: 4 siblings under the deepest shared
+# transformer each shave 3% of week 17 - individually sub-threshold.
+run(inject --in actual.csv --out reported.csv --attack collusion
+    --topology feeder.topo --week 17 --group-size 4 --shave 0.03)
+if(NOT run_stdout MATCHES "collusion: 4 colluders under node")
+  message(FATAL_ERROR "inject --attack collusion did not report 4 "
+                      "colluders:\n${run_stdout}")
+endif()
+
+# Control run: step-5 investigation only (no --hierarchy).  Per-consumer
+# verdicts must be identical to the hierarchy run below.
+run(detect --in reported.csv --baseline actual.csv --train-weeks 16
+    --topology feeder.topo --stream 0)
+set(off_stdout "${run_stdout}")
+foreach(token "hierarchy:" "feeder node" "collusion under")
+  if(off_stdout MATCHES "${token}")
+    message(FATAL_ERROR "hierarchy-off detect printed feeder output "
+                        "'${token}':\n${off_stdout}")
+  endif()
+endforeach()
+
+run(detect --in reported.csv --baseline actual.csv --train-weeks 16
+    --topology feeder.topo --hierarchy --stream 0
+    --events-out events.jsonl --metrics-out metrics.json)
+set(on_stdout "${run_stdout}")
+
+# The feeder layer must see the joint residual the per-consumer detectors
+# miss: alerts down the feeder path and at least one localised group.
+if(NOT on_stdout MATCHES "hierarchy: nodes=[0-9]+ feeder_alerts=[1-9]")
+  message(FATAL_ERROR "detect --hierarchy raised no feeder alerts:\n"
+                      "${on_stdout}")
+endif()
+if(NOT on_stdout MATCHES "collusion_groups=[1-9]")
+  message(FATAL_ERROR "detect --hierarchy localised no collusion group:\n"
+                      "${on_stdout}")
+endif()
+if(NOT on_stdout MATCHES "feeder node [0-9]+ \\(depth [0-9]+, [0-9]+ consumers\\): score=")
+  message(FATAL_ERROR "flagged feeder node line missing:\n${on_stdout}")
+endif()
+if(NOT on_stdout MATCHES "collusion under node [0-9]+ \\(")
+  message(FATAL_ERROR "collusion group line missing:\n${on_stdout}")
+endif()
+
+# Differential: the hierarchy layer only appends.  Every non-feeder stdout
+# line of the on-run must equal the off-run verbatim.
+string(REPLACE "\n" ";" on_lines "${on_stdout}")
+set(on_without_feeder "")
+foreach(line IN LISTS on_lines)
+  if(line MATCHES "hierarchy:|feeder node|collusion under")
+    continue()
+  endif()
+  string(APPEND on_without_feeder "${line}\n")
+endforeach()
+string(REPLACE "\n" ";" off_lines "${off_stdout}")
+set(off_joined "")
+foreach(line IN LISTS off_lines)
+  string(APPEND off_joined "${line}\n")
+endforeach()
+if(NOT on_without_feeder STREQUAL off_joined)
+  message(FATAL_ERROR "per-consumer verdicts differ with --hierarchy:\n"
+                      "--- hierarchy on (feeder lines stripped) ---\n"
+                      "${on_without_feeder}\n--- hierarchy off ---\n"
+                      "${off_joined}")
+endif()
+
+# The event log must carry the two feeder event kinds with their payloads.
+file(READ ${WORK_DIR}/events.jsonl events_jsonl)
+foreach(token "\"event\":\"feeder_alert_raised\""
+        "\"event\":\"collusion_suspected\"" "\"node\":" "\"score\":"
+        "\"residual_kw\":")
+  if(NOT events_jsonl MATCHES "${token}")
+    message(FATAL_ERROR "event log lacks '${token}':\n${events_jsonl}")
+  endif()
+endforeach()
+
+# The hierarchy counters must land in the metrics exposition.
+file(READ ${WORK_DIR}/metrics.json metrics_json)
+foreach(key hierarchy.weeks_evaluated hierarchy.feeder_alerts
+        hierarchy.collusion_groups)
+  if(NOT metrics_json MATCHES "${key}")
+    message(FATAL_ERROR "metrics output lacks '${key}':\n${metrics_json}")
+  endif()
+endforeach()
+
+# Cross-layout determinism: the same seeded run under FDETA_THREADS=1 (one
+# worker, different auto shard count) must print byte-identical stdout and
+# write a byte-identical event log.
+run_single_thread(detect --in reported.csv --baseline actual.csv
+    --train-weeks 16 --topology feeder.topo --hierarchy --stream 0
+    --events-out events_t1.jsonl)
+if(NOT run_stdout STREQUAL on_stdout)
+  message(FATAL_ERROR "detect --hierarchy stdout differs across "
+                      "thread/shard layouts:\n--- default pool ---\n"
+                      "${on_stdout}\n--- FDETA_THREADS=1 ---\n${run_stdout}")
+endif()
+file(READ ${WORK_DIR}/events_t1.jsonl events_t1_jsonl)
+if(NOT events_jsonl STREQUAL events_t1_jsonl)
+  message(FATAL_ERROR "event log differs across thread/shard layouts:\n"
+                      "--- default pool ---\n${events_jsonl}\n"
+                      "--- FDETA_THREADS=1 ---\n${events_t1_jsonl}")
+endif()

@@ -43,6 +43,7 @@
 #include "ami/faults.h"
 #include "ami/network.h"
 #include "attack/arima_attack.h"
+#include "attack/collusion.h"
 #include "attack/integrated_arima_attack.h"
 #include "attack/optimal_swap.h"
 #include "common/cli_args.h"
@@ -125,7 +126,49 @@ int cmd_summary(const Args& args) {
   return 0;
 }
 
+// Coordinated sibling under-reporting (`inject --attack collusion`): the
+// --group-size consumers under the deepest shared transformer of --topology
+// each shave --shave of the attacked week.  Each colluder stays under the
+// per-consumer threshold; only the feeder-level hierarchy layer (`detect
+// --hierarchy`) sees the joint residual.
+int cmd_inject_collusion(const Args& args) {
+  const auto dataset = load(args.require_value("in"));
+  std::ifstream tin(args.require_value("topology"));
+  if (!tin) throw DataError("inject: cannot open topology file");
+  const auto topology = grid::load_topology(tin);
+  const long week_raw = args.get_long("week", -1);
+  require(week_raw >= 0, "inject: --week is required");
+  const auto week = static_cast<std::size_t>(week_raw);
+  const auto group_size =
+      static_cast<std::size_t>(args.get_long("group-size", 4));
+  const double shave = args.get_double("shave", 0.05);
+
+  const auto scenario = attack::make_collusion_scenario(
+      topology, dataset, group_size, shave, week);
+  const auto forged = attack::apply_injections(dataset, scenario.injections);
+  save(forged, args.require_value("out"));
+
+  double stolen_kwh = 0.0;
+  for (const auto& injection : scenario.injections) {
+    const auto clean = dataset.consumer(injection.consumer_index).week(week);
+    stolen_kwh +=
+        pricing::energy(clean) - pricing::energy(injection.reported_week);
+  }
+  std::printf("collusion: %zu colluders under node %d shave %.1f%% of week "
+              "%zu (%.1f kWh total); consumers:",
+              scenario.consumers.size(), scenario.node, 100.0 * shave, week,
+              stolen_kwh);
+  for (const std::size_t i : scenario.consumers) {
+    std::printf(" %u", dataset.consumer(i).id);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int cmd_inject(const Args& args) {
+  if (args.get("attack", "integrated-over") == "collusion") {
+    return cmd_inject_collusion(args);
+  }
   auto dataset = load(args.require_value("in"));
   const auto id = static_cast<meter::ConsumerId>(
       args.get_long("consumer", -1));
@@ -170,7 +213,7 @@ int cmd_inject(const Args& args) {
   } else {
     throw InvalidArgument("unknown --attack '" + kind +
                           "' (integrated-over|integrated-under|arima-over|"
-                          "arima-under|swap)");
+                          "arima-under|swap|collusion)");
   }
 
   const auto clean = series.week(week);
@@ -321,9 +364,28 @@ int cmd_detect(const Args& args) {
   require(baseline.week_count() == reported.week_count(),
           "detect: baseline/reported horizons differ");
 
+  // Feeder-hierarchy layer: --topology enables the step-5 investigation over
+  // the radial tree; --hierarchy additionally scores every internal node and
+  // localises colluding sibling groups.  The per-consumer verdicts printed
+  // below are byte-identical with and without --hierarchy (the feeder layer
+  // only appends to the report and the event log).
+  const bool hierarchy = args.has("hierarchy");
+  const std::string topology_path = args.get("topology", "");
+  require(!hierarchy || !topology_path.empty(),
+          "detect: --hierarchy requires --topology");
+  std::optional<grid::Topology> topology;
+  if (!topology_path.empty()) {
+    std::ifstream tin(topology_path);
+    if (!tin) throw DataError("detect: cannot open topology " + topology_path);
+    topology = grid::load_topology(tin);
+    require(topology->consumer_count() == reported.consumer_count(),
+            "detect: topology consumer count does not match the dataset");
+  }
+
   const bool explain = args.has("explain");
   core::PipelineConfig config;
   config.explain = explain;
+  config.hierarchy = hierarchy;
   config.max_missing_fraction =
       args.get_double("coverage-gate", config.max_missing_fraction);
   require(config.max_missing_fraction >= 0.0 &&
@@ -427,6 +489,9 @@ int cmd_detect(const Args& args) {
   std::size_t weeks_scored = 0;
   std::size_t flagged_total = 0;
   std::size_t insufficient_total = 0;
+  std::size_t hierarchy_nodes = 0;
+  std::size_t feeder_alerts_total = 0;
+  std::size_t collusion_groups_total = 0;
   for (std::size_t w = train_weeks; w < reported.week_count(); ++w) {
     std::optional<core::WeekCoverage> coverage;
     if (collected.has_value()) {
@@ -435,7 +500,7 @@ int cmd_detect(const Args& args) {
     }
     const auto report =
         pipeline.evaluate_week(baseline, judged, w, calendar,
-                               /*topology=*/nullptr,
+                               topology.has_value() ? &*topology : nullptr,
                                coverage.has_value() ? &*coverage : nullptr);
     ++weeks_scored;
     std::printf("%-8zu", w);
@@ -457,6 +522,28 @@ int cmd_detect(const Args& args) {
     }
     if (!any) std::printf(" -");
     std::printf("\n");
+    if (report.feeder.has_value()) {
+      const auto& feeder = *report.feeder;
+      hierarchy_nodes = feeder.nodes.size();
+      feeder_alerts_total += feeder.alert_count();
+      collusion_groups_total += feeder.collusion.size();
+      for (const auto& node : feeder.nodes) {
+        if (!node.flagged) continue;
+        std::printf("    feeder node %d (depth %d, %zu consumers): "
+                    "score=%.3f residual=%.3f kW\n",
+                    node.node, node.depth, node.consumers,
+                    finite_or_throw(node.score, "detect: feeder score"),
+                    node.residual_kw);
+      }
+      for (const auto& group : feeder.collusion) {
+        std::printf("    collusion under node %d (%.3f kW):", group.node,
+                    group.residual_kw);
+        for (const std::size_t i : group.consumers) {
+          std::printf(" %u", reported.consumer(i).id);
+        }
+        std::printf("\n");
+      }
+    }
     if (explain) {
       // Per-bin contributions: which consumption bins pushed the raw K_A
       // over the family threshold (the bins decompose the RAW score; the
@@ -479,6 +566,11 @@ int cmd_detect(const Args& args) {
   std::printf("weeks_scored=%zu consumer_weeks=%zu flagged_total=%zu\n",
               weeks_scored, weeks_scored * reported.consumer_count(),
               flagged_total);
+  if (hierarchy) {
+    std::printf("hierarchy: nodes=%zu feeder_alerts=%zu "
+                "collusion_groups=%zu\n",
+                hierarchy_nodes, feeder_alerts_total, collusion_groups_total);
+  }
   if (collected.has_value()) {
     std::printf("coverage: insufficient=%zu gate=%.2f\n", insufficient_total,
                 pipeline.config().max_missing_fraction);
@@ -727,7 +819,10 @@ int usage() {
       "  summary   --in F\n"
       "  inject    --in F --out F --consumer ID --week W\n"
       "            [--attack integrated-over|integrated-under|arima-over|\n"
-      "             arima-under|swap] [--train-weeks T] [--seed S]\n"
+      "             arima-under|swap|collusion] [--train-weeks T] [--seed S]\n"
+      "            collusion: --topology F [--group-size K] [--shave X]\n"
+      "            (K siblings under the deepest shared transformer each\n"
+      "             shave fraction X of the attacked week; no --consumer)\n"
       "  fit       --in F --save-model F [--train-weeks T]\n"
       "            [--detector kld|ckld|kld-lite|iforest]\n"
       "            [--significance A] [--bins B] [--epsilon E]\n"
@@ -737,6 +832,11 @@ int usage() {
       "            [--significance A] [--bins B] [--epsilon E]\n"
       "            [--detector-opt key=value ...]\n"
       "            [--explain] [--stream 0|1]\n"
+      "            [--topology F]  run the step-5 balance investigation\n"
+      "                            over the radial tree\n"
+      "            [--hierarchy]   also score every internal feeder node and\n"
+      "                            localise colluding sibling groups\n"
+      "                            (requires --topology)\n"
       "            [--stats-interval N]  print a live scoreboard line every\n"
       "                                  N logical slots of the stream replay\n"
       "            [--series-out F]      write the telemetry time series\n"
